@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "core/config.h"
+#include "runtime/workloads.h"
+
+namespace vortex::bench {
+
+/** The five §6.2.1 design-space core geometries of Table 3 / Fig. 14. */
+struct CoreGeometry
+{
+    uint32_t warps;
+    uint32_t threads;
+    const char* name;
+};
+
+inline const std::vector<CoreGeometry>&
+fig14Geometries()
+{
+    static const std::vector<CoreGeometry> g = {
+        {4, 4, "4W-4T"}, {2, 8, "2W-8T"}, {8, 2, "8W-2T"},
+        {4, 8, "4W-8T"}, {8, 4, "8W-4T"},
+    };
+    return g;
+}
+
+/** The five Rodinia kernels plotted in Fig. 14 / Fig. 19. */
+inline const std::vector<std::string>&
+fig14Kernels()
+{
+    static const std::vector<std::string> k = {"sgemm", "vecadd", "sfilter",
+                                               "saxpy", "nearn"};
+    return k;
+}
+
+/** All seven Rodinia kernels of the scaling study (Fig. 18). */
+inline const std::vector<std::string>&
+fig18Kernels()
+{
+    static const std::vector<std::string> k = {
+        "sgemm", "vecadd", "sfilter", "saxpy", "nearn", "gaussian", "bfs"};
+    return k;
+}
+
+/** Baseline machine: the paper's 4W-4T core (§6.2.1). */
+inline core::ArchConfig
+baselineConfig(uint32_t cores = 1)
+{
+    core::ArchConfig cfg;
+    cfg.numWarps = 4;
+    cfg.numThreads = 4;
+    cfg.numCores = cores;
+    if (cores >= 4) {
+        cfg.l2Enabled = true;  // clusters attach an optional L2 (§4.1)
+        cfg.coresPerCluster = 4;
+    }
+    if (cores > 16)
+        cfg.mem.numChannels = 8; // Stratix 10 board (8 banks, §6.5)
+    return cfg;
+}
+
+/** Run one verified kernel; fatal on verification failure so the bench
+ *  never reports numbers from a wrong result. */
+inline runtime::RunResult
+runVerified(const core::ArchConfig& cfg, const std::string& kernel,
+            uint32_t scale = 1)
+{
+    runtime::Device dev(cfg);
+    runtime::RunResult r = runtime::runRodinia(dev, kernel, scale);
+    if (!r.ok)
+        fatal("bench kernel '", kernel, "' failed verification: ", r.error);
+    return r;
+}
+
+inline void
+printHeader(const char* title)
+{
+    std::printf("\n==== %s ====\n", title);
+}
+
+} // namespace vortex::bench

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * google-benchmark micro suite: throughput of the individual substrates
+ * (decoder, assembler, functional sampler, cache model, rasterizer, and
+ * whole-processor simulation speed). These are simulator engineering
+ * numbers, not paper figures; they guard against performance regressions
+ * in the infrastructure itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "graphics/pipeline.h"
+#include "isa/assembler.h"
+#include "isa/isa.h"
+#include "kernels/kernels.h"
+#include "mem/cache.h"
+#include "mem/ram.h"
+#include "runtime/workloads.h"
+#include "tex/sampler.h"
+
+using namespace vortex;
+
+static void
+BM_Decode(benchmark::State& state)
+{
+    // A representative mix of encodings.
+    const uint32_t words[] = {
+        0x00A50533, // add a0, a0, a0
+        0x0005A503, // lw a0, 0(a1)
+        0x00B52023, // sw a1, 0(a0)
+        0x00C58563, // beq a1, a2, ...
+        0x00A585D3, // fadd.s fa1, fa1, fa0
+        0x0000100B, // vx_tmc-ish custom
+    };
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(isa::decode(words[i % 6]));
+        ++i;
+    }
+}
+BENCHMARK(BM_Decode);
+
+static void
+BM_AssembleVecAdd(benchmark::State& state)
+{
+    std::string src = std::string(kernels::runtimeSource()) +
+                      kernels::vecadd();
+    for (auto _ : state) {
+        isa::Assembler as;
+        benchmark::DoNotOptimize(as.assemble(src));
+    }
+}
+BENCHMARK(BM_AssembleVecAdd);
+
+static void
+BM_SamplerBilinear(benchmark::State& state)
+{
+    mem::Ram ram;
+    tex::SamplerState st;
+    st.addr = 0x1000;
+    st.widthLog2 = 6;
+    st.heightLog2 = 6;
+    st.format = tex::Format::RGBA8;
+    st.wrapU = st.wrapV = tex::Wrap::Repeat;
+    st.filter = tex::Filter::Bilinear;
+    for (uint32_t i = 0; i < 64 * 64; ++i)
+        ram.write32(0x1000 + i * 4, i * 0x01010101u);
+    float u = 0.1f;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tex::sampleBilinear(ram, st, u, 0.7f, 0));
+        u += 0.013f;
+        if (u > 1.0f)
+            u -= 1.0f;
+    }
+}
+BENCHMARK(BM_SamplerBilinear);
+
+static void
+BM_CacheHitStream(benchmark::State& state)
+{
+    mem::CacheConfig cfg;
+    cfg.numLanes = 4;
+    mem::Cache cache(cfg);
+    mem::MemSimConfig mcfg;
+    mem::MemSim memsim(mcfg);
+    cache.connectMem(&memsim);
+    memsim.setRspCallback(
+        [&](const mem::MemRsp& rsp) { cache.memRsp(rsp); });
+    uint64_t id = 1;
+    Cycle now = 0;
+    for (auto _ : state) {
+        ++now;
+        for (uint32_t lane = 0; lane < 4; ++lane) {
+            if (cache.laneReady(lane)) {
+                mem::CoreReq req;
+                req.addr = (lane * 64) & 0xFFF;
+                req.reqId = id++;
+                req.lane = lane;
+                cache.lanePush(lane, req);
+            }
+        }
+        cache.tick(now);
+        memsim.tick(now);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(id));
+}
+BENCHMARK(BM_CacheHitStream);
+
+static void
+BM_RasterizerFill(benchmark::State& state)
+{
+    graphics::Framebuffer fb(256, 256);
+    graphics::Pipeline pipe(fb);
+    std::vector<graphics::Vertex> vtx(3);
+    vtx[0].position = {-1.0f, -1.0f, 0.0f, 1.0f};
+    vtx[1].position = {3.0f, -1.0f, 0.0f, 1.0f};
+    vtx[2].position = {-1.0f, 3.0f, 0.0f, 1.0f};
+    std::vector<uint32_t> idx = {0, 1, 2};
+    for (auto _ : state) {
+        fb.clear({0, 0, 0, 255});
+        pipe.drawTriangles(vtx, idx);
+    }
+    state.SetItemsProcessed(state.iterations() * 256 * 256);
+}
+BENCHMARK(BM_RasterizerFill);
+
+static void
+BM_SimulatorThroughput(benchmark::State& state)
+{
+    // Whole-stack simulation speed in simulated cycles per second.
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        core::ArchConfig cfg;
+        runtime::Device dev(cfg);
+        runtime::RunResult r = runtime::runVecAdd(dev, 1024);
+        if (!r.ok)
+            state.SkipWithError("vecadd verification failed");
+        cycles += r.cycles;
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

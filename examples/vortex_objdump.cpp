@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Developer tool: assemble one of the embedded kernels (runtime included)
+ * and dump an objdump-style listing — addresses, raw words, disassembly,
+ * and symbol labels. Demonstrates the assembler/disassembler pair and the
+ * debugging workflow of §4.4.
+ *
+ * Usage: vortex_objdump [kernel]   (default: vecadd; `list` lists names)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "isa/assembler.h"
+#include "isa/isa.h"
+#include "kernels/kernels.h"
+
+using namespace vortex;
+
+namespace {
+
+const std::map<std::string, const char* (*)()>&
+kernelTable()
+{
+    static const std::map<std::string, const char* (*)()> table = {
+        {"vecadd", kernels::vecadd},
+        {"saxpy", kernels::saxpy},
+        {"sgemm", kernels::sgemm},
+        {"sfilter", kernels::sfilter},
+        {"nearn", kernels::nearn},
+        {"gaussian", kernels::gaussian},
+        {"bfs", kernels::bfs},
+        {"tex_point_hw", kernels::texPointHw},
+        {"tex_bilinear_hw", kernels::texBilinearHw},
+        {"tex_trilinear_hw", kernels::texTrilinearHw},
+        {"tex_point_sw", kernels::texPointSw},
+        {"tex_bilinear_sw", kernels::texBilinearSw},
+        {"tex_trilinear_sw", kernels::texTrilinearSw},
+    };
+    return table;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string name = argc > 1 ? argv[1] : "vecadd";
+    if (name == "list" || name == "--list") {
+        for (const auto& [k, fn] : kernelTable()) {
+            (void)fn;
+            std::printf("%s\n", k.c_str());
+        }
+        return 0;
+    }
+    auto it = kernelTable().find(name);
+    if (it == kernelTable().end()) {
+        std::fprintf(stderr, "unknown kernel '%s' (try `list`)\n",
+                     name.c_str());
+        return 1;
+    }
+
+    isa::Assembler as(0x80000000);
+    isa::Program prog =
+        as.assembleAll({kernels::runtimeSource(), it->second()});
+
+    // Invert the symbol table for label printing.
+    std::map<Addr, std::string> labels;
+    for (const auto& [sym, addr] : prog.symbols)
+        labels[addr] = sym;
+
+    std::printf("%s: %zu bytes at 0x%08X, entry 0x%08X, %zu symbols\n\n",
+                name.c_str(), prog.size(), prog.base, prog.entry,
+                prog.symbols.size());
+    for (size_t off = 0; off + 4 <= prog.image.size(); off += 4) {
+        Addr addr = prog.base + static_cast<Addr>(off);
+        auto lit = labels.find(addr);
+        if (lit != labels.end())
+            std::printf("\n%08X <%s>:\n", addr, lit->second.c_str());
+        uint32_t word;
+        std::memcpy(&word, &prog.image[off], 4);
+        isa::Instr in = isa::decode(word);
+        if (in.valid())
+            std::printf("  %08X:  %08X   %s\n", addr, word,
+                        isa::disassemble(in).c_str());
+        else
+            std::printf("  %08X:  %08X   .word\n", addr, word);
+    }
+    return 0;
+}

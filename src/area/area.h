@@ -1,0 +1,91 @@
+/**
+ * @file
+ * FPGA resource & frequency model (DESIGN.md substitution #1).
+ *
+ * FPGA synthesis (Quartus on Arria 10 / Stratix 10) is not available in
+ * this environment, so the synthesis experiments of the paper (Tables 3, 4
+ * and 5, Figure 15) are reproduced with an analytic model whose
+ * coefficients are least-squares calibrated against the paper's own
+ * published numbers. The model preserves the relative trends the paper
+ * argues from:
+ *   - threads cost more than wavefronts (Table 3: datapath width vs.
+ *     multiplexed state);
+ *   - BRAM scales with wavefronts x threads (GPR tables);
+ *   - multi-core area scales linearly while fmax erodes slowly (Table 4);
+ *   - virtual ports add ~9% (2-port) and ~25% (4-port) cache logic at
+ *     constant BRAM (Table 5).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vortex::area {
+
+/** Target FPGA device. */
+enum class Fpga
+{
+    Arria10,
+    Stratix10,
+};
+
+/** Per-core synthesis estimate (Table 3 axes). */
+struct CoreArea
+{
+    double luts;
+    double regs;
+    double brams;
+    double fmaxMhz;
+};
+
+/** Whole-device synthesis estimate (Table 4 axes). */
+struct DeviceArea
+{
+    double almPercent;
+    double regsK; ///< thousands of registers
+    double bramPercent;
+    double dspPercent;
+    double fmaxMhz;
+};
+
+/** Cache synthesis estimate (Table 5 axes). */
+struct CacheArea
+{
+    double luts;
+    double regs;
+    double brams;
+    double fmaxMhz;
+};
+
+/** One slice of the Figure 15 area-distribution pie. */
+struct AreaSlice
+{
+    std::string component;
+    double fraction; ///< of total core logic area
+};
+
+/** Table 3 model: one core with @p warps wavefronts x @p threads threads. */
+CoreArea coreArea(uint32_t warps, uint32_t threads);
+
+/** Table 4 model: @p cores baseline (4W-4T) cores on @p device. */
+DeviceArea deviceArea(uint32_t cores, Fpga device);
+
+/** Table 5 model: a data cache with @p banks banks, @p ports virtual ports
+ *  per bank, and @p sizeBytes capacity. */
+CacheArea cacheArea(uint32_t banks, uint32_t ports, uint32_t sizeBytes);
+
+/** Figure 15 model: per-component area fractions of the 8-core build. */
+std::vector<AreaSlice> areaDistribution();
+
+/** Device capacities used to convert absolute estimates to percentages. */
+struct DeviceCapacity
+{
+    double alms;
+    double brams;
+    double dsps;
+};
+DeviceCapacity deviceCapacity(Fpga device);
+
+} // namespace vortex::area

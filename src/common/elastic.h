@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Elastic pipeline building blocks (paper §4.4).
+ *
+ * Vortex enforces an elastic valid/ready handshake across every RTL
+ * component; we mirror that in the simulator so back-pressure propagates the
+ * same way it does in the hardware. Two primitives cover all uses:
+ *
+ *  - ElasticQueue<T>: a bounded FIFO with the valid/ready protocol. A
+ *    producer may push() while !full(); a consumer may pop() while !empty().
+ *    Like the skid-buffered hardware queues, a push and a pop may both happen
+ *    in the same simulated cycle.
+ *
+ *  - LatencyPipe<T>: a fixed-latency shift pipeline modelling a fully
+ *    pipelined functional unit (one new entry per cycle, results emerge
+ *    `latency` cycles later into an output queue).
+ *
+ * Requests flowing through elastic connections carry a Tag (instruction PC +
+ * wavefront id) used for tracing, exactly as described in Figure 7.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace vortex {
+
+/** Trace tag attached to elastic requests: instruction PC + wavefront id. */
+struct Tag
+{
+    Addr pc = 0;
+    WarpId wid = 0;
+    uint64_t uid = 0; ///< unique per-uop id, for tracing and unit tests
+};
+
+/**
+ * Bounded FIFO with elastic (valid/ready) semantics.
+ *
+ * capacity() == 0 is disallowed; a queue of capacity 1 behaves like a
+ * single pipeline register with back-pressure.
+ */
+template <typename T>
+class ElasticQueue
+{
+  public:
+    explicit ElasticQueue(size_t capacity, const char* name = "queue")
+        : capacity_(capacity), name_(name)
+    {
+        if (capacity == 0)
+            panic("ElasticQueue '", name, "' must have capacity >= 1");
+    }
+
+    /** Producer side: ready signal. */
+    bool full() const { return q_.size() >= capacity_; }
+
+    /** Consumer side: valid signal. */
+    bool empty() const { return q_.empty(); }
+
+    size_t size() const { return q_.size(); }
+    size_t capacity() const { return capacity_; }
+    const char* name() const { return name_; }
+
+    /** Push; caller must have checked !full(). */
+    void
+    push(const T& v)
+    {
+        if (full())
+            panic("push to full elastic queue '", name_, "'");
+        q_.push_back(v);
+        ++totalPushes_;
+    }
+
+    void
+    push(T&& v)
+    {
+        if (full())
+            panic("push to full elastic queue '", name_, "'");
+        q_.push_back(std::move(v));
+        ++totalPushes_;
+    }
+
+    /** Front element; caller must have checked !empty(). */
+    T&
+    front()
+    {
+        if (empty())
+            panic("front of empty elastic queue '", name_, "'");
+        return q_.front();
+    }
+
+    const T&
+    front() const
+    {
+        if (empty())
+            panic("front of empty elastic queue '", name_, "'");
+        return q_.front();
+    }
+
+    /** Pop the front element; caller must have checked !empty(). */
+    T
+    pop()
+    {
+        if (empty())
+            panic("pop of empty elastic queue '", name_, "'");
+        T v = std::move(q_.front());
+        q_.pop_front();
+        return v;
+    }
+
+    void clear() { q_.clear(); }
+
+    /** Lifetime statistics (used by bank-utilization accounting). */
+    uint64_t totalPushes() const { return totalPushes_; }
+
+  private:
+    std::deque<T> q_;
+    size_t capacity_;
+    const char* name_;
+    uint64_t totalPushes_ = 0;
+};
+
+/**
+ * Fixed-latency fully-pipelined stage. Accepts at most one entry per cycle;
+ * after `latency` ticks the entry appears at the output. The output is an
+ * unbounded staging area that the owner drains each cycle (the owning
+ * component applies its own back-pressure policy before enqueue).
+ */
+template <typename T>
+class LatencyPipe
+{
+  public:
+    explicit LatencyPipe(uint32_t latency) : latency_(latency)
+    {
+        if (latency == 0)
+            panic("LatencyPipe latency must be >= 1");
+    }
+
+    /** Enter a new element this cycle. */
+    void
+    enqueue(const T& v, Cycle now)
+    {
+        inflight_.push_back({v, now + latency_});
+    }
+
+    /** @return the next element whose latency has elapsed, if any. */
+    std::optional<T>
+    dequeueReady(Cycle now)
+    {
+        if (!inflight_.empty() && inflight_.front().readyAt <= now) {
+            T v = std::move(inflight_.front().value);
+            inflight_.pop_front();
+            return v;
+        }
+        return std::nullopt;
+    }
+
+    bool empty() const { return inflight_.empty(); }
+    size_t size() const { return inflight_.size(); }
+    uint32_t latency() const { return latency_; }
+
+  private:
+    struct Entry
+    {
+        T value;
+        Cycle readyAt;
+    };
+
+    std::deque<Entry> inflight_;
+    uint32_t latency_;
+};
+
+} // namespace vortex

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Status/error reporting in the gem5 style: panic() for internal simulator
+ * bugs, fatal() for user errors the simulation cannot continue from, and
+ * warn()/inform() for non-fatal conditions.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vortex {
+
+/** Thrown by fatal(): a user-level configuration or input error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Thrown by panic(): an internal invariant violation (a simulator bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+inline void
+format_into(std::ostringstream&)
+{
+}
+
+template <typename T, typename... Rest>
+void
+format_into(std::ostringstream& os, const T& v, const Rest&... rest)
+{
+    os << v;
+    format_into(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args&... args)
+{
+    std::ostringstream os;
+    format_into(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable internal error (simulator bug) and throw.
+ * Use when an invariant that should never be violated regardless of user
+ * input has been violated.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args&... args)
+{
+    throw PanicError(detail::concat("panic: ", args...));
+}
+
+/**
+ * Report an unrecoverable user error (bad configuration, bad program) and
+ * throw. The simulation cannot continue but the simulator is not at fault.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args&... args)
+{
+    throw FatalError(detail::concat("fatal: ", args...));
+}
+
+/** Report a suspicious but survivable condition to stderr. */
+template <typename... Args>
+void
+warn(const Args&... args)
+{
+    std::fputs((detail::concat("warn: ", args...) + "\n").c_str(), stderr);
+}
+
+/** Report a normal status message to stderr. */
+template <typename... Args>
+void
+inform(const Args&... args)
+{
+    std::fputs((detail::concat(args...) + "\n").c_str(), stderr);
+}
+
+} // namespace vortex

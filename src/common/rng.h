@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Small deterministic PRNG (xorshift*) used by workload generators and
+ * property tests. Deterministic across platforms, unlike std::default_random.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace vortex {
+
+/** xorshift64* generator; deterministic, seedable, fast. */
+class Xorshift
+{
+  public:
+    explicit Xorshift(uint64_t seed = 0x9E3779B97F4A7C15ull)
+        : state_(seed ? seed : 0x9E3779B97F4A7C15ull)
+    {
+    }
+
+    uint64_t
+    next()
+    {
+        uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545F4914F6CDD1Dull;
+    }
+
+    /** Uniform in [0, bound). */
+    uint32_t
+    nextBounded(uint32_t bound)
+    {
+        return bound ? static_cast<uint32_t>(next() % bound) : 0;
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(next() >> 40) * (1.0f / 16777216.0f);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace vortex

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Lightweight named statistics counters. Components expose a StatGroup;
+ * benches and EXPERIMENTS tooling read them by name.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace vortex {
+
+/** A named collection of 64-bit counters with insertion-order printing. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    uint64_t& counter(const std::string& key) { return counters_[key]; }
+
+    uint64_t
+    get(const std::string& key) const
+    {
+        auto it = counters_.find(key);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    void
+    add(const StatGroup& other)
+    {
+        for (const auto& [k, v] : other.counters_)
+            counters_[k] += v;
+    }
+
+    const std::map<std::string, uint64_t>& all() const { return counters_; }
+    const std::string& name() const { return name_; }
+
+    void
+    print(std::ostream& os) const
+    {
+        for (const auto& [k, v] : counters_)
+            os << name_ << (name_.empty() ? "" : ".") << k << " = " << v
+               << "\n";
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace vortex

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Wavefront barrier tables (paper §4.1.3). Each entry tracks the count of
+ * wavefronts still expected and the mask of wavefronts stalled at the
+ * barrier; when the count reaches the expected number the mask releases the
+ * stalled wavefronts. The MSB of the barrier id selects global scope
+ * (inter-core); the global table lives in the Processor and counts
+ * (core, wavefront) arrivals.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitmanip.h"
+#include "common/log.h"
+#include "common/types.h"
+
+namespace vortex::core {
+
+/** Barrier id bit selecting inter-core scope. */
+constexpr uint32_t kBarrierGlobalBit = 0x80000000u;
+
+/** Local (intra-core) barrier table. */
+class BarrierTable
+{
+  public:
+    /**
+     * A wavefront arrives at barrier @p id expecting @p count wavefronts.
+     * @return the mask of wavefronts to release (0 while waiting; includes
+     * the arriving wavefront when the barrier fires).
+     */
+    uint64_t
+    arrive(uint32_t id, uint32_t count, WarpId wid)
+    {
+        Entry& e = entries_[id];
+        e.mask |= 1ull << wid;
+        if (popcount(e.mask) >= count) {
+            uint64_t release = e.mask;
+            entries_.erase(id);
+            return release;
+        }
+        return 0;
+    }
+
+    bool
+    anyWaiting() const
+    {
+        return !entries_.empty();
+    }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    struct Entry
+    {
+        uint64_t mask = 0;
+    };
+    std::unordered_map<uint32_t, Entry> entries_;
+};
+
+/** Global (inter-core) barrier table; counts wavefront arrivals per id. */
+class GlobalBarrierTable
+{
+  public:
+    /** One (core, wavefront) pair to release. */
+    struct Release
+    {
+        CoreId core;
+        WarpId warp;
+    };
+
+    /**
+     * Wavefront @p wid of core @p core arrives at @p id expecting @p count
+     * total wavefront arrivals (across cores). @return the list of
+     * wavefronts to release when the barrier fires, empty otherwise.
+     */
+    std::vector<Release>
+    arrive(uint32_t id, uint32_t count, CoreId core, WarpId wid)
+    {
+        Entry& e = entries_[id];
+        e.waiters.push_back({core, wid});
+        if (e.waiters.size() >= count) {
+            std::vector<Release> out = std::move(e.waiters);
+            entries_.erase(id);
+            return out;
+        }
+        return {};
+    }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    struct Entry
+    {
+        std::vector<Release> waiters;
+    };
+    std::unordered_map<uint32_t, Entry> entries_;
+};
+
+} // namespace vortex::core

@@ -1,0 +1,604 @@
+/**
+ * @file
+ * SIMT core pipeline implementation.
+ */
+
+#include "core/core.h"
+
+#include <algorithm>
+
+#include "common/bitmanip.h"
+#include "common/log.h"
+#include "isa/csr.h"
+
+namespace vortex::core {
+
+Core::Core(const ArchConfig& config, CoreId core_id, mem::Ram& ram,
+           BarrierHub* hub)
+    : config_(config),
+      coreId_(core_id),
+      ram_(ram),
+      hub_(hub),
+      scheduler_(config.numWarps, config.schedPolicy),
+      scoreboard_(config.numWarps),
+      alu_(2, "alu.input"),
+      muldiv_(2, "muldiv.input"),
+      fpu_(2, "fpu.input"),
+      sfu_(2, "sfu.input"),
+      stats_("core")
+{
+    icache_ = std::make_unique<mem::Cache>(config.icacheConfig());
+    dcache_ = std::make_unique<mem::Cache>(config.dcacheConfig());
+    smem_ = std::make_unique<mem::SharedMem>(config.smemConfig());
+
+    if (config.texEnabled) {
+        tex::TexUnitConfig tc;
+        tc.numThreads = config.numThreads;
+        tc.cacheLaneBase = config.numThreads;
+        tc.numCacheLanes = config.numThreads;
+        texUnit_ = std::make_unique<tex::TexUnit>(
+            tc, ram_, dcache_.get(), [this] { return allocReqId(); });
+        texUnit_->setRspCallback([this](const tex::TexResponse& rsp) {
+            auto it = texPending_.find(rsp.reqId);
+            if (it == texPending_.end())
+                panic("core ", coreId_, ": unmatched texture response");
+            Uop uop = std::move(it->second);
+            texPending_.erase(it);
+            uop.out.values.assign(rsp.colors.begin(), rsp.colors.end());
+            texDone_.push_back(std::move(uop));
+        });
+    }
+
+    warps_.reserve(config.numWarps);
+    for (uint32_t wid = 0; wid < config.numWarps; ++wid)
+        warps_.emplace_back(config.numThreads);
+    fetchOutstanding_.assign(config.numWarps, false);
+    for (uint32_t wid = 0; wid < config.numWarps; ++wid)
+        ibuffers_.emplace_back(config.ibufferDepth, "ibuffer");
+
+    icache_->setRspCallback([this](const mem::CoreRsp& rsp) {
+        auto it = pendingFetches_.find(rsp.reqId);
+        if (it == pendingFetches_.end())
+            panic("core ", coreId_, ": unmatched fetch response");
+        decodeQueue_.push_back(Fetched{std::move(it->second),
+                                       curCycle_ + 1});
+        pendingFetches_.erase(it);
+    });
+
+    dcache_->setRspCallback([this](const mem::CoreRsp& rsp) {
+        if (texUnit_ && texUnit_->cacheRsp(rsp))
+            return;
+        onLsuRsp(rsp.reqId);
+    });
+    smem_->setRspCallback(
+        [this](const mem::CoreRsp& rsp) { onLsuRsp(rsp.reqId); });
+}
+
+void
+Core::onLsuRsp(uint64_t req_id)
+{
+    auto it = lsuByReqId_.find(req_id);
+    if (it == lsuByReqId_.end())
+        panic("core ", coreId_, ": unmatched LSU response ", req_id);
+    LsuOp* op = it->second;
+    lsuByReqId_.erase(it);
+    if (op->pendingRsps == 0)
+        panic("core ", coreId_, ": LSU response underflow");
+    --op->pendingRsps;
+    if (op->pendingRsps == 0 && op->lanesToIssue == 0)
+        op->done = true;
+}
+
+void
+Core::reset()
+{
+    for (Warp& w : warps_)
+        w.reset(0, 0);
+    scheduler_.reset();
+    scoreboard_.reset();
+    barriers_.clear();
+    pendingFetches_.clear();
+    std::fill(fetchOutstanding_.begin(), fetchOutstanding_.end(), false);
+    decodeQueue_.clear();
+    for (auto& ib : ibuffers_)
+        ib.clear();
+    for (FuPipe* fu : {&alu_, &muldiv_, &fpu_, &sfu_}) {
+        fu->input.clear();
+        fu->inflight.clear();
+        fu->output.clear();
+        fu->busyUntil = 0;
+    }
+    lsuOps_.clear();
+    lsuByReqId_.clear();
+    texPending_.clear();
+    texDone_.clear();
+    softCsrs_.clear();
+    issueRR_ = 0;
+}
+
+void
+Core::start()
+{
+    reset();
+    warps_[0].reset(config_.startPC, 1);
+    scheduler_.setActive(0, true);
+}
+
+void
+Core::activateWarp(WarpId wid, Addr pc)
+{
+    if (wid >= config_.numWarps)
+        return;
+    warps_[wid].reset(pc, 1);
+    scheduler_.setActive(wid, true);
+    ++stats_.counter("wspawned");
+}
+
+void
+Core::releaseBarrierWarp(WarpId wid)
+{
+    scheduler_.setBarrier(wid, false);
+}
+
+Word
+Core::csrRead(uint32_t addr, WarpId wid, ThreadId tid) const
+{
+    using namespace isa;
+    switch (addr) {
+      case CSR_CYCLE: return static_cast<Word>(cycles_);
+      case CSR_CYCLEH: return static_cast<Word>(cycles_ >> 32);
+      case CSR_INSTRET: return static_cast<Word>(warpInstrs_);
+      case CSR_INSTRETH: return static_cast<Word>(warpInstrs_ >> 32);
+      case CSR_THREAD_ID: return tid;
+      case CSR_WARP_ID: return wid;
+      case CSR_CORE_ID: return coreId_;
+      case CSR_WARP_MASK:
+        return static_cast<Word>(scheduler_.activeMask());
+      case CSR_THREAD_MASK:
+        return static_cast<Word>(warps_[wid].tmask);
+      case CSR_NUM_THREADS: return config_.numThreads;
+      case CSR_NUM_WARPS: return config_.numWarps;
+      case CSR_NUM_CORES: return config_.numCores;
+      default:
+        break;
+    }
+    if (addr >= CSR_TEX_BASE &&
+        addr < CSR_TEX_BASE + kNumTexStages * CSR_TEX_STRIDE && texUnit_)
+        return texUnit_->csrRead(addr);
+    auto it = softCsrs_.find(addr);
+    return it == softCsrs_.end() ? 0 : it->second;
+}
+
+void
+Core::csrWrite(uint32_t addr, Word value, WarpId wid)
+{
+    using namespace isa;
+    (void)wid;
+    if (addr >= CSR_TEX_BASE &&
+        addr < CSR_TEX_BASE + kNumTexStages * CSR_TEX_STRIDE) {
+        if (texUnit_)
+            texUnit_->csrWrite(addr, value);
+        return;
+    }
+    softCsrs_[addr] = value;
+}
+
+//
+// Pipeline.
+//
+
+void
+Core::tick(Cycle now)
+{
+    curCycle_ = now;
+    ++cycles_;
+
+    if (texUnit_)
+        texUnit_->tick(now);
+    dcache_->tick(now);
+    icache_->tick(now);
+    smem_->tick(now);
+
+    commitStage(now);
+    executeTick(now);
+    lsuTick(now);
+    issueStage(now);
+    decodeStage(now);
+    fetchStage(now);
+}
+
+void
+Core::fetchStage(Cycle now)
+{
+    (void)now;
+    if (!icache_->laneReady(0)) {
+        ++stats_.counter("fetch_icache_stalls");
+        return;
+    }
+    uint64_t eligible = 0;
+    for (uint32_t wid = 0; wid < config_.numWarps; ++wid) {
+        if (!fetchOutstanding_[wid] && !ibuffers_[wid].full())
+            eligible |= 1ull << wid;
+    }
+    auto sel = scheduler_.select(eligible);
+    if (!sel)
+        return;
+    WarpId wid = *sel;
+    Warp& w = warps_[wid];
+
+    uint32_t raw = ram_.read32(w.pc);
+    isa::Instr instr = isa::decode(raw);
+    if (!instr.valid())
+        fatal("core ", coreId_, " warp ", wid,
+              ": invalid instruction 0x", std::hex, raw, " at PC 0x", w.pc);
+
+    Uop uop;
+    uop.instr = instr;
+    uop.pc = w.pc;
+    uop.wid = wid;
+    uop.uid = nextUid_++;
+
+    // Control instructions stall further fetch of this wavefront until the
+    // new PC / thread state resolves at execute (§4.2); straight-line code
+    // keeps fetching PC+4.
+    if (instr.isControl())
+        scheduler_.setStalled(wid, true);
+    else
+        w.pc += 4;
+
+    uint64_t req_id = allocReqId();
+    pendingFetches_.emplace(req_id, uop);
+    fetchOutstanding_[wid] = true;
+
+    mem::CoreReq req;
+    req.addr = uop.pc;
+    req.write = false;
+    req.reqId = req_id;
+    req.lane = 0;
+    req.tag = Tag{uop.pc, wid, uop.uid};
+    icache_->lanePush(0, req);
+    trace(uop, TraceStage::Fetch);
+    ++stats_.counter("fetches");
+}
+
+void
+Core::decodeStage(Cycle now)
+{
+    while (!decodeQueue_.empty() && decodeQueue_.front().readyAt <= now) {
+        Uop uop = std::move(decodeQueue_.front().uop);
+        decodeQueue_.pop_front();
+        WarpId wid = uop.wid;
+        // Space is guaranteed: fetch is gated on ibuffer occupancy and at
+        // most one fetch per wavefront is in flight.
+        trace(uop, TraceStage::Decode);
+        ibuffers_[wid].push(std::move(uop));
+        fetchOutstanding_[wid] = false;
+    }
+}
+
+void
+Core::issueStage(Cycle now)
+{
+    for (uint32_t i = 0; i < config_.numWarps; ++i) {
+        WarpId wid = (issueRR_ + i) % config_.numWarps;
+        if (ibuffers_[wid].empty())
+            continue;
+        Uop& head = ibuffers_[wid].front();
+        if (!scoreboard_.ready(wid, head.instr)) {
+            ++stats_.counter("issue_scoreboard_stalls");
+            continue;
+        }
+        // Structural check on the target functional unit.
+        bool free = true;
+        switch (head.instr.fuType()) {
+          case isa::FuType::ALU: free = !alu_.input.full(); break;
+          case isa::FuType::MULDIV: free = !muldiv_.input.full(); break;
+          case isa::FuType::FPU: free = !fpu_.input.full(); break;
+          case isa::FuType::SFU: free = !sfu_.input.full(); break;
+          case isa::FuType::LSU:
+            free = lsuOps_.size() < config_.lsuDepth;
+            break;
+          case isa::FuType::TEX:
+            free = texUnit_ && texUnit_->ready();
+            break;
+        }
+        if (!free) {
+            ++stats_.counter("issue_structural_stalls");
+            continue;
+        }
+        Uop uop = ibuffers_[wid].pop();
+        if (dispatch(std::move(uop), now)) {
+            issueRR_ = (wid + 1) % config_.numWarps;
+            return; // single-issue core
+        }
+        return;
+    }
+}
+
+bool
+Core::dispatch(Uop&& uop, Cycle now)
+{
+    const WarpId wid = uop.wid;
+    trace(uop, TraceStage::Issue);
+    uop.out = execute(*this, wid, uop.instr, uop.pc);
+
+    threadInstrs_ += popcount(uop.out.tmask);
+    ++warpInstrs_;
+    if (uop.out.hasDst)
+        scoreboard_.setBusy(wid, uop.out.dst);
+
+    applyScheduleEvents(uop);
+
+    switch (uop.instr.fuType()) {
+      case isa::FuType::ALU:
+        alu_.input.push(std::move(uop));
+        break;
+      case isa::FuType::MULDIV:
+        muldiv_.input.push(std::move(uop));
+        break;
+      case isa::FuType::FPU:
+        fpu_.input.push(std::move(uop));
+        break;
+      case isa::FuType::SFU:
+        sfu_.input.push(std::move(uop));
+        break;
+      case isa::FuType::LSU: {
+        LsuOp op;
+        op.lanesToIssue = uop.out.tmask;
+        op.uop = std::move(uop);
+        if (op.lanesToIssue == 0)
+            op.done = true; // all-inactive memory op retires immediately
+        lsuOps_.push_back(std::move(op));
+        break;
+      }
+      case isa::FuType::TEX: {
+        uint64_t req_id = allocReqId();
+        tex::TexRequest treq;
+        treq.reqId = req_id;
+        treq.stage = uop.out.texStage;
+        treq.tag = Tag{uop.pc, wid, uop.uid};
+        treq.lanes = uop.out.texLanes;
+        texPending_.emplace(req_id, std::move(uop));
+        texUnit_->push(treq);
+        break;
+      }
+    }
+    (void)now;
+    return true;
+}
+
+void
+Core::applyScheduleEvents(const Uop& uop)
+{
+    const WarpId wid = uop.wid;
+    if (!uop.instr.isControl())
+        return;
+    if (uop.out.haltWarp) {
+        scheduler_.setActive(wid, false);
+        return;
+    }
+    if (uop.out.isBarrier) {
+        scheduler_.setStalled(wid, false);
+        scheduler_.setBarrier(wid, true);
+        ++stats_.counter("barriers");
+        if (uop.out.barrierGlobal && hub_) {
+            hub_->globalArrive(uop.out.barrierId, uop.out.barrierCount,
+                               coreId_, wid);
+        } else {
+            uint64_t release = barriers_.arrive(uop.out.barrierId,
+                                                uop.out.barrierCount, wid);
+            for (uint32_t w = 0; release; ++w, release >>= 1) {
+                if (release & 1)
+                    releaseBarrierWarp(w);
+            }
+        }
+        return;
+    }
+    if (uop.out.isFence)
+        return; // stays stalled; SFU completion unstalls
+    // Branches, jumps, tmc (non-zero), split, join, wspawn resolve here.
+    scheduler_.setStalled(wid, false);
+}
+
+uint32_t
+Core::opLatency(const isa::Instr& instr, bool& iterative) const
+{
+    using K = isa::InstrKind;
+    iterative = false;
+    switch (instr.fuType()) {
+      case isa::FuType::ALU:
+        return config_.lat.alu;
+      case isa::FuType::MULDIV:
+        switch (instr.kind) {
+          case K::DIV: case K::DIVU: case K::REM: case K::REMU:
+            iterative = true;
+            return config_.lat.div;
+          default:
+            return config_.lat.mul;
+        }
+      case isa::FuType::FPU:
+        switch (instr.kind) {
+          case K::FDIV_S:
+            iterative = true;
+            return config_.lat.fdiv;
+          case K::FSQRT_S:
+            iterative = true;
+            return config_.lat.fsqrt;
+          case K::FADD_S: case K::FSUB_S: case K::FMUL_S:
+          case K::FMADD_S: case K::FMSUB_S: case K::FNMSUB_S:
+          case K::FNMADD_S:
+            return config_.lat.fpu;
+          default:
+            return config_.lat.fcvt;
+        }
+      default:
+        return config_.lat.sfu;
+    }
+}
+
+void
+Core::fuAdvance(FuPipe& fu, Cycle now)
+{
+    // Accept at most one new op per cycle.
+    if (!fu.input.empty()) {
+        const Uop& head = fu.input.front();
+        bool is_fence = head.out.isFence;
+        bool fence_ok = !is_fence ||
+                        (lsuOps_.empty() && dcache_->idle() &&
+                         smem_->idle());
+        if (fence_ok) {
+            bool iterative;
+            uint32_t lat = opLatency(head.instr, iterative);
+            bool can_start = !iterative || fu.busyUntil <= now;
+            if (can_start) {
+                if (iterative)
+                    fu.busyUntil = now + lat;
+                Uop uop = fu.input.pop();
+                fu.inflight.push_back(FuPipe::Inflight{std::move(uop),
+                                                       now + lat});
+            }
+        }
+    }
+    // Retire matured ops into the output queue (latencies vary, so scan).
+    for (auto it = fu.inflight.begin(); it != fu.inflight.end();) {
+        if (it->readyAt <= now) {
+            fu.output.push_back(std::move(it->uop));
+            it = fu.inflight.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Core::executeTick(Cycle now)
+{
+    fuAdvance(alu_, now);
+    fuAdvance(muldiv_, now);
+    fuAdvance(fpu_, now);
+    fuAdvance(sfu_, now);
+}
+
+void
+Core::lsuTick(Cycle now)
+{
+    (void)now;
+    // In-order lane issue: only the oldest op with unsent lanes issues.
+    for (LsuOp& op : lsuOps_) {
+        if (op.lanesToIssue == 0)
+            continue;
+        uint64_t mask = op.lanesToIssue;
+        for (uint32_t t = 0; mask; ++t, mask >>= 1) {
+            if (!(mask & 1))
+                continue;
+            bool shared = op.uop.out.memShared;
+            bool ready = shared ? smem_->laneReady(t)
+                                : dcache_->laneReady(t);
+            if (!ready)
+                continue;
+            mem::CoreReq req;
+            req.addr = op.uop.out.addrs[t];
+            req.write = op.uop.out.memWrite;
+            req.reqId = allocReqId();
+            req.lane = t;
+            req.tag = Tag{op.uop.pc, op.uop.wid, op.uop.uid};
+            lsuByReqId_[req.reqId] = &op;
+            ++op.pendingRsps;
+            op.lanesToIssue &= ~(1ull << t);
+            if (shared)
+                smem_->lanePush(t, req);
+            else
+                dcache_->lanePush(t, req);
+        }
+        break; // strictly in-order issue across ops
+    }
+}
+
+void
+Core::commitStage(Cycle now)
+{
+    (void)now;
+    // Retire every ready non-writing uop (they need no writeback port) and
+    // at most one register-writing uop per cycle (single writeback port).
+    bool port_used = false;
+
+    auto tryRetire = [&](Uop& uop) -> bool {
+        if (uop.out.hasDst) {
+            if (port_used)
+                return false;
+            port_used = true;
+        }
+        writeback(uop);
+        return true;
+    };
+
+    for (FuPipe* fu : {&alu_, &fpu_, &muldiv_, &sfu_}) {
+        while (!fu->output.empty()) {
+            if (!tryRetire(fu->output.front()))
+                break;
+            fu->output.pop_front();
+        }
+    }
+    // LSU completions (any order).
+    for (auto it = lsuOps_.begin(); it != lsuOps_.end();) {
+        if (it->done && tryRetire(it->uop))
+            it = lsuOps_.erase(it);
+        else
+            ++it;
+    }
+    // Texture completions.
+    while (!texDone_.empty()) {
+        if (!tryRetire(texDone_.front()))
+            break;
+        texDone_.pop_front();
+    }
+}
+
+void
+Core::writeback(const Uop& uop)
+{
+    const WarpId wid = uop.wid;
+    Warp& w = warps_[wid];
+    if (uop.out.hasDst) {
+        const isa::RegRef dst = uop.out.dst;
+        uint64_t mask = uop.out.tmask;
+        for (uint32_t t = 0; mask; ++t, mask >>= 1) {
+            if (!(mask & 1))
+                continue;
+            if (dst.file == isa::RegFile::Int)
+                w.iregs[t][dst.idx] = uop.out.values[t];
+            else
+                w.fregs[t][dst.idx] = uop.out.values[t];
+        }
+        scoreboard_.clearBusy(wid, dst);
+        ++stats_.counter("writebacks");
+    }
+    if (uop.out.isFence)
+        scheduler_.setStalled(wid, false);
+    trace(uop, TraceStage::Commit);
+    ++stats_.counter("retired");
+}
+
+bool
+Core::busy() const
+{
+    if (scheduler_.activeMask() != 0)
+        return true;
+    if (!pendingFetches_.empty() || !decodeQueue_.empty())
+        return true;
+    for (const auto& ib : ibuffers_) {
+        if (!ib.empty())
+            return true;
+    }
+    if (!alu_.empty() || !muldiv_.empty() || !fpu_.empty() || !sfu_.empty())
+        return true;
+    if (!lsuOps_.empty() || !texPending_.empty() || !texDone_.empty())
+        return true;
+    if (!icache_->idle() || !dcache_->idle() || !smem_->idle())
+        return true;
+    if (texUnit_ && !texUnit_->idle())
+        return true;
+    return false;
+}
+
+} // namespace vortex::core

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * One Vortex core (paper Figure 4): a five-stage in-order SIMT pipeline —
+ * fetch (wavefront scheduler + I-cache), decode, per-wavefront instruction
+ * buffers, issue (scoreboard + banked GPR), functional units (ALU, MULDIV,
+ * FPU, LSU, SFU, TEX), and commit (single writeback port) — plus the
+ * per-core L1 caches, shared memory, barrier table, and texture unit.
+ */
+
+#pragma once
+
+#include <deque>
+#include <list>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/elastic.h"
+#include "common/stats.h"
+#include "core/barrier.h"
+#include "core/config.h"
+#include "core/scheduler.h"
+#include "core/trace.h"
+#include "core/scoreboard.h"
+#include "core/uop.h"
+#include "core/warp.h"
+#include "mem/cache.h"
+#include "mem/ram.h"
+#include "mem/sharedmem.h"
+#include "tex/texunit.h"
+
+namespace vortex::core {
+
+/** Interface the Processor exposes for inter-core (global) barriers. */
+class BarrierHub
+{
+  public:
+    virtual ~BarrierHub() = default;
+    /** Wavefront @p wid of core @p core arrived at global barrier @p id
+     *  expecting @p count wavefront arrivals. The hub releases every waiting
+     *  wavefront (including this one) when the barrier fires. */
+    virtual void globalArrive(uint32_t id, uint32_t count, CoreId core,
+                              WarpId wid) = 0;
+};
+
+/** A single SIMT core. */
+class Core
+{
+  public:
+    Core(const ArchConfig& config, CoreId core_id, mem::Ram& ram,
+         BarrierHub* hub);
+
+    /** Deactivate every wavefront and clear all pipeline state. */
+    void reset();
+
+    /** Activate wavefront 0 (thread 0) at the configured start PC. */
+    void start();
+
+    /** Advance one cycle (caches and texture unit tick inside). */
+    void tick(Cycle now);
+
+    /** Any wavefront active or any operation still in flight? */
+    bool busy() const;
+
+    //
+    // Component access (hierarchy glue + tests).
+    //
+    mem::Cache& icache() { return *icache_; }
+    mem::Cache& dcache() { return *dcache_; }
+    mem::SharedMem& sharedMem() { return *smem_; }
+    tex::TexUnit* texUnit() { return texUnit_.get(); }
+
+    //
+    // Emulator interface (functional execution).
+    //
+    Warp& warp(WarpId wid) { return warps_.at(wid); }
+    const Warp& warp(WarpId wid) const { return warps_.at(wid); }
+    mem::Ram& ram() { return ram_; }
+    const ArchConfig& config() const { return config_; }
+    CoreId coreId() const { return coreId_; }
+
+    Word csrRead(uint32_t addr, WarpId wid, ThreadId tid) const;
+    void csrWrite(uint32_t addr, Word value, WarpId wid);
+
+    /** wspawn target: activate wavefront @p wid at @p pc with thread 0. */
+    void activateWarp(WarpId wid, Addr pc);
+
+    /** Release a wavefront stalled at a barrier. */
+    void releaseBarrierWarp(WarpId wid);
+
+    WarpScheduler& scheduler() { return scheduler_; }
+
+    /** Attach an instruction-lifecycle trace sink (nullptr disables). */
+    void setTraceSink(TraceSink* sink) { traceSink_ = sink; }
+
+    //
+    // Statistics.
+    //
+    StatGroup& stats() { return stats_; }
+    const StatGroup& stats() const { return stats_; }
+    uint64_t threadInstrs() const { return threadInstrs_; }
+    uint64_t warpInstrs() const { return warpInstrs_; }
+    uint64_t cycles() const { return cycles_; }
+
+  private:
+    //
+    // Pipeline stages.
+    //
+    void fetchStage(Cycle now);
+    void decodeStage(Cycle now);
+    void issueStage(Cycle now);
+    void executeTick(Cycle now);
+    void lsuTick(Cycle now);
+    void commitStage(Cycle now);
+
+    /** Dispatch one uop to its functional unit; false if structural stall. */
+    bool dispatch(Uop&& uop, Cycle now);
+    void applyScheduleEvents(const Uop& uop);
+    void writeback(const Uop& uop);
+    void onLsuRsp(uint64_t reqId);
+
+    uint64_t allocReqId() { return nextReqId_++; }
+
+    //
+    // Functional-unit pipes with per-op latency; iterative ops set busy.
+    //
+    struct FuPipe
+    {
+        explicit FuPipe(uint32_t depth, const char* name)
+            : input(depth, name)
+        {
+        }
+        struct Inflight
+        {
+            Uop uop;
+            Cycle readyAt;
+        };
+        ElasticQueue<Uop> input;
+        std::deque<Inflight> inflight;
+        Cycle busyUntil = 0;
+        std::deque<Uop> output;
+
+        bool
+        empty() const
+        {
+            return input.empty() && inflight.empty() && output.empty();
+        }
+    };
+
+    void fuAdvance(FuPipe& fu, Cycle now);
+    uint32_t opLatency(const isa::Instr& instr, bool& iterative) const;
+
+    //
+    // Members.
+    //
+    ArchConfig config_;
+    CoreId coreId_;
+    mem::Ram& ram_;
+    BarrierHub* hub_;
+
+    std::unique_ptr<mem::Cache> icache_;
+    std::unique_ptr<mem::Cache> dcache_;
+    std::unique_ptr<mem::SharedMem> smem_;
+    std::unique_ptr<tex::TexUnit> texUnit_;
+
+    WarpScheduler scheduler_;
+    Scoreboard scoreboard_;
+    BarrierTable barriers_;
+    std::vector<Warp> warps_;
+    std::unordered_map<uint32_t, Word> softCsrs_;
+
+    //
+    // Fetch / decode bookkeeping.
+    //
+    struct Fetched
+    {
+        Uop uop;
+        Cycle readyAt;
+    };
+    std::unordered_map<uint64_t, Uop> pendingFetches_; ///< by icache reqId
+    std::vector<bool> fetchOutstanding_;               ///< per wavefront
+    std::deque<Fetched> decodeQueue_;
+
+    std::vector<ElasticQueue<Uop>> ibuffers_;
+    WarpId issueRR_ = 0;
+
+    FuPipe alu_;
+    FuPipe muldiv_;
+    FuPipe fpu_;
+    FuPipe sfu_;
+
+    //
+    // LSU: in-order lane issue, out-of-order completion.
+    //
+    struct LsuOp
+    {
+        Uop uop;
+        uint64_t lanesToIssue = 0; ///< thread bits not yet sent
+        uint32_t pendingRsps = 0;
+        bool done = false;
+    };
+    std::list<LsuOp> lsuOps_;
+    std::unordered_map<uint64_t, LsuOp*> lsuByReqId_;
+
+    //
+    // Texture in-flight uops (keyed by TexRequest reqId).
+    //
+    std::unordered_map<uint64_t, Uop> texPending_;
+    std::deque<Uop> texDone_;
+
+    uint64_t nextReqId_ = 1;
+    uint64_t nextUid_ = 1;
+    TraceSink* traceSink_ = nullptr;
+
+    void
+    trace(const Uop& uop, TraceStage stage)
+    {
+        if (traceSink_)
+            traceSink_->record(
+                TraceEvent{uop.uid, uop.wid, uop.pc, stage, curCycle_});
+    }
+
+    Cycle cycles_ = 0;
+    Cycle curCycle_ = 0;
+    uint64_t threadInstrs_ = 0;
+    uint64_t warpInstrs_ = 0;
+    StatGroup stats_;
+};
+
+/** Functionally execute @p instr of wavefront @p wid (defined in
+ *  emulator.cpp). Mutates the wavefront's architectural control state
+ *  (PC, thread mask, IPDOM stack) and performs stores/CSR writes; register
+ *  writebacks are returned for the timing model to commit. */
+ExecOut execute(Core& core, WarpId wid, const isa::Instr& instr, Addr pc);
+
+} // namespace vortex::core

@@ -1,0 +1,713 @@
+/**
+ * @file
+ * Functional execution of the Vortex ISA (RV32IMF + Table 2 extension).
+ * Semantics run at dispatch time (SimX style); the ExecOut record carries
+ * everything the timing model needs (writeback values, memory addresses,
+ * texture coordinates, scheduling events).
+ */
+
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/bitmanip.h"
+#include "common/log.h"
+#include "core/core.h"
+#include "isa/csr.h"
+
+namespace vortex::core {
+
+namespace {
+
+using isa::Instr;
+using isa::InstrKind;
+
+inline float
+bitsToFloat(Word u)
+{
+    float f;
+    std::memcpy(&f, &u, 4);
+    return f;
+}
+
+inline Word
+floatToBits(float f)
+{
+    Word u;
+    std::memcpy(&u, &f, 4);
+    return u;
+}
+
+/** RISC-V canonical NaN. */
+constexpr Word kCanonicalNan = 0x7FC00000u;
+
+inline Word
+canonize(float f)
+{
+    if (std::isnan(f))
+        return kCanonicalNan;
+    return floatToBits(f);
+}
+
+/** FCVT.W.S with RISC-V saturation semantics. */
+inline Word
+fcvtWS(float f)
+{
+    if (std::isnan(f))
+        return 0x7FFFFFFFu;
+    if (f >= 2147483648.0f)
+        return 0x7FFFFFFFu;
+    if (f <= -2147483904.0f) // below INT32_MIN representable boundary
+        return 0x80000000u;
+    if (f < -2147483648.0f)
+        return 0x80000000u;
+    return static_cast<Word>(static_cast<int32_t>(f));
+}
+
+/** FCVT.WU.S with RISC-V saturation semantics. */
+inline Word
+fcvtWUS(float f)
+{
+    if (std::isnan(f))
+        return 0xFFFFFFFFu;
+    if (f >= 4294967296.0f)
+        return 0xFFFFFFFFu;
+    if (f <= -1.0f)
+        return 0;
+    if (f < 0.0f)
+        return 0;
+    return static_cast<Word>(f);
+}
+
+/** FCLASS.S 10-bit classification. */
+inline Word
+fclass(float f)
+{
+    Word u = floatToBits(f);
+    bool sign = (u >> 31) & 1;
+    uint32_t exp = (u >> 23) & 0xFF;
+    uint32_t man = u & 0x7FFFFF;
+    if (exp == 0xFF) {
+        if (man == 0)
+            return sign ? (1u << 0) : (1u << 7); // +-inf
+        return (man >> 22) ? (1u << 9) : (1u << 8); // quiet/signaling NaN
+    }
+    if (exp == 0) {
+        if (man == 0)
+            return sign ? (1u << 3) : (1u << 4); // +-zero
+        return sign ? (1u << 2) : (1u << 5);     // +-subnormal
+    }
+    return sign ? (1u << 1) : (1u << 6); // +-normal
+}
+
+/** RISC-V FMIN/FMAX: NaN-aware, -0 < +0. */
+inline Word
+fminRiscv(float a, float b)
+{
+    bool na = std::isnan(a), nb = std::isnan(b);
+    if (na && nb)
+        return kCanonicalNan;
+    if (na)
+        return floatToBits(b);
+    if (nb)
+        return floatToBits(a);
+    if (a == 0.0f && b == 0.0f)
+        return (std::signbit(a) || std::signbit(b)) ? floatToBits(-0.0f)
+                                                    : floatToBits(0.0f);
+    return floatToBits(std::fmin(a, b));
+}
+
+inline Word
+fmaxRiscv(float a, float b)
+{
+    bool na = std::isnan(a), nb = std::isnan(b);
+    if (na && nb)
+        return kCanonicalNan;
+    if (na)
+        return floatToBits(b);
+    if (nb)
+        return floatToBits(a);
+    if (a == 0.0f && b == 0.0f)
+        return (!std::signbit(a) || !std::signbit(b)) ? floatToBits(0.0f)
+                                                      : floatToBits(-0.0f);
+    return floatToBits(std::fmax(a, b));
+}
+
+} // namespace
+
+ExecOut
+execute(Core& core, WarpId wid, const Instr& in, Addr pc)
+{
+    Warp& w = core.warp(wid);
+    const uint32_t nt = w.numThreads();
+    const uint64_t tmask = w.tmask;
+    const uint32_t first = w.firstActiveThread();
+
+    ExecOut out;
+    out.tmask = tmask;
+
+    auto active = [&](uint32_t t) { return (tmask >> t) & 1; };
+    auto X = [&](uint32_t t, RegId r) -> Word { return w.iregs[t][r]; };
+    auto F = [&](uint32_t t, RegId r) -> Word { return w.fregs[t][r]; };
+    auto FF = [&](uint32_t t, RegId r) -> float {
+        return bitsToFloat(w.fregs[t][r]);
+    };
+
+    auto setDst = [&]() {
+        out.hasDst = true;
+        out.dst = in.dst();
+        out.values.assign(nt, 0);
+    };
+    auto perLane = [&](auto fn) {
+        setDst();
+        for (uint32_t t = 0; t < nt; ++t) {
+            if (active(t))
+                out.values[t] = fn(t);
+        }
+    };
+    auto memOp = [&](bool write, auto addr_fn) {
+        out.isMem = true;
+        out.memWrite = write;
+        out.addrs.assign(nt, 0);
+        for (uint32_t t = 0; t < nt; ++t) {
+            if (active(t))
+                out.addrs[t] = addr_fn(t);
+        }
+        if (tmask) {
+            Addr a = out.addrs[first];
+            out.memShared =
+                (a & 0xFF000000u) == (core.config().smemBase & 0xFF000000u);
+        }
+    };
+
+    const Addr next_pc = pc + 4;
+    using K = InstrKind;
+
+    switch (in.kind) {
+      //
+      // RV32I computational.
+      //
+      case K::LUI:
+        perLane([&](uint32_t) { return static_cast<Word>(in.imm); });
+        break;
+      case K::AUIPC:
+        perLane([&](uint32_t) { return pc + static_cast<Word>(in.imm); });
+        break;
+      case K::ADDI:
+        perLane([&](uint32_t t) { return X(t, in.rs1) + in.imm; });
+        break;
+      case K::SLTI:
+        perLane([&](uint32_t t) {
+            return static_cast<WordS>(X(t, in.rs1)) < in.imm ? 1u : 0u;
+        });
+        break;
+      case K::SLTIU:
+        perLane([&](uint32_t t) {
+            return X(t, in.rs1) < static_cast<Word>(in.imm) ? 1u : 0u;
+        });
+        break;
+      case K::XORI:
+        perLane([&](uint32_t t) { return X(t, in.rs1) ^ in.imm; });
+        break;
+      case K::ORI:
+        perLane([&](uint32_t t) { return X(t, in.rs1) | in.imm; });
+        break;
+      case K::ANDI:
+        perLane([&](uint32_t t) { return X(t, in.rs1) & in.imm; });
+        break;
+      case K::SLLI:
+        perLane([&](uint32_t t) { return X(t, in.rs1) << (in.imm & 31); });
+        break;
+      case K::SRLI:
+        perLane([&](uint32_t t) { return X(t, in.rs1) >> (in.imm & 31); });
+        break;
+      case K::SRAI:
+        perLane([&](uint32_t t) {
+            return static_cast<Word>(static_cast<WordS>(X(t, in.rs1)) >>
+                                     (in.imm & 31));
+        });
+        break;
+      case K::ADD:
+        perLane([&](uint32_t t) { return X(t, in.rs1) + X(t, in.rs2); });
+        break;
+      case K::SUB:
+        perLane([&](uint32_t t) { return X(t, in.rs1) - X(t, in.rs2); });
+        break;
+      case K::SLL:
+        perLane([&](uint32_t t) {
+            return X(t, in.rs1) << (X(t, in.rs2) & 31);
+        });
+        break;
+      case K::SLT:
+        perLane([&](uint32_t t) {
+            return static_cast<WordS>(X(t, in.rs1)) <
+                           static_cast<WordS>(X(t, in.rs2))
+                       ? 1u
+                       : 0u;
+        });
+        break;
+      case K::SLTU:
+        perLane([&](uint32_t t) {
+            return X(t, in.rs1) < X(t, in.rs2) ? 1u : 0u;
+        });
+        break;
+      case K::XOR:
+        perLane([&](uint32_t t) { return X(t, in.rs1) ^ X(t, in.rs2); });
+        break;
+      case K::SRL:
+        perLane([&](uint32_t t) {
+            return X(t, in.rs1) >> (X(t, in.rs2) & 31);
+        });
+        break;
+      case K::SRA:
+        perLane([&](uint32_t t) {
+            return static_cast<Word>(static_cast<WordS>(X(t, in.rs1)) >>
+                                     (X(t, in.rs2) & 31));
+        });
+        break;
+      case K::OR:
+        perLane([&](uint32_t t) { return X(t, in.rs1) | X(t, in.rs2); });
+        break;
+      case K::AND:
+        perLane([&](uint32_t t) { return X(t, in.rs1) & X(t, in.rs2); });
+        break;
+
+      //
+      // Control flow. Branch direction is evaluated on the first active
+      // thread; SIMT programs express divergent control with split/join.
+      //
+      case K::JAL:
+        perLane([&](uint32_t) { return next_pc; });
+        w.pc = pc + in.imm;
+        break;
+      case K::JALR: {
+        Addr target = (X(first, in.rs1) + in.imm) & ~1u;
+        perLane([&](uint32_t) { return next_pc; });
+        w.pc = target;
+        break;
+      }
+      case K::BEQ:
+        w.pc = (X(first, in.rs1) == X(first, in.rs2)) ? pc + in.imm
+                                                      : next_pc;
+        break;
+      case K::BNE:
+        w.pc = (X(first, in.rs1) != X(first, in.rs2)) ? pc + in.imm
+                                                      : next_pc;
+        break;
+      case K::BLT:
+        w.pc = (static_cast<WordS>(X(first, in.rs1)) <
+                static_cast<WordS>(X(first, in.rs2)))
+                   ? pc + in.imm
+                   : next_pc;
+        break;
+      case K::BGE:
+        w.pc = (static_cast<WordS>(X(first, in.rs1)) >=
+                static_cast<WordS>(X(first, in.rs2)))
+                   ? pc + in.imm
+                   : next_pc;
+        break;
+      case K::BLTU:
+        w.pc = (X(first, in.rs1) < X(first, in.rs2)) ? pc + in.imm
+                                                     : next_pc;
+        break;
+      case K::BGEU:
+        w.pc = (X(first, in.rs1) >= X(first, in.rs2)) ? pc + in.imm
+                                                      : next_pc;
+        break;
+
+      //
+      // Loads / stores. Values are computed functionally now; the LSU
+      // provides the timing through the cache hierarchy.
+      //
+      case K::LB:
+        memOp(false, [&](uint32_t t) { return X(t, in.rs1) + in.imm; });
+        perLane([&](uint32_t t) {
+            return static_cast<Word>(
+                sext(core.ram().read8(out.addrs[t]), 8));
+        });
+        break;
+      case K::LH:
+        memOp(false, [&](uint32_t t) { return X(t, in.rs1) + in.imm; });
+        perLane([&](uint32_t t) {
+            return static_cast<Word>(
+                sext(core.ram().read16(out.addrs[t]), 16));
+        });
+        break;
+      case K::LW:
+        memOp(false, [&](uint32_t t) { return X(t, in.rs1) + in.imm; });
+        perLane([&](uint32_t t) { return core.ram().read32(out.addrs[t]); });
+        break;
+      case K::LBU:
+        memOp(false, [&](uint32_t t) { return X(t, in.rs1) + in.imm; });
+        perLane([&](uint32_t t) {
+            return static_cast<Word>(core.ram().read8(out.addrs[t]));
+        });
+        break;
+      case K::LHU:
+        memOp(false, [&](uint32_t t) { return X(t, in.rs1) + in.imm; });
+        perLane([&](uint32_t t) {
+            return static_cast<Word>(core.ram().read16(out.addrs[t]));
+        });
+        break;
+      case K::FLW:
+        memOp(false, [&](uint32_t t) { return X(t, in.rs1) + in.imm; });
+        perLane([&](uint32_t t) { return core.ram().read32(out.addrs[t]); });
+        break;
+      case K::SB:
+        memOp(true, [&](uint32_t t) { return X(t, in.rs1) + in.imm; });
+        for (uint32_t t = 0; t < nt; ++t) {
+            if (active(t))
+                core.ram().write8(out.addrs[t],
+                                  static_cast<uint8_t>(X(t, in.rs2)));
+        }
+        break;
+      case K::SH:
+        memOp(true, [&](uint32_t t) { return X(t, in.rs1) + in.imm; });
+        for (uint32_t t = 0; t < nt; ++t) {
+            if (active(t))
+                core.ram().write16(out.addrs[t],
+                                   static_cast<uint16_t>(X(t, in.rs2)));
+        }
+        break;
+      case K::SW:
+        memOp(true, [&](uint32_t t) { return X(t, in.rs1) + in.imm; });
+        for (uint32_t t = 0; t < nt; ++t) {
+            if (active(t))
+                core.ram().write32(out.addrs[t], X(t, in.rs2));
+        }
+        break;
+      case K::FSW:
+        memOp(true, [&](uint32_t t) { return X(t, in.rs1) + in.imm; });
+        for (uint32_t t = 0; t < nt; ++t) {
+            if (active(t))
+                core.ram().write32(out.addrs[t], F(t, in.rs2));
+        }
+        break;
+
+      //
+      // RV32M.
+      //
+      case K::MUL:
+        perLane([&](uint32_t t) { return X(t, in.rs1) * X(t, in.rs2); });
+        break;
+      case K::MULH:
+        perLane([&](uint32_t t) {
+            int64_t p = static_cast<int64_t>(
+                            static_cast<WordS>(X(t, in.rs1))) *
+                        static_cast<WordS>(X(t, in.rs2));
+            return static_cast<Word>(p >> 32);
+        });
+        break;
+      case K::MULHSU:
+        perLane([&](uint32_t t) {
+            int64_t p = static_cast<int64_t>(
+                            static_cast<WordS>(X(t, in.rs1))) *
+                        static_cast<uint64_t>(X(t, in.rs2));
+            return static_cast<Word>(p >> 32);
+        });
+        break;
+      case K::MULHU:
+        perLane([&](uint32_t t) {
+            uint64_t p = static_cast<uint64_t>(X(t, in.rs1)) * X(t, in.rs2);
+            return static_cast<Word>(p >> 32);
+        });
+        break;
+      case K::DIV:
+        perLane([&](uint32_t t) {
+            WordS a = static_cast<WordS>(X(t, in.rs1));
+            WordS b = static_cast<WordS>(X(t, in.rs2));
+            if (b == 0)
+                return 0xFFFFFFFFu;
+            if (a == INT32_MIN && b == -1)
+                return static_cast<Word>(INT32_MIN);
+            return static_cast<Word>(a / b);
+        });
+        break;
+      case K::DIVU:
+        perLane([&](uint32_t t) {
+            Word b = X(t, in.rs2);
+            return b == 0 ? 0xFFFFFFFFu : X(t, in.rs1) / b;
+        });
+        break;
+      case K::REM:
+        perLane([&](uint32_t t) {
+            WordS a = static_cast<WordS>(X(t, in.rs1));
+            WordS b = static_cast<WordS>(X(t, in.rs2));
+            if (b == 0)
+                return static_cast<Word>(a);
+            if (a == INT32_MIN && b == -1)
+                return 0u;
+            return static_cast<Word>(a % b);
+        });
+        break;
+      case K::REMU:
+        perLane([&](uint32_t t) {
+            Word b = X(t, in.rs2);
+            return b == 0 ? X(t, in.rs1) : X(t, in.rs1) % b;
+        });
+        break;
+
+      //
+      // RV32F.
+      //
+      case K::FADD_S:
+        perLane([&](uint32_t t) {
+            return canonize(FF(t, in.rs1) + FF(t, in.rs2));
+        });
+        break;
+      case K::FSUB_S:
+        perLane([&](uint32_t t) {
+            return canonize(FF(t, in.rs1) - FF(t, in.rs2));
+        });
+        break;
+      case K::FMUL_S:
+        perLane([&](uint32_t t) {
+            return canonize(FF(t, in.rs1) * FF(t, in.rs2));
+        });
+        break;
+      case K::FDIV_S:
+        perLane([&](uint32_t t) {
+            return canonize(FF(t, in.rs1) / FF(t, in.rs2));
+        });
+        break;
+      case K::FSQRT_S:
+        perLane([&](uint32_t t) {
+            return canonize(std::sqrt(FF(t, in.rs1)));
+        });
+        break;
+      case K::FMADD_S:
+        perLane([&](uint32_t t) {
+            return canonize(std::fma(FF(t, in.rs1), FF(t, in.rs2),
+                                     FF(t, in.rs3)));
+        });
+        break;
+      case K::FMSUB_S:
+        perLane([&](uint32_t t) {
+            return canonize(std::fma(FF(t, in.rs1), FF(t, in.rs2),
+                                     -FF(t, in.rs3)));
+        });
+        break;
+      case K::FNMSUB_S:
+        perLane([&](uint32_t t) {
+            return canonize(std::fma(-FF(t, in.rs1), FF(t, in.rs2),
+                                     FF(t, in.rs3)));
+        });
+        break;
+      case K::FNMADD_S:
+        perLane([&](uint32_t t) {
+            return canonize(-std::fma(FF(t, in.rs1), FF(t, in.rs2),
+                                      FF(t, in.rs3)));
+        });
+        break;
+      case K::FSGNJ_S:
+        perLane([&](uint32_t t) {
+            return (F(t, in.rs1) & 0x7FFFFFFFu) |
+                   (F(t, in.rs2) & 0x80000000u);
+        });
+        break;
+      case K::FSGNJN_S:
+        perLane([&](uint32_t t) {
+            return (F(t, in.rs1) & 0x7FFFFFFFu) |
+                   (~F(t, in.rs2) & 0x80000000u);
+        });
+        break;
+      case K::FSGNJX_S:
+        perLane([&](uint32_t t) {
+            return F(t, in.rs1) ^ (F(t, in.rs2) & 0x80000000u);
+        });
+        break;
+      case K::FMIN_S:
+        perLane([&](uint32_t t) {
+            return fminRiscv(FF(t, in.rs1), FF(t, in.rs2));
+        });
+        break;
+      case K::FMAX_S:
+        perLane([&](uint32_t t) {
+            return fmaxRiscv(FF(t, in.rs1), FF(t, in.rs2));
+        });
+        break;
+      case K::FCVT_W_S:
+        perLane([&](uint32_t t) { return fcvtWS(FF(t, in.rs1)); });
+        break;
+      case K::FCVT_WU_S:
+        perLane([&](uint32_t t) { return fcvtWUS(FF(t, in.rs1)); });
+        break;
+      case K::FMV_X_W:
+        perLane([&](uint32_t t) { return F(t, in.rs1); });
+        break;
+      case K::FEQ_S:
+        perLane([&](uint32_t t) {
+            return FF(t, in.rs1) == FF(t, in.rs2) ? 1u : 0u;
+        });
+        break;
+      case K::FLT_S:
+        perLane([&](uint32_t t) {
+            return FF(t, in.rs1) < FF(t, in.rs2) ? 1u : 0u;
+        });
+        break;
+      case K::FLE_S:
+        perLane([&](uint32_t t) {
+            return FF(t, in.rs1) <= FF(t, in.rs2) ? 1u : 0u;
+        });
+        break;
+      case K::FCLASS_S:
+        perLane([&](uint32_t t) { return fclass(FF(t, in.rs1)); });
+        break;
+      case K::FCVT_S_W:
+        perLane([&](uint32_t t) {
+            return floatToBits(
+                static_cast<float>(static_cast<WordS>(X(t, in.rs1))));
+        });
+        break;
+      case K::FCVT_S_WU:
+        perLane([&](uint32_t t) {
+            return floatToBits(static_cast<float>(X(t, in.rs1)));
+        });
+        break;
+      case K::FMV_W_X:
+        perLane([&](uint32_t t) { return X(t, in.rs1); });
+        break;
+
+      //
+      // Zicsr. Reads are per-thread (THREAD_ID differs per lane); writes
+      // apply once using the first active thread's source value.
+      //
+      case K::CSRRW: case K::CSRRS: case K::CSRRC:
+      case K::CSRRWI: case K::CSRRSI: case K::CSRRCI: {
+        const bool immediate = in.kind == K::CSRRWI ||
+                               in.kind == K::CSRRSI ||
+                               in.kind == K::CSRRCI;
+        const Word src = immediate ? static_cast<Word>(in.imm & 0x1F)
+                                   : X(first, in.rs1);
+        const bool is_write = in.kind == K::CSRRW || in.kind == K::CSRRWI;
+        const bool is_set = in.kind == K::CSRRS || in.kind == K::CSRRSI;
+        const bool is_clear = in.kind == K::CSRRC || in.kind == K::CSRRCI;
+        perLane([&](uint32_t t) { return core.csrRead(in.csr, wid, t); });
+        const Word old = core.csrRead(in.csr, wid, first);
+        // rs1 == x0 (or zimm == 0) makes CSRRS/CSRRC read-only per spec.
+        bool write_side_effect =
+            is_write || ((is_set || is_clear) &&
+                         (immediate ? src != 0 : in.rs1 != 0));
+        if (write_side_effect) {
+            Word nv = is_write ? src : is_set ? (old | src) : (old & ~src);
+            core.csrWrite(in.csr, nv, wid);
+        }
+        break;
+      }
+
+      //
+      // System.
+      //
+      case K::FENCE:
+        out.isFence = true;
+        w.pc = next_pc;
+        break;
+      case K::ECALL:
+      case K::EBREAK:
+        out.haltWarp = true;
+        w.tmask = 0;
+        w.active = false;
+        w.pc = next_pc;
+        break;
+
+      //
+      // Vortex extension (Table 2).
+      //
+      case K::VX_TMC: {
+        Word n = X(first, in.rs1);
+        uint64_t mask = n >= nt ? maskLow(nt) : maskLow(n);
+        w.tmask = mask;
+        if (mask == 0) {
+            w.active = false;
+            out.haltWarp = true;
+        }
+        w.pc = next_pc;
+        break;
+      }
+      case K::VX_WSPAWN: {
+        Word n = std::min<Word>(X(first, in.rs1), core.config().numWarps);
+        Addr addr = X(first, in.rs2);
+        for (WarpId k = 1; k < n; ++k)
+            core.activateWarp(k, addr);
+        w.pc = next_pc;
+        break;
+      }
+      case K::VX_SPLIT: {
+        uint64_t true_mask = 0;
+        for (uint32_t t = 0; t < nt; ++t) {
+            if (active(t) && X(t, in.rs1) != 0)
+                true_mask |= 1ull << t;
+        }
+        uint64_t false_mask = tmask & ~true_mask;
+        bool divergent = true_mask != 0 && false_mask != 0;
+        // Fall-through entry: the pre-split mask restored at final join.
+        w.ipdom.push(IpdomEntry{tmask, 0, true});
+        // Else entry: false-predicate threads replay from next_pc. A
+        // uniform split (all-true or all-false) pushes an empty else entry
+        // that join skips, keeping split/join pairing balanced while the
+        // whole wavefront takes the single live path.
+        w.ipdom.push(IpdomEntry{divergent ? false_mask : 0, next_pc, false});
+        if (divergent)
+            w.tmask = true_mask;
+        w.pc = next_pc;
+        break;
+      }
+      case K::VX_JOIN: {
+        IpdomEntry e = w.ipdom.pop();
+        if (!e.fallThrough && e.tmask != 0) {
+            w.tmask = e.tmask;
+            w.pc = e.pc;
+        } else {
+            if (!e.fallThrough) {
+                // Empty else entry of a uniform split: consume the
+                // fall-through beneath it as well.
+                e = w.ipdom.pop();
+                if (!e.fallThrough)
+                    panic("IPDOM: expected fall-through under empty else");
+            }
+            w.tmask = e.tmask;
+            w.pc = next_pc;
+        }
+        break;
+      }
+      case K::VX_BAR: {
+        out.isBarrier = true;
+        uint32_t id = X(first, in.rs1);
+        out.barrierGlobal = (id & kBarrierGlobalBit) != 0;
+        out.barrierId = id;
+        out.barrierCount = X(first, in.rs2);
+        w.pc = next_pc;
+        break;
+      }
+      case K::VX_TEX: {
+        out.isTex = true;
+        out.texStage = core.csrRead(isa::CSR_TEX_STAGE, wid, first);
+        out.texLanes.assign(nt, tex::TexLaneReq{});
+        for (uint32_t t = 0; t < nt; ++t) {
+            if (!active(t))
+                continue;
+            tex::TexLaneReq& lr = out.texLanes[t];
+            lr.active = true;
+            lr.u = bitsToFloat(F(t, in.rs1));
+            lr.v = bitsToFloat(F(t, in.rs2));
+            lr.lod = bitsToFloat(F(t, in.rs3));
+        }
+        setDst(); // values filled by the texture unit's response
+        break;
+      }
+
+      case K::Invalid:
+      default:
+        fatal("invalid instruction 0x", std::hex, in.raw, " at PC 0x", pc);
+    }
+
+    // Writes to x0 are dropped.
+    if (out.hasDst && !out.dst.isWrite()) {
+        out.hasDst = false;
+        out.values.clear();
+    }
+    return out;
+}
+
+} // namespace vortex::core

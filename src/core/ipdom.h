@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Hardware immediate-post-dominator (IPDOM) stack for SIMT control
+ * divergence (paper §4.1.2).
+ *
+ * `split` evaluates the per-thread predicate; on divergence it pushes the
+ * current thread mask as a *fall-through* entry, then pushes the
+ * false-predicate threads with the next PC, and resumes with the
+ * true-predicate threads. `join` pops: a non-fall-through entry redirects
+ * execution to the stored PC with the stored mask (the else-path replays);
+ * a fall-through entry restores the mask and continues in sequence.
+ *
+ * A uniform split (all-true or all-false) pushes an empty else-entry so the
+ * split/join pairing in the program stays balanced; `join` skips the empty
+ * entry and immediately restores the fall-through.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace vortex::core {
+
+/** One IPDOM stack entry. */
+struct IpdomEntry
+{
+    uint64_t tmask = 0;
+    Addr pc = 0;
+    bool fallThrough = false;
+};
+
+/** Fixed-capacity per-wavefront IPDOM stack. */
+class IpdomStack
+{
+  public:
+    explicit IpdomStack(uint32_t capacity = 16) : capacity_(capacity) {}
+
+    bool empty() const { return entries_.empty(); }
+    size_t size() const { return entries_.size(); }
+    uint32_t capacity() const { return capacity_; }
+
+    void
+    push(const IpdomEntry& e)
+    {
+        if (entries_.size() >= capacity_)
+            fatal("IPDOM stack overflow (capacity ", capacity_,
+                  "): control divergence nested too deep");
+        entries_.push_back(e);
+    }
+
+    IpdomEntry
+    pop()
+    {
+        if (entries_.empty())
+            fatal("IPDOM stack underflow: join without matching split");
+        IpdomEntry e = entries_.back();
+        entries_.pop_back();
+        return e;
+    }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    uint32_t capacity_;
+    std::vector<IpdomEntry> entries_;
+};
+
+} // namespace vortex::core

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Processor wiring and run loop.
+ */
+
+#include "core/processor.h"
+
+#include "common/log.h"
+
+namespace vortex::core {
+
+Processor::Processor(const ArchConfig& config) : config_(config)
+{
+    if (config.numThreads == 0 || config.numThreads > 64)
+        fatal("numThreads must be in [1, 64]");
+    if (config.numWarps == 0 || config.numWarps > 64)
+        fatal("numWarps must be in [1, 64]");
+    if (config.numCores == 0)
+        fatal("numCores must be >= 1");
+    memSim_ = std::make_unique<mem::MemSim>(config.mem);
+    for (uint32_t c = 0; c < config.numCores; ++c)
+        cores_.push_back(std::make_unique<Core>(config, c, ram_, this));
+    wire();
+}
+
+Processor::~Processor() = default;
+
+namespace {
+
+/** Connect @p upstream's memory side to lane @p lane of @p downstream. */
+void
+linkCacheToCache(mem::Cache& upstream, mem::Cache& downstream, uint32_t lane,
+                 std::vector<std::unique_ptr<mem::MemSink>>& adapters)
+{
+    adapters.push_back(
+        std::make_unique<mem::CacheMemPort>(downstream, lane));
+    upstream.connectMem(adapters.back().get());
+}
+
+} // namespace
+
+void
+Processor::wire()
+{
+    const uint32_t num_clusters = config_.numClusters();
+
+    memRouter_ = std::make_unique<mem::MemRouter>(memSim_.get());
+    memSim_->setRspCallback(
+        [this](const mem::MemRsp& rsp) { memRouter_->onRsp(rsp); });
+
+    //
+    // Optional L3 in front of the board memory.
+    //
+    if (config_.l3Enabled) {
+        mem::CacheConfig c3 = config_.l3Config();
+        c3.numLanes = config_.l2Enabled ? num_clusters
+                                        : 2 * config_.numCores;
+        l3_ = std::make_unique<mem::Cache>(c3);
+        l3_->connectMem(memRouter_->makePort(
+            [this](const mem::MemRsp& rsp) { l3_->memRsp(rsp); }));
+    }
+
+    //
+    // Per-cluster L2s (or direct connection).
+    //
+    if (config_.l2Enabled) {
+        l2s_.resize(num_clusters);
+        for (uint32_t cl = 0; cl < num_clusters; ++cl) {
+            uint32_t first_core = cl * config_.coresPerCluster;
+            uint32_t cores_here =
+                std::min(config_.coresPerCluster,
+                         config_.numCores - first_core);
+            l2s_[cl] =
+                std::make_unique<mem::Cache>(config_.l2Config(cores_here));
+            mem::Cache& l2 = *l2s_[cl];
+
+            // L2 responses route back to the owning L1 by lane.
+            std::vector<mem::Cache*> owners(2 * cores_here, nullptr);
+            for (uint32_t i = 0; i < cores_here; ++i) {
+                Core& core = *cores_[first_core + i];
+                owners[2 * i] = &core.icache();
+                owners[2 * i + 1] = &core.dcache();
+                linkCacheToCache(core.icache(), l2, 2 * i, adapters_);
+                linkCacheToCache(core.dcache(), l2, 2 * i + 1, adapters_);
+            }
+            l2.setRspCallback([owners](const mem::CoreRsp& rsp) {
+                if (rsp.write)
+                    return; // write-through completions need no routing
+                owners.at(rsp.lane)->memRsp(
+                    mem::MemRsp{rsp.reqId, rsp.tag});
+            });
+
+            // L2 memory side: into the L3 if present, else board memory.
+            if (l3_) {
+                linkCacheToCache(l2, *l3_, cl, adapters_);
+            } else {
+                l2.connectMem(memRouter_->makePort(
+                    [&l2](const mem::MemRsp& rsp) { l2.memRsp(rsp); }));
+            }
+        }
+        if (l3_) {
+            l3_->setRspCallback([this](const mem::CoreRsp& rsp) {
+                if (rsp.write)
+                    return;
+                l2s_.at(rsp.lane)->memRsp(mem::MemRsp{rsp.reqId, rsp.tag});
+            });
+        }
+        return;
+    }
+
+    //
+    // No L2: L1s go straight to the L3 or the board memory.
+    //
+    if (l3_) {
+        std::vector<mem::Cache*> owners(2 * config_.numCores, nullptr);
+        for (uint32_t i = 0; i < config_.numCores; ++i) {
+            Core& core = *cores_[i];
+            owners[2 * i] = &core.icache();
+            owners[2 * i + 1] = &core.dcache();
+            linkCacheToCache(core.icache(), *l3_, 2 * i, adapters_);
+            linkCacheToCache(core.dcache(), *l3_, 2 * i + 1, adapters_);
+        }
+        l3_->setRspCallback([owners](const mem::CoreRsp& rsp) {
+            if (rsp.write)
+                return;
+            owners.at(rsp.lane)->memRsp(mem::MemRsp{rsp.reqId, rsp.tag});
+        });
+        return;
+    }
+    for (auto& core : cores_) {
+        mem::Cache* ic = &core->icache();
+        mem::Cache* dc = &core->dcache();
+        ic->connectMem(memRouter_->makePort(
+            [ic](const mem::MemRsp& rsp) { ic->memRsp(rsp); }));
+        dc->connectMem(memRouter_->makePort(
+            [dc](const mem::MemRsp& rsp) { dc->memRsp(rsp); }));
+    }
+}
+
+void
+Processor::start()
+{
+    for (auto& core : cores_)
+        core->start();
+}
+
+void
+Processor::tick()
+{
+    ++cycles_;
+    memSim_->tick(cycles_);
+    if (l3_)
+        l3_->tick(cycles_);
+    for (auto& l2 : l2s_)
+        l2->tick(cycles_);
+    for (auto& core : cores_)
+        core->tick(cycles_);
+}
+
+bool
+Processor::busy() const
+{
+    for (const auto& core : cores_) {
+        if (core->busy())
+            return true;
+    }
+    if (!memSim_->idle())
+        return true;
+    for (const auto& l2 : l2s_) {
+        if (!l2->idle())
+            return true;
+    }
+    if (l3_ && !l3_->idle())
+        return true;
+    return false;
+}
+
+bool
+Processor::run(uint64_t max_cycles)
+{
+    while (busy()) {
+        if (cycles_ >= max_cycles)
+            return false;
+        tick();
+    }
+    return true;
+}
+
+uint64_t
+Processor::threadInstrs() const
+{
+    uint64_t sum = 0;
+    for (const auto& core : cores_)
+        sum += core->threadInstrs();
+    return sum;
+}
+
+uint64_t
+Processor::warpInstrs() const
+{
+    uint64_t sum = 0;
+    for (const auto& core : cores_)
+        sum += core->warpInstrs();
+    return sum;
+}
+
+double
+Processor::ipc() const
+{
+    return cycles_ == 0 ? 0.0
+                        : static_cast<double>(threadInstrs()) /
+                              static_cast<double>(cycles_);
+}
+
+void
+Processor::globalArrive(uint32_t id, uint32_t count, CoreId core, WarpId wid)
+{
+    auto releases = globalBarriers_.arrive(id, count, core, wid);
+    for (const auto& r : releases)
+        cores_.at(r.core)->releaseBarrierWarp(r.warp);
+}
+
+} // namespace vortex::core

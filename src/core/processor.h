@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Top-level processor: clusters of cores with optional shared L2 per
+ * cluster and an optional L3 shared by the clusters, in front of the board
+ * memory (paper §4.1: "a scalable architecture that allows clustering of
+ * multiple cores with optional L2 and L3 caches"). Also hosts the global
+ * (inter-core) barrier table.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/barrier.h"
+#include "core/config.h"
+#include "core/core.h"
+#include "mem/memsim.h"
+#include "mem/ram.h"
+#include "mem/router.h"
+
+namespace vortex::core {
+
+/** The full simulated device. */
+class Processor : public BarrierHub
+{
+  public:
+    explicit Processor(const ArchConfig& config);
+    ~Processor() override;
+
+    mem::Ram& ram() { return ram_; }
+    const ArchConfig& config() const { return config_; }
+
+    /** Reset every core and start wavefront 0 of each at startPC. */
+    void start();
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Any core or memory component still working? */
+    bool busy() const;
+
+    /**
+     * Run until completion. @return true if the device went idle within
+     * @p max_cycles, false on timeout (a likely deadlock or runaway
+     * kernel).
+     */
+    bool run(uint64_t max_cycles = 200000000ull);
+
+    Cycle cycles() const { return cycles_; }
+
+    /** Total thread-instructions executed (the IPC numerator used in the
+     *  paper's figures). */
+    uint64_t threadInstrs() const;
+    uint64_t warpInstrs() const;
+    double ipc() const;
+
+    size_t numCores() const { return cores_.size(); }
+    Core& core(size_t i) { return *cores_.at(i); }
+    const Core& core(size_t i) const { return *cores_.at(i); }
+    mem::MemSim& memSim() { return *memSim_; }
+    mem::Cache* l2(size_t cluster)
+    {
+        return cluster < l2s_.size() ? l2s_[cluster].get() : nullptr;
+    }
+    mem::Cache* l3() { return l3_.get(); }
+
+    // BarrierHub
+    void globalArrive(uint32_t id, uint32_t count, CoreId core,
+                      WarpId wid) override;
+
+  private:
+    void wire();
+
+    ArchConfig config_;
+    mem::Ram ram_;
+    std::unique_ptr<mem::MemSim> memSim_;
+    std::unique_ptr<mem::MemRouter> memRouter_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<mem::Cache>> l2s_;
+    std::unique_ptr<mem::Cache> l3_;
+    /** Keep-alive for CacheMemPort adapters used in the wiring. */
+    std::vector<std::unique_ptr<mem::MemSink>> adapters_;
+
+    GlobalBarrierTable globalBarriers_;
+    Cycle cycles_ = 0;
+};
+
+} // namespace vortex::core

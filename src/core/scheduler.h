@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Wavefront scheduler (paper §4.1.1). Keeps the four wavefront masks —
+ * active, stalled, barrier, and visible — and implements the hierarchical
+ * two-level scheduling policy: each cycle one wavefront is selected from the
+ * visible mask and invalidated; when the visible mask reaches zero it is
+ * refilled from the wavefronts that are active and not stalled.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bitmanip.h"
+#include "common/types.h"
+
+namespace vortex::core {
+
+/** Wavefront selection policy. */
+enum class SchedPolicy : uint8_t
+{
+    /** Two-level hierarchical policy (paper §4.1.1, after Narasiman et
+     *  al.): serve every wavefront in the visible mask once, then refill.
+     *  Keeps wavefronts of one group at similar progress so long-latency
+     *  operations cluster. */
+    Hierarchical,
+    /** Plain rotating round-robin over all schedulable wavefronts
+     *  (ablation baseline). */
+    RoundRobin,
+};
+
+/** The four-mask wavefront scheduler of one core. */
+class WarpScheduler
+{
+  public:
+    explicit WarpScheduler(uint32_t num_warps,
+                           SchedPolicy policy = SchedPolicy::Hierarchical)
+        : numWarps_(num_warps), policy_(policy)
+    {
+    }
+
+    //
+    // Mask maintenance.
+    //
+    void
+    setActive(WarpId wid, bool on)
+    {
+        setBit(active_, wid, on);
+        if (!on) {
+            setBit(stalled_, wid, false);
+            setBit(barrier_, wid, false);
+            setBit(visible_, wid, false);
+        }
+    }
+
+    void setStalled(WarpId wid, bool on) { setBit(stalled_, wid, on); }
+    void setBarrier(WarpId wid, bool on) { setBit(barrier_, wid, on); }
+
+    bool isActive(WarpId wid) const { return (active_ >> wid) & 1; }
+    bool isStalled(WarpId wid) const { return (stalled_ >> wid) & 1; }
+    bool isBarrier(WarpId wid) const { return (barrier_ >> wid) & 1; }
+
+    uint64_t activeMask() const { return active_; }
+    uint64_t stalledMask() const { return stalled_; }
+    uint64_t barrierMask() const { return barrier_; }
+    uint64_t visibleMask() const { return visible_; }
+
+    /**
+     * Select the next wavefront to fetch. @p eligible lets the fetch stage
+     * exclude wavefronts with a full ibuffer or an outstanding I-cache
+     * request this cycle (those keep their visible slot).
+     */
+    std::optional<WarpId>
+    select(uint64_t eligible)
+    {
+        uint64_t schedulable = active_ & ~stalled_ & ~barrier_;
+        if (policy_ == SchedPolicy::RoundRobin) {
+            uint64_t pick = schedulable & eligible;
+            if (pick == 0)
+                return std::nullopt;
+            // Rotate from the last selection.
+            for (uint32_t i = 1; i <= numWarps_; ++i) {
+                WarpId wid = (rrLast_ + i) % numWarps_;
+                if ((pick >> wid) & 1) {
+                    rrLast_ = wid;
+                    return wid;
+                }
+            }
+            return std::nullopt;
+        }
+        if ((visible_ & schedulable) == 0)
+            visible_ = schedulable; // hierarchical refill
+        uint64_t pick = visible_ & schedulable & eligible;
+        if (pick == 0)
+            return std::nullopt;
+        WarpId wid = ctz(pick);
+        setBit(visible_, wid, false); // invalidate the selected wavefront
+        return wid;
+    }
+
+    void
+    reset()
+    {
+        active_ = stalled_ = barrier_ = visible_ = 0;
+    }
+
+    uint32_t numWarps() const { return numWarps_; }
+
+  private:
+    static void
+    setBit(uint64_t& mask, WarpId wid, bool on)
+    {
+        if (on)
+            mask |= 1ull << wid;
+        else
+            mask &= ~(1ull << wid);
+    }
+
+    uint32_t numWarps_;
+    SchedPolicy policy_;
+    WarpId rrLast_ = 0;
+    uint64_t active_ = 0;
+    uint64_t stalled_ = 0;
+    uint64_t barrier_ = 0;
+    uint64_t visible_ = 0;
+};
+
+} // namespace vortex::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-wavefront register scoreboard: a busy bit per architectural register
+ * (one table per register file). In-order issue checks every source and the
+ * destination; out-of-order completion across functional units clears the
+ * destination bit at writeback (paper §6.2.1 lists "register scoreboards"
+ * among the per-wavefront resources).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace vortex::core {
+
+/** Scoreboard for all wavefronts of one core. */
+class Scoreboard
+{
+  public:
+    explicit Scoreboard(uint32_t num_warps)
+        : intBusy_(num_warps, 0), fpBusy_(num_warps, 0)
+    {
+    }
+
+    /** Is register @p ref of wavefront @p wid pending a write? */
+    bool
+    busy(WarpId wid, const isa::RegRef& ref) const
+    {
+        if (!ref.valid())
+            return false;
+        if (ref.file == isa::RegFile::Int)
+            return ref.idx != 0 && (intBusy_[wid] >> ref.idx) & 1;
+        return (fpBusy_[wid] >> ref.idx) & 1;
+    }
+
+    /** May @p instr of wavefront @p wid issue (RAW/WAW clear)? */
+    bool
+    ready(WarpId wid, const isa::Instr& instr) const
+    {
+        return !busy(wid, instr.src1()) && !busy(wid, instr.src2()) &&
+               !busy(wid, instr.src3()) && !busy(wid, instr.dst());
+    }
+
+    void
+    setBusy(WarpId wid, const isa::RegRef& ref)
+    {
+        if (!ref.isWrite())
+            return;
+        if (ref.file == isa::RegFile::Int)
+            intBusy_[wid] |= 1u << ref.idx;
+        else
+            fpBusy_[wid] |= 1u << ref.idx;
+    }
+
+    void
+    clearBusy(WarpId wid, const isa::RegRef& ref)
+    {
+        if (!ref.isWrite())
+            return;
+        if (ref.file == isa::RegFile::Int)
+            intBusy_[wid] &= ~(1u << ref.idx);
+        else
+            fpBusy_[wid] &= ~(1u << ref.idx);
+    }
+
+    /** Any register of @p wid still pending? */
+    bool
+    anyBusy(WarpId wid) const
+    {
+        return intBusy_[wid] != 0 || fpBusy_[wid] != 0;
+    }
+
+    void
+    reset()
+    {
+        for (auto& m : intBusy_)
+            m = 0;
+        for (auto& m : fpBusy_)
+            m = 0;
+    }
+
+  private:
+    std::vector<uint32_t> intBusy_;
+    std::vector<uint32_t> fpBusy_;
+};
+
+} // namespace vortex::core

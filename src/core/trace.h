@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Instruction-lifecycle tracing (paper §4.4): elastic requests carry tags
+ * (PC + wavefront id) that "track the life cycle of instructions and other
+ * request types inside the processor". A TraceSink attached to a core
+ * receives one event per pipeline milestone per instruction; TraceBuffer
+ * collects them and reconstructs per-instruction timelines for debugging
+ * and for the microarchitectural assertions in the test suite.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vortex::core {
+
+/** Pipeline milestones of one instruction. */
+enum class TraceStage : uint8_t
+{
+    Fetch,   ///< selected by the wavefront scheduler, I$ request issued
+    Decode,  ///< I$ response decoded into the ibuffer
+    Issue,   ///< scoreboard clear, dispatched to a functional unit
+    Commit,  ///< retired (writeback or completion)
+};
+
+/** One trace event. */
+struct TraceEvent
+{
+    uint64_t uid = 0; ///< unique instruction id
+    WarpId wid = 0;
+    Addr pc = 0;
+    TraceStage stage = TraceStage::Fetch;
+    Cycle cycle = 0;
+};
+
+/** Receiver interface. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void record(const TraceEvent& event) = 0;
+};
+
+/** Collecting sink with per-instruction timeline reconstruction. */
+class TraceBuffer : public TraceSink
+{
+  public:
+    void
+    record(const TraceEvent& event) override
+    {
+        events_.push_back(event);
+    }
+
+    const std::vector<TraceEvent>& events() const { return events_; }
+
+    /** Reconstructed lifecycle of one instruction. */
+    struct Timeline
+    {
+        WarpId wid = 0;
+        Addr pc = 0;
+        std::optional<Cycle> fetch, decode, issue, commit;
+
+        bool
+        complete() const
+        {
+            return fetch && decode && issue && commit;
+        }
+
+        bool
+        ordered() const
+        {
+            return complete() && *fetch <= *decode && *decode <= *issue &&
+                   *issue <= *commit;
+        }
+    };
+
+    /** Timelines keyed by instruction uid. */
+    std::map<uint64_t, Timeline>
+    timelines() const
+    {
+        std::map<uint64_t, Timeline> out;
+        for (const TraceEvent& e : events_) {
+            Timeline& t = out[e.uid];
+            t.wid = e.wid;
+            t.pc = e.pc;
+            switch (e.stage) {
+              case TraceStage::Fetch: t.fetch = e.cycle; break;
+              case TraceStage::Decode: t.decode = e.cycle; break;
+              case TraceStage::Issue: t.issue = e.cycle; break;
+              case TraceStage::Commit: t.commit = e.cycle; break;
+            }
+        }
+        return out;
+    }
+
+    void clear() { events_.clear(); }
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace vortex::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Micro-operation record travelling the core pipeline, and the result of
+ * functional execution (the simulator executes instruction semantics at
+ * dispatch, SimX-style; the timing model then decides when the results
+ * become architecturally visible via the scoreboard).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/isa.h"
+#include "tex/texunit.h"
+
+namespace vortex::core {
+
+/** Outcome of functionally executing one instruction for one wavefront. */
+struct ExecOut
+{
+    uint64_t tmask = 0; ///< thread mask at execution time
+
+    //
+    // Register writeback.
+    //
+    bool hasDst = false;
+    isa::RegRef dst;
+    std::vector<Word> values; ///< per thread; valid where tmask bit set
+
+    //
+    // Memory access (loads and stores).
+    //
+    bool isMem = false;
+    bool memWrite = false;
+    bool memShared = false;   ///< routed to the scratchpad
+    std::vector<Addr> addrs;  ///< per thread; valid where tmask bit set
+
+    //
+    // Texture access.
+    //
+    bool isTex = false;
+    uint32_t texStage = 0;
+    std::vector<tex::TexLaneReq> texLanes;
+
+    //
+    // Wavefront scheduling events.
+    //
+    bool haltWarp = false;  ///< tmc 0 / ecall / ebreak
+    bool isBarrier = false;
+    bool barrierGlobal = false;
+    uint32_t barrierId = 0;
+    uint32_t barrierCount = 0;
+    bool isFence = false; ///< completes only when the LSU/D$ drain
+};
+
+/** One in-flight instruction. */
+struct Uop
+{
+    isa::Instr instr;
+    Addr pc = 0;
+    WarpId wid = 0;
+    uint64_t uid = 0; ///< unique instruction id (trace tag)
+    ExecOut out;
+};
+
+} // namespace vortex::core

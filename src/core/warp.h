@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Architectural state of one wavefront: PC, thread mask, banked
+ * general-purpose registers (integer + FP bit patterns) for every thread,
+ * and the IPDOM stack.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "common/bitmanip.h"
+#include "common/types.h"
+#include "core/ipdom.h"
+
+namespace vortex::core {
+
+/** Per-wavefront architectural state. */
+struct Warp
+{
+    explicit Warp(uint32_t num_threads)
+        : iregs(num_threads), fregs(num_threads)
+    {
+    }
+
+    Addr pc = 0;
+    uint64_t tmask = 0; ///< bit t set => thread t active
+    bool active = false;
+
+    /** Integer registers, [thread][reg]; x0 is kept zero by construction. */
+    std::vector<std::array<Word, 32>> iregs;
+    /** FP registers as raw bit patterns, [thread][reg]. */
+    std::vector<std::array<Word, 32>> fregs;
+
+    IpdomStack ipdom;
+
+    uint32_t numThreads() const
+    {
+        return static_cast<uint32_t>(iregs.size());
+    }
+
+    uint32_t activeThreads() const { return popcount(tmask); }
+
+    /** Lowest active thread (predicate source for scalar decisions). */
+    uint32_t
+    firstActiveThread() const
+    {
+        return tmask ? ctz(tmask) : 0;
+    }
+
+    float
+    freadFloat(ThreadId t, RegId r) const
+    {
+        float f;
+        uint32_t u = fregs[t][r];
+        std::memcpy(&f, &u, 4);
+        return f;
+    }
+
+    void
+    reset(Addr start_pc, uint64_t mask)
+    {
+        pc = start_pc;
+        tmask = mask;
+        active = mask != 0;
+        for (auto& t : iregs)
+            t.fill(0);
+        for (auto& t : fregs)
+            t.fill(0);
+        ipdom.clear();
+    }
+};
+
+} // namespace vortex::core

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Framebuffer implementation.
+ */
+
+#include "graphics/framebuffer.h"
+
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace vortex::graphics {
+
+Framebuffer::Framebuffer(uint32_t width, uint32_t height)
+    : width_(width),
+      height_(height),
+      color_(static_cast<size_t>(width) * height, 0),
+      depth_(static_cast<size_t>(width) * height, 1.0f),
+      stencil_(static_cast<size_t>(width) * height, 0)
+{
+    if (width == 0 || height == 0)
+        fatal("Framebuffer: zero dimension");
+}
+
+void
+Framebuffer::clear(const tex::Color& color, float depth, uint8_t stencil)
+{
+    uint32_t packed = color.pack();
+    std::fill(color_.begin(), color_.end(), packed);
+    std::fill(depth_.begin(), depth_.end(), depth);
+    std::fill(stencil_.begin(), stencil_.end(), stencil);
+}
+
+void
+Framebuffer::writePpm(const std::string& path) const
+{
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open '", path, "' for writing");
+    std::fprintf(f, "P6\n%u %u\n255\n", width_, height_);
+    for (uint32_t pix : color_) {
+        uint8_t rgb[3] = {static_cast<uint8_t>(pix),
+                          static_cast<uint8_t>(pix >> 8),
+                          static_cast<uint8_t>(pix >> 16)};
+        std::fwrite(rgb, 1, 3, f);
+    }
+    std::fclose(f);
+}
+
+} // namespace vortex::graphics

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Render target: RGBA8 color + float depth + 8-bit stencil, with PPM
+ * export for the examples.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tex/format.h"
+
+namespace vortex::graphics {
+
+/** A color/depth/stencil render target. */
+class Framebuffer
+{
+  public:
+    Framebuffer(uint32_t width, uint32_t height);
+
+    uint32_t width() const { return width_; }
+    uint32_t height() const { return height_; }
+
+    void clear(const tex::Color& color, float depth = 1.0f,
+               uint8_t stencil = 0);
+
+    uint32_t
+    pixel(uint32_t x, uint32_t y) const
+    {
+        return color_[y * width_ + x];
+    }
+    void
+    setPixel(uint32_t x, uint32_t y, uint32_t rgba)
+    {
+        color_[y * width_ + x] = rgba;
+    }
+
+    float depth(uint32_t x, uint32_t y) const
+    {
+        return depth_[y * width_ + x];
+    }
+    void
+    setDepth(uint32_t x, uint32_t y, float z)
+    {
+        depth_[y * width_ + x] = z;
+    }
+
+    uint8_t stencil(uint32_t x, uint32_t y) const
+    {
+        return stencil_[y * width_ + x];
+    }
+    void
+    setStencil(uint32_t x, uint32_t y, uint8_t s)
+    {
+        stencil_[y * width_ + x] = s;
+    }
+
+    const std::vector<uint32_t>& colorBuffer() const { return color_; }
+
+    /** Write the color buffer as a binary PPM (P6) file. */
+    void writePpm(const std::string& path) const;
+
+  private:
+    uint32_t width_;
+    uint32_t height_;
+    std::vector<uint32_t> color_;
+    std::vector<float> depth_;
+    std::vector<uint8_t> stencil_;
+};
+
+} // namespace vortex::graphics

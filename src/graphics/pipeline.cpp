@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Tile-based software rasterizer implementation.
+ */
+
+#include "graphics/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace vortex::graphics {
+
+namespace {
+
+/** Edge function: twice the signed area of (a, b, p), y-down convention. */
+inline float
+edge(float ax, float ay, float bx, float by, float px, float py)
+{
+    return (bx - ax) * (py - ay) - (by - ay) * (px - ax);
+}
+
+/** Top-left fill rule for edge (dx, dy) with positive-inside winding. */
+inline bool
+isTopLeft(float dx, float dy)
+{
+    return (dy == 0.0f && dx > 0.0f) || dy < 0.0f;
+}
+
+inline float
+clamp01(float v)
+{
+    return std::min(1.0f, std::max(0.0f, v));
+}
+
+inline uint32_t
+packColor(const Vec4& c)
+{
+    tex::Color out;
+    out.r = static_cast<uint8_t>(clamp01(c.x) * 255.0f + 0.5f);
+    out.g = static_cast<uint8_t>(clamp01(c.y) * 255.0f + 0.5f);
+    out.b = static_cast<uint8_t>(clamp01(c.z) * 255.0f + 0.5f);
+    out.a = static_cast<uint8_t>(clamp01(c.w) * 255.0f + 0.5f);
+    return out.pack();
+}
+
+Vertex
+lerpVertex(const Vertex& a, const Vertex& b, float t)
+{
+    Vertex v;
+    v.position = a.position + (b.position - a.position) * t;
+    v.color = a.color + (b.color - a.color) * t;
+    v.uv = {a.uv.x + (b.uv.x - a.uv.x) * t, a.uv.y + (b.uv.y - a.uv.y) * t};
+    return v;
+}
+
+} // namespace
+
+Pipeline::Pipeline(Framebuffer& fb, uint32_t tile_size)
+    : fb_(fb), tileSize_(tile_size)
+{
+    if (tile_size == 0)
+        fatal("Pipeline: tile size must be >= 1");
+}
+
+Vec4
+Pipeline::sampleTexture(float u, float v, float lod) const
+{
+    if (!texRam_)
+        return {1.0f, 0.0f, 1.0f, 1.0f}; // magenta: no texture bound
+    tex::Color c;
+    if (lod > 0.0f && texState_.numLods > 1)
+        c = tex::sampleTrilinear(*texRam_, texState_, u, v, lod).color;
+    else
+        c = tex::sample(*texRam_, texState_, u, v, 0).color;
+    constexpr float kInv255 = 1.0f / 255.0f;
+    return {c.r * kInv255, c.g * kInv255, c.b * kInv255, c.a * kInv255};
+}
+
+bool
+Pipeline::toScreen(const Vertex& v, ScreenTri& tri, int slot) const
+{
+    const Vec4& p = v.position;
+    if (p.w <= 1e-6f)
+        return false;
+    float inv_w = 1.0f / p.w;
+    float ndc_x = p.x * inv_w;
+    float ndc_y = p.y * inv_w;
+    float ndc_z = p.z * inv_w;
+    tri.x[slot] = (ndc_x * 0.5f + 0.5f) * static_cast<float>(fb_.width());
+    tri.y[slot] = (0.5f - ndc_y * 0.5f) * static_cast<float>(fb_.height());
+    tri.z[slot] = ndc_z * 0.5f + 0.5f;
+    tri.invW[slot] = inv_w;
+    tri.colorOverW[slot] = v.color * inv_w;
+    tri.uvOverW[slot] = {v.uv.x * inv_w, v.uv.y * inv_w};
+    return true;
+}
+
+void
+Pipeline::clipAndEmit(const Vertex& a, const Vertex& b, const Vertex& c,
+                      std::vector<ScreenTri>& out) const
+{
+    // Sutherland-Hodgman against the near plane z + w > 0.
+    auto dist = [](const Vertex& v) { return v.position.z + v.position.w; };
+    Vertex poly[4];
+    int n = 0;
+    const Vertex* in[3] = {&a, &b, &c};
+    for (int i = 0; i < 3; ++i) {
+        const Vertex& cur = *in[i];
+        const Vertex& nxt = *in[(i + 1) % 3];
+        float dc = dist(cur), dn = dist(nxt);
+        if (dc >= 0.0f)
+            poly[n++] = cur;
+        if ((dc >= 0.0f) != (dn >= 0.0f)) {
+            float t = dc / (dc - dn);
+            poly[n++] = lerpVertex(cur, nxt, t);
+        }
+    }
+    if (n < 3)
+        return;
+
+    for (int i = 1; i + 1 < n; ++i) {
+        ScreenTri tri;
+        if (!toScreen(poly[0], tri, 0) || !toScreen(poly[i], tri, 1) ||
+            !toScreen(poly[i + 1], tri, 2))
+            continue;
+        float area = edge(tri.x[0], tri.y[0], tri.x[1], tri.y[1], tri.x[2],
+                          tri.y[2]);
+        if (area == 0.0f)
+            continue;
+        if (area < 0.0f) {
+            // Normalize winding so the edge functions are positive inside.
+            std::swap(tri.x[1], tri.x[2]);
+            std::swap(tri.y[1], tri.y[2]);
+            std::swap(tri.z[1], tri.z[2]);
+            std::swap(tri.invW[1], tri.invW[2]);
+            std::swap(tri.colorOverW[1], tri.colorOverW[2]);
+            std::swap(tri.uvOverW[1], tri.uvOverW[2]);
+        }
+        tri.minX = std::max(0.0f, std::min({tri.x[0], tri.x[1], tri.x[2]}));
+        tri.minY = std::max(0.0f, std::min({tri.y[0], tri.y[1], tri.y[2]}));
+        tri.maxX = std::min(static_cast<float>(fb_.width()),
+                            std::max({tri.x[0], tri.x[1], tri.x[2]}));
+        tri.maxY = std::min(static_cast<float>(fb_.height()),
+                            std::max({tri.y[0], tri.y[1], tri.y[2]}));
+        if (tri.minX >= tri.maxX || tri.minY >= tri.maxY)
+            continue;
+        out.push_back(tri);
+    }
+}
+
+void
+Pipeline::drawTriangles(const std::vector<Vertex>& vertices,
+                        const std::vector<uint32_t>& indices)
+{
+    if (indices.size() % 3 != 0)
+        fatal("drawTriangles: index count must be a multiple of 3");
+
+    // Geometry stage: clip + screen transform (host side).
+    std::vector<ScreenTri> tris;
+    tris.reserve(indices.size() / 3);
+    for (size_t i = 0; i + 2 < indices.size(); i += 3) {
+        clipAndEmit(vertices.at(indices[i]), vertices.at(indices[i + 1]),
+                    vertices.at(indices[i + 2]), tris);
+    }
+    stats_.counter("triangles_in") += indices.size() / 3;
+    stats_.counter("triangles_rastered") += tris.size();
+
+    // Tile binning (Larrabee-style): collect triangle refs per tile, then
+    // rasterize tile by tile.
+    const uint32_t tiles_x = (fb_.width() + tileSize_ - 1) / tileSize_;
+    const uint32_t tiles_y = (fb_.height() + tileSize_ - 1) / tileSize_;
+    std::vector<std::vector<uint32_t>> bins(
+        static_cast<size_t>(tiles_x) * tiles_y);
+    for (uint32_t t = 0; t < tris.size(); ++t) {
+        const ScreenTri& tri = tris[t];
+        uint32_t tx0 = static_cast<uint32_t>(tri.minX) / tileSize_;
+        uint32_t ty0 = static_cast<uint32_t>(tri.minY) / tileSize_;
+        uint32_t tx1 = std::min(
+            tiles_x - 1, static_cast<uint32_t>(tri.maxX) / tileSize_);
+        uint32_t ty1 = std::min(
+            tiles_y - 1, static_cast<uint32_t>(tri.maxY) / tileSize_);
+        for (uint32_t ty = ty0; ty <= ty1; ++ty) {
+            for (uint32_t tx = tx0; tx <= tx1; ++tx)
+                bins[ty * tiles_x + tx].push_back(t);
+        }
+    }
+
+    for (uint32_t ty = 0; ty < tiles_y; ++ty) {
+        for (uint32_t tx = 0; tx < tiles_x; ++tx) {
+            const auto& bin = bins[ty * tiles_x + tx];
+            if (bin.empty())
+                continue;
+            ++stats_.counter("tiles_shaded");
+            uint32_t px0 = tx * tileSize_;
+            uint32_t py0 = ty * tileSize_;
+            uint32_t px1 = std::min(px0 + tileSize_, fb_.width());
+            uint32_t py1 = std::min(py0 + tileSize_, fb_.height());
+            for (uint32_t t : bin)
+                rasterizeTile(tris[t], px0, py0, px1, py1);
+        }
+    }
+}
+
+void
+Pipeline::shadePrimFragment(int32_t x, int32_t y, const Vertex& v)
+{
+    if (x < 0 || y < 0 || x >= static_cast<int32_t>(fb_.width()) ||
+        y >= static_cast<int32_t>(fb_.height()))
+        return;
+    if (v.position.w <= 1e-6f)
+        return;
+    float inv_w = 1.0f / v.position.w;
+    float z = (v.position.z * inv_w) * 0.5f + 0.5f;
+    // Reuse the triangle fragment path with degenerate barycentrics: a
+    // one-vertex "triangle" whose attributes are the vertex's own.
+    ScreenTri tri{};
+    tri.invW[0] = inv_w;
+    tri.z[0] = z;
+    tri.colorOverW[0] = v.color * inv_w;
+    tri.uvOverW[0] = {v.uv.x * inv_w, v.uv.y * inv_w};
+    shadeFragment(tri, static_cast<uint32_t>(x), static_cast<uint32_t>(y),
+                  1.0f, 0.0f, 0.0f);
+}
+
+void
+Pipeline::drawPoints(const std::vector<Vertex>& vertices, uint32_t size)
+{
+    for (const Vertex& v : vertices) {
+        if (v.position.w <= 1e-6f)
+            continue;
+        float inv_w = 1.0f / v.position.w;
+        float sx = (v.position.x * inv_w * 0.5f + 0.5f) *
+                   static_cast<float>(fb_.width());
+        float sy = (0.5f - v.position.y * inv_w * 0.5f) *
+                   static_cast<float>(fb_.height());
+        int32_t x0 = static_cast<int32_t>(sx) -
+                     static_cast<int32_t>(size / 2);
+        int32_t y0 = static_cast<int32_t>(sy) -
+                     static_cast<int32_t>(size / 2);
+        for (uint32_t dy = 0; dy < size; ++dy) {
+            for (uint32_t dx = 0; dx < size; ++dx)
+                shadePrimFragment(x0 + static_cast<int32_t>(dx),
+                                  y0 + static_cast<int32_t>(dy), v);
+        }
+        ++stats_.counter("points");
+    }
+}
+
+void
+Pipeline::drawLines(const std::vector<Vertex>& vertices,
+                    const std::vector<uint32_t>& indices)
+{
+    if (indices.size() % 2 != 0)
+        fatal("drawLines: index count must be even");
+    for (size_t i = 0; i + 1 < indices.size(); i += 2) {
+        Vertex a = vertices.at(indices[i]);
+        Vertex b = vertices.at(indices[i + 1]);
+        // Near-plane clip of the segment.
+        float da = a.position.z + a.position.w;
+        float db = b.position.z + b.position.w;
+        if (da < 0.0f && db < 0.0f)
+            continue;
+        if (da < 0.0f)
+            a = lerpVertex(a, b, da / (da - db));
+        else if (db < 0.0f)
+            b = lerpVertex(b, a, db / (db - da));
+        if (a.position.w <= 1e-6f || b.position.w <= 1e-6f)
+            continue;
+
+        auto toScreenXy = [&](const Vertex& v, float& x, float& y) {
+            float inv_w = 1.0f / v.position.w;
+            x = (v.position.x * inv_w * 0.5f + 0.5f) *
+                static_cast<float>(fb_.width());
+            y = (0.5f - v.position.y * inv_w * 0.5f) *
+                static_cast<float>(fb_.height());
+        };
+        float ax, ay, bx, by;
+        toScreenXy(a, ax, ay);
+        toScreenXy(b, bx, by);
+        float dx = bx - ax, dy = by - ay;
+        int steps = static_cast<int>(
+            std::max(std::abs(dx), std::abs(dy))) + 1;
+        for (int s = 0; s <= steps; ++s) {
+            float t = static_cast<float>(s) / static_cast<float>(steps);
+            // Screen-space DDA; attributes lerped in clip space for
+            // perspective correctness via the per-fragment divide.
+            Vertex v = lerpVertex(a, b, t);
+            shadePrimFragment(
+                static_cast<int32_t>(ax + dx * t),
+                static_cast<int32_t>(ay + dy * t), v);
+        }
+        ++stats_.counter("lines");
+    }
+}
+
+void
+Pipeline::rasterizeTile(const ScreenTri& tri, uint32_t px0, uint32_t py0,
+                        uint32_t px1, uint32_t py1)
+{
+    uint32_t x0 = std::max(px0, static_cast<uint32_t>(tri.minX));
+    uint32_t y0 = std::max(py0, static_cast<uint32_t>(tri.minY));
+    uint32_t x1 = std::min(px1, static_cast<uint32_t>(std::ceil(tri.maxX)));
+    uint32_t y1 = std::min(py1, static_cast<uint32_t>(std::ceil(tri.maxY)));
+
+    const float area = edge(tri.x[0], tri.y[0], tri.x[1], tri.y[1],
+                            tri.x[2], tri.y[2]);
+    const float inv_area = 1.0f / area;
+
+    // Edge acceptance with the top-left fill rule: shared edges between
+    // adjacent triangles shade each pixel exactly once.
+    const bool tl0 = isTopLeft(tri.x[2] - tri.x[1], tri.y[2] - tri.y[1]);
+    const bool tl1 = isTopLeft(tri.x[0] - tri.x[2], tri.y[0] - tri.y[2]);
+    const bool tl2 = isTopLeft(tri.x[1] - tri.x[0], tri.y[1] - tri.y[0]);
+
+    for (uint32_t y = y0; y < y1; ++y) {
+        float py = static_cast<float>(y) + 0.5f;
+        for (uint32_t x = x0; x < x1; ++x) {
+            float px = static_cast<float>(x) + 0.5f;
+            float e0 = edge(tri.x[1], tri.y[1], tri.x[2], tri.y[2], px, py);
+            float e1 = edge(tri.x[2], tri.y[2], tri.x[0], tri.y[0], px, py);
+            float e2 = edge(tri.x[0], tri.y[0], tri.x[1], tri.y[1], px, py);
+            bool in0 = e0 > 0.0f || (e0 == 0.0f && tl0);
+            bool in1 = e1 > 0.0f || (e1 == 0.0f && tl1);
+            bool in2 = e2 > 0.0f || (e2 == 0.0f && tl2);
+            if (!(in0 && in1 && in2))
+                continue;
+            shadeFragment(tri, x, y, e0 * inv_area, e1 * inv_area,
+                          e2 * inv_area);
+        }
+    }
+}
+
+bool
+Pipeline::compare(CompareFunc f, float a, float b)
+{
+    switch (f) {
+      case CompareFunc::Never: return false;
+      case CompareFunc::Less: return a < b;
+      case CompareFunc::Equal: return a == b;
+      case CompareFunc::LEqual: return a <= b;
+      case CompareFunc::Greater: return a > b;
+      case CompareFunc::NotEqual: return a != b;
+      case CompareFunc::GEqual: return a >= b;
+      case CompareFunc::Always: return true;
+    }
+    return true;
+}
+
+uint8_t
+Pipeline::stencilApply(StencilOp op, uint8_t value, uint8_t ref)
+{
+    switch (op) {
+      case StencilOp::Keep: return value;
+      case StencilOp::Zero: return 0;
+      case StencilOp::Replace: return ref;
+      case StencilOp::Incr:
+        return value == 0xFF ? value : static_cast<uint8_t>(value + 1);
+      case StencilOp::Decr:
+        return value == 0 ? value : static_cast<uint8_t>(value - 1);
+      case StencilOp::Invert: return static_cast<uint8_t>(~value);
+    }
+    return value;
+}
+
+void
+Pipeline::shadeFragment(const ScreenTri& tri, uint32_t x, uint32_t y,
+                        float w0, float w1, float w2)
+{
+    ++stats_.counter("fragments");
+
+    // Perspective-correct attribute interpolation.
+    float inv_w = w0 * tri.invW[0] + w1 * tri.invW[1] + w2 * tri.invW[2];
+    float w = 1.0f / inv_w;
+    Vec4 color = (tri.colorOverW[0] * w0 + tri.colorOverW[1] * w1 +
+                  tri.colorOverW[2] * w2) * w;
+    Vec2 uv = {(tri.uvOverW[0].x * w0 + tri.uvOverW[1].x * w1 +
+                tri.uvOverW[2].x * w2) * w,
+               (tri.uvOverW[0].y * w0 + tri.uvOverW[1].y * w1 +
+                tri.uvOverW[2].y * w2) * w};
+    float z = w0 * tri.z[0] + w1 * tri.z[1] + w2 * tri.z[2];
+
+    FragmentIn in;
+    in.uv = uv;
+    in.color = color;
+    in.depth = z;
+    in.viewW = w;
+    Vec4 out = shader_ ? shader_(in) : color;
+
+    // Alpha test.
+    if (alpha_.testEnabled && !compare(alpha_.func, out.w, alpha_.ref)) {
+        ++stats_.counter("alpha_killed");
+        return;
+    }
+
+    // Stencil test.
+    uint8_t sten = fb_.stencil(x, y);
+    if (stencil_.testEnabled) {
+        bool pass = compare(stencil_.func,
+                            static_cast<float>(stencil_.ref & stencil_.mask),
+                            static_cast<float>(sten & stencil_.mask));
+        if (!pass) {
+            fb_.setStencil(x, y,
+                           stencilApply(stencil_.onFail, sten,
+                                        stencil_.ref));
+            ++stats_.counter("stencil_killed");
+            return;
+        }
+    }
+
+    // Depth test.
+    if (depth_.testEnabled) {
+        if (!compare(depth_.func, z, fb_.depth(x, y))) {
+            if (stencil_.testEnabled)
+                fb_.setStencil(x, y,
+                               stencilApply(stencil_.onZFail, sten,
+                                            stencil_.ref));
+            ++stats_.counter("depth_killed");
+            return;
+        }
+    }
+    if (stencil_.testEnabled)
+        fb_.setStencil(x, y,
+                       stencilApply(stencil_.onZPass, sten, stencil_.ref));
+    if (depth_.writeEnabled)
+        fb_.setDepth(x, y, z);
+
+    // Fog.
+    if (fog_.enabled) {
+        float d = w;
+        float f;
+        switch (fog_.mode) {
+          case FogState::Mode::Linear:
+            f = (fog_.end - d) / (fog_.end - fog_.start);
+            break;
+          case FogState::Mode::Exp:
+            f = std::exp(-fog_.density * d);
+            break;
+          case FogState::Mode::Exp2:
+          default: {
+            float e = fog_.density * d;
+            f = std::exp(-e * e);
+            break;
+          }
+        }
+        f = clamp01(f);
+        out.x = fog_.color.x + (out.x - fog_.color.x) * f;
+        out.y = fog_.color.y + (out.y - fog_.color.y) * f;
+        out.z = fog_.color.z + (out.z - fog_.color.z) * f;
+    }
+
+    fb_.setPixel(x, y, packColor(out));
+    ++stats_.counter("pixels_written");
+}
+
+} // namespace vortex::graphics

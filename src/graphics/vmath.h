@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Minimal vector/matrix math for the host-side geometry stage of the
+ * graphics pipeline (paper §5.5: geometry processing runs on the host).
+ */
+
+#pragma once
+
+#include <cmath>
+
+namespace vortex::graphics {
+
+struct Vec2
+{
+    float x = 0.0f, y = 0.0f;
+};
+
+struct Vec3
+{
+    float x = 0.0f, y = 0.0f, z = 0.0f;
+
+    Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+    Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+    Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+
+    float dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+
+    Vec3
+    cross(const Vec3& o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    float length() const { return std::sqrt(dot(*this)); }
+
+    Vec3
+    normalized() const
+    {
+        float l = length();
+        return l > 0.0f ? (*this) * (1.0f / l) : Vec3{};
+    }
+};
+
+struct Vec4
+{
+    float x = 0.0f, y = 0.0f, z = 0.0f, w = 0.0f;
+
+    Vec4() = default;
+    Vec4(float xx, float yy, float zz, float ww) : x(xx), y(yy), z(zz), w(ww)
+    {
+    }
+    Vec4(const Vec3& v, float ww) : x(v.x), y(v.y), z(v.z), w(ww) {}
+
+    Vec4
+    operator+(const Vec4& o) const
+    {
+        return {x + o.x, y + o.y, z + o.z, w + o.w};
+    }
+    Vec4
+    operator-(const Vec4& o) const
+    {
+        return {x - o.x, y - o.y, z - o.z, w - o.w};
+    }
+    Vec4 operator*(float s) const { return {x * s, y * s, z * s, w * s}; }
+
+    Vec3 xyz() const { return {x, y, z}; }
+};
+
+/** Column-major 4x4 matrix (OpenGL convention: m[col*4 + row]). */
+struct Mat4
+{
+    float m[16] = {};
+
+    static Mat4
+    identity()
+    {
+        Mat4 r;
+        r.m[0] = r.m[5] = r.m[10] = r.m[15] = 1.0f;
+        return r;
+    }
+
+    static Mat4
+    translate(float x, float y, float z)
+    {
+        Mat4 r = identity();
+        r.m[12] = x;
+        r.m[13] = y;
+        r.m[14] = z;
+        return r;
+    }
+
+    static Mat4
+    scale(float x, float y, float z)
+    {
+        Mat4 r;
+        r.m[0] = x;
+        r.m[5] = y;
+        r.m[10] = z;
+        r.m[15] = 1.0f;
+        return r;
+    }
+
+    static Mat4
+    rotateX(float rad)
+    {
+        Mat4 r = identity();
+        float c = std::cos(rad), s = std::sin(rad);
+        r.m[5] = c;
+        r.m[6] = s;
+        r.m[9] = -s;
+        r.m[10] = c;
+        return r;
+    }
+
+    static Mat4
+    rotateY(float rad)
+    {
+        Mat4 r = identity();
+        float c = std::cos(rad), s = std::sin(rad);
+        r.m[0] = c;
+        r.m[2] = -s;
+        r.m[8] = s;
+        r.m[10] = c;
+        return r;
+    }
+
+    static Mat4
+    rotateZ(float rad)
+    {
+        Mat4 r = identity();
+        float c = std::cos(rad), s = std::sin(rad);
+        r.m[0] = c;
+        r.m[1] = s;
+        r.m[4] = -s;
+        r.m[5] = c;
+        return r;
+    }
+
+    /** Right-handed perspective projection (gluPerspective semantics). */
+    static Mat4
+    perspective(float fovy_rad, float aspect, float znear, float zfar)
+    {
+        Mat4 r;
+        float f = 1.0f / std::tan(fovy_rad / 2.0f);
+        r.m[0] = f / aspect;
+        r.m[5] = f;
+        r.m[10] = (zfar + znear) / (znear - zfar);
+        r.m[11] = -1.0f;
+        r.m[14] = 2.0f * zfar * znear / (znear - zfar);
+        return r;
+    }
+
+    static Mat4
+    lookAt(const Vec3& eye, const Vec3& center, const Vec3& up)
+    {
+        Vec3 f = (center - eye).normalized();
+        Vec3 s = f.cross(up).normalized();
+        Vec3 u = s.cross(f);
+        Mat4 r = identity();
+        r.m[0] = s.x;
+        r.m[4] = s.y;
+        r.m[8] = s.z;
+        r.m[1] = u.x;
+        r.m[5] = u.y;
+        r.m[9] = u.z;
+        r.m[2] = -f.x;
+        r.m[6] = -f.y;
+        r.m[10] = -f.z;
+        r.m[12] = -s.dot(eye);
+        r.m[13] = -u.dot(eye);
+        r.m[14] = f.dot(eye);
+        return r;
+    }
+
+    Mat4
+    operator*(const Mat4& o) const
+    {
+        Mat4 r;
+        for (int c = 0; c < 4; ++c) {
+            for (int row = 0; row < 4; ++row) {
+                float acc = 0.0f;
+                for (int k = 0; k < 4; ++k)
+                    acc += m[k * 4 + row] * o.m[c * 4 + k];
+                r.m[c * 4 + row] = acc;
+            }
+        }
+        return r;
+    }
+
+    Vec4
+    operator*(const Vec4& v) const
+    {
+        return {
+            m[0] * v.x + m[4] * v.y + m[8] * v.z + m[12] * v.w,
+            m[1] * v.x + m[5] * v.y + m[9] * v.z + m[13] * v.w,
+            m[2] * v.x + m[6] * v.y + m[10] * v.z + m[14] * v.w,
+            m[3] * v.x + m[7] * v.y + m[11] * v.z + m[15] * v.w,
+        };
+    }
+};
+
+} // namespace vortex::graphics

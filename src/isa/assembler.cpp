@@ -1,0 +1,1109 @@
+/**
+ * @file
+ * Two-pass assembler implementation.
+ */
+
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <cstring>
+#include <optional>
+#include <sstream>
+
+#include "common/bitmanip.h"
+#include "common/log.h"
+#include "isa/isa.h"
+
+namespace vortex::isa {
+
+Addr
+Program::symbol(const std::string& name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("undefined symbol '", name, "'");
+    return it->second;
+}
+
+namespace {
+
+//
+// Lexical helpers
+//
+
+std::string
+trim(const std::string& s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+std::string
+lower(std::string s)
+{
+    for (char& c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/** Strip comments: #, //, and ; (outside of string literals). */
+std::string
+stripComment(const std::string& line)
+{
+    bool in_str = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (c == '"' && (i == 0 || line[i - 1] != '\\'))
+            in_str = !in_str;
+        if (in_str)
+            continue;
+        if (c == '#' || c == ';')
+            return line.substr(0, i);
+        if (c == '/' && i + 1 < line.size() && line[i + 1] == '/')
+            return line.substr(0, i);
+    }
+    return line;
+}
+
+/** Split operands on top-level commas (parentheses kept intact). */
+std::vector<std::string>
+splitOperands(const std::string& s)
+{
+    std::vector<std::string> out;
+    int depth = 0;
+    bool in_str = false;
+    std::string cur;
+    for (char c : s) {
+        if (c == '"')
+            in_str = !in_str;
+        if (!in_str) {
+            if (c == '(')
+                ++depth;
+            else if (c == ')')
+                --depth;
+            else if (c == ',' && depth == 0) {
+                out.push_back(trim(cur));
+                cur.clear();
+                continue;
+            }
+        }
+        cur.push_back(c);
+    }
+    std::string last = trim(cur);
+    if (!last.empty())
+        out.push_back(last);
+    return out;
+}
+
+//
+// Register name parsing
+//
+
+std::optional<RegId>
+parseIntReg(const std::string& name)
+{
+    static const std::map<std::string, RegId> abi = [] {
+        std::map<std::string, RegId> m;
+        for (RegId i = 0; i < 32; ++i) {
+            m["x" + std::to_string(i)] = i;
+            m[intRegName(i)] = i;
+        }
+        m["fp"] = 8; // frame-pointer alias for s0
+        return m;
+    }();
+    auto it = abi.find(lower(name));
+    if (it == abi.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<RegId>
+parseFpReg(const std::string& name)
+{
+    static const std::map<std::string, RegId> abi = [] {
+        std::map<std::string, RegId> m;
+        for (RegId i = 0; i < 32; ++i) {
+            m["f" + std::to_string(i)] = i;
+            m[fpRegName(i)] = i;
+        }
+        return m;
+    }();
+    auto it = abi.find(lower(name));
+    if (it == abi.end())
+        return std::nullopt;
+    return it->second;
+}
+
+//
+// Statement representation
+//
+
+enum class StmtType { Instruction, Directive };
+
+struct Stmt
+{
+    StmtType type;
+    std::string head;              ///< lower-cased mnemonic or directive
+    std::vector<std::string> args; ///< raw operand strings
+    int line = 0;
+    Addr addr = 0;   ///< assigned in pass 1
+    size_t size = 0; ///< byte size, assigned in pass 1
+};
+
+//
+// The assembler engine
+//
+
+class Engine
+{
+  public:
+    explicit Engine(Addr base) : base_(base) {}
+
+    Program
+    run(const std::string& source)
+    {
+        parse(source);
+        layout();
+        emit();
+        Program p;
+        p.base = base_;
+        p.entry = base_;
+        p.image = std::move(image_);
+        p.symbols = std::move(symbols_);
+        return p;
+    }
+
+  private:
+    [[noreturn]] void
+    err(int line, const std::string& msg) const
+    {
+        fatal("asm line ", line, ": ", msg);
+    }
+
+    //
+    // Pass 0: parse lines into statements; record .equ constants eagerly so
+    // pass-1 sizing of `li` can see them.
+    //
+
+    void
+    parse(const std::string& source)
+    {
+        std::istringstream is(source);
+        std::string raw;
+        int lineno = 0;
+        while (std::getline(is, raw)) {
+            ++lineno;
+            std::string line = trim(stripComment(raw));
+            // Peel leading labels ("name:"), possibly several.
+            while (true) {
+                size_t colon = line.find(':');
+                if (colon == std::string::npos)
+                    break;
+                std::string head = trim(line.substr(0, colon));
+                if (head.empty() || head.find_first_of(" \t(\"") !=
+                        std::string::npos)
+                    break;
+                labelsAt_.push_back({head, static_cast<int>(stmts_.size()),
+                                     lineno});
+                line = trim(line.substr(colon + 1));
+            }
+            if (line.empty())
+                continue;
+
+            Stmt st;
+            st.line = lineno;
+            size_t sp = line.find_first_of(" \t");
+            st.head = lower(sp == std::string::npos ? line
+                                                    : line.substr(0, sp));
+            std::string rest =
+                sp == std::string::npos ? "" : trim(line.substr(sp + 1));
+            st.args = splitOperands(rest);
+            st.type = st.head[0] == '.' ? StmtType::Directive
+                                        : StmtType::Instruction;
+            if (st.type == StmtType::Directive && st.head == ".equ") {
+                if (st.args.size() != 2)
+                    err(lineno, ".equ needs <name>, <value>");
+                equs_[st.args[0]] = evalConst(st.args[1], lineno);
+                continue; // consumed immediately; emits nothing
+            }
+            stmts_.push_back(std::move(st));
+        }
+        // Labels pointing past the last statement attach to the end address.
+    }
+
+    //
+    // Expression evaluation. `allowSymbols` controls whether labels may be
+    // referenced (pass 2) or only literals / .equ constants (pass 1).
+    //
+
+    std::optional<int64_t>
+    tryParseLiteral(const std::string& tok) const
+    {
+        std::string t = trim(tok);
+        if (t.empty())
+            return std::nullopt;
+        bool neg = false;
+        size_t i = 0;
+        if (t[0] == '-' || t[0] == '+') {
+            neg = t[0] == '-';
+            i = 1;
+        }
+        if (i >= t.size())
+            return std::nullopt;
+        int base = 10;
+        if (t.size() > i + 1 && t[i] == '0' &&
+            (t[i + 1] == 'x' || t[i + 1] == 'X')) {
+            base = 16;
+            i += 2;
+        } else if (t.size() > i + 1 && t[i] == '0' &&
+                   (t[i + 1] == 'b' || t[i + 1] == 'B')) {
+            base = 2;
+            i += 2;
+        }
+        if (i >= t.size())
+            return std::nullopt;
+        int64_t v = 0;
+        for (; i < t.size(); ++i) {
+            char c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(t[i])));
+            int d;
+            if (c >= '0' && c <= '9')
+                d = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                d = 10 + (c - 'a');
+            else
+                return std::nullopt;
+            if (d >= base)
+                return std::nullopt;
+            v = v * base + d;
+        }
+        return neg ? -v : v;
+    }
+
+    /** Evaluate a +/- chain of literals, .equ constants, and labels. */
+    int64_t
+    evalExpr(const std::string& expr, int line, bool allow_labels) const
+    {
+        std::string e = trim(expr);
+        if (e.empty())
+            err(line, "empty expression");
+        // %hi / %lo
+        if (e.size() > 4 && e[0] == '%') {
+            std::string fn = lower(e.substr(1, 2));
+            size_t open = e.find('(');
+            size_t close = e.rfind(')');
+            if (open == std::string::npos || close == std::string::npos ||
+                close < open)
+                err(line, "malformed %hi/%lo expression: " + e);
+            int64_t v = evalExpr(e.substr(open + 1, close - open - 1), line,
+                                 allow_labels);
+            uint32_t u = static_cast<uint32_t>(v);
+            if (fn == "hi")
+                return static_cast<int64_t>((u + 0x800u) >> 12);
+            if (fn == "lo")
+                return sext(u & 0xFFFu, 12);
+            err(line, "unknown % function: " + e);
+        }
+        // Split on top-level + / - (not the leading sign).
+        int64_t acc = 0;
+        int sign = 1;
+        size_t start = 0;
+        bool have_term = false;
+        auto flushTerm = [&](size_t endpos) {
+            std::string term = trim(e.substr(start, endpos - start));
+            if (term.empty())
+                err(line, "malformed expression: " + e);
+            acc += sign * evalTerm(term, line, allow_labels);
+            have_term = true;
+        };
+        for (size_t i = 0; i < e.size(); ++i) {
+            char c = e[i];
+            if ((c == '+' || c == '-') && i != start) {
+                flushTerm(i);
+                sign = c == '-' ? -1 : 1;
+                start = i + 1;
+            }
+        }
+        flushTerm(e.size());
+        if (!have_term)
+            err(line, "malformed expression: " + e);
+        return acc;
+    }
+
+    int64_t
+    evalTerm(const std::string& term, int line, bool allow_labels) const
+    {
+        if (auto lit = tryParseLiteral(term))
+            return *lit;
+        if (auto it = equs_.find(term); it != equs_.end())
+            return it->second;
+        if (allow_labels) {
+            if (auto it = symbols_.find(term); it != symbols_.end())
+                return static_cast<int64_t>(it->second);
+            err(line, "undefined symbol '" + term + "'");
+        }
+        err(line, "expression must be constant here: '" + term + "'");
+    }
+
+    int64_t
+    evalConst(const std::string& expr, int line) const
+    {
+        return evalExpr(expr, line, false);
+    }
+
+    /** Can this expression be evaluated without labels? */
+    bool
+    isConstExpr(const std::string& expr) const
+    {
+        try {
+            evalExpr(expr, 0, false);
+            return true;
+        } catch (const FatalError&) {
+            return false;
+        }
+    }
+
+    //
+    // Pass 1: assign addresses/sizes, bind labels.
+    //
+
+    size_t
+    stmtSize(const Stmt& st, Addr lc) const
+    {
+        if (st.type == StmtType::Instruction)
+            return instrSize(st);
+        const std::string& d = st.head;
+        if (d == ".word" || d == ".float")
+            return alignUp(lc, 4) - lc + 4 * st.args.size();
+        if (d == ".half")
+            return alignUp(lc, 2) - lc + 2 * st.args.size();
+        if (d == ".byte")
+            return st.args.size();
+        if (d == ".space" || d == ".zero") {
+            if (st.args.size() != 1)
+                err(st.line, d + " needs a size");
+            return static_cast<size_t>(evalConst(st.args[0], st.line));
+        }
+        if (d == ".align") { // power-of-two alignment, gas RISC-V style
+            if (st.args.size() != 1)
+                err(st.line, ".align needs an argument");
+            uint64_t a = 1ull << evalConst(st.args[0], st.line);
+            return alignUp(lc, a) - lc;
+        }
+        if (d == ".balign") {
+            if (st.args.size() != 1)
+                err(st.line, ".balign needs an argument");
+            uint64_t a = static_cast<uint64_t>(evalConst(st.args[0], st.line));
+            return alignUp(lc, a) - lc;
+        }
+        if (d == ".ascii" || d == ".asciz") {
+            if (st.args.size() != 1)
+                err(st.line, d + " needs one string");
+            return decodeString(st.args[0], st.line).size() +
+                   (d == ".asciz" ? 1 : 0);
+        }
+        if (d == ".globl" || d == ".global" || d == ".text" || d == ".data" ||
+            d == ".section" || d == ".option" || d == ".type" ||
+            d == ".size" || d == ".file")
+            return 0;
+        err(st.line, "unknown directive '" + d + "'");
+    }
+
+    size_t
+    instrSize(const Stmt& st) const
+    {
+        const std::string& m = st.head;
+        if (m == "la")
+            return 8;
+        if (m == "li") {
+            if (st.args.size() != 2)
+                err(st.line, "li needs <rd>, <imm>");
+            if (isConstExpr(st.args[1])) {
+                int64_t v = evalConst(st.args[1], st.line);
+                if (v >= -2048 && v <= 2047)
+                    return 4;
+            }
+            return 8;
+        }
+        return 4;
+    }
+
+    void
+    layout()
+    {
+        Addr lc = base_;
+        size_t next_label = 0;
+        for (size_t i = 0; i < stmts_.size(); ++i) {
+            while (next_label < labelsAt_.size() &&
+                   labelsAt_[next_label].stmtIndex ==
+                       static_cast<int>(i)) {
+                defineLabel(labelsAt_[next_label], lc);
+                ++next_label;
+            }
+            Stmt& st = stmts_[i];
+            st.addr = lc;
+            st.size = stmtSize(st, lc);
+            lc += static_cast<Addr>(st.size);
+        }
+        while (next_label < labelsAt_.size()) {
+            defineLabel(labelsAt_[next_label], lc);
+            ++next_label;
+        }
+        imageSize_ = lc - base_;
+    }
+
+    struct LabelRef
+    {
+        std::string name;
+        int stmtIndex;
+        int line;
+    };
+
+    void
+    defineLabel(const LabelRef& l, Addr addr)
+    {
+        if (symbols_.count(l.name))
+            err(l.line, "duplicate label '" + l.name + "'");
+        symbols_[l.name] = addr;
+    }
+
+    //
+    // Pass 2: emit bytes.
+    //
+
+    void
+    emit()
+    {
+        image_.assign(imageSize_, 0);
+        for (const Stmt& st : stmts_) {
+            if (st.type == StmtType::Directive)
+                emitDirective(st);
+            else
+                emitInstruction(st);
+        }
+    }
+
+    void
+    poke8(Addr addr, uint8_t v)
+    {
+        image_.at(addr - base_) = v;
+    }
+
+    void
+    poke16(Addr addr, uint16_t v)
+    {
+        poke8(addr, v & 0xFF);
+        poke8(addr + 1, v >> 8);
+    }
+
+    void
+    poke32(Addr addr, uint32_t v)
+    {
+        poke16(addr, v & 0xFFFF);
+        poke16(addr + 2, v >> 16);
+    }
+
+    void
+    emitDirective(const Stmt& st)
+    {
+        const std::string& d = st.head;
+        Addr lc = st.addr;
+        if (d == ".word") {
+            lc = static_cast<Addr>(alignUp(lc, 4));
+            for (const std::string& a : st.args) {
+                poke32(lc, static_cast<uint32_t>(
+                               evalExpr(a, st.line, true)));
+                lc += 4;
+            }
+        } else if (d == ".float") {
+            lc = static_cast<Addr>(alignUp(lc, 4));
+            for (const std::string& a : st.args) {
+                float f = std::stof(a);
+                uint32_t u;
+                std::memcpy(&u, &f, 4);
+                poke32(lc, u);
+                lc += 4;
+            }
+        } else if (d == ".half") {
+            lc = static_cast<Addr>(alignUp(lc, 2));
+            for (const std::string& a : st.args) {
+                poke16(lc, static_cast<uint16_t>(
+                               evalExpr(a, st.line, true)));
+                lc += 2;
+            }
+        } else if (d == ".byte") {
+            for (const std::string& a : st.args) {
+                poke8(lc, static_cast<uint8_t>(evalExpr(a, st.line, true)));
+                lc += 1;
+            }
+        } else if (d == ".ascii" || d == ".asciz") {
+            std::string bytes = decodeString(st.args[0], st.line);
+            if (d == ".asciz")
+                bytes.push_back('\0');
+            for (char c : bytes)
+                poke8(lc++, static_cast<uint8_t>(c));
+        }
+        // .space/.zero/.align/.balign already zero-filled; no-ops emit none.
+    }
+
+    std::string
+    decodeString(const std::string& arg, int line) const
+    {
+        std::string t = trim(arg);
+        if (t.size() < 2 || t.front() != '"' || t.back() != '"')
+            err(line, "expected a quoted string");
+        std::string out;
+        for (size_t i = 1; i + 1 < t.size(); ++i) {
+            char c = t[i];
+            if (c == '\\' && i + 2 < t.size()) {
+                char n = t[++i];
+                switch (n) {
+                  case 'n': out.push_back('\n'); break;
+                  case 't': out.push_back('\t'); break;
+                  case '0': out.push_back('\0'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '"': out.push_back('"'); break;
+                  default: out.push_back(n); break;
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        return out;
+    }
+
+    //
+    // Instruction emission
+    //
+
+    RegId
+    xreg(const Stmt& st, size_t i) const
+    {
+        if (i >= st.args.size())
+            err(st.line, "missing operand");
+        auto r = parseIntReg(st.args[i]);
+        if (!r)
+            err(st.line, "expected integer register, got '" + st.args[i] +
+                             "'");
+        return *r;
+    }
+
+    RegId
+    freg(const Stmt& st, size_t i) const
+    {
+        if (i >= st.args.size())
+            err(st.line, "missing operand");
+        auto r = parseFpReg(st.args[i]);
+        if (!r)
+            err(st.line, "expected FP register, got '" + st.args[i] + "'");
+        return *r;
+    }
+
+    int32_t
+    imm(const Stmt& st, size_t i) const
+    {
+        if (i >= st.args.size())
+            err(st.line, "missing immediate");
+        return static_cast<int32_t>(evalExpr(st.args[i], st.line, true));
+    }
+
+    /** Branch/jump target: label or literal => pc-relative offset. */
+    int32_t
+    target(const Stmt& st, size_t i, Addr pc) const
+    {
+        int64_t abs = evalExpr(st.args[i], st.line, true);
+        return static_cast<int32_t>(abs - static_cast<int64_t>(pc));
+    }
+
+    /** Parse "imm(reg)" or "(reg)" or "imm" address syntax. */
+    std::pair<int32_t, RegId>
+    memOperand(const Stmt& st, size_t i) const
+    {
+        if (i >= st.args.size())
+            err(st.line, "missing memory operand");
+        const std::string& a = st.args[i];
+        size_t open = a.rfind('(');
+        if (open == std::string::npos)
+            err(st.line, "expected imm(reg) operand, got '" + a + "'");
+        size_t close = a.rfind(')');
+        if (close == std::string::npos || close < open)
+            err(st.line, "unbalanced parens in '" + a + "'");
+        std::string off = trim(a.substr(0, open));
+        std::string reg = trim(a.substr(open + 1, close - open - 1));
+        auto r = parseIntReg(reg);
+        if (!r)
+            err(st.line, "bad base register '" + reg + "'");
+        int32_t o = off.empty()
+                        ? 0
+                        : static_cast<int32_t>(
+                              evalExpr(off, st.line, true));
+        return {o, *r};
+    }
+
+    void
+    emitWord(Addr addr, const Instr& in)
+    {
+        poke32(addr, encode(in));
+    }
+
+    Instr
+    mk(InstrKind k) const
+    {
+        Instr in;
+        in.kind = k;
+        return in;
+    }
+
+    void
+    expect(const Stmt& st, size_t n) const
+    {
+        if (st.args.size() != n)
+            err(st.line, st.head + ": expected " + std::to_string(n) +
+                             " operands, got " +
+                             std::to_string(st.args.size()));
+    }
+
+    void emitInstruction(const Stmt& st);
+
+    Addr base_;
+    std::vector<Stmt> stmts_;
+    std::vector<LabelRef> labelsAt_;
+    std::map<std::string, Addr> symbols_;
+    std::map<std::string, int64_t> equs_;
+    std::vector<uint8_t> image_;
+    size_t imageSize_ = 0;
+};
+
+/** mnemonic -> InstrKind for all regular (non-pseudo) instructions. */
+const std::map<std::string, InstrKind>&
+mnemonicTable()
+{
+    static const std::map<std::string, InstrKind> table = [] {
+        std::map<std::string, InstrKind> m;
+        for (uint16_t k = 1; k < static_cast<uint16_t>(InstrKind::kCount);
+             ++k) {
+            auto kind = static_cast<InstrKind>(k);
+            m[instrInfo(kind).mnemonic] = kind;
+        }
+        return m;
+    }();
+    return table;
+}
+
+void
+Engine::emitInstruction(const Stmt& st)
+{
+    const std::string& m = st.head;
+    const Addr pc = st.addr;
+    using K = InstrKind;
+
+    //
+    // Pseudo-instructions first.
+    //
+    if (m == "nop") {
+        Instr in = mk(K::ADDI);
+        emitWord(pc, in);
+        return;
+    }
+    if (m == "mv") {
+        expect(st, 2);
+        Instr in = mk(K::ADDI);
+        in.rd = xreg(st, 0);
+        in.rs1 = xreg(st, 1);
+        emitWord(pc, in);
+        return;
+    }
+    if (m == "not") {
+        expect(st, 2);
+        Instr in = mk(K::XORI);
+        in.rd = xreg(st, 0);
+        in.rs1 = xreg(st, 1);
+        in.imm = -1;
+        emitWord(pc, in);
+        return;
+    }
+    if (m == "neg") {
+        expect(st, 2);
+        Instr in = mk(K::SUB);
+        in.rd = xreg(st, 0);
+        in.rs1 = 0;
+        in.rs2 = xreg(st, 1);
+        emitWord(pc, in);
+        return;
+    }
+    if (m == "seqz" || m == "snez" || m == "sltz" || m == "sgtz") {
+        expect(st, 2);
+        Instr in;
+        if (m == "seqz") {
+            in = mk(K::SLTIU);
+            in.rd = xreg(st, 0);
+            in.rs1 = xreg(st, 1);
+            in.imm = 1;
+        } else if (m == "snez") {
+            in = mk(K::SLTU);
+            in.rd = xreg(st, 0);
+            in.rs1 = 0;
+            in.rs2 = xreg(st, 1);
+        } else if (m == "sltz") {
+            in = mk(K::SLT);
+            in.rd = xreg(st, 0);
+            in.rs1 = xreg(st, 1);
+            in.rs2 = 0;
+        } else {
+            in = mk(K::SLT);
+            in.rd = xreg(st, 0);
+            in.rs1 = 0;
+            in.rs2 = xreg(st, 1);
+        }
+        emitWord(pc, in);
+        return;
+    }
+    if (m == "beqz" || m == "bnez" || m == "blez" || m == "bgez" ||
+        m == "bltz" || m == "bgtz") {
+        expect(st, 2);
+        Instr in;
+        RegId rs = xreg(st, 0);
+        int32_t off = target(st, 1, pc);
+        if (m == "beqz") {
+            in = mk(K::BEQ);
+            in.rs1 = rs;
+            in.rs2 = 0;
+        } else if (m == "bnez") {
+            in = mk(K::BNE);
+            in.rs1 = rs;
+            in.rs2 = 0;
+        } else if (m == "blez") {
+            in = mk(K::BGE);
+            in.rs1 = 0;
+            in.rs2 = rs;
+        } else if (m == "bgez") {
+            in = mk(K::BGE);
+            in.rs1 = rs;
+            in.rs2 = 0;
+        } else if (m == "bltz") {
+            in = mk(K::BLT);
+            in.rs1 = rs;
+            in.rs2 = 0;
+        } else {
+            in = mk(K::BLT);
+            in.rs1 = 0;
+            in.rs2 = rs;
+        }
+        in.imm = off;
+        emitWord(pc, in);
+        return;
+    }
+    if (m == "bgt" || m == "ble" || m == "bgtu" || m == "bleu") {
+        expect(st, 3);
+        Instr in = mk(m == "bgt" ? K::BLT
+                      : m == "ble" ? K::BGE
+                      : m == "bgtu" ? K::BLTU
+                                    : K::BGEU);
+        in.rs1 = xreg(st, 1); // swapped
+        in.rs2 = xreg(st, 0);
+        in.imm = target(st, 2, pc);
+        emitWord(pc, in);
+        return;
+    }
+    if (m == "j" || m == "tail") {
+        expect(st, 1);
+        Instr in = mk(K::JAL);
+        in.rd = 0;
+        in.imm = target(st, 0, pc);
+        emitWord(pc, in);
+        return;
+    }
+    if (m == "call") {
+        expect(st, 1);
+        Instr in = mk(K::JAL);
+        in.rd = 1;
+        in.imm = target(st, 0, pc);
+        emitWord(pc, in);
+        return;
+    }
+    if (m == "jr") {
+        expect(st, 1);
+        Instr in = mk(K::JALR);
+        in.rd = 0;
+        in.rs1 = xreg(st, 0);
+        emitWord(pc, in);
+        return;
+    }
+    if (m == "ret") {
+        Instr in = mk(K::JALR);
+        in.rd = 0;
+        in.rs1 = 1;
+        emitWord(pc, in);
+        return;
+    }
+    if (m == "li" || m == "la") {
+        expect(st, 2);
+        RegId rd = xreg(st, 0);
+        int64_t value = evalExpr(st.args[1], st.line, true);
+        uint32_t u = static_cast<uint32_t>(value);
+        if (st.size == 4) {
+            Instr in = mk(K::ADDI);
+            in.rd = rd;
+            in.rs1 = 0;
+            in.imm = static_cast<int32_t>(value);
+            emitWord(pc, in);
+        } else {
+            uint32_t hi = (u + 0x800u) & 0xFFFFF000u;
+            int32_t lo = sext(u & 0xFFFu, 12);
+            Instr lui = mk(K::LUI);
+            lui.rd = rd;
+            lui.imm = static_cast<int32_t>(hi);
+            emitWord(pc, lui);
+            Instr addi = mk(K::ADDI);
+            addi.rd = rd;
+            addi.rs1 = rd;
+            addi.imm = lo;
+            emitWord(pc + 4, addi);
+        }
+        return;
+    }
+    if (m == "csrr") {
+        expect(st, 2);
+        Instr in = mk(K::CSRRS);
+        in.rd = xreg(st, 0);
+        in.rs1 = 0;
+        in.csr = static_cast<uint32_t>(imm(st, 1));
+        emitWord(pc, in);
+        return;
+    }
+    if (m == "csrw" || m == "csrs" || m == "csrc") {
+        expect(st, 2);
+        Instr in = mk(m == "csrw" ? K::CSRRW
+                      : m == "csrs" ? K::CSRRS
+                                    : K::CSRRC);
+        in.rd = 0;
+        in.csr = static_cast<uint32_t>(imm(st, 0));
+        in.rs1 = xreg(st, 1);
+        emitWord(pc, in);
+        return;
+    }
+    if (m == "csrwi") {
+        expect(st, 2);
+        Instr in = mk(K::CSRRWI);
+        in.rd = 0;
+        in.csr = static_cast<uint32_t>(imm(st, 0));
+        in.imm = imm(st, 1);
+        emitWord(pc, in);
+        return;
+    }
+    if (m == "fmv.s" || m == "fabs.s" || m == "fneg.s") {
+        expect(st, 2);
+        Instr in = mk(m == "fmv.s" ? K::FSGNJ_S
+                      : m == "fabs.s" ? K::FSGNJX_S
+                                      : K::FSGNJN_S);
+        in.rd = freg(st, 0);
+        in.rs1 = freg(st, 1);
+        in.rs2 = in.rs1;
+        emitWord(pc, in);
+        return;
+    }
+
+    //
+    // Regular instructions.
+    //
+    auto it = mnemonicTable().find(m);
+    if (it == mnemonicTable().end())
+        err(st.line, "unknown mnemonic '" + m + "'");
+    InstrKind kind = it->second;
+    Instr in = mk(kind);
+
+    switch (kind) {
+      case K::LUI:
+      case K::AUIPC: {
+        expect(st, 2);
+        in.rd = xreg(st, 0);
+        // Accept either a raw 20-bit value or a %hi() result.
+        int64_t v = evalExpr(st.args[1], st.line, true);
+        in.imm = static_cast<int32_t>(static_cast<uint32_t>(v) << 12);
+        break;
+      }
+      case K::JAL:
+        if (st.args.size() == 1) {
+            in.rd = 1;
+            in.imm = target(st, 0, pc);
+        } else {
+            expect(st, 2);
+            in.rd = xreg(st, 0);
+            in.imm = target(st, 1, pc);
+        }
+        break;
+      case K::JALR:
+        if (st.args.size() == 1) {
+            in.rd = 1;
+            in.rs1 = xreg(st, 0);
+            in.imm = 0;
+        } else if (st.args.size() == 2) {
+            in.rd = xreg(st, 0);
+            auto [o, r] = memOperand(st, 1);
+            in.imm = o;
+            in.rs1 = r;
+        } else {
+            expect(st, 3);
+            in.rd = xreg(st, 0);
+            in.rs1 = xreg(st, 1);
+            in.imm = imm(st, 2);
+        }
+        break;
+      case K::BEQ: case K::BNE: case K::BLT: case K::BGE:
+      case K::BLTU: case K::BGEU:
+        expect(st, 3);
+        in.rs1 = xreg(st, 0);
+        in.rs2 = xreg(st, 1);
+        in.imm = target(st, 2, pc);
+        break;
+      case K::LB: case K::LH: case K::LW: case K::LBU: case K::LHU: {
+        expect(st, 2);
+        in.rd = xreg(st, 0);
+        auto [o, r] = memOperand(st, 1);
+        in.imm = o;
+        in.rs1 = r;
+        break;
+      }
+      case K::FLW: {
+        expect(st, 2);
+        in.rd = freg(st, 0);
+        auto [o, r] = memOperand(st, 1);
+        in.imm = o;
+        in.rs1 = r;
+        break;
+      }
+      case K::SB: case K::SH: case K::SW: {
+        expect(st, 2);
+        in.rs2 = xreg(st, 0);
+        auto [o, r] = memOperand(st, 1);
+        in.imm = o;
+        in.rs1 = r;
+        break;
+      }
+      case K::FSW: {
+        expect(st, 2);
+        in.rs2 = freg(st, 0);
+        auto [o, r] = memOperand(st, 1);
+        in.imm = o;
+        in.rs1 = r;
+        break;
+      }
+      case K::ADDI: case K::SLTI: case K::SLTIU: case K::XORI:
+      case K::ORI: case K::ANDI: case K::SLLI: case K::SRLI: case K::SRAI:
+        expect(st, 3);
+        in.rd = xreg(st, 0);
+        in.rs1 = xreg(st, 1);
+        in.imm = imm(st, 2);
+        break;
+      case K::ADD: case K::SUB: case K::SLL: case K::SLT: case K::SLTU:
+      case K::XOR: case K::SRL: case K::SRA: case K::OR: case K::AND:
+      case K::MUL: case K::MULH: case K::MULHSU: case K::MULHU:
+      case K::DIV: case K::DIVU: case K::REM: case K::REMU:
+        expect(st, 3);
+        in.rd = xreg(st, 0);
+        in.rs1 = xreg(st, 1);
+        in.rs2 = xreg(st, 2);
+        break;
+      case K::FENCE: case K::ECALL: case K::EBREAK:
+        break;
+      case K::CSRRW: case K::CSRRS: case K::CSRRC:
+        expect(st, 3);
+        in.rd = xreg(st, 0);
+        in.csr = static_cast<uint32_t>(imm(st, 1));
+        in.rs1 = xreg(st, 2);
+        break;
+      case K::CSRRWI: case K::CSRRSI: case K::CSRRCI:
+        expect(st, 3);
+        in.rd = xreg(st, 0);
+        in.csr = static_cast<uint32_t>(imm(st, 1));
+        in.imm = imm(st, 2);
+        break;
+      case K::FMADD_S: case K::FMSUB_S: case K::FNMSUB_S: case K::FNMADD_S:
+        expect(st, 4);
+        in.rd = freg(st, 0);
+        in.rs1 = freg(st, 1);
+        in.rs2 = freg(st, 2);
+        in.rs3 = freg(st, 3);
+        break;
+      case K::FADD_S: case K::FSUB_S: case K::FMUL_S: case K::FDIV_S:
+      case K::FSGNJ_S: case K::FSGNJN_S: case K::FSGNJX_S:
+      case K::FMIN_S: case K::FMAX_S:
+        expect(st, 3);
+        in.rd = freg(st, 0);
+        in.rs1 = freg(st, 1);
+        in.rs2 = freg(st, 2);
+        break;
+      case K::FSQRT_S:
+        expect(st, 2);
+        in.rd = freg(st, 0);
+        in.rs1 = freg(st, 1);
+        break;
+      case K::FCVT_W_S: case K::FCVT_WU_S: case K::FMV_X_W:
+      case K::FCLASS_S:
+        expect(st, 2);
+        in.rd = xreg(st, 0);
+        in.rs1 = freg(st, 1);
+        break;
+      case K::FEQ_S: case K::FLT_S: case K::FLE_S:
+        expect(st, 3);
+        in.rd = xreg(st, 0);
+        in.rs1 = freg(st, 1);
+        in.rs2 = freg(st, 2);
+        break;
+      case K::FCVT_S_W: case K::FCVT_S_WU: case K::FMV_W_X:
+        expect(st, 2);
+        in.rd = freg(st, 0);
+        in.rs1 = xreg(st, 1);
+        break;
+      case K::VX_TMC:
+      case K::VX_SPLIT:
+        expect(st, 1);
+        in.rs1 = xreg(st, 0);
+        break;
+      case K::VX_WSPAWN:
+      case K::VX_BAR:
+        expect(st, 2);
+        in.rs1 = xreg(st, 0);
+        in.rs2 = xreg(st, 1);
+        break;
+      case K::VX_JOIN:
+        expect(st, 0);
+        break;
+      case K::VX_TEX:
+        expect(st, 4);
+        in.rd = xreg(st, 0);
+        in.rs1 = freg(st, 1);
+        in.rs2 = freg(st, 2);
+        in.rs3 = freg(st, 3);
+        break;
+      default:
+        err(st.line, "unhandled mnemonic '" + m + "'");
+    }
+    emitWord(pc, in);
+}
+
+} // namespace
+
+Program
+Assembler::assemble(const std::string& source)
+{
+    Engine engine(base_);
+    return engine.run(source);
+}
+
+Program
+Assembler::assembleAll(const std::vector<std::string>& sources)
+{
+    std::string all;
+    for (const std::string& s : sources) {
+        all += s;
+        if (all.empty() || all.back() != '\n')
+            all += '\n';
+    }
+    return assemble(all);
+}
+
+} // namespace vortex::isa

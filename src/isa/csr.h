@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Control & status register numbering for the simulated Vortex machine
+ * (paper §3.2, §4.2.2: thread mask and texture state live in CSR space).
+ * Numbers follow the Vortex convention: machine-information CSRs in the
+ * read-only user space (0xCC0+, 0xFC0+), texture-unit state in 0x7C0+.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace vortex::isa {
+
+enum Csr : uint32_t
+{
+    // Standard RISC-V user counters.
+    CSR_CYCLE = 0xC00,
+    CSR_CYCLEH = 0xC80,
+    CSR_INSTRET = 0xC02,
+    CSR_INSTRETH = 0xC82,
+
+    // SIMT identification (per-thread values where it matters).
+    CSR_THREAD_ID = 0xCC0, ///< thread index within the wavefront
+    CSR_WARP_ID = 0xCC1,   ///< wavefront index within the core
+    CSR_CORE_ID = 0xCC2,   ///< core index within the processor
+    CSR_WARP_MASK = 0xCC3, ///< active wavefront mask of this core
+    CSR_THREAD_MASK = 0xCC4, ///< current thread mask of this wavefront
+
+    // Machine configuration (uniform).
+    CSR_NUM_THREADS = 0xFC0, ///< threads per wavefront
+    CSR_NUM_WARPS = 0xFC1,   ///< wavefronts per core
+    CSR_NUM_CORES = 0xFC2,   ///< cores in the processor
+
+    // Texture-unit state (paper Fig. 13). Each texture stage owns a window
+    // of CSR_TEX_STRIDE registers starting at CSR_TEX_BASE.
+    CSR_TEX_STAGE = 0x7BF, ///< stage selector used by subsequent `tex` ops
+    CSR_TEX_BASE = 0x7C0,
+    CSR_TEX_STRIDE = 8,
+
+    // Offsets within a texture stage window.
+    TEX_STATE_ADDR = 0,   ///< base byte address of mip level 0
+    TEX_STATE_MIPOFF = 1, ///< packed mip-offset table pointer (byte address)
+    TEX_STATE_WIDTH = 2,  ///< log2 width of mip level 0
+    TEX_STATE_HEIGHT = 3, ///< log2 height of mip level 0
+    TEX_STATE_FORMAT = 4, ///< tex::Format
+    TEX_STATE_WRAP = 5,   ///< tex::Wrap (u in [1:0], v in [3:2])
+    TEX_STATE_FILTER = 6, ///< tex::Filter
+    TEX_STATE_LODS = 7,   ///< number of mip levels present
+};
+
+/** Number of texture stages addressable via CSRs. */
+constexpr uint32_t kNumTexStages = 2;
+
+/** CSR address of field @p state of texture stage @p stage. */
+constexpr uint32_t
+texCsrAddr(uint32_t stage, uint32_t state)
+{
+    return CSR_TEX_BASE + stage * CSR_TEX_STRIDE + state;
+}
+
+} // namespace vortex::isa

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Disassembler and register naming (used by the trace infrastructure and the
+ * round-trip property tests).
+ */
+
+#include <array>
+#include <sstream>
+
+#include "isa/isa.h"
+
+namespace vortex::isa {
+
+namespace {
+
+constexpr std::array<const char*, 32> kIntRegNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+};
+
+constexpr std::array<const char*, 32> kFpRegNames = {
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+};
+
+} // namespace
+
+const char*
+intRegName(RegId r)
+{
+    return kIntRegNames[r & 31];
+}
+
+const char*
+fpRegName(RegId r)
+{
+    return kFpRegNames[r & 31];
+}
+
+std::string
+disassemble(const Instr& in)
+{
+    using K = InstrKind;
+    const InstrInfo& info = instrInfo(in.kind);
+    std::ostringstream os;
+    os << info.mnemonic;
+
+    auto xr = [](RegId r) { return kIntRegNames[r & 31]; };
+    auto fr = [](RegId r) { return kFpRegNames[r & 31]; };
+
+    switch (in.kind) {
+      case K::Invalid:
+        break;
+      case K::LUI:
+      case K::AUIPC:
+        os << " " << xr(in.rd) << ", 0x" << std::hex
+           << (static_cast<uint32_t>(in.imm) >> 12);
+        break;
+      case K::JAL:
+        os << " " << xr(in.rd) << ", " << std::dec << in.imm;
+        break;
+      case K::JALR:
+        os << " " << xr(in.rd) << ", " << in.imm << "(" << xr(in.rs1) << ")";
+        break;
+      case K::BEQ: case K::BNE: case K::BLT: case K::BGE:
+      case K::BLTU: case K::BGEU:
+        os << " " << xr(in.rs1) << ", " << xr(in.rs2) << ", " << in.imm;
+        break;
+      case K::LB: case K::LH: case K::LW: case K::LBU: case K::LHU:
+        os << " " << xr(in.rd) << ", " << in.imm << "(" << xr(in.rs1) << ")";
+        break;
+      case K::FLW:
+        os << " " << fr(in.rd) << ", " << in.imm << "(" << xr(in.rs1) << ")";
+        break;
+      case K::SB: case K::SH: case K::SW:
+        os << " " << xr(in.rs2) << ", " << in.imm << "(" << xr(in.rs1) << ")";
+        break;
+      case K::FSW:
+        os << " " << fr(in.rs2) << ", " << in.imm << "(" << xr(in.rs1) << ")";
+        break;
+      case K::ADDI: case K::SLTI: case K::SLTIU: case K::XORI:
+      case K::ORI: case K::ANDI: case K::SLLI: case K::SRLI: case K::SRAI:
+        os << " " << xr(in.rd) << ", " << xr(in.rs1) << ", " << in.imm;
+        break;
+      case K::ADD: case K::SUB: case K::SLL: case K::SLT: case K::SLTU:
+      case K::XOR: case K::SRL: case K::SRA: case K::OR: case K::AND:
+      case K::MUL: case K::MULH: case K::MULHSU: case K::MULHU:
+      case K::DIV: case K::DIVU: case K::REM: case K::REMU:
+        os << " " << xr(in.rd) << ", " << xr(in.rs1) << ", " << xr(in.rs2);
+        break;
+      case K::FENCE: case K::ECALL: case K::EBREAK:
+        break;
+      case K::CSRRW: case K::CSRRS: case K::CSRRC:
+        os << " " << xr(in.rd) << ", 0x" << std::hex << in.csr << std::dec
+           << ", " << xr(in.rs1);
+        break;
+      case K::CSRRWI: case K::CSRRSI: case K::CSRRCI:
+        os << " " << xr(in.rd) << ", 0x" << std::hex << in.csr << std::dec
+           << ", " << in.imm;
+        break;
+      case K::FMADD_S: case K::FMSUB_S: case K::FNMSUB_S: case K::FNMADD_S:
+        os << " " << fr(in.rd) << ", " << fr(in.rs1) << ", " << fr(in.rs2)
+           << ", " << fr(in.rs3);
+        break;
+      case K::FADD_S: case K::FSUB_S: case K::FMUL_S: case K::FDIV_S:
+      case K::FSGNJ_S: case K::FSGNJN_S: case K::FSGNJX_S:
+      case K::FMIN_S: case K::FMAX_S:
+        os << " " << fr(in.rd) << ", " << fr(in.rs1) << ", " << fr(in.rs2);
+        break;
+      case K::FSQRT_S:
+        os << " " << fr(in.rd) << ", " << fr(in.rs1);
+        break;
+      case K::FCVT_W_S: case K::FCVT_WU_S: case K::FMV_X_W:
+      case K::FCLASS_S:
+        os << " " << xr(in.rd) << ", " << fr(in.rs1);
+        break;
+      case K::FEQ_S: case K::FLT_S: case K::FLE_S:
+        os << " " << xr(in.rd) << ", " << fr(in.rs1) << ", " << fr(in.rs2);
+        break;
+      case K::FCVT_S_W: case K::FCVT_S_WU: case K::FMV_W_X:
+        os << " " << fr(in.rd) << ", " << xr(in.rs1);
+        break;
+      case K::VX_TMC:
+      case K::VX_SPLIT:
+        os << " " << xr(in.rs1);
+        break;
+      case K::VX_WSPAWN:
+      case K::VX_BAR:
+        os << " " << xr(in.rs1) << ", " << xr(in.rs2);
+        break;
+      case K::VX_JOIN:
+        break;
+      case K::VX_TEX:
+        os << " " << xr(in.rd) << ", " << fr(in.rs1) << ", " << fr(in.rs2)
+           << ", " << fr(in.rs3);
+        break;
+      default:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace vortex::isa

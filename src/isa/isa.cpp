@@ -1,0 +1,837 @@
+/**
+ * @file
+ * Instruction classification tables, decoder, and encoder.
+ */
+
+#include "isa/isa.h"
+
+#include <array>
+
+#include "common/bitmanip.h"
+#include "common/log.h"
+
+namespace vortex::isa {
+
+namespace {
+
+constexpr size_t kNumKinds = static_cast<size_t>(InstrKind::kCount);
+
+const std::array<InstrInfo, kNumKinds>&
+infoTable()
+{
+    static const std::array<InstrInfo, kNumKinds> table = [] {
+        std::array<InstrInfo, kNumKinds> t{};
+        auto set = [&](InstrKind k, const char* m, InstrFormat f) {
+            t[static_cast<size_t>(k)] = InstrInfo{m, f};
+        };
+        set(InstrKind::Invalid, "<invalid>", InstrFormat::I);
+
+        set(InstrKind::LUI, "lui", InstrFormat::U);
+        set(InstrKind::AUIPC, "auipc", InstrFormat::U);
+        set(InstrKind::JAL, "jal", InstrFormat::J);
+        set(InstrKind::JALR, "jalr", InstrFormat::I);
+        set(InstrKind::BEQ, "beq", InstrFormat::B);
+        set(InstrKind::BNE, "bne", InstrFormat::B);
+        set(InstrKind::BLT, "blt", InstrFormat::B);
+        set(InstrKind::BGE, "bge", InstrFormat::B);
+        set(InstrKind::BLTU, "bltu", InstrFormat::B);
+        set(InstrKind::BGEU, "bgeu", InstrFormat::B);
+        set(InstrKind::LB, "lb", InstrFormat::I);
+        set(InstrKind::LH, "lh", InstrFormat::I);
+        set(InstrKind::LW, "lw", InstrFormat::I);
+        set(InstrKind::LBU, "lbu", InstrFormat::I);
+        set(InstrKind::LHU, "lhu", InstrFormat::I);
+        set(InstrKind::SB, "sb", InstrFormat::S);
+        set(InstrKind::SH, "sh", InstrFormat::S);
+        set(InstrKind::SW, "sw", InstrFormat::S);
+        set(InstrKind::ADDI, "addi", InstrFormat::I);
+        set(InstrKind::SLTI, "slti", InstrFormat::I);
+        set(InstrKind::SLTIU, "sltiu", InstrFormat::I);
+        set(InstrKind::XORI, "xori", InstrFormat::I);
+        set(InstrKind::ORI, "ori", InstrFormat::I);
+        set(InstrKind::ANDI, "andi", InstrFormat::I);
+        set(InstrKind::SLLI, "slli", InstrFormat::I);
+        set(InstrKind::SRLI, "srli", InstrFormat::I);
+        set(InstrKind::SRAI, "srai", InstrFormat::I);
+        set(InstrKind::ADD, "add", InstrFormat::R);
+        set(InstrKind::SUB, "sub", InstrFormat::R);
+        set(InstrKind::SLL, "sll", InstrFormat::R);
+        set(InstrKind::SLT, "slt", InstrFormat::R);
+        set(InstrKind::SLTU, "sltu", InstrFormat::R);
+        set(InstrKind::XOR, "xor", InstrFormat::R);
+        set(InstrKind::SRL, "srl", InstrFormat::R);
+        set(InstrKind::SRA, "sra", InstrFormat::R);
+        set(InstrKind::OR, "or", InstrFormat::R);
+        set(InstrKind::AND, "and", InstrFormat::R);
+        set(InstrKind::FENCE, "fence", InstrFormat::Sys);
+        set(InstrKind::ECALL, "ecall", InstrFormat::Sys);
+        set(InstrKind::EBREAK, "ebreak", InstrFormat::Sys);
+
+        set(InstrKind::CSRRW, "csrrw", InstrFormat::I);
+        set(InstrKind::CSRRS, "csrrs", InstrFormat::I);
+        set(InstrKind::CSRRC, "csrrc", InstrFormat::I);
+        set(InstrKind::CSRRWI, "csrrwi", InstrFormat::I);
+        set(InstrKind::CSRRSI, "csrrsi", InstrFormat::I);
+        set(InstrKind::CSRRCI, "csrrci", InstrFormat::I);
+
+        set(InstrKind::MUL, "mul", InstrFormat::R);
+        set(InstrKind::MULH, "mulh", InstrFormat::R);
+        set(InstrKind::MULHSU, "mulhsu", InstrFormat::R);
+        set(InstrKind::MULHU, "mulhu", InstrFormat::R);
+        set(InstrKind::DIV, "div", InstrFormat::R);
+        set(InstrKind::DIVU, "divu", InstrFormat::R);
+        set(InstrKind::REM, "rem", InstrFormat::R);
+        set(InstrKind::REMU, "remu", InstrFormat::R);
+
+        set(InstrKind::FLW, "flw", InstrFormat::I);
+        set(InstrKind::FSW, "fsw", InstrFormat::S);
+        set(InstrKind::FMADD_S, "fmadd.s", InstrFormat::R4);
+        set(InstrKind::FMSUB_S, "fmsub.s", InstrFormat::R4);
+        set(InstrKind::FNMSUB_S, "fnmsub.s", InstrFormat::R4);
+        set(InstrKind::FNMADD_S, "fnmadd.s", InstrFormat::R4);
+        set(InstrKind::FADD_S, "fadd.s", InstrFormat::R);
+        set(InstrKind::FSUB_S, "fsub.s", InstrFormat::R);
+        set(InstrKind::FMUL_S, "fmul.s", InstrFormat::R);
+        set(InstrKind::FDIV_S, "fdiv.s", InstrFormat::R);
+        set(InstrKind::FSQRT_S, "fsqrt.s", InstrFormat::R);
+        set(InstrKind::FSGNJ_S, "fsgnj.s", InstrFormat::R);
+        set(InstrKind::FSGNJN_S, "fsgnjn.s", InstrFormat::R);
+        set(InstrKind::FSGNJX_S, "fsgnjx.s", InstrFormat::R);
+        set(InstrKind::FMIN_S, "fmin.s", InstrFormat::R);
+        set(InstrKind::FMAX_S, "fmax.s", InstrFormat::R);
+        set(InstrKind::FCVT_W_S, "fcvt.w.s", InstrFormat::R);
+        set(InstrKind::FCVT_WU_S, "fcvt.wu.s", InstrFormat::R);
+        set(InstrKind::FMV_X_W, "fmv.x.w", InstrFormat::R);
+        set(InstrKind::FEQ_S, "feq.s", InstrFormat::R);
+        set(InstrKind::FLT_S, "flt.s", InstrFormat::R);
+        set(InstrKind::FLE_S, "fle.s", InstrFormat::R);
+        set(InstrKind::FCLASS_S, "fclass.s", InstrFormat::R);
+        set(InstrKind::FCVT_S_W, "fcvt.s.w", InstrFormat::R);
+        set(InstrKind::FCVT_S_WU, "fcvt.s.wu", InstrFormat::R);
+        set(InstrKind::FMV_W_X, "fmv.w.x", InstrFormat::R);
+
+        set(InstrKind::VX_TMC, "vx_tmc", InstrFormat::R);
+        set(InstrKind::VX_WSPAWN, "vx_wspawn", InstrFormat::R);
+        set(InstrKind::VX_SPLIT, "vx_split", InstrFormat::R);
+        set(InstrKind::VX_JOIN, "vx_join", InstrFormat::R);
+        set(InstrKind::VX_BAR, "vx_bar", InstrFormat::R);
+        set(InstrKind::VX_TEX, "vx_tex", InstrFormat::R4);
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+const InstrInfo&
+instrInfo(InstrKind kind)
+{
+    return infoTable()[static_cast<size_t>(kind)];
+}
+
+//
+// Operand classification
+//
+
+RegRef
+Instr::dst() const
+{
+    using K = InstrKind;
+    switch (kind) {
+      case K::BEQ: case K::BNE: case K::BLT: case K::BGE:
+      case K::BLTU: case K::BGEU:
+      case K::SB: case K::SH: case K::SW: case K::FSW:
+      case K::FENCE: case K::ECALL: case K::EBREAK:
+      case K::VX_TMC: case K::VX_WSPAWN: case K::VX_SPLIT:
+      case K::VX_JOIN: case K::VX_BAR:
+      case K::Invalid:
+        return {};
+      case K::FLW:
+      case K::FMADD_S: case K::FMSUB_S: case K::FNMSUB_S: case K::FNMADD_S:
+      case K::FADD_S: case K::FSUB_S: case K::FMUL_S: case K::FDIV_S:
+      case K::FSQRT_S:
+      case K::FSGNJ_S: case K::FSGNJN_S: case K::FSGNJX_S:
+      case K::FMIN_S: case K::FMAX_S:
+      case K::FCVT_S_W: case K::FCVT_S_WU: case K::FMV_W_X:
+        return {RegFile::Fp, rd};
+      default:
+        return {RegFile::Int, rd};
+    }
+}
+
+RegRef
+Instr::src1() const
+{
+    using K = InstrKind;
+    switch (kind) {
+      case K::LUI: case K::AUIPC: case K::JAL:
+      case K::FENCE: case K::ECALL: case K::EBREAK:
+      case K::CSRRWI: case K::CSRRSI: case K::CSRRCI:
+      case K::VX_JOIN:
+      case K::Invalid:
+        return {};
+      case K::FMADD_S: case K::FMSUB_S: case K::FNMSUB_S: case K::FNMADD_S:
+      case K::FADD_S: case K::FSUB_S: case K::FMUL_S: case K::FDIV_S:
+      case K::FSQRT_S:
+      case K::FSGNJ_S: case K::FSGNJN_S: case K::FSGNJX_S:
+      case K::FMIN_S: case K::FMAX_S:
+      case K::FCVT_W_S: case K::FCVT_WU_S: case K::FMV_X_W:
+      case K::FEQ_S: case K::FLT_S: case K::FLE_S: case K::FCLASS_S:
+      case K::VX_TEX:
+        return {RegFile::Fp, rs1};
+      default:
+        return {RegFile::Int, rs1};
+    }
+}
+
+RegRef
+Instr::src2() const
+{
+    using K = InstrKind;
+    switch (kind) {
+      case K::BEQ: case K::BNE: case K::BLT: case K::BGE:
+      case K::BLTU: case K::BGEU:
+      case K::SB: case K::SH: case K::SW:
+      case K::ADD: case K::SUB: case K::SLL: case K::SLT: case K::SLTU:
+      case K::XOR: case K::SRL: case K::SRA: case K::OR: case K::AND:
+      case K::MUL: case K::MULH: case K::MULHSU: case K::MULHU:
+      case K::DIV: case K::DIVU: case K::REM: case K::REMU:
+      case K::VX_WSPAWN: case K::VX_BAR:
+        return {RegFile::Int, rs2};
+      case K::FSW:
+      case K::FMADD_S: case K::FMSUB_S: case K::FNMSUB_S: case K::FNMADD_S:
+      case K::FADD_S: case K::FSUB_S: case K::FMUL_S: case K::FDIV_S:
+      case K::FSGNJ_S: case K::FSGNJN_S: case K::FSGNJX_S:
+      case K::FMIN_S: case K::FMAX_S:
+      case K::FEQ_S: case K::FLT_S: case K::FLE_S:
+      case K::VX_TEX:
+        return {RegFile::Fp, rs2};
+      default:
+        return {};
+    }
+}
+
+RegRef
+Instr::src3() const
+{
+    using K = InstrKind;
+    switch (kind) {
+      case K::FMADD_S: case K::FMSUB_S: case K::FNMSUB_S: case K::FNMADD_S:
+      case K::VX_TEX:
+        return {RegFile::Fp, rs3};
+      default:
+        return {};
+    }
+}
+
+FuType
+Instr::fuType() const
+{
+    using K = InstrKind;
+    switch (kind) {
+      case K::MUL: case K::MULH: case K::MULHSU: case K::MULHU:
+      case K::DIV: case K::DIVU: case K::REM: case K::REMU:
+        return FuType::MULDIV;
+      case K::FMADD_S: case K::FMSUB_S: case K::FNMSUB_S: case K::FNMADD_S:
+      case K::FADD_S: case K::FSUB_S: case K::FMUL_S: case K::FDIV_S:
+      case K::FSQRT_S:
+      case K::FSGNJ_S: case K::FSGNJN_S: case K::FSGNJX_S:
+      case K::FMIN_S: case K::FMAX_S:
+      case K::FCVT_W_S: case K::FCVT_WU_S: case K::FMV_X_W:
+      case K::FEQ_S: case K::FLT_S: case K::FLE_S: case K::FCLASS_S:
+      case K::FCVT_S_W: case K::FCVT_S_WU: case K::FMV_W_X:
+        return FuType::FPU;
+      case K::LB: case K::LH: case K::LW: case K::LBU: case K::LHU:
+      case K::SB: case K::SH: case K::SW:
+      case K::FLW: case K::FSW:
+        return FuType::LSU;
+      case K::FENCE: case K::ECALL: case K::EBREAK:
+      case K::CSRRW: case K::CSRRS: case K::CSRRC:
+      case K::CSRRWI: case K::CSRRSI: case K::CSRRCI:
+      case K::VX_TMC: case K::VX_WSPAWN: case K::VX_SPLIT:
+      case K::VX_JOIN: case K::VX_BAR:
+        return FuType::SFU;
+      case K::VX_TEX:
+        return FuType::TEX;
+      default:
+        return FuType::ALU;
+    }
+}
+
+bool
+Instr::isBranch() const
+{
+    using K = InstrKind;
+    switch (kind) {
+      case K::BEQ: case K::BNE: case K::BLT: case K::BGE:
+      case K::BLTU: case K::BGEU:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instr::isControl() const
+{
+    using K = InstrKind;
+    switch (kind) {
+      case K::JAL: case K::JALR:
+      case K::VX_TMC: case K::VX_WSPAWN: case K::VX_SPLIT:
+      case K::VX_JOIN: case K::VX_BAR:
+      case K::ECALL: case K::EBREAK: case K::FENCE:
+        return true;
+      default:
+        return isBranch();
+    }
+}
+
+bool
+Instr::isLoad() const
+{
+    using K = InstrKind;
+    switch (kind) {
+      case K::LB: case K::LH: case K::LW: case K::LBU: case K::LHU:
+      case K::FLW:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instr::isStore() const
+{
+    using K = InstrKind;
+    switch (kind) {
+      case K::SB: case K::SH: case K::SW: case K::FSW:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instr::isFloatOp() const
+{
+    return fuType() == FuType::FPU;
+}
+
+//
+// Decoder
+//
+
+namespace {
+
+Instr
+makeInvalid(uint32_t raw)
+{
+    Instr in;
+    in.kind = InstrKind::Invalid;
+    in.raw = raw;
+    return in;
+}
+
+int32_t
+immI(uint32_t raw)
+{
+    return sext(bits(raw, 20, 12), 12);
+}
+
+int32_t
+immS(uint32_t raw)
+{
+    return sext((bits(raw, 25, 7) << 5) | bits(raw, 7, 5), 12);
+}
+
+int32_t
+immB(uint32_t raw)
+{
+    uint32_t v = (bits(raw, 31, 1) << 12) | (bits(raw, 7, 1) << 11) |
+                 (bits(raw, 25, 6) << 5) | (bits(raw, 8, 4) << 1);
+    return sext(v, 13);
+}
+
+int32_t
+immU(uint32_t raw)
+{
+    return static_cast<int32_t>(raw & 0xFFFFF000u);
+}
+
+int32_t
+immJ(uint32_t raw)
+{
+    uint32_t v = (bits(raw, 31, 1) << 20) | (bits(raw, 12, 8) << 12) |
+                 (bits(raw, 20, 1) << 11) | (bits(raw, 21, 10) << 1);
+    return sext(v, 21);
+}
+
+} // namespace
+
+Instr
+decode(uint32_t raw)
+{
+    using K = InstrKind;
+    Instr in;
+    in.raw = raw;
+    in.rd = bits(raw, 7, 5);
+    in.rs1 = bits(raw, 15, 5);
+    in.rs2 = bits(raw, 20, 5);
+    in.rs3 = bits(raw, 27, 5);
+    const uint32_t opcode = bits(raw, 0, 7);
+    const uint32_t f3 = bits(raw, 12, 3);
+    const uint32_t f7 = bits(raw, 25, 7);
+
+    switch (opcode) {
+      case OPC_LUI:
+        in.kind = K::LUI;
+        in.imm = immU(raw);
+        return in;
+      case OPC_AUIPC:
+        in.kind = K::AUIPC;
+        in.imm = immU(raw);
+        return in;
+      case OPC_JAL:
+        in.kind = K::JAL;
+        in.imm = immJ(raw);
+        return in;
+      case OPC_JALR:
+        if (f3 != 0)
+            return makeInvalid(raw);
+        in.kind = K::JALR;
+        in.imm = immI(raw);
+        return in;
+      case OPC_BRANCH: {
+        in.imm = immB(raw);
+        switch (f3) {
+          case 0: in.kind = K::BEQ; return in;
+          case 1: in.kind = K::BNE; return in;
+          case 4: in.kind = K::BLT; return in;
+          case 5: in.kind = K::BGE; return in;
+          case 6: in.kind = K::BLTU; return in;
+          case 7: in.kind = K::BGEU; return in;
+          default: return makeInvalid(raw);
+        }
+      }
+      case OPC_LOAD: {
+        in.imm = immI(raw);
+        switch (f3) {
+          case 0: in.kind = K::LB; return in;
+          case 1: in.kind = K::LH; return in;
+          case 2: in.kind = K::LW; return in;
+          case 4: in.kind = K::LBU; return in;
+          case 5: in.kind = K::LHU; return in;
+          default: return makeInvalid(raw);
+        }
+      }
+      case OPC_STORE: {
+        in.imm = immS(raw);
+        switch (f3) {
+          case 0: in.kind = K::SB; return in;
+          case 1: in.kind = K::SH; return in;
+          case 2: in.kind = K::SW; return in;
+          default: return makeInvalid(raw);
+        }
+      }
+      case OPC_OP_IMM: {
+        in.imm = immI(raw);
+        switch (f3) {
+          case 0: in.kind = K::ADDI; return in;
+          case 2: in.kind = K::SLTI; return in;
+          case 3: in.kind = K::SLTIU; return in;
+          case 4: in.kind = K::XORI; return in;
+          case 6: in.kind = K::ORI; return in;
+          case 7: in.kind = K::ANDI; return in;
+          case 1:
+            if (f7 != 0)
+                return makeInvalid(raw);
+            in.kind = K::SLLI;
+            in.imm = in.rs2;
+            return in;
+          case 5:
+            if (f7 == 0x00) {
+                in.kind = K::SRLI;
+                in.imm = in.rs2;
+                return in;
+            }
+            if (f7 == 0x20) {
+                in.kind = K::SRAI;
+                in.imm = in.rs2;
+                return in;
+            }
+            return makeInvalid(raw);
+          default: return makeInvalid(raw);
+        }
+      }
+      case OPC_OP: {
+        if (f7 == 0x01) { // RV32M
+            switch (f3) {
+              case 0: in.kind = K::MUL; return in;
+              case 1: in.kind = K::MULH; return in;
+              case 2: in.kind = K::MULHSU; return in;
+              case 3: in.kind = K::MULHU; return in;
+              case 4: in.kind = K::DIV; return in;
+              case 5: in.kind = K::DIVU; return in;
+              case 6: in.kind = K::REM; return in;
+              case 7: in.kind = K::REMU; return in;
+            }
+            return makeInvalid(raw);
+        }
+        if (f7 == 0x00) {
+            switch (f3) {
+              case 0: in.kind = K::ADD; return in;
+              case 1: in.kind = K::SLL; return in;
+              case 2: in.kind = K::SLT; return in;
+              case 3: in.kind = K::SLTU; return in;
+              case 4: in.kind = K::XOR; return in;
+              case 5: in.kind = K::SRL; return in;
+              case 6: in.kind = K::OR; return in;
+              case 7: in.kind = K::AND; return in;
+            }
+            return makeInvalid(raw);
+        }
+        if (f7 == 0x20) {
+            switch (f3) {
+              case 0: in.kind = K::SUB; return in;
+              case 5: in.kind = K::SRA; return in;
+              default: return makeInvalid(raw);
+            }
+        }
+        return makeInvalid(raw);
+      }
+      case OPC_MISC_MEM:
+        if (f3 == 0) {
+            in.kind = K::FENCE;
+            return in;
+        }
+        return makeInvalid(raw);
+      case OPC_SYSTEM: {
+        if (f3 == 0) {
+            uint32_t imm12 = bits(raw, 20, 12);
+            if (imm12 == 0 && in.rs1 == 0 && in.rd == 0) {
+                in.kind = K::ECALL;
+                return in;
+            }
+            if (imm12 == 1 && in.rs1 == 0 && in.rd == 0) {
+                in.kind = K::EBREAK;
+                return in;
+            }
+            return makeInvalid(raw);
+        }
+        in.csr = bits(raw, 20, 12);
+        switch (f3) {
+          case 1: in.kind = K::CSRRW; return in;
+          case 2: in.kind = K::CSRRS; return in;
+          case 3: in.kind = K::CSRRC; return in;
+          case 5: in.kind = K::CSRRWI; in.imm = in.rs1; return in;
+          case 6: in.kind = K::CSRRSI; in.imm = in.rs1; return in;
+          case 7: in.kind = K::CSRRCI; in.imm = in.rs1; return in;
+          default: return makeInvalid(raw);
+        }
+      }
+      case OPC_LOAD_FP:
+        if (f3 != 2)
+            return makeInvalid(raw);
+        in.kind = K::FLW;
+        in.imm = immI(raw);
+        return in;
+      case OPC_STORE_FP:
+        if (f3 != 2)
+            return makeInvalid(raw);
+        in.kind = K::FSW;
+        in.imm = immS(raw);
+        return in;
+      case OPC_MADD: in.kind = K::FMADD_S; return in;
+      case OPC_MSUB: in.kind = K::FMSUB_S; return in;
+      case OPC_NMSUB: in.kind = K::FNMSUB_S; return in;
+      case OPC_NMADD: in.kind = K::FNMADD_S; return in;
+      case OPC_OP_FP: {
+        switch (f7) {
+          case 0x00: in.kind = K::FADD_S; return in;
+          case 0x04: in.kind = K::FSUB_S; return in;
+          case 0x08: in.kind = K::FMUL_S; return in;
+          case 0x0C: in.kind = K::FDIV_S; return in;
+          case 0x2C:
+            if (in.rs2 != 0)
+                return makeInvalid(raw);
+            in.kind = K::FSQRT_S;
+            return in;
+          case 0x10:
+            switch (f3) {
+              case 0: in.kind = K::FSGNJ_S; return in;
+              case 1: in.kind = K::FSGNJN_S; return in;
+              case 2: in.kind = K::FSGNJX_S; return in;
+              default: return makeInvalid(raw);
+            }
+          case 0x14:
+            switch (f3) {
+              case 0: in.kind = K::FMIN_S; return in;
+              case 1: in.kind = K::FMAX_S; return in;
+              default: return makeInvalid(raw);
+            }
+          case 0x60:
+            if (in.rs2 == 0) {
+                in.kind = K::FCVT_W_S;
+                return in;
+            }
+            if (in.rs2 == 1) {
+                in.kind = K::FCVT_WU_S;
+                return in;
+            }
+            return makeInvalid(raw);
+          case 0x70:
+            if (f3 == 0) {
+                in.kind = K::FMV_X_W;
+                return in;
+            }
+            if (f3 == 1) {
+                in.kind = K::FCLASS_S;
+                return in;
+            }
+            return makeInvalid(raw);
+          case 0x50:
+            switch (f3) {
+              case 0: in.kind = K::FLE_S; return in;
+              case 1: in.kind = K::FLT_S; return in;
+              case 2: in.kind = K::FEQ_S; return in;
+              default: return makeInvalid(raw);
+            }
+          case 0x68:
+            if (in.rs2 == 0) {
+                in.kind = K::FCVT_S_W;
+                return in;
+            }
+            if (in.rs2 == 1) {
+                in.kind = K::FCVT_S_WU;
+                return in;
+            }
+            return makeInvalid(raw);
+          case 0x78:
+            if (f3 == 0) {
+                in.kind = K::FMV_W_X;
+                return in;
+            }
+            return makeInvalid(raw);
+          default:
+            return makeInvalid(raw);
+        }
+      }
+      case OPC_VORTEX: {
+        switch (f7) {
+          case VXF_TMC: in.kind = K::VX_TMC; return in;
+          case VXF_WSPAWN: in.kind = K::VX_WSPAWN; return in;
+          case VXF_SPLIT: in.kind = K::VX_SPLIT; return in;
+          case VXF_JOIN: in.kind = K::VX_JOIN; return in;
+          case VXF_BAR: in.kind = K::VX_BAR; return in;
+          default: return makeInvalid(raw);
+        }
+      }
+      case OPC_TEX:
+        in.kind = K::VX_TEX;
+        return in;
+      default:
+        return makeInvalid(raw);
+    }
+}
+
+//
+// Encoder
+//
+
+namespace {
+
+uint32_t
+encodeR(uint32_t opcode, uint32_t f3, uint32_t f7, RegId rd, RegId rs1,
+        RegId rs2)
+{
+    return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) |
+           opcode;
+}
+
+uint32_t
+encodeI(uint32_t opcode, uint32_t f3, RegId rd, RegId rs1, int32_t imm)
+{
+    if (imm < -2048 || imm > 2047)
+        panic("I-immediate out of range: ", imm);
+    return (static_cast<uint32_t>(imm & 0xFFF) << 20) | (rs1 << 15) |
+           (f3 << 12) | (rd << 7) | opcode;
+}
+
+uint32_t
+encodeS(uint32_t opcode, uint32_t f3, RegId rs1, RegId rs2, int32_t imm)
+{
+    if (imm < -2048 || imm > 2047)
+        panic("S-immediate out of range: ", imm);
+    uint32_t u = static_cast<uint32_t>(imm & 0xFFF);
+    return (bits(u, 5, 7) << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) |
+           (bits(u, 0, 5) << 7) | opcode;
+}
+
+uint32_t
+encodeB(uint32_t opcode, uint32_t f3, RegId rs1, RegId rs2, int32_t imm)
+{
+    if (imm < -4096 || imm > 4095 || (imm & 1))
+        panic("B-immediate out of range or misaligned: ", imm);
+    uint32_t u = static_cast<uint32_t>(imm);
+    return (bits(u, 12, 1) << 31) | (bits(u, 5, 6) << 25) | (rs2 << 20) |
+           (rs1 << 15) | (f3 << 12) | (bits(u, 1, 4) << 8) |
+           (bits(u, 11, 1) << 7) | opcode;
+}
+
+uint32_t
+encodeU(uint32_t opcode, RegId rd, int32_t imm)
+{
+    if ((imm & 0xFFF) != 0)
+        panic("U-immediate has low bits set: ", imm);
+    return static_cast<uint32_t>(imm) | (rd << 7) | opcode;
+}
+
+uint32_t
+encodeJ(uint32_t opcode, RegId rd, int32_t imm)
+{
+    if (imm < -(1 << 20) || imm >= (1 << 20) || (imm & 1))
+        panic("J-immediate out of range or misaligned: ", imm);
+    uint32_t u = static_cast<uint32_t>(imm);
+    return (bits(u, 20, 1) << 31) | (bits(u, 1, 10) << 21) |
+           (bits(u, 11, 1) << 20) | (bits(u, 12, 8) << 12) | (rd << 7) |
+           opcode;
+}
+
+uint32_t
+encodeR4(uint32_t opcode, uint32_t f3, uint32_t f2, RegId rd, RegId rs1,
+         RegId rs2, RegId rs3)
+{
+    return (rs3 << 27) | (f2 << 25) | (rs2 << 20) | (rs1 << 15) |
+           (f3 << 12) | (rd << 7) | opcode;
+}
+
+uint32_t
+encodeCsr(uint32_t f3, RegId rd, uint32_t rs1OrZimm, uint32_t csr)
+{
+    if (csr > 0xFFF)
+        panic("CSR address out of range: ", csr);
+    return (csr << 20) | (rs1OrZimm << 15) | (f3 << 12) | (rd << 7) |
+           OPC_SYSTEM;
+}
+
+} // namespace
+
+uint32_t
+encode(const Instr& in)
+{
+    using K = InstrKind;
+    switch (in.kind) {
+      case K::LUI: return encodeU(OPC_LUI, in.rd, in.imm);
+      case K::AUIPC: return encodeU(OPC_AUIPC, in.rd, in.imm);
+      case K::JAL: return encodeJ(OPC_JAL, in.rd, in.imm);
+      case K::JALR: return encodeI(OPC_JALR, 0, in.rd, in.rs1, in.imm);
+      case K::BEQ: return encodeB(OPC_BRANCH, 0, in.rs1, in.rs2, in.imm);
+      case K::BNE: return encodeB(OPC_BRANCH, 1, in.rs1, in.rs2, in.imm);
+      case K::BLT: return encodeB(OPC_BRANCH, 4, in.rs1, in.rs2, in.imm);
+      case K::BGE: return encodeB(OPC_BRANCH, 5, in.rs1, in.rs2, in.imm);
+      case K::BLTU: return encodeB(OPC_BRANCH, 6, in.rs1, in.rs2, in.imm);
+      case K::BGEU: return encodeB(OPC_BRANCH, 7, in.rs1, in.rs2, in.imm);
+      case K::LB: return encodeI(OPC_LOAD, 0, in.rd, in.rs1, in.imm);
+      case K::LH: return encodeI(OPC_LOAD, 1, in.rd, in.rs1, in.imm);
+      case K::LW: return encodeI(OPC_LOAD, 2, in.rd, in.rs1, in.imm);
+      case K::LBU: return encodeI(OPC_LOAD, 4, in.rd, in.rs1, in.imm);
+      case K::LHU: return encodeI(OPC_LOAD, 5, in.rd, in.rs1, in.imm);
+      case K::SB: return encodeS(OPC_STORE, 0, in.rs1, in.rs2, in.imm);
+      case K::SH: return encodeS(OPC_STORE, 1, in.rs1, in.rs2, in.imm);
+      case K::SW: return encodeS(OPC_STORE, 2, in.rs1, in.rs2, in.imm);
+      case K::ADDI: return encodeI(OPC_OP_IMM, 0, in.rd, in.rs1, in.imm);
+      case K::SLTI: return encodeI(OPC_OP_IMM, 2, in.rd, in.rs1, in.imm);
+      case K::SLTIU: return encodeI(OPC_OP_IMM, 3, in.rd, in.rs1, in.imm);
+      case K::XORI: return encodeI(OPC_OP_IMM, 4, in.rd, in.rs1, in.imm);
+      case K::ORI: return encodeI(OPC_OP_IMM, 6, in.rd, in.rs1, in.imm);
+      case K::ANDI: return encodeI(OPC_OP_IMM, 7, in.rd, in.rs1, in.imm);
+      case K::SLLI:
+        if (in.imm < 0 || in.imm > 31)
+            panic("shift amount out of range: ", in.imm);
+        return encodeR(OPC_OP_IMM, 1, 0, in.rd, in.rs1, in.imm);
+      case K::SRLI:
+        if (in.imm < 0 || in.imm > 31)
+            panic("shift amount out of range: ", in.imm);
+        return encodeR(OPC_OP_IMM, 5, 0, in.rd, in.rs1, in.imm);
+      case K::SRAI:
+        if (in.imm < 0 || in.imm > 31)
+            panic("shift amount out of range: ", in.imm);
+        return encodeR(OPC_OP_IMM, 5, 0x20, in.rd, in.rs1, in.imm);
+      case K::ADD: return encodeR(OPC_OP, 0, 0, in.rd, in.rs1, in.rs2);
+      case K::SUB: return encodeR(OPC_OP, 0, 0x20, in.rd, in.rs1, in.rs2);
+      case K::SLL: return encodeR(OPC_OP, 1, 0, in.rd, in.rs1, in.rs2);
+      case K::SLT: return encodeR(OPC_OP, 2, 0, in.rd, in.rs1, in.rs2);
+      case K::SLTU: return encodeR(OPC_OP, 3, 0, in.rd, in.rs1, in.rs2);
+      case K::XOR: return encodeR(OPC_OP, 4, 0, in.rd, in.rs1, in.rs2);
+      case K::SRL: return encodeR(OPC_OP, 5, 0, in.rd, in.rs1, in.rs2);
+      case K::SRA: return encodeR(OPC_OP, 5, 0x20, in.rd, in.rs1, in.rs2);
+      case K::OR: return encodeR(OPC_OP, 6, 0, in.rd, in.rs1, in.rs2);
+      case K::AND: return encodeR(OPC_OP, 7, 0, in.rd, in.rs1, in.rs2);
+      case K::FENCE: return 0x0000000F;
+      case K::ECALL: return 0x00000073;
+      case K::EBREAK: return 0x00100073;
+      case K::CSRRW: return encodeCsr(1, in.rd, in.rs1, in.csr);
+      case K::CSRRS: return encodeCsr(2, in.rd, in.rs1, in.csr);
+      case K::CSRRC: return encodeCsr(3, in.rd, in.rs1, in.csr);
+      case K::CSRRWI: return encodeCsr(5, in.rd, in.imm & 0x1F, in.csr);
+      case K::CSRRSI: return encodeCsr(6, in.rd, in.imm & 0x1F, in.csr);
+      case K::CSRRCI: return encodeCsr(7, in.rd, in.imm & 0x1F, in.csr);
+      case K::MUL: return encodeR(OPC_OP, 0, 1, in.rd, in.rs1, in.rs2);
+      case K::MULH: return encodeR(OPC_OP, 1, 1, in.rd, in.rs1, in.rs2);
+      case K::MULHSU: return encodeR(OPC_OP, 2, 1, in.rd, in.rs1, in.rs2);
+      case K::MULHU: return encodeR(OPC_OP, 3, 1, in.rd, in.rs1, in.rs2);
+      case K::DIV: return encodeR(OPC_OP, 4, 1, in.rd, in.rs1, in.rs2);
+      case K::DIVU: return encodeR(OPC_OP, 5, 1, in.rd, in.rs1, in.rs2);
+      case K::REM: return encodeR(OPC_OP, 6, 1, in.rd, in.rs1, in.rs2);
+      case K::REMU: return encodeR(OPC_OP, 7, 1, in.rd, in.rs1, in.rs2);
+      case K::FLW: return encodeI(OPC_LOAD_FP, 2, in.rd, in.rs1, in.imm);
+      case K::FSW: return encodeS(OPC_STORE_FP, 2, in.rs1, in.rs2, in.imm);
+      case K::FMADD_S:
+        return encodeR4(OPC_MADD, 0, 0, in.rd, in.rs1, in.rs2, in.rs3);
+      case K::FMSUB_S:
+        return encodeR4(OPC_MSUB, 0, 0, in.rd, in.rs1, in.rs2, in.rs3);
+      case K::FNMSUB_S:
+        return encodeR4(OPC_NMSUB, 0, 0, in.rd, in.rs1, in.rs2, in.rs3);
+      case K::FNMADD_S:
+        return encodeR4(OPC_NMADD, 0, 0, in.rd, in.rs1, in.rs2, in.rs3);
+      case K::FADD_S: return encodeR(OPC_OP_FP, 0, 0x00, in.rd, in.rs1, in.rs2);
+      case K::FSUB_S: return encodeR(OPC_OP_FP, 0, 0x04, in.rd, in.rs1, in.rs2);
+      case K::FMUL_S: return encodeR(OPC_OP_FP, 0, 0x08, in.rd, in.rs1, in.rs2);
+      case K::FDIV_S: return encodeR(OPC_OP_FP, 0, 0x0C, in.rd, in.rs1, in.rs2);
+      case K::FSQRT_S: return encodeR(OPC_OP_FP, 0, 0x2C, in.rd, in.rs1, 0);
+      case K::FSGNJ_S:
+        return encodeR(OPC_OP_FP, 0, 0x10, in.rd, in.rs1, in.rs2);
+      case K::FSGNJN_S:
+        return encodeR(OPC_OP_FP, 1, 0x10, in.rd, in.rs1, in.rs2);
+      case K::FSGNJX_S:
+        return encodeR(OPC_OP_FP, 2, 0x10, in.rd, in.rs1, in.rs2);
+      case K::FMIN_S: return encodeR(OPC_OP_FP, 0, 0x14, in.rd, in.rs1, in.rs2);
+      case K::FMAX_S: return encodeR(OPC_OP_FP, 1, 0x14, in.rd, in.rs1, in.rs2);
+      case K::FCVT_W_S: return encodeR(OPC_OP_FP, 0, 0x60, in.rd, in.rs1, 0);
+      case K::FCVT_WU_S: return encodeR(OPC_OP_FP, 0, 0x60, in.rd, in.rs1, 1);
+      case K::FMV_X_W: return encodeR(OPC_OP_FP, 0, 0x70, in.rd, in.rs1, 0);
+      case K::FEQ_S: return encodeR(OPC_OP_FP, 2, 0x50, in.rd, in.rs1, in.rs2);
+      case K::FLT_S: return encodeR(OPC_OP_FP, 1, 0x50, in.rd, in.rs1, in.rs2);
+      case K::FLE_S: return encodeR(OPC_OP_FP, 0, 0x50, in.rd, in.rs1, in.rs2);
+      case K::FCLASS_S: return encodeR(OPC_OP_FP, 1, 0x70, in.rd, in.rs1, 0);
+      case K::FCVT_S_W: return encodeR(OPC_OP_FP, 0, 0x68, in.rd, in.rs1, 0);
+      case K::FCVT_S_WU: return encodeR(OPC_OP_FP, 0, 0x68, in.rd, in.rs1, 1);
+      case K::FMV_W_X: return encodeR(OPC_OP_FP, 0, 0x78, in.rd, in.rs1, 0);
+      case K::VX_TMC:
+        return encodeR(OPC_VORTEX, 0, VXF_TMC, 0, in.rs1, 0);
+      case K::VX_WSPAWN:
+        return encodeR(OPC_VORTEX, 0, VXF_WSPAWN, 0, in.rs1, in.rs2);
+      case K::VX_SPLIT:
+        return encodeR(OPC_VORTEX, 0, VXF_SPLIT, 0, in.rs1, 0);
+      case K::VX_JOIN:
+        return encodeR(OPC_VORTEX, 0, VXF_JOIN, 0, 0, 0);
+      case K::VX_BAR:
+        return encodeR(OPC_VORTEX, 0, VXF_BAR, 0, in.rs1, in.rs2);
+      case K::VX_TEX:
+        return encodeR4(OPC_TEX, 0, 0, in.rd, in.rs1, in.rs2, in.rs3);
+      default:
+        panic("encode: invalid instruction kind");
+    }
+}
+
+} // namespace vortex::isa

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Instruction-set definition for the simulated Vortex processor:
+ * RV32IMF + Zicsr + the six-instruction Vortex extension of Table 2
+ * (wspawn, tmc, split, join, bar, tex).
+ *
+ * The Vortex instructions are R-type encodings in the custom-0 opcode
+ * (0x0B), distinguished by funct7, except `tex` which follows the R4 format
+ * (like the FMA group, paper §3.2) in the custom-1 opcode (0x2B).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace vortex::isa {
+
+/** Base RISC-V major opcodes used by the decoder. */
+enum MajorOpcode : uint32_t
+{
+    OPC_LOAD = 0x03,
+    OPC_LOAD_FP = 0x07,
+    OPC_VORTEX = 0x0B, ///< custom-0: wspawn/tmc/split/join/bar
+    OPC_MISC_MEM = 0x0F,
+    OPC_OP_IMM = 0x13,
+    OPC_AUIPC = 0x17,
+    OPC_STORE = 0x23,
+    OPC_STORE_FP = 0x27,
+    OPC_TEX = 0x2B, ///< custom-1: tex (R4 format)
+    OPC_OP = 0x33,
+    OPC_LUI = 0x37,
+    OPC_MADD = 0x43,
+    OPC_MSUB = 0x47,
+    OPC_NMSUB = 0x4B,
+    OPC_NMADD = 0x4F,
+    OPC_OP_FP = 0x53,
+    OPC_BRANCH = 0x63,
+    OPC_JALR = 0x67,
+    OPC_JAL = 0x6F,
+    OPC_SYSTEM = 0x73,
+};
+
+/** funct7 minor codes inside OPC_VORTEX. */
+enum VortexFunct7 : uint32_t
+{
+    VXF_TMC = 0,
+    VXF_WSPAWN = 1,
+    VXF_SPLIT = 2,
+    VXF_JOIN = 3,
+    VXF_BAR = 4,
+};
+
+/** Every instruction the simulator implements. */
+enum class InstrKind : uint16_t
+{
+    Invalid = 0,
+
+    // RV32I
+    LUI, AUIPC, JAL, JALR,
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    LB, LH, LW, LBU, LHU,
+    SB, SH, SW,
+    ADDI, SLTI, SLTIU, XORI, ORI, ANDI, SLLI, SRLI, SRAI,
+    ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+    FENCE, ECALL, EBREAK,
+
+    // Zicsr
+    CSRRW, CSRRS, CSRRC, CSRRWI, CSRRSI, CSRRCI,
+
+    // RV32M
+    MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU,
+
+    // RV32F
+    FLW, FSW,
+    FMADD_S, FMSUB_S, FNMSUB_S, FNMADD_S,
+    FADD_S, FSUB_S, FMUL_S, FDIV_S, FSQRT_S,
+    FSGNJ_S, FSGNJN_S, FSGNJX_S,
+    FMIN_S, FMAX_S,
+    FCVT_W_S, FCVT_WU_S, FMV_X_W,
+    FEQ_S, FLT_S, FLE_S, FCLASS_S,
+    FCVT_S_W, FCVT_S_WU, FMV_W_X,
+
+    // Vortex extension (Table 2)
+    VX_TMC,    ///< tmc %numT       : thread mask control
+    VX_WSPAWN, ///< wspawn %numW,%PC: wavefront activation
+    VX_SPLIT,  ///< split %pred     : control-flow divergence
+    VX_JOIN,   ///< join            : control-flow reconvergence
+    VX_BAR,    ///< bar %id,%numW   : wavefront barrier
+    VX_TEX,    ///< tex %dst,%u,%v,%lod : texture sampling
+
+    kCount
+};
+
+/** Encoding format of an instruction. */
+enum class InstrFormat : uint8_t
+{
+    R, I, S, B, U, J, R4, Sys
+};
+
+/** Functional unit an instruction dispatches to (paper Fig. 4). */
+enum class FuType : uint8_t
+{
+    ALU,    ///< integer ALU incl. branches/jumps
+    MULDIV, ///< integer multiplier / iterative divider
+    FPU,    ///< floating-point unit (DSP blocks on FPGA)
+    LSU,    ///< load/store unit -> D-cache / shared memory
+    SFU,    ///< CSR, fence, and Vortex control instructions
+    TEX,    ///< texture unit
+};
+
+/** Which register file an operand lives in. */
+enum class RegFile : uint8_t { None, Int, Fp };
+
+/** A register reference: file + index. */
+struct RegRef
+{
+    RegFile file = RegFile::None;
+    RegId idx = 0;
+
+    bool valid() const { return file != RegFile::None; }
+    /** Writes to x0 are architectural no-ops. */
+    bool
+    isWrite() const
+    {
+        return file == RegFile::Fp || (file == RegFile::Int && idx != 0);
+    }
+    bool
+    operator==(const RegRef& o) const
+    {
+        return file == o.file && idx == o.idx;
+    }
+};
+
+/** A decoded instruction. */
+struct Instr
+{
+    InstrKind kind = InstrKind::Invalid;
+    RegId rd = 0;
+    RegId rs1 = 0;
+    RegId rs2 = 0;
+    RegId rs3 = 0;
+    int32_t imm = 0;  ///< sign-extended immediate (U-type: already shifted)
+    uint32_t csr = 0; ///< CSR address for Zicsr instructions
+    uint32_t raw = 0; ///< original encoding
+
+    bool valid() const { return kind != InstrKind::Invalid; }
+
+    /** Destination register (RegFile::None if this kind writes nothing). */
+    RegRef dst() const;
+    /** Source registers; invalid RegRefs for unused slots. */
+    RegRef src1() const;
+    RegRef src2() const;
+    RegRef src3() const;
+
+    /** Dispatch target. */
+    FuType fuType() const;
+
+    /** True for instructions that may change the control flow or the
+     *  thread/warp state, which stall the fetch of their warp (§4.2). */
+    bool isControl() const;
+    bool isBranch() const; ///< conditional branch
+    bool isLoad() const;
+    bool isStore() const;
+    bool isFloatOp() const; ///< executes on the FPU
+};
+
+/** Static per-kind properties. */
+struct InstrInfo
+{
+    const char* mnemonic;
+    InstrFormat format;
+};
+
+/** Lookup table indexed by InstrKind. */
+const InstrInfo& instrInfo(InstrKind kind);
+
+/** Decode a raw 32-bit instruction word. Invalid encodings decode to an
+ *  Instr with kind == InstrKind::Invalid. */
+Instr decode(uint32_t raw);
+
+/** Encode a decoded instruction back into its 32-bit word.
+ *  Panics on malformed operands (e.g. immediate out of range). */
+uint32_t encode(const Instr& instr);
+
+/** Render a decoded instruction as assembly text (for tracing/tests). */
+std::string disassemble(const Instr& instr);
+
+/** ABI names: x-registers ("zero", "ra", ...) and f-registers ("ft0", ...). */
+const char* intRegName(RegId r);
+const char* fpRegName(RegId r);
+
+} // namespace vortex::isa

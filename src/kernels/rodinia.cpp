@@ -1,0 +1,465 @@
+/**
+ * @file
+ * The Rodinia-subset benchmark kernels of paper §6.1, hand-written in
+ * RISC-V assembly against the native runtime (spawn_tasks). Argument
+ * layouts are defined in runtime/kargs.h.
+ */
+
+#include "kernels/kernels.h"
+
+namespace vortex::kernels {
+
+const char*
+vecadd()
+{
+    return R"(
+# vecadd: c[i] = a[i] + b[i] (int32). Compute-bound group.
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    mv a2, a0
+    lw a0, 0(a2)              # n tasks
+    la a1, vecadd_task
+    call spawn_tasks
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+
+vecadd_task:                  # a0 = i, a1 = args
+    lw t1, 4(a1)              # a
+    lw t2, 8(a1)              # b
+    lw t3, 12(a1)             # c
+    slli t4, a0, 2
+    add t1, t1, t4
+    add t2, t2, t4
+    add t3, t3, t4
+    lw t5, 0(t1)
+    lw t6, 0(t2)
+    add t5, t5, t6
+    sw t5, 0(t3)
+    ret
+)";
+}
+
+const char*
+saxpy()
+{
+    return R"(
+# saxpy: y[i] = a*x[i] + y[i] (float). Memory-bound group.
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    mv a2, a0
+    lw a0, 0(a2)
+    la a1, saxpy_task
+    call spawn_tasks
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+
+saxpy_task:                   # a0 = i, a1 = args
+    flw ft0, 4(a1)            # a
+    lw t1, 8(a1)              # x
+    lw t2, 12(a1)             # y
+    slli t3, a0, 2
+    add t1, t1, t3
+    add t2, t2, t3
+    flw ft1, 0(t1)
+    flw ft2, 0(t2)
+    fmadd.s ft2, ft0, ft1, ft2
+    fsw ft2, 0(t2)
+    ret
+)";
+}
+
+const char*
+sgemm()
+{
+    return R"(
+# sgemm: C = A*B, n x n row-major float; one task per output cell.
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    mv a2, a0
+    lw t0, 0(a2)              # n
+    mul a0, t0, t0            # n^2 tasks
+    la a1, sgemm_task
+    call spawn_tasks
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+
+sgemm_task:                   # a0 = cell index, a1 = args
+    lw t0, 0(a1)              # n
+    lw t1, 4(a1)              # A
+    lw t2, 8(a1)              # B
+    lw t3, 12(a1)             # C
+    divu t4, a0, t0           # row
+    remu t5, a0, t0           # col
+    mul t6, t4, t0
+    slli t6, t6, 2
+    add t1, t1, t6            # &A[row][0]
+    slli t6, t5, 2
+    add t2, t2, t6            # &B[0][col]
+    slli a4, t0, 2            # B row stride in bytes
+    fmv.w.x ft0, zero         # acc
+    mv a5, t0
+.Lsg_loop:
+    flw ft1, 0(t1)
+    flw ft2, 0(t2)
+    fmadd.s ft0, ft1, ft2, ft0
+    addi t1, t1, 4
+    add t2, t2, a4
+    addi a5, a5, -1
+    bnez a5, .Lsg_loop
+    slli t6, a0, 2
+    add t3, t3, t6
+    fsw ft0, 0(t3)
+    ret
+)";
+}
+
+const char*
+sfilter()
+{
+    return R"(
+# sfilter: 3x3 binomial blur (1 2 1; 2 4 2; 1 2 1)/16 on a float image,
+# edge-clamped with branchless index arithmetic; one task per pixel.
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    mv a2, a0
+    lw t0, 0(a2)
+    lw t1, 4(a2)
+    mul a0, t0, t1            # width*height tasks
+    la a1, sfilter_task
+    call spawn_tasks
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+
+sfilter_task:                 # a0 = pixel index, a1 = args
+    lw t0, 0(a1)              # w
+    lw t1, 4(a1)              # h
+    lw t2, 8(a1)              # src
+    lw t3, 12(a1)             # dst
+    remu t4, a0, t0           # x
+    divu t5, a0, t0           # y
+    # xm = max(x-1, 0)
+    addi t6, t4, -1
+    srai a2, t6, 31
+    xori a2, a2, -1
+    and t6, t6, a2
+    # xp = min(x+1, w-1)
+    addi a3, t4, 1
+    addi a4, t0, -1
+    slt a5, a3, t0
+    addi a5, a5, -1           # 0 in-range, -1 past the edge
+    sub a6, a4, a3
+    and a6, a6, a5
+    add a3, a3, a6
+    # ym = max(y-1, 0)
+    addi a7, t5, -1
+    srai a5, a7, 31
+    xori a5, a5, -1
+    and a7, a7, a5
+    # yp = min(y+1, h-1)
+    addi a2, t5, 1
+    addi a5, t1, -1
+    slt a4, a2, t1
+    addi a4, a4, -1
+    sub a5, a5, a2
+    and a5, a5, a4
+    add a2, a2, a5
+    # row base pointers (bytes)
+    mul a4, a7, t0
+    slli a4, a4, 2
+    add a4, a4, t2            # row ym
+    mul a5, t5, t0
+    slli a5, a5, 2
+    add a5, a5, t2            # row y
+    mul a6, a2, t0
+    slli a6, a6, 2
+    add a6, a6, t2            # row yp
+    # column byte offsets
+    slli t6, t6, 2            # xm
+    slli t4, t4, 2            # x
+    slli a3, a3, 2            # xp
+    # 9 taps
+    add t1, a4, t6
+    flw ft0, 0(t1)
+    add t1, a4, t4
+    flw ft1, 0(t1)
+    add t1, a4, a3
+    flw ft2, 0(t1)
+    add t1, a5, t6
+    flw ft3, 0(t1)
+    add t1, a5, t4
+    flw ft4, 0(t1)
+    add t1, a5, a3
+    flw ft5, 0(t1)
+    add t1, a6, t6
+    flw ft6, 0(t1)
+    add t1, a6, t4
+    flw ft7, 0(t1)
+    add t1, a6, a3
+    flw fa0, 0(t1)
+    # corners + 2*edges + 4*center, then /16
+    fadd.s ft0, ft0, ft2
+    fadd.s ft0, ft0, ft6
+    fadd.s ft0, ft0, fa0
+    fadd.s ft1, ft1, ft3
+    fadd.s ft1, ft1, ft5
+    fadd.s ft1, ft1, ft7
+    la t1, .Lsf_two
+    flw fa1, 0(t1)
+    fmadd.s ft0, ft1, fa1, ft0
+    la t1, .Lsf_four
+    flw fa1, 0(t1)
+    fmadd.s ft0, ft4, fa1, ft0
+    la t1, .Lsf_sixteenth
+    flw fa1, 0(t1)
+    fmul.s ft0, ft0, fa1
+    slli t1, a0, 2
+    add t1, t1, t3
+    fsw ft0, 0(t1)
+    ret
+.align 2
+.Lsf_two: .float 2.0
+.Lsf_four: .float 4.0
+.Lsf_sixteenth: .float 0.0625
+)";
+}
+
+const char*
+nearn()
+{
+    return R"(
+# nearn: dist[i] = sqrt((lat_i-lat)^2 + (lng_i-lng)^2); the host scans for
+# the minimum, as in Rodinia NN. The fsqrt makes this long-latency bound.
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    mv a2, a0
+    lw a0, 0(a2)
+    la a1, nearn_task
+    call spawn_tasks
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+
+nearn_task:                   # a0 = i, a1 = args
+    lw t1, 12(a1)             # points
+    lw t2, 16(a1)             # dist
+    slli t3, a0, 3
+    add t1, t1, t3
+    flw ft0, 0(t1)            # lat_i
+    flw ft1, 4(t1)            # lng_i
+    flw ft2, 4(a1)            # lat
+    flw ft3, 8(a1)            # lng
+    fsub.s ft0, ft0, ft2
+    fsub.s ft1, ft1, ft3
+    fmul.s ft0, ft0, ft0
+    fmadd.s ft0, ft1, ft1, ft0
+    fsqrt.s ft0, ft0
+    slli t3, a0, 2
+    add t2, t2, t3
+    fsw ft0, 0(t2)
+    ret
+)";
+}
+
+const char*
+gaussian()
+{
+    return R"(
+# gaussian: elimination to upper-triangular form. Each step k runs the
+# Rodinia Fan1 (multipliers) and Fan2 (row updates) kernels, with global
+# barriers keeping the cores in lockstep between phases.
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    sw s0, 8(sp)
+    sw s1, 4(sp)
+    mv s0, a0
+    li s1, 0                  # k
+.Lga_kloop:
+    lw t0, 0(s0)              # n
+    addi t0, t0, -1
+    bge s1, t0, .Lga_done
+    sw s1, 16(s0)             # publish k (same value from every core)
+    call global_barrier
+    # Fan1: m[i] = A[i][k] / A[k][k] for i in (k, n)
+    lw t0, 0(s0)
+    sub a0, t0, s1
+    addi a0, a0, -1
+    la a1, gaussian_fan1
+    mv a2, s0
+    call spawn_tasks
+    call global_barrier
+    # Fan2: A[i][j] -= m[i]*A[k][j] for i in (k, n), all j
+    lw t0, 0(s0)
+    sub t1, t0, s1
+    addi t1, t1, -1
+    mul a0, t1, t0
+    la a1, gaussian_fan2
+    mv a2, s0
+    call spawn_tasks
+    call global_barrier
+    addi s1, s1, 1
+    j .Lga_kloop
+.Lga_done:
+    lw ra, 12(sp)
+    lw s0, 8(sp)
+    lw s1, 4(sp)
+    addi sp, sp, 16
+    ret
+
+gaussian_fan1:                # a0 = idx, row i = k+1+idx
+    lw t0, 0(a1)              # n
+    lw t1, 4(a1)              # A
+    lw t2, 12(a1)             # m
+    lw t3, 16(a1)             # k
+    addi t4, t3, 1
+    add t4, t4, a0            # i
+    mul t5, t4, t0
+    add t5, t5, t3
+    slli t5, t5, 2
+    add t5, t5, t1
+    flw ft0, 0(t5)            # A[i][k]
+    mul t5, t3, t0
+    add t5, t5, t3
+    slli t5, t5, 2
+    add t5, t5, t1
+    flw ft1, 0(t5)            # A[k][k]
+    fdiv.s ft0, ft0, ft1
+    slli t5, t4, 2
+    add t5, t5, t2
+    fsw ft0, 0(t5)
+    ret
+
+gaussian_fan2:                # a0 = t; i = k+1+t/n, j = t%n
+    lw t0, 0(a1)
+    lw t1, 4(a1)
+    lw t2, 12(a1)
+    lw t3, 16(a1)
+    divu t4, a0, t0
+    remu t5, a0, t0           # j
+    addi t4, t4, 1
+    add t4, t4, t3            # i
+    slli t6, t4, 2
+    add t6, t6, t2
+    flw ft0, 0(t6)            # m[i]
+    mul t6, t3, t0
+    add t6, t6, t5
+    slli t6, t6, 2
+    add t6, t6, t1
+    flw ft1, 0(t6)            # A[k][j]
+    mul t6, t4, t0
+    add t6, t6, t5
+    slli t6, t6, 2
+    add t6, t6, t1
+    flw ft2, 0(t6)            # A[i][j]
+    fnmsub.s ft2, ft0, ft1, ft2
+    fsw ft2, 0(t6)
+    ret
+)";
+}
+
+const char*
+bfs()
+{
+    return R"(
+# bfs: level-synchronous frontier BFS over a CSR graph. Nested split/join
+# handles the three divergence levels (frontier membership, edge bound,
+# unvisited neighbor). Cores synchronize per level with global barriers.
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    sw s0, 8(sp)
+    sw s1, 4(sp)
+    sw s2, 0(sp)
+    mv s0, a0
+    li s1, 0                  # current level
+.Lbf_level:
+    sw s1, 24(s0)             # publish curLevel (same from every core)
+    csrr t0, 0xCC2
+    bnez t0, .Lbf_noreset
+    lw t1, 20(s0)
+    sw zero, 0(t1)            # core 0 clears the changed flag
+.Lbf_noreset:
+    call global_barrier
+    lw a0, 0(s0)
+    la a1, bfs_step
+    mv a2, s0
+    call spawn_tasks
+    call global_barrier
+    lw t1, 20(s0)
+    lw t1, 0(t1)
+    mv s2, t1
+    # Every core must sample `changed` before core 0 clears it for the
+    # next level — a third barrier closes that race.
+    call global_barrier
+    mv t1, s2
+    addi s1, s1, 1
+    bnez t1, .Lbf_level
+    lw ra, 12(sp)
+    lw s0, 8(sp)
+    lw s1, 4(sp)
+    lw s2, 0(sp)
+    addi sp, sp, 16
+    ret
+
+bfs_step:                     # a0 = node id, a1 = args
+    lw t0, 16(a1)             # levels
+    slli t1, a0, 2
+    add t1, t1, t0
+    lw t2, 0(t1)              # levels[i]
+    lw t3, 24(a1)             # curLevel
+    xor t4, t2, t3
+    seqz t4, t4               # on the frontier?
+    vx_split t4
+    beqz t4, .Lbf_nowork
+    lw t5, 8(a1)              # rowPtr
+    slli t6, a0, 2
+    add t5, t5, t6
+    lw a3, 0(t5)              # edge start
+    lw a4, 4(t5)              # edge end
+    lw a5, 12(a1)             # colIdx
+    lw a6, 4(a1)              # maxDegree (uniform edge-loop bound)
+    li a7, 0
+.Lbf_edges:
+    bge a7, a6, .Lbf_nowork
+    add t5, a3, a7
+    slt t6, t5, a4            # edge within this node's range?
+    vx_split t6
+    beqz t6, .Lbf_eskip
+    slli t5, t5, 2
+    add t5, t5, a5
+    lw t5, 0(t5)              # neighbor j
+    slli t5, t5, 2
+    add t5, t5, t0            # &levels[j]
+    lw t6, 0(t5)
+    addi t6, t6, 1
+    seqz t6, t6               # unvisited (level == -1)?
+    vx_split t6
+    beqz t6, .Lbf_nskip
+    lw t6, 24(a1)
+    addi t6, t6, 1
+    sw t6, 0(t5)              # levels[j] = curLevel + 1
+    lw t5, 20(a1)
+    li t6, 1
+    sw t6, 0(t5)              # changed = 1
+.Lbf_nskip:
+    vx_join
+.Lbf_eskip:
+    vx_join
+    addi a7, a7, 1
+    j .Lbf_edges
+.Lbf_nowork:
+    vx_join
+    ret
+)";
+}
+
+} // namespace vortex::kernels

@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Texture benchmark kernels (paper §6.4, Figure 20): render a source
+ * texture into an equally sized RGBA8 render target.
+ *
+ * HW variants configure the texture stage via CSRs exactly as the paper's
+ * Figure 13 sample and sample with the `tex` instruction; trilinear is the
+ * Algorithm 1 pseudo-instruction (two `tex` lookups blended by the LOD
+ * fraction). SW variants implement point/bilinear/trilinear sampling in
+ * plain RISC-V code over an RGBA8 power-of-two REPEAT-wrapped texture —
+ * the software-rendering baseline the paper compares against.
+ */
+
+#include <string>
+
+#include "kernels/kernels.h"
+
+namespace vortex::kernels {
+
+namespace {
+
+/** Shared prologue: main() configures texture stage 0 from the argument
+ *  block (Fig. 13) and spawns one task per destination pixel. */
+constexpr const char* kTexMain = R"(
+.equ TEX_ADDR,   0x7C0
+.equ TEX_MIPOFF, 0x7C1
+.equ TEX_WIDTH,  0x7C2
+.equ TEX_HEIGHT, 0x7C3
+.equ TEX_FORMAT, 0x7C4
+.equ TEX_WRAP,   0x7C5
+.equ TEX_FILTER, 0x7C6
+.equ TEX_LODS,   0x7C7
+
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    # configure texture unit (paper Fig. 13 lines 3-9)
+    lw t0, 12(a0)
+    csrw TEX_ADDR, t0
+    csrw TEX_MIPOFF, zero
+    lw t0, 16(a0)
+    csrw TEX_WIDTH, t0
+    lw t0, 20(a0)
+    csrw TEX_HEIGHT, t0
+    lw t0, 24(a0)
+    csrw TEX_FORMAT, t0
+    lw t0, 32(a0)
+    csrw TEX_WRAP, t0
+    lw t0, 28(a0)
+    csrw TEX_FILTER, t0
+    lw t0, 36(a0)
+    csrw TEX_LODS, t0
+    # launch rendering tasks (Fig. 13 line 19)
+    mv a2, a0
+    lw t0, 0(a2)
+    lw t1, 4(a2)
+    mul a0, t0, t1
+    la a1, tex_task
+    call spawn_tasks
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+
+# __uv: compute normalized texel center coordinates for pixel a0.
+# In:  a0 = pixel index, a1 = args.  Out: fa0 = u, fa1 = v, t1 = x, t2 = y.
+# Clobbers t0, t3, ft6, ft7.
+__uv:
+    lw t0, 0(a1)              # dstW
+    remu t1, a0, t0           # x
+    divu t2, a0, t0           # y
+    la t3, .Luv_half
+    flw ft6, 0(t3)
+    fcvt.s.wu fa0, t1
+    fadd.s fa0, fa0, ft6
+    flw ft7, 44(a1)           # deltaX = 1/dstW
+    fmul.s fa0, fa0, ft7      # u = (x+0.5)/dstW
+    fcvt.s.wu fa1, t2
+    fadd.s fa1, fa1, ft6
+    flw ft7, 48(a1)           # deltaY
+    fmul.s fa1, fa1, ft7      # v
+    jr t6
+.align 2
+.Luv_half: .float 0.5
+)";
+
+/** Software bilinear sampler over an RGBA8 power-of-two REPEAT texture.
+ *  In: fa0 = u, fa1 = v, a2 = mip base address, a3 = width log2,
+ *      a4 = height log2. Out: a0 = packed RGBA8. Link register: t6.
+ *  Clobbers t0-t5, a5-a7, ft0-ft3. */
+constexpr const char* kSwBilinear = R"(
+__sw_bilinear:
+    # scaled u: su = u*W - 0.5 + W  (bias keeps it positive for truncation)
+    li t0, 1
+    sll t0, t0, a3            # W
+    fcvt.s.wu ft0, t0
+    fmul.s ft1, fa0, ft0
+    la t1, .Lsb_half
+    flw ft2, 0(t1)
+    fsub.s ft1, ft1, ft2
+    fadd.s ft1, ft1, ft0      # su + W
+    fcvt.wu.s t2, ft1         # floor (positive)
+    # fx = 8-bit fraction
+    fcvt.s.wu ft3, t2
+    fsub.s ft1, ft1, ft3
+    la t1, .Lsb_256
+    flw ft3, 0(t1)
+    fmul.s ft1, ft1, ft3
+    fcvt.wu.s t3, ft1
+    andi t3, t3, 255          # fx
+    # x0/x1 wrapped
+    addi t1, t0, -1           # W-1 mask
+    and a5, t2, t1            # x0
+    addi t2, t2, 1
+    and a6, t2, t1            # x1
+    # scaled v
+    li t0, 1
+    sll t0, t0, a4            # H
+    fcvt.s.wu ft0, t0
+    fmul.s ft1, fa1, ft0
+    la t1, .Lsb_half
+    flw ft2, 0(t1)
+    fsub.s ft1, ft1, ft2
+    fadd.s ft1, ft1, ft0
+    fcvt.wu.s t2, ft1
+    fcvt.s.wu ft3, t2
+    fsub.s ft1, ft1, ft3
+    la t1, .Lsb_256
+    flw ft3, 0(t1)
+    fmul.s ft1, ft1, ft3
+    fcvt.wu.s t4, ft1
+    andi t4, t4, 255          # fy
+    addi t1, t0, -1
+    and a7, t2, t1            # y0
+    addi t2, t2, 1
+    and t5, t2, t1            # y1
+    # fetch 4 texels: addr = base + ((y<<wlog2) + x) * 4
+    sll t0, a7, a3
+    add t0, t0, a5
+    slli t0, t0, 2
+    add t0, t0, a2
+    lw t0, 0(t0)              # c00
+    sll t1, a7, a3
+    add t1, t1, a6
+    slli t1, t1, 2
+    add t1, t1, a2
+    lw t1, 0(t1)              # c10
+    sll t2, t5, a3
+    add t2, t2, a5
+    slli t2, t2, 2
+    add t2, t2, a2
+    lw t2, 0(t2)              # c01
+    sll a5, t5, a3
+    add a5, a5, a6
+    slli a5, a5, 2
+    add a5, a5, a2
+    lw a5, 0(a5)              # c11
+    # horizontal lerps with fx, then vertical with fy, channel by channel.
+    # a0 accumulates the packed result; a6/a7/t5 are scratch.
+    li a0, 0
+    li a7, 0                  # channel shift
+.Lsb_chan:
+    srl t5, t0, a7
+    andi t5, t5, 255          # c00.ch
+    srl a6, t1, a7
+    andi a6, a6, 255          # c10.ch
+    sub a6, a6, t5
+    mul a6, a6, t3
+    srai a6, a6, 8
+    add t5, t5, a6            # top = c00 + ((c10-c00)*fx >> 8)
+    srl a6, t2, a7
+    andi a6, a6, 255          # c01.ch
+    mv tp, a6                 # tp (x4) is free scratch in this runtime
+    srl a6, a5, a7
+    andi a6, a6, 255          # c11.ch
+    sub a6, a6, tp
+    mul a6, a6, t3
+    srai a6, a6, 8
+    add a6, a6, tp            # bot
+    sub a6, a6, t5
+    mul a6, a6, t4
+    srai a6, a6, 8
+    add t5, t5, a6            # ch = top + ((bot-top)*fy >> 8)
+    sll t5, t5, a7
+    or a0, a0, t5
+    addi a7, a7, 8
+    slti t5, a7, 32
+    bnez t5, .Lsb_chan
+    jr t6
+.align 2
+.Lsb_half: .float 0.5
+.Lsb_256: .float 256.0
+)";
+
+} // namespace
+
+const char*
+texPointHw()
+{
+    static const std::string source = std::string(kTexMain) + R"(
+tex_task:                     # a0 = pixel index, a1 = args
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    sw a0, 8(sp)
+    jal t6, __uv
+    fmv.w.x ft4, zero         # lod 0
+    vx_tex t4, fa0, fa1, ft4
+    lw a0, 8(sp)
+    lw t5, 8(a1)              # dst
+    slli t0, a0, 2
+    add t5, t5, t0
+    sw t4, 0(t5)
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+)";
+    return source.c_str();
+}
+
+const char*
+texBilinearHw()
+{
+    // Identical task to point sampling: the filter mode is texture state
+    // (CSR), not an instruction field.
+    return texPointHw();
+}
+
+const char*
+texTrilinearHw()
+{
+    static const std::string source = std::string(kTexMain) + R"(
+# Trilinear pseudo-instruction (paper Algorithm 1): two bilinear `tex`
+# lookups on adjacent mip levels, blended by the fractional LOD in software.
+tex_task:                     # a0 = pixel index, a1 = args
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    sw a0, 8(sp)
+    jal t6, __uv
+    flw ft4, 40(a1)           # lod (float)
+    fcvt.wu.s t0, ft4         # floor(lod)  (lod >= 0)
+    fcvt.s.wu ft5, t0
+    fsub.s ft5, ft4, ft5      # frac
+    la t1, .Ltt_256
+    flw ft6, 0(t1)
+    fmul.s ft5, ft5, ft6
+    fcvt.wu.s a2, ft5
+    andi a2, a2, 255          # frac8
+    fcvt.s.wu ft6, t0
+    vx_tex t4, fa0, fa1, ft6  # a = tex(u, v, lod)
+    addi t0, t0, 1
+    fcvt.s.wu ft6, t0
+    vx_tex t5, fa0, fa1, ft6  # b = tex(u, v, lod+1)
+    # color = a + (b-a)*frac8/256, per channel
+    li a3, 0                  # result
+    li a4, 0                  # shift
+.Ltt_chan:
+    srl t0, t4, a4
+    andi t0, t0, 255
+    srl t1, t5, a4
+    andi t1, t1, 255
+    sub t1, t1, t0
+    mul t1, t1, a2
+    srai t1, t1, 8
+    add t0, t0, t1
+    sll t0, t0, a4
+    or a3, a3, t0
+    addi a4, a4, 8
+    slti t0, a4, 32
+    bnez t0, .Ltt_chan
+    lw a0, 8(sp)
+    lw t5, 8(a1)
+    slli t0, a0, 2
+    add t5, t5, t0
+    sw a3, 0(t5)
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+.align 2
+.Ltt_256: .float 256.0
+)";
+    return source.c_str();
+}
+
+const char*
+texPointSw()
+{
+    static const std::string source = std::string(kTexMain) + R"(
+# Software point sampling: one wrapped texel load per pixel ("a simple
+# copy operation" for RGBA8, §6.4).
+tex_task:                     # a0 = pixel index, a1 = args
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    sw a0, 8(sp)
+    jal t6, __uv
+    lw a3, 16(a1)             # width log2
+    lw a4, 20(a1)             # height log2
+    lw a2, 12(a1)             # texture base
+    # x = (int)(u*W) & (W-1)
+    li t0, 1
+    sll t0, t0, a3
+    fcvt.s.wu ft0, t0
+    fmul.s ft0, fa0, ft0
+    fcvt.wu.s t1, ft0
+    addi t0, t0, -1
+    and t1, t1, t0
+    # y = (int)(v*H) & (H-1)
+    li t0, 1
+    sll t0, t0, a4
+    fcvt.s.wu ft0, t0
+    fmul.s ft0, fa1, ft0
+    fcvt.wu.s t2, ft0
+    addi t0, t0, -1
+    and t2, t2, t0
+    sll t2, t2, a3
+    add t2, t2, t1
+    slli t2, t2, 2
+    add t2, t2, a2
+    lw t4, 0(t2)
+    lw a0, 8(sp)
+    lw t5, 8(a1)
+    slli t0, a0, 2
+    add t5, t5, t0
+    sw t4, 0(t5)
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+)";
+    return source.c_str();
+}
+
+const char*
+texBilinearSw()
+{
+    static const std::string source = std::string(kTexMain) +
+                                      std::string(kSwBilinear) + R"(
+tex_task:                     # a0 = pixel index, a1 = args
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    sw a0, 8(sp)
+    jal t6, __uv
+    lw a2, 12(a1)             # mip 0 base
+    lw a3, 16(a1)
+    lw a4, 20(a1)
+    jal t6, __sw_bilinear
+    mv t4, a0
+    lw a0, 8(sp)
+    lw t5, 8(a1)
+    slli t0, a0, 2
+    add t5, t5, t0
+    sw t4, 0(t5)
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+)";
+    return source.c_str();
+}
+
+const char*
+texTrilinearSw()
+{
+    static const std::string source = std::string(kTexMain) +
+                                      std::string(kSwBilinear) + R"(
+# Software trilinear: two software bilinear samples on adjacent mip levels
+# (contiguous chain) blended by the LOD fraction. Intermediate state lives
+# on the per-thread stack: task functions must not clobber s3-s7/s10
+# (runtime registers).
+tex_task:                     # a0 = pixel index, a1 = args
+    addi sp, sp, -32
+    sw ra, 28(sp)
+    sw a0, 24(sp)
+    jal t6, __uv
+    fsw fa0, 20(sp)           # u
+    fsw fa1, 16(sp)           # v
+    # lod0 and 8-bit fraction
+    flw ft4, 40(a1)
+    fcvt.wu.s t2, ft4
+    sw t2, 4(sp)              # lod0
+    fcvt.s.wu ft5, t2
+    fsub.s ft5, ft4, ft5
+    la t1, .Lt3_256
+    flw ft6, 0(t1)
+    fmul.s ft5, ft5, ft6
+    fcvt.wu.s t3, ft5
+    andi t3, t3, 255
+    sw t3, 12(sp)             # frac8
+    # walk the contiguous mip chain down to level lod0
+    lw a3, 16(a1)             # width log2
+    lw a4, 20(a1)             # height log2
+    lw a2, 12(a1)             # chain base
+    lw t2, 4(sp)
+.Lt3_seek0:
+    beqz t2, .Lt3_have0
+    add t0, a3, a4
+    li t1, 1
+    sll t1, t1, t0
+    slli t1, t1, 2
+    add a2, a2, t1
+    addi a3, a3, -1
+    addi a4, a4, -1
+    addi t2, t2, -1
+    j .Lt3_seek0
+.Lt3_have0:
+    # __sw_bilinear preserves a2/a3/a4 (reads only)
+    jal t6, __sw_bilinear
+    sw a0, 8(sp)              # color a
+    add t0, a3, a4
+    li t1, 1
+    sll t1, t1, t0
+    slli t1, t1, 2
+    add a2, a2, t1
+    addi a3, a3, -1
+    addi a4, a4, -1
+    flw fa0, 20(sp)
+    flw fa1, 16(sp)
+    jal t6, __sw_bilinear     # a0 = color b
+    mv t4, a0
+    lw t5, 8(sp)              # color a
+    lw t3, 12(sp)             # frac8
+    # blend per channel
+    li a3, 0
+    li a4, 0
+.Lt3_chan:
+    srl t0, t5, a4
+    andi t0, t0, 255
+    srl t1, t4, a4
+    andi t1, t1, 255
+    sub t1, t1, t0
+    mul t1, t1, t3
+    srai t1, t1, 8
+    add t0, t0, t1
+    sll t0, t0, a4
+    or a3, a3, t0
+    addi a4, a4, 8
+    slti t0, a4, 32
+    bnez t0, .Lt3_chan
+    lw a0, 24(sp)
+    lw t5, 8(a1)
+    slli t0, a0, 2
+    add t5, t5, t0
+    sw a3, 0(t5)
+    lw ra, 28(sp)
+    addi sp, sp, 32
+    ret
+.align 2
+.Lt3_256: .float 256.0
+)";
+    return source.c_str();
+}
+
+} // namespace vortex::kernels

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Non-blocking banked cache implementation.
+ */
+
+#include "mem/cache.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/bitmanip.h"
+#include "common/log.h"
+
+namespace vortex::mem {
+
+namespace {
+
+/** Memory-side reqIds must be globally unique so fan-in routers can route
+ *  responses; embed a per-instance id in the top bits. */
+uint64_t
+nextInstanceBase()
+{
+    static std::atomic<uint64_t> counter{1};
+    return counter.fetch_add(1) << 40;
+}
+
+} // namespace
+
+Cache::Bank::Bank(const CacheConfig& cfg, uint32_t index)
+    : input(cfg.inputQueueDepth, "bank.input"),
+      pipe(cfg.pipelineLatency)
+{
+    (void)index;
+    uint32_t num_sets = cfg.size / (cfg.lineSize * cfg.numBanks *
+                                    cfg.numWays);
+    sets.assign(num_sets, std::vector<Way>(cfg.numWays));
+}
+
+Cache::Cache(const CacheConfig& config)
+    : config_(config),
+      memQueue_(config.memQueueDepth, "cache.memq"),
+      nextMemReqId_(nextInstanceBase()),
+      stats_(config.name)
+{
+    if (!isPow2(config.lineSize))
+        fatal("cache '", config.name, "': lineSize must be a power of two");
+    if (!isPow2(config.numBanks))
+        fatal("cache '", config.name, "': numBanks must be a power of two");
+    if (config.numWays == 0 || config.numPorts == 0 || config.numLanes == 0)
+        fatal("cache '", config.name, "': zero-sized parameter");
+    numSets_ = config.size /
+               (config.lineSize * config.numBanks * config.numWays);
+    if (numSets_ == 0 || !isPow2(numSets_))
+        fatal("cache '", config.name,
+              "': size/lineSize/banks/ways must give a power-of-two number "
+              "of sets >= 1, got ", numSets_);
+    banks_.reserve(config.numBanks);
+    for (uint32_t b = 0; b < config.numBanks; ++b)
+        banks_.emplace_back(config, b);
+    lanes_.reserve(config.numLanes);
+    for (uint32_t l = 0; l < config.numLanes; ++l)
+        lanes_.emplace_back(config.laneQueueDepth, "cache.lane");
+}
+
+uint32_t
+Cache::bankOf(Addr addr) const
+{
+    return (addr / config_.lineSize) & (config_.numBanks - 1);
+}
+
+uint32_t
+Cache::setOf(Addr addr) const
+{
+    return (addr / config_.lineSize / config_.numBanks) & (numSets_ - 1);
+}
+
+uint32_t
+Cache::tagOf(Addr addr) const
+{
+    return addr / config_.lineSize / config_.numBanks / numSets_;
+}
+
+bool
+Cache::laneReady(uint32_t lane) const
+{
+    return !lanes_.at(lane).full();
+}
+
+void
+Cache::lanePush(uint32_t lane, const CoreReq& req)
+{
+    lanes_.at(lane).push(req);
+    ++stats_.counter(req.write ? "core_writes" : "core_reads");
+}
+
+void
+Cache::memRsp(const MemRsp& rsp)
+{
+    memRspQueue_.push_back(rsp);
+}
+
+std::optional<uint32_t>
+Cache::probe(Bank& bank, Addr addr) const
+{
+    uint32_t set = setOf(addr);
+    uint32_t tag = tagOf(addr);
+    auto& ways = bank.sets[set];
+    for (uint32_t w = 0; w < ways.size(); ++w) {
+        if (ways[w].valid && ways[w].tag == tag)
+            return w;
+    }
+    return std::nullopt;
+}
+
+void
+Cache::install(Bank& bank, Addr addr, Cycle now)
+{
+    uint32_t set = setOf(addr);
+    uint32_t tag = tagOf(addr);
+    auto& ways = bank.sets[set];
+    // Already present (a second fill can race with flushAll in tests).
+    for (Way& w : ways) {
+        if (w.valid && w.tag == tag) {
+            w.lastUsed = now;
+            return;
+        }
+    }
+    // Pick an invalid way, else evict LRU.
+    Way* victim = nullptr;
+    for (Way& w : ways) {
+        if (!w.valid) {
+            victim = &w;
+            break;
+        }
+    }
+    if (!victim) {
+        victim = &ways[0];
+        for (Way& w : ways) {
+            if (w.lastUsed < victim->lastUsed)
+                victim = &w;
+        }
+        ++stats_.counter("evictions");
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUsed = now;
+}
+
+bool
+Cache::mshrHasSpace(const Bank& bank) const
+{
+    return bank.mshr.size() < config_.mshrEntries;
+}
+
+Cache::MshrEntry*
+Cache::mshrFind(Bank& bank, Addr lineAddr)
+{
+    for (MshrEntry& e : bank.mshr) {
+        if (e.pendingFill && e.lineAddr == lineAddr)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+Cache::drainPipes(Cycle now)
+{
+    for (Bank& bank : banks_) {
+        while (auto op = bank.pipe.dequeueReady(now)) {
+            if (op->memReq) {
+                // Space was reserved with an early-full check at schedule.
+                memQueue_.push(*op->memReq);
+            }
+            for (const PortReq& p : op->ports) {
+                if (rspCallback_)
+                    rspCallback_(CoreRsp{p.reqId, p.lane, op->write, p.tag});
+                ++stats_.counter("core_rsps");
+            }
+        }
+    }
+}
+
+void
+Cache::drainMemQueue()
+{
+    while (!memQueue_.empty() && memSink_ && memSink_->reqReady()) {
+        memSink_->reqPush(memQueue_.front());
+        memQueue_.pop();
+        ++stats_.counter("mem_reqs");
+    }
+}
+
+void
+Cache::schedule(Cycle now)
+{
+    // Count memory-queue credits consumed this cycle across banks so two
+    // banks cannot both claim the last slot.
+    size_t memq_free = memQueue_.capacity() - memQueue_.size();
+    // Subtract credits already promised to ops still inside bank pipes.
+    size_t promised = pipePromisedMemReqs_;
+    memq_free = memq_free > promised ? memq_free - promised : 0;
+
+    for (Bank& bank : banks_) {
+        // Priority 1: replay a filled MSHR entry (one per cycle).
+        if (!bank.replayQueue.empty()) {
+            MshrEntry entry = std::move(bank.replayQueue.front());
+            bank.replayQueue.pop_front();
+            PipeOp op;
+            op.ports = std::move(entry.ports);
+            bank.pipe.enqueue(op, now);
+            ++stats_.counter("mshr_replays");
+            continue;
+        }
+        // Priority 2: install an arrived fill and stage its replays.
+        if (!bank.fillQueue.empty()) {
+            Addr line_addr = bank.fillQueue.front();
+            bank.fillQueue.pop_front();
+            install(bank, line_addr, now);
+            // Move every MSHR entry waiting on this line to the replay
+            // queue (merged entries replay back-to-back).
+            for (auto it = bank.mshr.begin(); it != bank.mshr.end();) {
+                if (it->lineAddr == line_addr) {
+                    bank.replayQueue.push_back(std::move(*it));
+                    it = bank.mshr.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            ++stats_.counter("fills");
+            continue;
+        }
+        // Priority 3: a core request from the bank input FIFO.
+        if (bank.input.empty())
+            continue;
+        const BankReq& req = bank.input.front();
+        if (req.write) {
+            // Write-through: needs a memory-queue slot (early-full check).
+            if (memq_free == 0) {
+                ++stats_.counter("memq_stalls");
+                continue;
+            }
+            --memq_free;
+            ++pipePromisedMemReqs_;
+            if (auto way = probe(bank, req.lineAddr)) {
+                bank.sets[setOf(req.lineAddr)][*way].lastUsed = now;
+                ++stats_.counter("write_hits");
+            } else {
+                ++stats_.counter("write_misses");
+            }
+            PipeOp op;
+            op.ports = req.ports;
+            op.write = true;
+            MemReq mreq;
+            mreq.lineAddr = req.lineAddr;
+            mreq.write = true;
+            mreq.reqId = nextMemReqId_++;
+            mreq.tag = req.ports.front().tag;
+            op.memReq = mreq;
+            bank.pipe.enqueue(op, now);
+            bank.input.pop();
+            continue;
+        }
+        // Read.
+        if (auto way = probe(bank, req.lineAddr)) {
+            bank.sets[setOf(req.lineAddr)][*way].lastUsed = now;
+            ++stats_.counter("read_hits");
+            PipeOp op;
+            op.ports = req.ports;
+            bank.pipe.enqueue(op, now);
+            bank.input.pop();
+            continue;
+        }
+        // Read miss: merge into a pending MSHR entry if one exists.
+        if (MshrEntry* entry = mshrFind(bank, req.lineAddr)) {
+            entry->ports.insert(entry->ports.end(), req.ports.begin(),
+                                req.ports.end());
+            ++stats_.counter("mshr_merges");
+            ++stats_.counter("read_misses");
+            bank.input.pop();
+            continue;
+        }
+        // New miss: needs an MSHR entry and a memory-queue slot.
+        if (!mshrHasSpace(bank)) {
+            ++stats_.counter("mshr_stalls");
+            continue;
+        }
+        if (memq_free == 0) {
+            ++stats_.counter("memq_stalls");
+            continue;
+        }
+        --memq_free;
+        ++pipePromisedMemReqs_;
+        ++stats_.counter("read_misses");
+        MshrEntry entry;
+        entry.lineAddr = req.lineAddr;
+        entry.ports = req.ports;
+        bank.mshr.push_back(std::move(entry));
+        MemReq mreq;
+        mreq.lineAddr = req.lineAddr;
+        mreq.write = false;
+        mreq.reqId = nextMemReqId_++;
+        mreq.tag = req.ports.front().tag;
+        pendingFills_[mreq.reqId] =
+            PendingFill{static_cast<uint32_t>(&bank - banks_.data()),
+                        req.lineAddr};
+        PipeOp op; // carries only the memory request; responses come later
+        op.memReq = mreq;
+        bank.pipe.enqueue(op, now);
+        bank.input.pop();
+    }
+}
+
+void
+Cache::selectBanks(Cycle now)
+{
+    (void)now;
+    // Gather head-of-queue candidates per bank.
+    for (uint32_t b = 0; b < config_.numBanks; ++b) {
+        Bank& bank = banks_[b];
+        // Find candidate lanes.
+        uint32_t candidates = 0;
+        for (auto& lane : lanes_) {
+            if (!lane.empty() && bankOf(lane.front().addr) == b)
+                ++candidates;
+        }
+        if (candidates == 0)
+            continue;
+        stats_.counter("sel_candidates") += candidates;
+        if (bank.input.full()) {
+            stats_.counter("sel_input_full") += candidates;
+            continue;
+        }
+        // Take the first candidate's line; coalesce same-line, same-type
+        // requests into the virtual ports.
+        BankReq breq;
+        uint32_t taken = 0;
+        for (auto& lane : lanes_) {
+            if (lane.empty())
+                continue;
+            const CoreReq& creq = lane.front();
+            if (bankOf(creq.addr) != b)
+                continue;
+            Addr line_addr = lineAddrOf(creq.addr);
+            if (taken == 0) {
+                breq.lineAddr = line_addr;
+                breq.write = creq.write;
+            } else if (line_addr != breq.lineAddr ||
+                       creq.write != breq.write ||
+                       taken >= config_.numPorts) {
+                continue; // bank conflict: stays for a later cycle
+            }
+            breq.ports.push_back(PortReq{creq.reqId, creq.lane, creq.tag});
+            lane.pop();
+            ++taken;
+        }
+        bank.input.push(std::move(breq));
+        stats_.counter("sel_accepted") += taken;
+        stats_.counter("sel_conflicts") += candidates - taken;
+    }
+}
+
+void
+Cache::tick(Cycle now)
+{
+    // 1. Matured pipeline ops emit responses / memory requests.
+    size_t memq_before = memQueue_.size();
+    drainPipes(now);
+    size_t emitted = memQueue_.size() - memq_before;
+    pipePromisedMemReqs_ -= std::min(pipePromisedMemReqs_, emitted);
+
+    // 2. Forward memory requests downstream.
+    drainMemQueue();
+
+    // 3. Absorb memory responses into per-bank fill queues.
+    while (!memRspQueue_.empty()) {
+        const MemRsp& rsp = memRspQueue_.front();
+        auto it = pendingFills_.find(rsp.reqId);
+        if (it == pendingFills_.end())
+            panic("cache '", config_.name, "': unknown fill reqId ",
+                  rsp.reqId);
+        banks_[it->second.bank].fillQueue.push_back(it->second.lineAddr);
+        pendingFills_.erase(it);
+        memRspQueue_.pop_front();
+    }
+
+    // 4. Bank schedulers issue one operation each.
+    schedule(now);
+
+    // 5. Front-end bank selector moves lane heads into bank FIFOs.
+    selectBanks(now);
+}
+
+bool
+Cache::idle() const
+{
+    if (!memQueue_.empty() || !memRspQueue_.empty() || !pendingFills_.empty())
+        return false;
+    for (const auto& lane : lanes_) {
+        if (!lane.empty())
+            return false;
+    }
+    for (const Bank& bank : banks_) {
+        if (!bank.input.empty() || !bank.replayQueue.empty() ||
+            !bank.fillQueue.empty() || !bank.mshr.empty() ||
+            !bank.pipe.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+Cache::flushAll()
+{
+    for (Bank& bank : banks_) {
+        for (auto& set : bank.sets) {
+            for (Way& w : set)
+                w.valid = false;
+        }
+    }
+    ++stats_.counter("flushes");
+}
+
+double
+Cache::bankUtilization() const
+{
+    uint64_t accepted = stats_.get("sel_accepted");
+    uint64_t conflicts = stats_.get("sel_conflicts");
+    uint64_t total = accepted + conflicts;
+    return total == 0 ? 1.0 : static_cast<double>(accepted) / total;
+}
+
+} // namespace vortex::mem

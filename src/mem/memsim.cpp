@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Memory simulator implementation.
+ */
+
+#include "mem/memsim.h"
+
+#include <algorithm>
+
+#include "common/bitmanip.h"
+#include "common/log.h"
+
+namespace vortex::mem {
+
+MemSim::MemSim(const MemSimConfig& config)
+    : config_(config),
+      lineCycles_(std::max(1u, config.lineSize / std::max(1u,
+                                                          config.busWidth))),
+      input_(config.queueDepth, "memsim.input"),
+      channelFree_(config.numChannels, 0)
+{
+    if (config.numChannels == 0)
+        fatal("MemSim: numChannels must be >= 1");
+    if (!isPow2(config.numChannels))
+        fatal("MemSim: numChannels must be a power of two");
+    if (!isPow2(config.lineSize))
+        fatal("MemSim: lineSize must be a power of two");
+}
+
+uint32_t
+MemSim::channelOf(Addr lineAddr) const
+{
+    return (lineAddr / config_.lineSize) & (config_.numChannels - 1);
+}
+
+void
+MemSim::tick(Cycle now)
+{
+    // Accept new transfers onto free channels. Head-of-line blocking per the
+    // single input queue is intentional: the board controller has one
+    // request port (CCI-P style).
+    while (!input_.empty()) {
+        const MemReq& req = input_.front();
+        uint32_t ch = channelOf(req.lineAddr);
+        if (channelFree_[ch] > now)
+            break;
+        channelFree_[ch] = now + lineCycles_;
+        ++stats_.counter(req.write ? "writes" : "reads");
+        stats_.counter("bytes") += config_.lineSize;
+        if (!req.write) {
+            inflight_.push_back({MemRsp{req.reqId, req.tag},
+                                 now + config_.latency + lineCycles_});
+        }
+        input_.pop();
+    }
+
+    // Deliver matured responses (kept sorted by construction: latency is
+    // constant, so readyAt values are non-decreasing).
+    size_t delivered = 0;
+    for (const Inflight& f : inflight_) {
+        if (f.readyAt > now)
+            break;
+        if (rspCallback_)
+            rspCallback_(f.rsp);
+        ++stats_.counter("responses");
+        ++delivered;
+    }
+    if (delivered)
+        inflight_.erase(inflight_.begin(),
+                        inflight_.begin() + static_cast<long>(delivered));
+}
+
+} // namespace vortex::mem

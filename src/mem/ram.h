@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Functional backing store: a sparse paged model of the device-local memory
+ * (the FPGA board DRAM of the paper). All functional loads/stores and the
+ * host-side driver copies go through this object; the timing models only
+ * carry addresses.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vortex::mem {
+
+/** Sparse RAM covering the full 32-bit physical space (64 KiB pages). */
+class Ram
+{
+  public:
+    static constexpr uint32_t kPageBits = 16;
+    static constexpr uint32_t kPageSize = 1u << kPageBits;
+
+    uint8_t read8(Addr addr) const;
+    uint16_t read16(Addr addr) const;
+    uint32_t read32(Addr addr) const;
+    float readFloat(Addr addr) const;
+
+    void write8(Addr addr, uint8_t value);
+    void write16(Addr addr, uint16_t value);
+    void write32(Addr addr, uint32_t value);
+    void writeFloat(Addr addr, float value);
+
+    /** Bulk copy helpers used by the simulated PCIe driver. */
+    void writeBlock(Addr addr, const void* src, size_t size);
+    void readBlock(Addr addr, void* dst, size_t size) const;
+
+    /** Zero everything (drop all pages). */
+    void clear() { pages_.clear(); }
+
+    /** Number of touched pages (for tests). */
+    size_t numPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::vector<uint8_t>;
+
+    Page& page(Addr addr);
+    const Page* pageIfPresent(Addr addr) const;
+
+    std::unordered_map<uint32_t, Page> pages_;
+};
+
+inline Ram::Page&
+Ram::page(Addr addr)
+{
+    uint32_t idx = addr >> kPageBits;
+    auto it = pages_.find(idx);
+    if (it == pages_.end())
+        it = pages_.emplace(idx, Page(kPageSize, 0)).first;
+    return it->second;
+}
+
+inline const Ram::Page*
+Ram::pageIfPresent(Addr addr) const
+{
+    auto it = pages_.find(addr >> kPageBits);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+inline uint8_t
+Ram::read8(Addr addr) const
+{
+    const Page* p = pageIfPresent(addr);
+    return p ? (*p)[addr & (kPageSize - 1)] : 0;
+}
+
+inline void
+Ram::write8(Addr addr, uint8_t value)
+{
+    page(addr)[addr & (kPageSize - 1)] = value;
+}
+
+inline uint16_t
+Ram::read16(Addr addr) const
+{
+    return static_cast<uint16_t>(read8(addr)) |
+           (static_cast<uint16_t>(read8(addr + 1)) << 8);
+}
+
+inline uint32_t
+Ram::read32(Addr addr) const
+{
+    // Fast path: fully inside one page.
+    uint32_t off = addr & (kPageSize - 1);
+    if (off + 4 <= kPageSize) {
+        if (const Page* p = pageIfPresent(addr)) {
+            uint32_t v;
+            std::memcpy(&v, p->data() + off, 4);
+            return v;
+        }
+        return 0;
+    }
+    return static_cast<uint32_t>(read16(addr)) |
+           (static_cast<uint32_t>(read16(addr + 2)) << 16);
+}
+
+inline void
+Ram::write16(Addr addr, uint16_t value)
+{
+    write8(addr, value & 0xFF);
+    write8(addr + 1, value >> 8);
+}
+
+inline void
+Ram::write32(Addr addr, uint32_t value)
+{
+    uint32_t off = addr & (kPageSize - 1);
+    if (off + 4 <= kPageSize) {
+        std::memcpy(page(addr).data() + off, &value, 4);
+        return;
+    }
+    write16(addr, value & 0xFFFF);
+    write16(addr + 2, value >> 16);
+}
+
+inline float
+Ram::readFloat(Addr addr) const
+{
+    uint32_t u = read32(addr);
+    float f;
+    std::memcpy(&f, &u, 4);
+    return f;
+}
+
+inline void
+Ram::writeFloat(Addr addr, float value)
+{
+    uint32_t u;
+    std::memcpy(&u, &value, 4);
+    write32(addr, u);
+}
+
+inline void
+Ram::writeBlock(Addr addr, const void* src, size_t size)
+{
+    const uint8_t* s = static_cast<const uint8_t*>(src);
+    size_t i = 0;
+    while (i < size) {
+        uint32_t off = (addr + i) & (kPageSize - 1);
+        size_t chunk = std::min<size_t>(size - i, kPageSize - off);
+        std::memcpy(page(addr + static_cast<Addr>(i)).data() + off, s + i,
+                    chunk);
+        i += chunk;
+    }
+}
+
+inline void
+Ram::readBlock(Addr addr, void* dst, size_t size) const
+{
+    uint8_t* d = static_cast<uint8_t*>(dst);
+    size_t i = 0;
+    while (i < size) {
+        uint32_t off = (addr + i) & (kPageSize - 1);
+        size_t chunk = std::min<size_t>(size - i, kPageSize - off);
+        if (const Page* p = pageIfPresent(addr + static_cast<Addr>(i)))
+            std::memcpy(d + i, p->data() + off, chunk);
+        else
+            std::memset(d + i, 0, chunk);
+        i += chunk;
+    }
+}
+
+} // namespace vortex::mem

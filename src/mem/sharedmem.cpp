@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared-memory scratchpad implementation.
+ */
+
+#include "mem/sharedmem.h"
+
+#include "common/bitmanip.h"
+#include "common/log.h"
+
+namespace vortex::mem {
+
+SharedMem::SharedMem(const SharedMemConfig& config)
+    : config_(config), pipe_(config.latency)
+{
+    if (!isPow2(config.numBanks))
+        fatal("SharedMem: numBanks must be a power of two");
+    lanes_.reserve(config.numLanes);
+    for (uint32_t l = 0; l < config.numLanes; ++l)
+        lanes_.emplace_back(config.laneQueueDepth, "sharedmem.lane");
+}
+
+void
+SharedMem::lanePush(uint32_t lane, const CoreReq& req)
+{
+    lanes_.at(lane).push(req);
+    ++stats_.counter(req.write ? "writes" : "reads");
+}
+
+void
+SharedMem::tick(Cycle now)
+{
+    // Emit matured responses.
+    while (auto rsp = pipe_.dequeueReady(now)) {
+        if (rspCallback_)
+            rspCallback_(*rsp);
+    }
+
+    // Arbitrate: each bank services at most one lane per cycle.
+    std::vector<bool> bank_busy(config_.numBanks, false);
+    for (auto& lane : lanes_) {
+        if (lane.empty())
+            continue;
+        const CoreReq& req = lane.front();
+        uint32_t b = bankOf(req.addr);
+        ++stats_.counter("candidates");
+        if (bank_busy[b]) {
+            ++stats_.counter("bank_conflicts");
+            continue;
+        }
+        bank_busy[b] = true;
+        pipe_.enqueue(CoreRsp{req.reqId, req.lane, req.write, req.tag}, now);
+        ++stats_.counter("accesses");
+        lane.pop();
+    }
+}
+
+bool
+SharedMem::idle() const
+{
+    if (!pipe_.empty())
+        return false;
+    for (const auto& lane : lanes_) {
+        if (!lane.empty())
+            return false;
+    }
+    return true;
+}
+
+} // namespace vortex::mem

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared-memory scratchpad (paper §4.1.4): an optional per-core local memory
+ * that can act as scratchpad or stack. Word-interleaved banks, one access
+ * per bank per cycle; conflicting lane requests serialize. Accesses never
+ * miss, so the model is a banked arbiter with fixed latency.
+ */
+
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/elastic.h"
+#include "common/stats.h"
+#include "mem/memtypes.h"
+
+namespace vortex::mem {
+
+/** Geometry of the shared memory. */
+struct SharedMemConfig
+{
+    uint32_t size = 16384;  ///< bytes (scratchpad capacity)
+    uint32_t numBanks = 4;  ///< word-interleaved banks
+    uint32_t numLanes = 4;  ///< core-side lanes (== threads)
+    uint32_t latency = 1;   ///< access latency in cycles
+    uint32_t laneQueueDepth = 2;
+};
+
+/** Banked scratchpad timing model. */
+class SharedMem
+{
+  public:
+    explicit SharedMem(const SharedMemConfig& config);
+
+    bool laneReady(uint32_t lane) const { return !lanes_.at(lane).full(); }
+    void lanePush(uint32_t lane, const CoreReq& req);
+    void setRspCallback(std::function<void(const CoreRsp&)> cb)
+    {
+        rspCallback_ = std::move(cb);
+    }
+
+    void tick(Cycle now);
+    bool idle() const;
+
+    StatGroup& stats() { return stats_; }
+    const StatGroup& stats() const { return stats_; }
+
+  private:
+    uint32_t bankOf(Addr addr) const
+    {
+        return (addr >> 2) & (config_.numBanks - 1);
+    }
+
+    SharedMemConfig config_;
+    std::vector<ElasticQueue<CoreReq>> lanes_;
+    LatencyPipe<CoreRsp> pipe_;
+    std::function<void(const CoreRsp&)> rspCallback_;
+    StatGroup stats_{"sharedmem"};
+};
+
+} // namespace vortex::mem

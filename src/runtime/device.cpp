@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Simulated driver implementation.
+ */
+
+#include "runtime/device.h"
+
+#include "common/bitmanip.h"
+#include "common/log.h"
+#include "kernels/kernels.h"
+
+namespace vortex::runtime {
+
+Device::Device(const core::ArchConfig& config) : config_(config)
+{
+    processor_ = std::make_unique<core::Processor>(config);
+}
+
+Addr
+Device::memAlloc(size_t size, size_t align)
+{
+    if (!isPow2(align))
+        fatal("memAlloc: alignment must be a power of two");
+    Addr base = static_cast<Addr>(alignUp(heapTop_, align));
+    if (base + size > kHeapEnd)
+        fatal("memAlloc: device heap exhausted");
+    heapTop_ = base + static_cast<Addr>(size);
+    return base;
+}
+
+void
+Device::copyToDev(Addr dst, const void* src, size_t size)
+{
+    processor_->ram().writeBlock(dst, src, size);
+}
+
+void
+Device::copyFromDev(void* dst, Addr src, size_t size) const
+{
+    processor_->ram().readBlock(src, dst, size);
+}
+
+void
+Device::uploadKernel(const std::string& kernel_asm)
+{
+    isa::Assembler assembler(config_.startPC);
+    uploadProgram(assembler.assembleAll(
+        {kernels::runtimeSource(), kernel_asm}));
+}
+
+void
+Device::uploadProgram(const isa::Program& program)
+{
+    program_ = program;
+    processor_->ram().writeBlock(program.base, program.image.data(),
+                                 program.image.size());
+}
+
+void
+Device::setKernelArg(const void* data, size_t size)
+{
+    processor_->ram().writeBlock(kKernelArgAddr, data, size);
+}
+
+void
+Device::start()
+{
+    processor_->start();
+}
+
+bool
+Device::readyWait(uint64_t max_cycles)
+{
+    return processor_->run(max_cycles);
+}
+
+void
+Device::runKernel(uint64_t max_cycles)
+{
+    start();
+    if (!readyWait(max_cycles))
+        fatal("kernel did not complete within ", max_cycles,
+              " cycles (deadlock or runaway kernel)");
+}
+
+} // namespace vortex::runtime

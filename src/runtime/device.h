@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Host-side driver API for the simulated Vortex device.
+ *
+ * This mirrors the Vortex driver stack of the paper (§5.1): the OPAE/PCIe
+ * link is replaced by in-process access to the device-local RAM (DESIGN.md
+ * substitution #4), but the driver-visible flow is the same —
+ * allocate device memory, copy buffers in, upload the kernel binary, write
+ * the kernel-argument mailbox, ring the doorbell (start), poll for
+ * completion (readyWait), and copy results out.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/processor.h"
+#include "isa/assembler.h"
+
+namespace vortex::runtime {
+
+/** Fixed device-memory layout (see DESIGN.md §4.6). */
+constexpr Addr kKernelArgAddr = 0x00010000; ///< argument mailbox
+constexpr Addr kHeapBase = 0x10000000;      ///< device heap
+constexpr Addr kHeapEnd = 0xF0000000;
+constexpr Addr kStackBase = 0xFEFF0000;     ///< stack tops (grow down)
+constexpr uint32_t kStackSizeLog2 = 12;     ///< 4 KiB per hardware thread
+constexpr Addr kSmemWindow = 0xFF000000;    ///< core-local scratchpad base
+constexpr uint32_t kSmemStride = 0x00010000;///< per-core scratchpad stride
+
+/** The simulated device with its driver interface. */
+class Device
+{
+  public:
+    explicit Device(const core::ArchConfig& config);
+
+    //
+    // Device memory management (bump allocator; free is a no-op, matching
+    // the lightweight OPAE buffer manager).
+    //
+    Addr memAlloc(size_t size, size_t align = 64);
+    void copyToDev(Addr dst, const void* src, size_t size);
+    void copyFromDev(void* dst, Addr src, size_t size) const;
+
+    //
+    // Kernel upload. `uploadKernel` assembles the native runtime (crt0 +
+    // spawn_tasks) followed by the given kernel source; `uploadProgram`
+    // loads a pre-assembled binary.
+    //
+    void uploadKernel(const std::string& kernelAsm);
+    void uploadProgram(const isa::Program& program);
+    const isa::Program& program() const { return program_; }
+
+    /** Write the kernel-argument mailbox. */
+    void setKernelArg(const void* data, size_t size);
+    template <typename T>
+    void
+    setKernelArg(const T& args)
+    {
+        setKernelArg(&args, sizeof(T));
+    }
+
+    /** Reset the device and start every core at the kernel entry. */
+    void start();
+
+    /**
+     * Poll until the device goes idle. @return true on completion, false
+     * on cycle-budget exhaustion.
+     */
+    bool readyWait(uint64_t max_cycles = 200000000ull);
+
+    /** start() + readyWait() with a fatal error on timeout. */
+    void runKernel(uint64_t max_cycles = 200000000ull);
+
+    core::Processor& processor() { return *processor_; }
+    const core::Processor& processor() const { return *processor_; }
+    mem::Ram& ram() { return processor_->ram(); }
+
+    Cycle cycles() const { return processor_->cycles(); }
+    double ipc() const { return processor_->ipc(); }
+
+  private:
+    core::ArchConfig config_;
+    std::unique_ptr<core::Processor> processor_;
+    isa::Program program_;
+    Addr heapTop_ = kHeapBase;
+};
+
+} // namespace vortex::runtime

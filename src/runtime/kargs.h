@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Kernel-argument structures shared between host code and the assembly
+ * kernels. The host writes one of these (field-by-field, little-endian,
+ * 4-byte fields only) into the argument mailbox at runtime::kKernelArgAddr;
+ * the kernels read the fields by byte offset, so the layouts here are ABI:
+ * do not reorder fields.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace vortex::runtime {
+
+/** vecadd: c[i] = a[i] + b[i] over int32. */
+struct VecAddArgs
+{
+    uint32_t n;   // +0
+    Addr a;       // +4
+    Addr b;       // +8
+    Addr c;       // +12
+};
+
+/** saxpy: y[i] = a * x[i] + y[i] over float. */
+struct SaxpyArgs
+{
+    uint32_t n;   // +0
+    float a;      // +4
+    Addr x;       // +8
+    Addr y;       // +12
+};
+
+/** sgemm: C = A x B, all n x n row-major float; one task per C cell. */
+struct SgemmArgs
+{
+    uint32_t n;   // +0
+    Addr a;       // +4
+    Addr b;       // +8
+    Addr c;       // +12
+};
+
+/** sfilter: 3x3 binomial blur over a float image; one task per pixel. */
+struct SfilterArgs
+{
+    uint32_t width;  // +0
+    uint32_t height; // +4
+    Addr src;        // +8
+    Addr dst;        // +12
+};
+
+/** nearn: dist[i] = euclidean distance from (lat,lng) to points[i]. */
+struct NearnArgs
+{
+    uint32_t n;   // +0
+    float lat;    // +4
+    float lng;    // +8
+    Addr points;  // +12  (n records of {float lat, float lng})
+    Addr dist;    // +16
+};
+
+/** gaussian: in-place elimination of the n x n float matrix A using the
+ *  multiplier vector m; the kernel's main iterates k with global barriers
+ *  and writes the current k into this struct. */
+struct GaussianArgs
+{
+    uint32_t n;   // +0
+    Addr a;       // +4
+    Addr b;       // +8   (unused by the device kernel; kept for layout)
+    Addr m;       // +12
+    uint32_t k;   // +16  (device-written)
+};
+
+/** bfs: frontier BFS over CSR adjacency; levels[] starts at -1 except the
+ *  source (level 0). The kernel's main iterates levels with global
+ *  barriers, writing curLevel and polling the changed flag. */
+struct BfsArgs
+{
+    uint32_t numNodes;  // +0
+    uint32_t maxDegree; // +4
+    Addr rowPtr;        // +8   (numNodes+1 u32)
+    Addr colIdx;        // +12
+    Addr levels;        // +16  (int32)
+    Addr changed;       // +20  (u32 flag cell)
+    uint32_t curLevel;  // +24  (device-written)
+};
+
+/** Texture benchmarks: render the source texture into an equally sized
+ *  RGBA8 destination (paper §6.4). */
+struct TexKernelArgs
+{
+    uint32_t dstWidth;     // +0
+    uint32_t dstHeight;    // +4
+    Addr dst;              // +8
+    Addr srcAddr;          // +12
+    uint32_t srcWidthLog2; // +16
+    uint32_t srcHeightLog2;// +20
+    uint32_t format;       // +24  (tex::Format)
+    uint32_t filter;       // +28  (tex::Filter)
+    uint32_t wrap;         // +32  (u | v<<2)
+    uint32_t lods;         // +36
+    float lod;             // +40  (trilinear level-of-detail)
+    float deltaX;          // +44  (1.0f / dstWidth, as Fig. 13)
+    float deltaY;          // +48
+};
+
+} // namespace vortex::runtime

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Texture texel formats and wrap/filter modes (paper §4.2: "the
+ * implementation supports various texture formats and texture wrap modes as
+ * defined by OpenGL"). The sampler unpacks every format to 8-bit RGBA before
+ * filtering and packs the filtered result back to RGBA8, which is the
+ * behaviour of the hardware texel sampler (§4.2.2: "performs a format
+ * conversion and a two-cycle bilinear interpolation").
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/log.h"
+
+namespace vortex::tex {
+
+/** Supported texel storage formats (OpenGL-ES subset). */
+enum class Format : uint32_t
+{
+    RGBA8 = 0,  ///< 4 bytes/texel, R in byte 0
+    BGRA8 = 1,  ///< 4 bytes/texel, B in byte 0 (GL_BGRA)
+    RGB565 = 2, ///< 2 bytes/texel
+    RGBA4 = 3,  ///< 2 bytes/texel
+    L8 = 4,     ///< 1 byte/texel luminance
+    A8 = 5,     ///< 1 byte/texel alpha
+};
+
+/** Texture coordinate wrap modes. */
+enum class Wrap : uint32_t
+{
+    Clamp = 0,  ///< GL_CLAMP_TO_EDGE
+    Repeat = 1, ///< GL_REPEAT
+    Mirror = 2, ///< GL_MIRRORED_REPEAT
+};
+
+/** Filtering modes of the hardware unit (trilinear is a pseudo-instruction
+ *  built from two bilinear lookups, Algorithm 1). */
+enum class Filter : uint32_t
+{
+    Point = 0,
+    Bilinear = 1,
+};
+
+/** An unpacked 8-bit RGBA color. */
+struct Color
+{
+    uint8_t r = 0, g = 0, b = 0, a = 0;
+
+    /** Packed RGBA little-endian word (r in byte 0). */
+    uint32_t
+    pack() const
+    {
+        return static_cast<uint32_t>(r) | (static_cast<uint32_t>(g) << 8) |
+               (static_cast<uint32_t>(b) << 16) |
+               (static_cast<uint32_t>(a) << 24);
+    }
+
+    static Color
+    unpackRgba8(uint32_t v)
+    {
+        return {static_cast<uint8_t>(v), static_cast<uint8_t>(v >> 8),
+                static_cast<uint8_t>(v >> 16), static_cast<uint8_t>(v >> 24)};
+    }
+
+    bool
+    operator==(const Color& o) const
+    {
+        return r == o.r && g == o.g && b == o.b && a == o.a;
+    }
+};
+
+/** Bytes per texel for @p format. */
+constexpr uint32_t
+texelSize(Format format)
+{
+    switch (format) {
+      case Format::RGBA8:
+      case Format::BGRA8:
+        return 4;
+      case Format::RGB565:
+      case Format::RGBA4:
+        return 2;
+      case Format::L8:
+      case Format::A8:
+        return 1;
+    }
+    return 4;
+}
+
+/** Expand an n-bit channel value to 8 bits (replicating high bits). */
+constexpr uint8_t
+expandBits(uint32_t value, uint32_t from)
+{
+    switch (from) {
+      case 4: return static_cast<uint8_t>((value << 4) | value);
+      case 5: return static_cast<uint8_t>((value << 3) | (value >> 2));
+      case 6: return static_cast<uint8_t>((value << 2) | (value >> 4));
+      default: return static_cast<uint8_t>(value);
+    }
+}
+
+/** Unpack a raw texel word (low texelSize bytes valid) to RGBA8. */
+inline Color
+unpackTexel(Format format, uint32_t raw)
+{
+    switch (format) {
+      case Format::RGBA8:
+        return Color::unpackRgba8(raw);
+      case Format::BGRA8:
+        return {static_cast<uint8_t>(raw >> 16), static_cast<uint8_t>(raw >> 8),
+                static_cast<uint8_t>(raw), static_cast<uint8_t>(raw >> 24)};
+      case Format::RGB565:
+        return {expandBits((raw >> 11) & 0x1F, 5),
+                expandBits((raw >> 5) & 0x3F, 6), expandBits(raw & 0x1F, 5),
+                255};
+      case Format::RGBA4:
+        return {expandBits((raw >> 12) & 0xF, 4),
+                expandBits((raw >> 8) & 0xF, 4),
+                expandBits((raw >> 4) & 0xF, 4), expandBits(raw & 0xF, 4)};
+      case Format::L8: {
+        uint8_t l = static_cast<uint8_t>(raw);
+        return {l, l, l, 255};
+      }
+      case Format::A8:
+        return {0, 0, 0, static_cast<uint8_t>(raw)};
+    }
+    panic("unpackTexel: bad format");
+}
+
+/** Pack an RGBA8 color into the raw representation of @p format. */
+inline uint32_t
+packTexel(Format format, const Color& c)
+{
+    switch (format) {
+      case Format::RGBA8:
+        return c.pack();
+      case Format::BGRA8:
+        return static_cast<uint32_t>(c.b) | (static_cast<uint32_t>(c.g) << 8) |
+               (static_cast<uint32_t>(c.r) << 16) |
+               (static_cast<uint32_t>(c.a) << 24);
+      case Format::RGB565:
+        return ((c.r >> 3) << 11) | ((c.g >> 2) << 5) | (c.b >> 3);
+      case Format::RGBA4:
+        return ((c.r >> 4) << 12) | ((c.g >> 4) << 8) | ((c.b >> 4) << 4) |
+               (c.a >> 4);
+      case Format::L8:
+        return c.r;
+      case Format::A8:
+        return c.a;
+    }
+    panic("packTexel: bad format");
+}
+
+} // namespace vortex::tex

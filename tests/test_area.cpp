@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Area-model tests: calibration accuracy against the paper's published
+ * synthesis rows (Tables 3/4/5) and the qualitative trends the paper
+ * argues from.
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/area.h"
+#include "common/log.h"
+
+using namespace vortex;
+using namespace vortex::area;
+
+namespace {
+
+void
+expectWithin(double actual, double expected, double rel_tol,
+             const char* what)
+{
+    EXPECT_NEAR(actual, expected, expected * rel_tol) << what;
+}
+
+} // namespace
+
+TEST(AreaModel, Table3Calibration)
+{
+    struct Row
+    {
+        uint32_t w, t;
+        double lut, regs, bram, fmax;
+    };
+    const Row rows[] = {
+        {4, 4, 21502, 32661, 131, 233}, {2, 8, 36361, 54438, 238, 224},
+        {8, 2, 16981, 24343, 77, 225},  {4, 8, 37857, 57614, 247, 224},
+        {8, 4, 24485, 34854, 139, 228},
+    };
+    for (const Row& r : rows) {
+        CoreArea a = coreArea(r.w, r.t);
+        expectWithin(a.luts, r.lut, 0.02, "LUT");
+        expectWithin(a.regs, r.regs, 0.03, "Regs");
+        expectWithin(a.brams, r.bram, 0.02, "BRAM");
+        expectWithin(a.fmaxMhz, r.fmax, 0.02, "fmax");
+    }
+}
+
+TEST(AreaModel, ThreadsCostMoreThanWarps)
+{
+    // The paper's §6.2.1 argument: growing threads (SIMD width) is more
+    // expensive than growing wavefronts (multiplexed state).
+    CoreArea base = coreArea(4, 4);
+    CoreArea more_threads = coreArea(4, 8);
+    CoreArea more_warps = coreArea(8, 4);
+    EXPECT_GT(more_threads.luts, more_warps.luts);
+    EXPECT_GT(more_threads.regs, more_warps.regs);
+    EXPECT_GT(more_threads.luts, base.luts);
+    EXPECT_GT(more_warps.luts, base.luts);
+    // 2W-8T costs ~69% more LUTs than 4W-4T; 8W-2T ~25% less (the paper
+    // reports "about a 27% area reduction" vs the fitted model's 21%).
+    EXPECT_NEAR(coreArea(2, 8).luts / base.luts, 1.69, 0.05);
+    EXPECT_NEAR(coreArea(8, 2).luts / base.luts, 0.76, 0.06);
+}
+
+TEST(AreaModel, Table4Calibration)
+{
+    struct Row
+    {
+        uint32_t cores;
+        double alm, regsK, bram, dsp, fmax;
+    };
+    const Row rows[] = {
+        {1, 13, 78, 10, 2, 234},   {2, 19, 111, 15, 5, 225},
+        {4, 30, 176, 25, 9, 223},  {8, 53, 305, 45, 19, 210},
+        {16, 85, 525, 83, 38, 203},
+    };
+    for (const Row& r : rows) {
+        DeviceArea a = deviceArea(r.cores, Fpga::Arria10);
+        EXPECT_NEAR(a.almPercent, r.alm, 5.0);
+        EXPECT_NEAR(a.regsK, r.regsK, 15.0);
+        EXPECT_NEAR(a.bramPercent, r.bram, 2.0);
+        EXPECT_NEAR(a.dspPercent, r.dsp, 1.0);
+        EXPECT_NEAR(a.fmaxMhz, r.fmax, 8.0);
+    }
+}
+
+TEST(AreaModel, StratixFitsThirtyTwoCores)
+{
+    // 32 cores exceed the Arria 10 but fit the Stratix 10 at ~200 MHz
+    // (the paper's headline configuration).
+    DeviceArea a10 = deviceArea(32, Fpga::Arria10);
+    DeviceArea s10 = deviceArea(32, Fpga::Stratix10);
+    EXPECT_GT(a10.almPercent, 100.0);
+    EXPECT_LT(s10.almPercent, 100.0);
+    EXPECT_NEAR(s10.fmaxMhz, 200.0, 8.0);
+}
+
+TEST(AreaModel, Table5Calibration)
+{
+    struct Row
+    {
+        uint32_t ports;
+        double lut, regs, bram, fmax;
+    };
+    const Row rows[] = {
+        {1, 10747, 13238, 72, 253},
+        {2, 11722, 13650, 72, 250},
+        {4, 13516, 14928, 72, 244},
+    };
+    for (const Row& r : rows) {
+        CacheArea a = cacheArea(4, r.ports, 16384);
+        expectWithin(a.luts, r.lut, 0.01, "cache LUT");
+        expectWithin(a.regs, r.regs, 0.01, "cache Regs");
+        EXPECT_EQ(a.brams, 72.0);
+        EXPECT_NEAR(a.fmaxMhz, r.fmax, 3.0);
+    }
+}
+
+TEST(AreaModel, VirtualPortCostDeltas)
+{
+    // The paper's headline: +9% LUTs for 2 ports, +25% for 4; BRAM flat.
+    CacheArea p1 = cacheArea(4, 1, 16384);
+    CacheArea p2 = cacheArea(4, 2, 16384);
+    CacheArea p4 = cacheArea(4, 4, 16384);
+    EXPECT_NEAR(p2.luts / p1.luts, 1.09, 0.01);
+    EXPECT_NEAR(p4.luts / p1.luts, 1.25, 0.02);
+    EXPECT_EQ(p1.brams, p4.brams);
+    EXPECT_GT(p1.fmaxMhz, p4.fmaxMhz);
+}
+
+TEST(AreaModel, CacheScalesWithGeometry)
+{
+    // More banks cost proportional logic; more capacity costs BRAM only.
+    CacheArea small = cacheArea(4, 1, 16384);
+    CacheArea more_banks = cacheArea(8, 1, 16384);
+    CacheArea bigger = cacheArea(4, 1, 32768);
+    EXPECT_NEAR(more_banks.luts / small.luts, 2.0, 0.01);
+    EXPECT_EQ(bigger.luts, small.luts);
+    EXPECT_EQ(bigger.brams, 144.0);
+}
+
+TEST(AreaModel, DistributionSumsToOne)
+{
+    double total = 0.0;
+    for (const AreaSlice& s : areaDistribution()) {
+        EXPECT_GT(s.fraction, 0.0);
+        total += s.fraction;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // Texture units and caches dominate (the paper's stated observation).
+    auto dist = areaDistribution();
+    EXPECT_EQ(dist[0].component, "texture units");
+    EXPECT_GT(dist[0].fraction + dist[1].fraction, 0.45);
+}
+
+TEST(AreaModel, RejectsZeroGeometry)
+{
+    EXPECT_THROW(coreArea(0, 4), FatalError);
+    EXPECT_THROW(deviceArea(0, Fpga::Arria10), FatalError);
+    EXPECT_THROW(cacheArea(0, 1, 16384), FatalError);
+}

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Assembler tests: labels, directives, pseudo-instructions, expressions,
+ * %hi/%lo, error reporting, and the runtime+kernel concatenation path.
+ */
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "isa/assembler.h"
+#include "isa/isa.h"
+#include "kernels/kernels.h"
+
+using namespace vortex;
+using namespace vortex::isa;
+
+namespace {
+
+uint32_t
+word(const Program& p, size_t index)
+{
+    size_t off = index * 4;
+    return static_cast<uint32_t>(p.image.at(off)) |
+           (static_cast<uint32_t>(p.image.at(off + 1)) << 8) |
+           (static_cast<uint32_t>(p.image.at(off + 2)) << 16) |
+           (static_cast<uint32_t>(p.image.at(off + 3)) << 24);
+}
+
+Instr
+instrAt(const Program& p, size_t index)
+{
+    return decode(word(p, index));
+}
+
+} // namespace
+
+TEST(Assembler, BasicInstructions)
+{
+    Assembler as(0x80000000);
+    Program p = as.assemble(R"(
+        add a0, a1, a2
+        addi t0, t1, -7
+        lw s0, 8(sp)
+        sw s1, -4(gp)
+        lui a0, 0x12345
+    )");
+    Instr i0 = instrAt(p, 0);
+    EXPECT_EQ(i0.kind, InstrKind::ADD);
+    EXPECT_EQ(i0.rd, 10u);
+    EXPECT_EQ(i0.rs1, 11u);
+    EXPECT_EQ(i0.rs2, 12u);
+    Instr i1 = instrAt(p, 1);
+    EXPECT_EQ(i1.kind, InstrKind::ADDI);
+    EXPECT_EQ(i1.imm, -7);
+    Instr i2 = instrAt(p, 2);
+    EXPECT_EQ(i2.kind, InstrKind::LW);
+    EXPECT_EQ(i2.rs1, 2u);
+    EXPECT_EQ(i2.imm, 8);
+    Instr i3 = instrAt(p, 3);
+    EXPECT_EQ(i3.kind, InstrKind::SW);
+    EXPECT_EQ(i3.rs2, 9u);
+    EXPECT_EQ(i3.imm, -4);
+    Instr i4 = instrAt(p, 4);
+    EXPECT_EQ(i4.kind, InstrKind::LUI);
+    EXPECT_EQ(static_cast<uint32_t>(i4.imm), 0x12345000u);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Assembler as(0x1000);
+    Program p = as.assemble(R"(
+    start:
+        addi t0, zero, 3
+    loop:
+        addi t0, t0, -1
+        bnez t0, loop
+        j start
+    )");
+    EXPECT_EQ(p.symbol("start"), 0x1000u);
+    EXPECT_EQ(p.symbol("loop"), 0x1004u);
+    Instr b = instrAt(p, 2);
+    EXPECT_EQ(b.kind, InstrKind::BNE);
+    EXPECT_EQ(b.imm, -4);
+    Instr j = instrAt(p, 3);
+    EXPECT_EQ(j.kind, InstrKind::JAL);
+    EXPECT_EQ(j.rd, 0u);
+    EXPECT_EQ(j.imm, -12);
+}
+
+TEST(Assembler, LiExpansion)
+{
+    Assembler as(0);
+    Program p = as.assemble(R"(
+        li a0, 5
+        li a1, 0x12345678
+        li a2, -2048
+        li a3, 0xFFFFF800
+    )");
+    // Small constants: a single addi.
+    EXPECT_EQ(instrAt(p, 0).kind, InstrKind::ADDI);
+    EXPECT_EQ(instrAt(p, 0).imm, 5);
+    // Large: lui + addi.
+    Instr lui = instrAt(p, 1);
+    Instr addi = instrAt(p, 2);
+    EXPECT_EQ(lui.kind, InstrKind::LUI);
+    EXPECT_EQ(addi.kind, InstrKind::ADDI);
+    uint32_t value = static_cast<uint32_t>(lui.imm) +
+                     static_cast<uint32_t>(addi.imm);
+    EXPECT_EQ(value, 0x12345678u);
+    EXPECT_EQ(instrAt(p, 3).imm, -2048);
+    // 0xFFFFF800 parses as a large unsigned literal: lui+addi, but the
+    // combined value must wrap to the same bit pattern.
+    Instr lui2 = instrAt(p, 4);
+    Instr addi2 = instrAt(p, 5);
+    EXPECT_EQ(lui2.kind, InstrKind::LUI);
+    EXPECT_EQ(static_cast<uint32_t>(lui2.imm) +
+                  static_cast<uint32_t>(addi2.imm),
+              0xFFFFF800u);
+}
+
+TEST(Assembler, LaResolvesSymbols)
+{
+    Assembler as(0x80000000);
+    Program p = as.assemble(R"(
+        la a0, data
+        nop
+    data:
+        .word 0xCAFEBABE
+    )");
+    Instr lui = instrAt(p, 0);
+    Instr addi = instrAt(p, 1);
+    uint32_t addr = static_cast<uint32_t>(lui.imm) +
+                    static_cast<uint32_t>(addi.imm);
+    EXPECT_EQ(addr, p.symbol("data"));
+    EXPECT_EQ(word(p, 3), 0xCAFEBABEu);
+}
+
+TEST(Assembler, Directives)
+{
+    Assembler as(0);
+    Program p = as.assemble(R"(
+        .equ MAGIC, 0x42
+        .byte 1, 2, MAGIC
+        .align 2
+        .half 0x1234, 0xBEEF
+        .word MAGIC + 1
+        .space 8
+        .asciz "hi\n"
+        .float 1.5
+    )");
+    EXPECT_EQ(p.image.at(0), 1);
+    EXPECT_EQ(p.image.at(1), 2);
+    EXPECT_EQ(p.image.at(2), 0x42);
+    // .align 2 pads to offset 4.
+    EXPECT_EQ(p.image.at(4), 0x34);
+    EXPECT_EQ(p.image.at(5), 0x12);
+    EXPECT_EQ(p.image.at(6), 0xEF);
+    EXPECT_EQ(p.image.at(7), 0xBE);
+    EXPECT_EQ(word(p, 2), 0x43u);
+    // 8 zero bytes of .space, then "hi\n\0".
+    EXPECT_EQ(p.image.at(20), 'h');
+    EXPECT_EQ(p.image.at(21), 'i');
+    EXPECT_EQ(p.image.at(22), '\n');
+    EXPECT_EQ(p.image.at(23), 0);
+    // .float aligned to 4 => offset 24.
+    float f;
+    std::memcpy(&f, &p.image[24], 4);
+    EXPECT_EQ(f, 1.5f);
+}
+
+TEST(Assembler, HiLoExpressions)
+{
+    Assembler as(0);
+    Program p = as.assemble(R"(
+        lui a0, %hi(0x12345FFF)
+        addi a0, a0, %lo(0x12345FFF)
+    )");
+    Instr lui = instrAt(p, 0);
+    Instr addi = instrAt(p, 1);
+    uint32_t v = static_cast<uint32_t>(lui.imm) +
+                 static_cast<uint32_t>(addi.imm);
+    EXPECT_EQ(v, 0x12345FFFu);
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    Assembler as(0);
+    Program p = as.assemble(R"(
+        nop
+        mv a0, a1
+        not a2, a3
+        neg a4, a5
+        seqz t0, t1
+        snez t2, t3
+        ret
+        fmv.s fa0, fa1
+        fneg.s fa2, fa3
+        fabs.s fa4, fa5
+        csrr t0, 0xCC0
+        csrw 0x7C0, t1
+        csrwi 0x7C1, 3
+    )");
+    EXPECT_EQ(instrAt(p, 0).kind, InstrKind::ADDI);
+    EXPECT_EQ(instrAt(p, 1).kind, InstrKind::ADDI);
+    EXPECT_EQ(instrAt(p, 2).kind, InstrKind::XORI);
+    EXPECT_EQ(instrAt(p, 2).imm, -1);
+    EXPECT_EQ(instrAt(p, 3).kind, InstrKind::SUB);
+    EXPECT_EQ(instrAt(p, 4).kind, InstrKind::SLTIU);
+    EXPECT_EQ(instrAt(p, 5).kind, InstrKind::SLTU);
+    Instr ret = instrAt(p, 6);
+    EXPECT_EQ(ret.kind, InstrKind::JALR);
+    EXPECT_EQ(ret.rs1, 1u);
+    EXPECT_EQ(ret.rd, 0u);
+    EXPECT_EQ(instrAt(p, 7).kind, InstrKind::FSGNJ_S);
+    EXPECT_EQ(instrAt(p, 8).kind, InstrKind::FSGNJN_S);
+    EXPECT_EQ(instrAt(p, 9).kind, InstrKind::FSGNJX_S);
+    Instr csrr = instrAt(p, 10);
+    EXPECT_EQ(csrr.kind, InstrKind::CSRRS);
+    EXPECT_EQ(csrr.csr, 0xCC0u);
+    EXPECT_EQ(csrr.rs1, 0u);
+    EXPECT_EQ(instrAt(p, 11).kind, InstrKind::CSRRW);
+    EXPECT_EQ(instrAt(p, 12).kind, InstrKind::CSRRWI);
+}
+
+TEST(Assembler, VortexInstructions)
+{
+    Assembler as(0);
+    Program p = as.assemble(R"(
+        vx_tmc t0
+        vx_wspawn t1, t2
+        vx_split t3
+        vx_join
+        vx_bar t4, t5
+        vx_tex a0, ft0, ft1, ft2
+    )");
+    EXPECT_EQ(instrAt(p, 0).kind, InstrKind::VX_TMC);
+    EXPECT_EQ(instrAt(p, 1).kind, InstrKind::VX_WSPAWN);
+    EXPECT_EQ(instrAt(p, 2).kind, InstrKind::VX_SPLIT);
+    EXPECT_EQ(instrAt(p, 3).kind, InstrKind::VX_JOIN);
+    EXPECT_EQ(instrAt(p, 4).kind, InstrKind::VX_BAR);
+    Instr tex = instrAt(p, 5);
+    EXPECT_EQ(tex.kind, InstrKind::VX_TEX);
+    EXPECT_EQ(tex.rd, 10u);
+    EXPECT_EQ(tex.rs1, 0u);
+    EXPECT_EQ(tex.rs2, 1u);
+    EXPECT_EQ(tex.rs3, 2u);
+}
+
+TEST(Assembler, Errors)
+{
+    Assembler as(0);
+    EXPECT_THROW(as.assemble("bogus a0, a1"), FatalError);
+    EXPECT_THROW(as.assemble("add a0, a1"), FatalError);
+    EXPECT_THROW(as.assemble("lw a0, 4(f1)"), FatalError);
+    EXPECT_THROW(as.assemble("j nowhere"), FatalError);
+    EXPECT_THROW(as.assemble("dup:\ndup:\n nop"), FatalError);
+    EXPECT_THROW(as.assemble(".unknown 4"), FatalError);
+    // Error messages carry the line number.
+    try {
+        as.assemble("nop\nnop\nbogus x9");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+}
+
+TEST(Assembler, CommentsAndLabelsOnSameLine)
+{
+    Assembler as(0);
+    Program p = as.assemble(R"(
+        start: addi a0, zero, 1   # trailing comment
+        // full-line comment
+        next: ; comment
+        addi a0, a0, 1
+    )");
+    EXPECT_EQ(p.symbol("start"), 0u);
+    EXPECT_EQ(p.symbol("next"), 4u);
+    EXPECT_EQ(p.size(), 8u);
+}
+
+TEST(Assembler, RuntimePlusKernelsAssemble)
+{
+    // Every embedded kernel must assemble cleanly with the runtime.
+    Assembler as(0x80000000);
+    for (const char* kernel :
+         {kernels::vecadd(), kernels::saxpy(), kernels::sgemm(),
+          kernels::sfilter(), kernels::nearn(), kernels::gaussian(),
+          kernels::bfs(), kernels::texPointHw(), kernels::texBilinearHw(),
+          kernels::texTrilinearHw(), kernels::texPointSw(),
+          kernels::texBilinearSw(), kernels::texTrilinearSw()}) {
+        Program p = as.assembleAll({kernels::runtimeSource(), kernel});
+        EXPECT_GT(p.size(), 200u);
+        EXPECT_NO_THROW(p.symbol("main"));
+        EXPECT_NO_THROW(p.symbol("_start"));
+        EXPECT_NO_THROW(p.symbol("spawn_tasks"));
+        // Every emitted word must decode to a valid instruction or be data.
+        Instr first = instrAt(p, 0);
+        EXPECT_TRUE(first.valid());
+    }
+}

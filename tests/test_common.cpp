@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit manipulation, elastic queues,
+ * latency pipes, stats, and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitmanip.h"
+#include "common/elastic.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+using namespace vortex;
+
+TEST(Bitmanip, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2((1ull << 40) + 1));
+}
+
+TEST(Bitmanip, Log2)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(1024), 10u);
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(1024), 10u);
+    EXPECT_EQ(log2Floor(1025), 10u);
+}
+
+TEST(Bitmanip, BitsAndSext)
+{
+    EXPECT_EQ(bits(0xDEADBEEF, 0, 4), 0xFu);
+    EXPECT_EQ(bits(0xDEADBEEF, 28, 4), 0xDu);
+    EXPECT_EQ(bits(0xFFFFFFFF, 0, 32), 0xFFFFFFFFu);
+    EXPECT_EQ(sext(0xFFF, 12), -1);
+    EXPECT_EQ(sext(0x7FF, 12), 2047);
+    EXPECT_EQ(sext(0x800, 12), -2048);
+    EXPECT_EQ(sext(0x80000000u, 32), INT32_MIN);
+}
+
+TEST(Bitmanip, MaskAndAlign)
+{
+    EXPECT_EQ(maskLow(0), 0u);
+    EXPECT_EQ(maskLow(5), 0x1Fu);
+    EXPECT_EQ(maskLow(32), 0xFFFFFFFFu);
+    EXPECT_EQ(alignUp(0, 64), 0u);
+    EXPECT_EQ(alignUp(1, 64), 64u);
+    EXPECT_EQ(alignUp(64, 64), 64u);
+    EXPECT_TRUE(isAligned(128, 64));
+    EXPECT_FALSE(isAligned(130, 64));
+}
+
+TEST(Bitmanip, PopcountCtz)
+{
+    EXPECT_EQ(popcount(0), 0u);
+    EXPECT_EQ(popcount(0xF0F0), 8u);
+    EXPECT_EQ(ctz(1), 0u);
+    EXPECT_EQ(ctz(0x80), 7u);
+    EXPECT_EQ(ctz(1ull << 63), 63u);
+}
+
+TEST(ElasticQueue, FifoOrderAndCapacity)
+{
+    ElasticQueue<int> q(2, "t");
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.full());
+    q.push(1);
+    q.push(2);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_FALSE(q.full());
+    q.push(3);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.totalPushes(), 3u);
+}
+
+TEST(ElasticQueue, OverflowUnderflowPanic)
+{
+    ElasticQueue<int> q(1, "t");
+    q.push(1);
+    EXPECT_THROW(q.push(2), PanicError);
+    q.pop();
+    EXPECT_THROW(q.pop(), PanicError);
+    EXPECT_THROW(q.front(), PanicError);
+}
+
+TEST(ElasticQueue, ZeroCapacityRejected)
+{
+    EXPECT_THROW(ElasticQueue<int>(0, "t"), PanicError);
+}
+
+TEST(LatencyPipe, FixedLatency)
+{
+    LatencyPipe<int> pipe(3);
+    pipe.enqueue(7, 10);
+    EXPECT_FALSE(pipe.dequeueReady(11).has_value());
+    EXPECT_FALSE(pipe.dequeueReady(12).has_value());
+    auto v = pipe.dequeueReady(13);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 7);
+    EXPECT_TRUE(pipe.empty());
+}
+
+TEST(LatencyPipe, PipelinedOnePerCycle)
+{
+    LatencyPipe<int> pipe(2);
+    pipe.enqueue(1, 0);
+    pipe.enqueue(2, 1);
+    pipe.enqueue(3, 2);
+    EXPECT_EQ(*pipe.dequeueReady(2), 1);
+    EXPECT_FALSE(pipe.dequeueReady(2).has_value());
+    EXPECT_EQ(*pipe.dequeueReady(3), 2);
+    EXPECT_EQ(*pipe.dequeueReady(4), 3);
+}
+
+TEST(Stats, CountersAndMerge)
+{
+    StatGroup a("a"), b("b");
+    a.counter("x") += 5;
+    b.counter("x") += 2;
+    b.counter("y") = 1;
+    a.add(b);
+    EXPECT_EQ(a.get("x"), 7u);
+    EXPECT_EQ(a.get("y"), 1u);
+    EXPECT_EQ(a.get("missing"), 0u);
+}
+
+TEST(Rng, DeterministicAndBounded)
+{
+    Xorshift a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    Xorshift c(5);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(c.nextBounded(17), 17u);
+        float f = c.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}

@@ -1,0 +1,561 @@
+/**
+ * @file
+ * Functional-executor tests: per-instruction semantics including the
+ * RISC-V edge cases (division corner cases, NaN canonicalization,
+ * FMIN/FMAX zero/NaN rules, FCVT saturation, FCLASS) and the Vortex
+ * extension semantics (tmc, wspawn, split/join, bar, tex coordinates).
+ */
+
+#include <cmath>
+#include <cstring>
+#include <gtest/gtest.h>
+
+#include "core/processor.h"
+#include "isa/csr.h"
+
+using namespace vortex;
+using namespace vortex::core;
+using isa::Instr;
+using isa::InstrKind;
+
+namespace {
+
+class ExecTest : public ::testing::Test
+{
+  protected:
+    ExecTest()
+    {
+        cfg_.numThreads = 4;
+        cfg_.numWarps = 4;
+        proc_ = std::make_unique<Processor>(cfg_);
+        core_ = &proc_->core(0);
+        warp().reset(0x1000, 0xF);
+        warp().active = true;
+    }
+
+    Warp& warp(WarpId w = 0) { return core_->warp(w); }
+
+    Word&
+    x(uint32_t thread, RegId r)
+    {
+        return warp().iregs[thread][r];
+    }
+
+    void
+    setF(uint32_t thread, RegId r, float v)
+    {
+        std::memcpy(&warp().fregs[thread][r], &v, 4);
+    }
+
+    float
+    getF(const ExecOut& out, uint32_t thread)
+    {
+        float v;
+        std::memcpy(&v, &out.values[thread], 4);
+        return v;
+    }
+
+    ExecOut
+    run(InstrKind kind, RegId rd = 0, RegId rs1 = 0, RegId rs2 = 0,
+        int32_t imm = 0, RegId rs3 = 0, uint32_t csr = 0)
+    {
+        Instr in;
+        in.kind = kind;
+        in.rd = rd;
+        in.rs1 = rs1;
+        in.rs2 = rs2;
+        in.rs3 = rs3;
+        in.imm = imm;
+        in.csr = csr;
+        return execute(*core_, 0, in, warp().pc);
+    }
+
+    ArchConfig cfg_;
+    std::unique_ptr<Processor> proc_;
+    Core* core_;
+};
+
+} // namespace
+
+TEST_F(ExecTest, IntegerAluPerLane)
+{
+    for (uint32_t t = 0; t < 4; ++t) {
+        x(t, 1) = 10 + t;
+        x(t, 2) = 3;
+    }
+    ExecOut out = run(InstrKind::ADD, 3, 1, 2);
+    ASSERT_TRUE(out.hasDst);
+    for (uint32_t t = 0; t < 4; ++t)
+        EXPECT_EQ(out.values[t], 13 + t);
+
+    out = run(InstrKind::SUB, 3, 1, 2);
+    EXPECT_EQ(out.values[0], 7u);
+    out = run(InstrKind::SLT, 3, 2, 1);
+    EXPECT_EQ(out.values[0], 1u);
+    x(0, 1) = static_cast<Word>(-5);
+    out = run(InstrKind::SLT, 3, 1, 2);
+    EXPECT_EQ(out.values[0], 1u);
+    out = run(InstrKind::SLTU, 3, 1, 2);
+    EXPECT_EQ(out.values[0], 0u); // -5 unsigned is huge
+}
+
+TEST_F(ExecTest, ShiftsUseLow5Bits)
+{
+    x(0, 1) = 0x80000000u;
+    x(0, 2) = 33; // only low 5 bits count
+    ExecOut out = run(InstrKind::SRL, 3, 1, 2);
+    EXPECT_EQ(out.values[0], 0x40000000u);
+    out = run(InstrKind::SRA, 3, 1, 2);
+    EXPECT_EQ(out.values[0], 0xC0000000u);
+    out = run(InstrKind::SLL, 3, 1, 2);
+    EXPECT_EQ(out.values[0], 0u);
+}
+
+TEST_F(ExecTest, DivRemCornerCases)
+{
+    // Division by zero.
+    x(0, 1) = 17;
+    x(0, 2) = 0;
+    EXPECT_EQ(run(InstrKind::DIV, 3, 1, 2).values[0], 0xFFFFFFFFu);
+    EXPECT_EQ(run(InstrKind::DIVU, 3, 1, 2).values[0], 0xFFFFFFFFu);
+    EXPECT_EQ(run(InstrKind::REM, 3, 1, 2).values[0], 17u);
+    EXPECT_EQ(run(InstrKind::REMU, 3, 1, 2).values[0], 17u);
+    // Signed overflow INT_MIN / -1.
+    x(0, 1) = 0x80000000u;
+    x(0, 2) = static_cast<Word>(-1);
+    EXPECT_EQ(run(InstrKind::DIV, 3, 1, 2).values[0], 0x80000000u);
+    EXPECT_EQ(run(InstrKind::REM, 3, 1, 2).values[0], 0u);
+    // Ordinary signed division truncates toward zero.
+    x(0, 1) = static_cast<Word>(-7);
+    x(0, 2) = 2;
+    EXPECT_EQ(static_cast<int32_t>(run(InstrKind::DIV, 3, 1, 2).values[0]),
+              -3);
+    EXPECT_EQ(static_cast<int32_t>(run(InstrKind::REM, 3, 1, 2).values[0]),
+              -1);
+}
+
+TEST_F(ExecTest, MulHighVariants)
+{
+    x(0, 1) = 0xFFFFFFFFu; // -1 signed
+    x(0, 2) = 0xFFFFFFFFu;
+    EXPECT_EQ(run(InstrKind::MUL, 3, 1, 2).values[0], 1u);
+    EXPECT_EQ(run(InstrKind::MULH, 3, 1, 2).values[0], 0u); // (-1)*(-1)=1
+    EXPECT_EQ(run(InstrKind::MULHU, 3, 1, 2).values[0], 0xFFFFFFFEu);
+    EXPECT_EQ(run(InstrKind::MULHSU, 3, 1, 2).values[0], 0xFFFFFFFFu);
+}
+
+TEST_F(ExecTest, BranchesUseFirstActiveThread)
+{
+    warp().tmask = 0b1100; // threads 2,3 active
+    x(2, 1) = 5;
+    x(2, 2) = 5;
+    x(0, 1) = 1; // inactive thread disagrees; must be ignored
+    x(0, 2) = 2;
+    run(InstrKind::BEQ, 0, 1, 2, 0x40);
+    EXPECT_EQ(warp().pc, 0x1040u);
+
+    warp().pc = 0x1000;
+    x(2, 2) = 6;
+    run(InstrKind::BEQ, 0, 1, 2, 0x40);
+    EXPECT_EQ(warp().pc, 0x1004u);
+}
+
+TEST_F(ExecTest, JalJalrLinkPerThread)
+{
+    ExecOut out = run(InstrKind::JAL, 1, 0, 0, 0x100);
+    EXPECT_EQ(warp().pc, 0x1100u);
+    for (uint32_t t = 0; t < 4; ++t)
+        EXPECT_EQ(out.values[t], 0x1004u);
+
+    warp().pc = 0x2000;
+    x(0, 5) = 0x3001; // low bit must be cleared
+    out = run(InstrKind::JALR, 1, 5, 0, 0);
+    EXPECT_EQ(warp().pc, 0x3000u);
+    EXPECT_EQ(out.values[0], 0x2004u);
+}
+
+TEST_F(ExecTest, FloatArithNanCanonicalization)
+{
+    setF(0, 1, 1.5f);
+    setF(0, 2, 2.25f);
+    ExecOut out = run(InstrKind::FADD_S, 3, 1, 2);
+    EXPECT_EQ(getF(out, 0), 3.75f);
+
+    // inf - inf => canonical NaN bits.
+    setF(0, 1, INFINITY);
+    setF(0, 2, INFINITY);
+    out = run(InstrKind::FSUB_S, 3, 1, 2);
+    EXPECT_EQ(out.values[0], 0x7FC00000u);
+    out = run(InstrKind::FMUL_S, 3, 1, 2);
+    EXPECT_EQ(getF(out, 0), INFINITY);
+
+    // 0/0 => canonical NaN.
+    setF(0, 1, 0.0f);
+    setF(0, 2, 0.0f);
+    out = run(InstrKind::FDIV_S, 3, 1, 2);
+    EXPECT_EQ(out.values[0], 0x7FC00000u);
+
+    // sqrt(-1) => canonical NaN; sqrt(4) = 2.
+    setF(0, 1, -1.0f);
+    out = run(InstrKind::FSQRT_S, 3, 1);
+    EXPECT_EQ(out.values[0], 0x7FC00000u);
+    setF(0, 1, 4.0f);
+    out = run(InstrKind::FSQRT_S, 3, 1);
+    EXPECT_EQ(getF(out, 0), 2.0f);
+}
+
+TEST_F(ExecTest, FusedMultiplyAddVariants)
+{
+    setF(0, 1, 2.0f);
+    setF(0, 2, 3.0f);
+    setF(0, 3, 10.0f);
+    EXPECT_EQ(getF(run(InstrKind::FMADD_S, 4, 1, 2, 0, 3), 0), 16.0f);
+    EXPECT_EQ(getF(run(InstrKind::FMSUB_S, 4, 1, 2, 0, 3), 0), -4.0f);
+    EXPECT_EQ(getF(run(InstrKind::FNMSUB_S, 4, 1, 2, 0, 3), 0), 4.0f);
+    EXPECT_EQ(getF(run(InstrKind::FNMADD_S, 4, 1, 2, 0, 3), 0), -16.0f);
+}
+
+TEST_F(ExecTest, FminFmaxRules)
+{
+    // -0 vs +0: min picks -0, max picks +0.
+    setF(0, 1, -0.0f);
+    setF(0, 2, 0.0f);
+    EXPECT_EQ(run(InstrKind::FMIN_S, 3, 1, 2).values[0], 0x80000000u);
+    EXPECT_EQ(run(InstrKind::FMAX_S, 3, 1, 2).values[0], 0x00000000u);
+    // One NaN: the non-NaN operand wins.
+    setF(0, 1, NAN);
+    setF(0, 2, 7.0f);
+    EXPECT_EQ(getF(run(InstrKind::FMIN_S, 3, 1, 2), 0), 7.0f);
+    EXPECT_EQ(getF(run(InstrKind::FMAX_S, 3, 1, 2), 0), 7.0f);
+    // Both NaN: canonical NaN.
+    setF(0, 2, NAN);
+    EXPECT_EQ(run(InstrKind::FMIN_S, 3, 1, 2).values[0], 0x7FC00000u);
+}
+
+TEST_F(ExecTest, FcvtSaturation)
+{
+    setF(0, 1, 3.7f);
+    EXPECT_EQ(run(InstrKind::FCVT_W_S, 3, 1).values[0], 3u);
+    setF(0, 1, -3.7f);
+    EXPECT_EQ(static_cast<int32_t>(run(InstrKind::FCVT_W_S, 3, 1).values[0]),
+              -3);
+    setF(0, 1, 3.0e9f);
+    EXPECT_EQ(run(InstrKind::FCVT_W_S, 3, 1).values[0], 0x7FFFFFFFu);
+    setF(0, 1, -3.0e9f);
+    EXPECT_EQ(run(InstrKind::FCVT_W_S, 3, 1).values[0], 0x80000000u);
+    setF(0, 1, NAN);
+    EXPECT_EQ(run(InstrKind::FCVT_W_S, 3, 1).values[0], 0x7FFFFFFFu);
+    setF(0, 1, -1.0f);
+    EXPECT_EQ(run(InstrKind::FCVT_WU_S, 3, 1).values[0], 0u);
+    setF(0, 1, 5.0e9f);
+    EXPECT_EQ(run(InstrKind::FCVT_WU_S, 3, 1).values[0], 0xFFFFFFFFu);
+
+    x(0, 1) = static_cast<Word>(-2);
+    EXPECT_EQ(getF(run(InstrKind::FCVT_S_W, 3, 1), 0), -2.0f);
+    EXPECT_EQ(getF(run(InstrKind::FCVT_S_WU, 3, 1), 0), 4294967294.0f);
+}
+
+TEST_F(ExecTest, Fclass)
+{
+    setF(0, 1, -INFINITY);
+    EXPECT_EQ(run(InstrKind::FCLASS_S, 3, 1).values[0], 1u << 0);
+    setF(0, 1, -1.0f);
+    EXPECT_EQ(run(InstrKind::FCLASS_S, 3, 1).values[0], 1u << 1);
+    setF(0, 1, -0.0f);
+    EXPECT_EQ(run(InstrKind::FCLASS_S, 3, 1).values[0], 1u << 3);
+    setF(0, 1, 0.0f);
+    EXPECT_EQ(run(InstrKind::FCLASS_S, 3, 1).values[0], 1u << 4);
+    setF(0, 1, 1.0f);
+    EXPECT_EQ(run(InstrKind::FCLASS_S, 3, 1).values[0], 1u << 6);
+    setF(0, 1, INFINITY);
+    EXPECT_EQ(run(InstrKind::FCLASS_S, 3, 1).values[0], 1u << 7);
+    setF(0, 1, NAN);
+    EXPECT_EQ(run(InstrKind::FCLASS_S, 3, 1).values[0], 1u << 9);
+}
+
+TEST_F(ExecTest, FloatCompares)
+{
+    setF(0, 1, 1.0f);
+    setF(0, 2, 2.0f);
+    EXPECT_EQ(run(InstrKind::FLT_S, 3, 1, 2).values[0], 1u);
+    EXPECT_EQ(run(InstrKind::FLE_S, 3, 1, 2).values[0], 1u);
+    EXPECT_EQ(run(InstrKind::FEQ_S, 3, 1, 2).values[0], 0u);
+    setF(0, 1, NAN);
+    EXPECT_EQ(run(InstrKind::FLT_S, 3, 1, 2).values[0], 0u);
+    EXPECT_EQ(run(InstrKind::FEQ_S, 3, 1, 2).values[0], 0u);
+}
+
+TEST_F(ExecTest, SignInjectionAndMoves)
+{
+    setF(0, 1, 3.0f);
+    setF(0, 2, -5.0f);
+    EXPECT_EQ(getF(run(InstrKind::FSGNJ_S, 3, 1, 2), 0), -3.0f);
+    EXPECT_EQ(getF(run(InstrKind::FSGNJN_S, 3, 1, 2), 0), 3.0f);
+    EXPECT_EQ(getF(run(InstrKind::FSGNJX_S, 3, 1, 2), 0), -3.0f);
+    x(0, 5) = 0x40490FDB; // pi bits
+    ExecOut out = run(InstrKind::FMV_W_X, 3, 5);
+    EXPECT_EQ(out.values[0], 0x40490FDBu);
+    setF(0, 1, -2.0f);
+    out = run(InstrKind::FMV_X_W, 3, 1);
+    EXPECT_EQ(out.values[0], 0xC0000000u);
+}
+
+TEST_F(ExecTest, LoadsAndStores)
+{
+    core_->ram().write32(0x5000, 0xDEADBEEF);
+    for (uint32_t t = 0; t < 4; ++t)
+        x(t, 1) = 0x5000 + 4 * t;
+    core_->ram().write32(0x5004, 0x80);
+    ExecOut out = run(InstrKind::LW, 3, 1);
+    EXPECT_TRUE(out.isMem);
+    EXPECT_FALSE(out.memWrite);
+    EXPECT_EQ(out.values[0], 0xDEADBEEFu);
+    EXPECT_EQ(out.values[1], 0x80u);
+    EXPECT_EQ(out.addrs[0], 0x5000u);
+    EXPECT_EQ(out.addrs[3], 0x500Cu);
+
+    // Sign extension.
+    out = run(InstrKind::LB, 3, 1);
+    EXPECT_EQ(out.values[0], 0xFFFFFFEFu);
+    out = run(InstrKind::LBU, 3, 1);
+    EXPECT_EQ(out.values[0], 0xEFu);
+    out = run(InstrKind::LH, 3, 1);
+    EXPECT_EQ(out.values[0], 0xFFFFBEEFu);
+    out = run(InstrKind::LHU, 3, 1);
+    EXPECT_EQ(out.values[0], 0xBEEFu);
+
+    // Stores write RAM immediately, per lane.
+    for (uint32_t t = 0; t < 4; ++t)
+        x(t, 2) = 0x11 * (t + 1);
+    out = run(InstrKind::SW, 0, 1, 2);
+    EXPECT_TRUE(out.memWrite);
+    EXPECT_EQ(core_->ram().read32(0x5000), 0x11u);
+    EXPECT_EQ(core_->ram().read32(0x500C), 0x44u);
+
+    // Inactive lanes neither load nor store.
+    warp().tmask = 0b0001;
+    x(0, 2) = 0xAB;
+    run(InstrKind::SB, 0, 1, 2);
+    EXPECT_EQ(core_->ram().read8(0x5004), 0x22u); // lane 1 untouched
+}
+
+TEST_F(ExecTest, TmcSemantics)
+{
+    x(0, 5) = 2;
+    Instr in;
+    in.kind = InstrKind::VX_TMC;
+    in.rs1 = 5;
+    execute(*core_, 0, in, warp().pc);
+    EXPECT_EQ(warp().tmask, 0b11u);
+    EXPECT_TRUE(warp().active);
+
+    x(0, 5) = 100; // clamps to NT
+    execute(*core_, 0, in, warp().pc);
+    EXPECT_EQ(warp().tmask, 0b1111u);
+
+    x(0, 5) = 0;
+    ExecOut out = execute(*core_, 0, in, warp().pc);
+    EXPECT_TRUE(out.haltWarp);
+    EXPECT_FALSE(warp().active);
+}
+
+TEST_F(ExecTest, WspawnActivatesWarps)
+{
+    x(0, 5) = 3;
+    x(0, 6) = 0x4000;
+    Instr in;
+    in.kind = InstrKind::VX_WSPAWN;
+    in.rs1 = 5;
+    in.rs2 = 6;
+    execute(*core_, 0, in, warp().pc);
+    EXPECT_TRUE(warp(1).active);
+    EXPECT_TRUE(warp(2).active);
+    EXPECT_FALSE(warp(3).active);
+    EXPECT_EQ(warp(1).pc, 0x4000u);
+    EXPECT_EQ(warp(1).tmask, 1u);
+    EXPECT_TRUE(core_->scheduler().isActive(1));
+}
+
+TEST_F(ExecTest, SplitJoinDivergent)
+{
+    // Threads 0,2 true; 1,3 false.
+    for (uint32_t t = 0; t < 4; ++t)
+        x(t, 5) = (t % 2 == 0) ? 1 : 0;
+    Instr split;
+    split.kind = InstrKind::VX_SPLIT;
+    split.rs1 = 5;
+    Addr pc0 = warp().pc;
+    execute(*core_, 0, split, pc0);
+    EXPECT_EQ(warp().tmask, 0b0101u);
+    EXPECT_EQ(warp().pc, pc0 + 4);
+    EXPECT_EQ(warp().ipdom.size(), 2u);
+
+    // First join: redirects to the else path with the false threads.
+    Instr join;
+    join.kind = InstrKind::VX_JOIN;
+    execute(*core_, 0, join, 0x2000);
+    EXPECT_EQ(warp().tmask, 0b1010u);
+    EXPECT_EQ(warp().pc, pc0 + 4); // replays from after the split
+
+    // Second join: restores the full mask and falls through.
+    execute(*core_, 0, join, 0x3000);
+    EXPECT_EQ(warp().tmask, 0b1111u);
+    EXPECT_EQ(warp().pc, 0x3004u);
+    EXPECT_EQ(warp().ipdom.size(), 0u);
+}
+
+TEST_F(ExecTest, SplitJoinUniform)
+{
+    for (uint32_t t = 0; t < 4; ++t)
+        x(t, 5) = 1; // uniformly true
+    Instr split;
+    split.kind = InstrKind::VX_SPLIT;
+    split.rs1 = 5;
+    execute(*core_, 0, split, warp().pc);
+    EXPECT_EQ(warp().tmask, 0b1111u); // unchanged
+
+    Instr join;
+    join.kind = InstrKind::VX_JOIN;
+    execute(*core_, 0, join, 0x2000);
+    EXPECT_EQ(warp().tmask, 0b1111u);
+    EXPECT_EQ(warp().pc, 0x2004u);
+    EXPECT_TRUE(warp().ipdom.empty());
+}
+
+TEST_F(ExecTest, NestedSplits)
+{
+    for (uint32_t t = 0; t < 4; ++t)
+        x(t, 5) = t >= 1 ? 1 : 0; // 1,2,3 true
+    Instr split;
+    split.kind = InstrKind::VX_SPLIT;
+    split.rs1 = 5;
+    execute(*core_, 0, split, 0x1000);
+    EXPECT_EQ(warp().tmask, 0b1110u);
+    for (uint32_t t = 0; t < 4; ++t)
+        x(t, 5) = t >= 2 ? 1 : 0; // nested: 2,3
+    execute(*core_, 0, split, 0x1100);
+    EXPECT_EQ(warp().tmask, 0b1100u);
+    EXPECT_EQ(warp().ipdom.size(), 4u);
+
+    Instr join;
+    join.kind = InstrKind::VX_JOIN;
+    // Inner else: thread 1.
+    execute(*core_, 0, join, 0x1200);
+    EXPECT_EQ(warp().tmask, 0b0010u);
+    execute(*core_, 0, join, 0x1200);
+    EXPECT_EQ(warp().tmask, 0b1110u);
+    // Outer else: thread 0.
+    execute(*core_, 0, join, 0x1300);
+    EXPECT_EQ(warp().tmask, 0b0001u);
+    execute(*core_, 0, join, 0x1300);
+    EXPECT_EQ(warp().tmask, 0b1111u);
+}
+
+TEST_F(ExecTest, JoinUnderflowIsFatal)
+{
+    Instr join;
+    join.kind = InstrKind::VX_JOIN;
+    EXPECT_THROW(execute(*core_, 0, join, 0x1000), FatalError);
+}
+
+TEST_F(ExecTest, BarrierDecoding)
+{
+    x(0, 5) = 3;
+    x(0, 6) = 4;
+    Instr in;
+    in.kind = InstrKind::VX_BAR;
+    in.rs1 = 5;
+    in.rs2 = 6;
+    ExecOut out = execute(*core_, 0, in, warp().pc);
+    EXPECT_TRUE(out.isBarrier);
+    EXPECT_FALSE(out.barrierGlobal);
+    EXPECT_EQ(out.barrierId, 3u);
+    EXPECT_EQ(out.barrierCount, 4u);
+
+    x(0, 5) = 0x80000001u;
+    out = execute(*core_, 0, in, warp().pc);
+    EXPECT_TRUE(out.barrierGlobal);
+}
+
+TEST_F(ExecTest, CsrsPerThread)
+{
+    Instr in;
+    in.kind = InstrKind::CSRRS;
+    in.rd = 7;
+    in.rs1 = 0;
+    in.csr = isa::CSR_THREAD_ID;
+    ExecOut out = execute(*core_, 0, in, warp().pc);
+    for (uint32_t t = 0; t < 4; ++t)
+        EXPECT_EQ(out.values[t], t);
+
+    in.csr = isa::CSR_NUM_THREADS;
+    out = execute(*core_, 0, in, warp().pc);
+    EXPECT_EQ(out.values[0], 4u);
+    in.csr = isa::CSR_WARP_ID;
+    out = execute(*core_, 0, in, warp().pc);
+    EXPECT_EQ(out.values[0], 0u);
+    in.csr = isa::CSR_THREAD_MASK;
+    out = execute(*core_, 0, in, warp().pc);
+    EXPECT_EQ(out.values[0], 0xFu);
+}
+
+TEST_F(ExecTest, CsrWriteAndTexRouting)
+{
+    // CSRRW to a texture CSR configures the texture unit.
+    x(0, 5) = 0xABCD0000;
+    Instr in;
+    in.kind = InstrKind::CSRRW;
+    in.rd = 0;
+    in.rs1 = 5;
+    in.csr = isa::texCsrAddr(0, isa::TEX_STATE_ADDR);
+    execute(*core_, 0, in, warp().pc);
+    EXPECT_EQ(core_->texUnit()->stageState(0).addr, 0xABCD0000u);
+
+    // CSRRS with rs1=x0 must not write.
+    in.kind = InstrKind::CSRRS;
+    in.rd = 7;
+    in.rs1 = 0;
+    execute(*core_, 0, in, warp().pc);
+    EXPECT_EQ(core_->texUnit()->stageState(0).addr, 0xABCD0000u);
+}
+
+TEST_F(ExecTest, TexOperands)
+{
+    setF(0, 1, 0.25f);
+    setF(0, 2, 0.75f);
+    setF(0, 3, 1.0f);
+    warp().tmask = 0b0011;
+    setF(1, 1, 0.5f);
+    setF(1, 2, 0.5f);
+    setF(1, 3, 0.0f);
+    Instr in;
+    in.kind = InstrKind::VX_TEX;
+    in.rd = 9;
+    in.rs1 = 1;
+    in.rs2 = 2;
+    in.rs3 = 3;
+    ExecOut out = execute(*core_, 0, in, warp().pc);
+    EXPECT_TRUE(out.isTex);
+    ASSERT_EQ(out.texLanes.size(), 4u);
+    EXPECT_TRUE(out.texLanes[0].active);
+    EXPECT_TRUE(out.texLanes[1].active);
+    EXPECT_FALSE(out.texLanes[2].active);
+    EXPECT_EQ(out.texLanes[0].u, 0.25f);
+    EXPECT_EQ(out.texLanes[0].v, 0.75f);
+    EXPECT_EQ(out.texLanes[0].lod, 1.0f);
+    EXPECT_EQ(out.texLanes[1].u, 0.5f);
+}
+
+TEST_F(ExecTest, WritesToX0Dropped)
+{
+    x(0, 1) = 5;
+    ExecOut out = run(InstrKind::ADDI, 0, 1, 0, 7);
+    EXPECT_FALSE(out.hasDst);
+}
+
+TEST_F(ExecTest, EcallHaltsWarp)
+{
+    ExecOut out = run(InstrKind::ECALL);
+    EXPECT_TRUE(out.haltWarp);
+    EXPECT_FALSE(warp().active);
+}

@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Graphics pipeline tests: math primitives, framebuffer, the top-left fill
+ * rule (shared-edge adjacency property), depth/alpha/stencil/fog fragment
+ * ops, perspective-correct interpolation, near-plane clipping, and texture
+ * sampling through the pipeline.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "graphics/pipeline.h"
+
+using namespace vortex;
+using namespace vortex::graphics;
+
+namespace {
+
+Vertex
+vtx(float x, float y, float z = 0.0f, float w = 1.0f)
+{
+    Vertex v;
+    v.position = {x, y, z, w};
+    return v;
+}
+
+/** Count pixels whose color equals @p rgba. */
+uint32_t
+countPixels(const Framebuffer& fb, uint32_t rgba)
+{
+    uint32_t n = 0;
+    for (uint32_t y = 0; y < fb.height(); ++y) {
+        for (uint32_t x = 0; x < fb.width(); ++x) {
+            if (fb.pixel(x, y) == rgba)
+                ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace
+
+//
+// Math.
+//
+
+TEST(VMath, MatrixVectorBasics)
+{
+    Mat4 id = Mat4::identity();
+    Vec4 v{1, 2, 3, 1};
+    Vec4 r = id * v;
+    EXPECT_EQ(r.x, 1.0f);
+    EXPECT_EQ(r.w, 1.0f);
+
+    Mat4 t = Mat4::translate(10, 20, 30);
+    r = t * v;
+    EXPECT_EQ(r.x, 11.0f);
+    EXPECT_EQ(r.y, 22.0f);
+    EXPECT_EQ(r.z, 33.0f);
+
+    Mat4 s = Mat4::scale(2, 3, 4);
+    r = (t * s) * v; // scale then translate
+    EXPECT_EQ(r.x, 12.0f);
+    EXPECT_EQ(r.y, 26.0f);
+
+    // Rotation by 90 degrees about Z maps +x to +y.
+    Mat4 rz = Mat4::rotateZ(static_cast<float>(M_PI / 2));
+    r = rz * Vec4{1, 0, 0, 1};
+    EXPECT_NEAR(r.x, 0.0f, 1e-6f);
+    EXPECT_NEAR(r.y, 1.0f, 1e-6f);
+}
+
+TEST(VMath, PerspectiveMapsNearFar)
+{
+    Mat4 p = Mat4::perspective(1.0f, 1.0f, 1.0f, 10.0f);
+    // Points on the near/far plane map to z/w = -1 / +1.
+    Vec4 near_pt = p * Vec4{0, 0, -1.0f, 1};
+    Vec4 far_pt = p * Vec4{0, 0, -10.0f, 1};
+    EXPECT_NEAR(near_pt.z / near_pt.w, -1.0f, 1e-5f);
+    EXPECT_NEAR(far_pt.z / far_pt.w, 1.0f, 1e-5f);
+}
+
+TEST(VMath, LookAtEyeMapsToOrigin)
+{
+    Mat4 v = Mat4::lookAt({5, 6, 7}, {0, 0, 0}, {0, 1, 0});
+    Vec4 eye = v * Vec4{5, 6, 7, 1};
+    EXPECT_NEAR(eye.x, 0.0f, 1e-4f);
+    EXPECT_NEAR(eye.y, 0.0f, 1e-4f);
+    EXPECT_NEAR(eye.z, 0.0f, 1e-4f);
+}
+
+//
+// Framebuffer.
+//
+
+TEST(Framebuffer, ClearAndAccess)
+{
+    Framebuffer fb(16, 8);
+    fb.clear({1, 2, 3, 4}, 0.5f, 7);
+    EXPECT_EQ(fb.pixel(0, 0), (tex::Color{1, 2, 3, 4}.pack()));
+    EXPECT_EQ(fb.depth(15, 7), 0.5f);
+    EXPECT_EQ(fb.stencil(3, 3), 7);
+    fb.setPixel(2, 2, 0xAABBCCDD);
+    EXPECT_EQ(fb.pixel(2, 2), 0xAABBCCDDu);
+}
+
+//
+// Rasterization.
+//
+
+TEST(Raster, FullscreenTriangleCoversEverything)
+{
+    Framebuffer fb(32, 32);
+    Pipeline pipe(fb);
+    fb.clear({0, 0, 0, 255});
+    std::vector<Vertex> v = {vtx(-1, -1), vtx(3, -1), vtx(-1, 3)};
+    for (Vertex& x : v)
+        x.color = {1, 0, 0, 1};
+    pipe.drawTriangles(v, {0, 1, 2});
+    EXPECT_EQ(countPixels(fb, tex::Color{255, 0, 0, 255}.pack()),
+              32u * 32u);
+    EXPECT_EQ(pipe.stats().get("fragments"), 32u * 32u);
+}
+
+TEST(Raster, SharedEdgeShadesEachPixelExactlyOnce)
+{
+    // The top-left fill rule property: a quad split into two triangles
+    // along its diagonal shades every covered pixel exactly once,
+    // regardless of winding.
+    Framebuffer fb(64, 64);
+    Pipeline pipe(fb);
+    pipe.depthState().testEnabled = false;
+    fb.clear({0, 0, 0, 0});
+
+    // Accumulating shader: add 1 to red each time the pixel is shaded.
+    pipe.setFragmentShader([&](const FragmentIn&) -> Vec4 {
+        return {1.0f, 0.0f, 0.0f, 1.0f};
+    });
+    // Count via stats: fragments shaded must equal covered pixels.
+    std::vector<Vertex> v = {vtx(-0.8f, -0.8f), vtx(0.8f, -0.8f),
+                             vtx(0.8f, 0.8f), vtx(-0.8f, 0.8f)};
+    pipe.drawTriangles(v, {0, 1, 2, 0, 2, 3});
+    uint64_t frags = pipe.stats().get("fragments");
+    uint32_t covered = countPixels(fb, tex::Color{255, 0, 0, 255}.pack());
+    EXPECT_EQ(frags, covered) << "double-shaded or missed pixels on the "
+                                 "shared diagonal";
+    EXPECT_GT(covered, 2000u);
+}
+
+TEST(Raster, BothWindingsRasterize)
+{
+    Framebuffer fb(32, 32);
+    Pipeline pipe(fb);
+    fb.clear({0, 0, 0, 0});
+    std::vector<Vertex> v = {vtx(-1, -1), vtx(1, -1), vtx(-1, 1)};
+    pipe.drawTriangles(v, {0, 1, 2});
+    uint32_t ccw = static_cast<uint32_t>(pipe.stats().get("fragments"));
+    fb.clear({0, 0, 0, 0});
+    pipe.drawTriangles(v, {0, 2, 1});
+    uint32_t cw = static_cast<uint32_t>(pipe.stats().get("fragments")) - ccw;
+    EXPECT_EQ(ccw, cw);
+    EXPECT_GT(ccw, 0u);
+}
+
+TEST(Raster, DegenerateTriangleDropped)
+{
+    Framebuffer fb(16, 16);
+    Pipeline pipe(fb);
+    std::vector<Vertex> v = {vtx(0, 0), vtx(0.5f, 0.5f), vtx(-0.5f, -0.5f)};
+    pipe.drawTriangles(v, {0, 1, 2});
+    EXPECT_EQ(pipe.stats().get("fragments"), 0u);
+}
+
+TEST(Raster, DepthTestOcclusion)
+{
+    Framebuffer fb(16, 16);
+    Pipeline pipe(fb);
+    fb.clear({0, 0, 0, 255});
+    // Near red triangle (z=0), then far blue triangle (z=0.5): blue loses.
+    std::vector<Vertex> red = {vtx(-1, -1, 0), vtx(3, -1, 0), vtx(-1, 3, 0)};
+    for (Vertex& x : red)
+        x.color = {1, 0, 0, 1};
+    std::vector<Vertex> blue = {vtx(-1, -1, 0.5f), vtx(3, -1, 0.5f),
+                                vtx(-1, 3, 0.5f)};
+    for (Vertex& x : blue)
+        x.color = {0, 0, 1, 1};
+    pipe.drawTriangles(red, {0, 1, 2});
+    pipe.drawTriangles(blue, {0, 1, 2});
+    EXPECT_EQ(countPixels(fb, tex::Color{255, 0, 0, 255}.pack()), 256u);
+    EXPECT_EQ(pipe.stats().get("depth_killed"), 256u);
+
+    // With depth test off, blue overdraws.
+    pipe.depthState().testEnabled = false;
+    pipe.drawTriangles(blue, {0, 1, 2});
+    EXPECT_EQ(countPixels(fb, tex::Color{0, 0, 255, 255}.pack()), 256u);
+}
+
+TEST(Raster, DepthWriteDisable)
+{
+    Framebuffer fb(8, 8);
+    Pipeline pipe(fb);
+    fb.clear({0, 0, 0, 255});
+    pipe.depthState().writeEnabled = false;
+    std::vector<Vertex> t = {vtx(-1, -1, 0), vtx(3, -1, 0), vtx(-1, 3, 0)};
+    pipe.drawTriangles(t, {0, 1, 2});
+    EXPECT_EQ(fb.depth(4, 4), 1.0f); // unchanged
+}
+
+TEST(Raster, AlphaTestKillsFragments)
+{
+    Framebuffer fb(8, 8);
+    Pipeline pipe(fb);
+    fb.clear({9, 9, 9, 255});
+    pipe.alphaState().testEnabled = true;
+    pipe.alphaState().func = CompareFunc::Greater;
+    pipe.alphaState().ref = 0.5f;
+    std::vector<Vertex> t = {vtx(-1, -1), vtx(3, -1), vtx(-1, 3)};
+    for (Vertex& x : t)
+        x.color = {1, 1, 1, 0.25f}; // below the ref: all killed
+    pipe.drawTriangles(t, {0, 1, 2});
+    EXPECT_EQ(countPixels(fb, tex::Color{9, 9, 9, 255}.pack()), 64u);
+    EXPECT_EQ(pipe.stats().get("alpha_killed"), 64u);
+}
+
+TEST(Raster, StencilMaskAndOps)
+{
+    Framebuffer fb(8, 8);
+    Pipeline pipe(fb);
+    fb.clear({0, 0, 0, 255}, 1.0f, 0);
+    std::vector<Vertex> t = {vtx(-1, -1), vtx(3, -1), vtx(-1, 3)};
+
+    // Pass 1: stencil always passes, writes ref=5 on zpass.
+    pipe.stencilState().testEnabled = true;
+    pipe.stencilState().func = CompareFunc::Always;
+    pipe.stencilState().ref = 5;
+    pipe.stencilState().onZPass = StencilOp::Replace;
+    pipe.drawTriangles(t, {0, 1, 2});
+    EXPECT_EQ(fb.stencil(3, 3), 5);
+
+    // Pass 2: only where stencil == 5; draw red.
+    pipe.depthState().func = CompareFunc::LEqual;
+    pipe.stencilState().func = CompareFunc::Equal;
+    pipe.stencilState().onZPass = StencilOp::Keep;
+    for (Vertex& x : t)
+        x.color = {1, 0, 0, 1};
+    pipe.drawTriangles(t, {0, 1, 2});
+    EXPECT_EQ(countPixels(fb, tex::Color{255, 0, 0, 255}.pack()), 64u);
+
+    // Pass 3: ref 6 fails everywhere; stencil_killed counts.
+    pipe.stencilState().ref = 6;
+    uint64_t before = pipe.stats().get("stencil_killed");
+    pipe.drawTriangles(t, {0, 1, 2});
+    EXPECT_EQ(pipe.stats().get("stencil_killed") - before, 64u);
+}
+
+TEST(Raster, LinearFogBlends)
+{
+    Framebuffer fb(8, 8);
+    Pipeline pipe(fb);
+    fb.clear({0, 0, 0, 255});
+    pipe.fogState().enabled = true;
+    pipe.fogState().mode = FogState::Mode::Linear;
+    pipe.fogState().color = {0.0f, 0.0f, 1.0f};
+    pipe.fogState().start = 0.0f;
+    pipe.fogState().end = 2.0f;
+    // w == 1 everywhere => fog factor 0.5: half color, half fog.
+    std::vector<Vertex> t = {vtx(-1, -1), vtx(3, -1), vtx(-1, 3)};
+    for (Vertex& x : t)
+        x.color = {1.0f, 0.0f, 0.0f, 1.0f};
+    pipe.drawTriangles(t, {0, 1, 2});
+    tex::Color c = tex::Color::unpackRgba8(fb.pixel(4, 4));
+    EXPECT_NEAR(c.r, 128, 2);
+    EXPECT_NEAR(c.b, 128, 2);
+}
+
+TEST(Raster, PerspectiveCorrectInterpolation)
+{
+    // A quad with w varying 1 -> 3: at the screen-space midpoint the
+    // perspective-correct u is NOT 0.5 but 1/w-weighted.
+    Framebuffer fb(64, 64);
+    Pipeline pipe(fb);
+    fb.clear({0, 0, 0, 255});
+    float captured_u = -1.0f;
+    pipe.setFragmentShader([&](const FragmentIn& in) -> Vec4 {
+        if (std::abs(in.uv.y - 0.5f) < 0.05f &&
+            std::abs(in.viewW - 1.5f) < 0.03f)
+            captured_u = in.uv.x;
+        return in.color;
+    });
+    // Left edge at w=1 (u=0), right edge at w=3 (u=1), spanning x -1..1.
+    std::vector<Vertex> v(4);
+    v[0].position = {-1, -1, 0, 1};
+    v[0].uv = {0, 0};
+    v[1].position = {3, -3, 0, 3};
+    v[1].uv = {1, 0};
+    v[2].position = {3, 3, 0, 3};
+    v[2].uv = {1, 1};
+    v[3].position = {-1, 1, 0, 1};
+    v[3].uv = {0, 1};
+    pipe.drawTriangles(v, {0, 1, 2, 0, 2, 3});
+    // At 1/w = (1/1+1/3)/2 = 2/3 => w = 1.5, u/w interpolated = 0.5*(1/3)
+    // => u = 0.5*(1/3)*1.5 = 0.25? Derive: u_over_w mid = (0 + 1/3)/2 =
+    // 1/6; inv_w mid = 2/3... u = (1/6)/(2/3) = 0.25.
+    ASSERT_GE(captured_u, 0.0f) << "no fragment captured at w=1.5";
+    EXPECT_NEAR(captured_u, 0.25f, 0.05f);
+}
+
+TEST(Raster, NearPlaneClippingKeepsVisiblePart)
+{
+    Framebuffer fb(32, 32);
+    Pipeline pipe(fb);
+    fb.clear({0, 0, 0, 255});
+    // Triangle with one vertex behind the eye (w < 0): must be clipped,
+    // not discarded entirely, and must not crash.
+    std::vector<Vertex> v(3);
+    v[0].position = {0, 0.5f, 0, 1};
+    v[0].color = {1, 1, 1, 1};
+    v[1].position = {0.5f, -0.5f, 0, 1};
+    v[1].color = {1, 1, 1, 1};
+    v[2].position = {0, 0, -2.0f, -1.0f}; // behind the near plane
+    v[2].color = {1, 1, 1, 1};
+    pipe.drawTriangles(v, {0, 1, 2});
+    EXPECT_GT(pipe.stats().get("fragments"), 0u);
+    EXPECT_EQ(pipe.stats().get("triangles_in"), 1u);
+}
+
+TEST(Raster, FullyBehindCameraRejected)
+{
+    Framebuffer fb(16, 16);
+    Pipeline pipe(fb);
+    std::vector<Vertex> v = {vtx(0, 0, -2, -1), vtx(1, 0, -2, -1),
+                             vtx(0, 1, -2, -1)};
+    pipe.drawTriangles(v, {0, 1, 2});
+    EXPECT_EQ(pipe.stats().get("triangles_rastered"), 0u);
+}
+
+TEST(Raster, TextureSampling)
+{
+    mem::Ram texram;
+    tex::SamplerState st;
+    st.addr = 0;
+    st.widthLog2 = 2;
+    st.heightLog2 = 2;
+    st.format = tex::Format::RGBA8;
+    st.filter = tex::Filter::Point;
+    for (uint32_t i = 0; i < 16; ++i)
+        texram.write32(i * 4, tex::Color{200, 50, 25, 255}.pack());
+
+    Framebuffer fb(8, 8);
+    Pipeline pipe(fb);
+    fb.clear({0, 0, 0, 255});
+    pipe.bindTexture(&texram, st);
+    pipe.setFragmentShader([&](const FragmentIn& in) -> Vec4 {
+        return pipe.sampleTexture(in.uv.x, in.uv.y);
+    });
+    std::vector<Vertex> t = {vtx(-1, -1), vtx(3, -1), vtx(-1, 3)};
+    pipe.drawTriangles(t, {0, 1, 2});
+    EXPECT_EQ(countPixels(fb, tex::Color{200, 50, 25, 255}.pack()), 64u);
+}
+
+TEST(Raster, TileBinningCountsTiles)
+{
+    Framebuffer fb(128, 128);
+    Pipeline pipe(fb, 32); // 4x4 tiles
+    std::vector<Vertex> t = {vtx(-1, -1), vtx(3, -1), vtx(-1, 3)};
+    pipe.drawTriangles(t, {0, 1, 2});
+    EXPECT_EQ(pipe.stats().get("tiles_shaded"), 16u);
+
+    // A tiny triangle touches one tile only.
+    Pipeline pipe2(fb, 32);
+    std::vector<Vertex> small = {vtx(-0.9f, -0.9f), vtx(-0.8f, -0.9f),
+                                 vtx(-0.9f, -0.8f)};
+    pipe2.drawTriangles(small, {0, 1, 2});
+    EXPECT_EQ(pipe2.stats().get("tiles_shaded"), 1u);
+}
+
+TEST(Raster, PointsDrawSquares)
+{
+    Framebuffer fb(32, 32);
+    Pipeline pipe(fb);
+    fb.clear({0, 0, 0, 255});
+    std::vector<Vertex> pts(1);
+    pts[0].position = {0, 0, 0, 1}; // center
+    pts[0].color = {0, 1, 0, 1};
+    pipe.drawPoints(pts, 3);
+    EXPECT_EQ(countPixels(fb, tex::Color{0, 255, 0, 255}.pack()), 9u);
+    EXPECT_EQ(pipe.stats().get("points"), 1u);
+
+    // A point behind the camera is culled.
+    pts[0].position = {0, 0, 0, -1};
+    pipe.drawPoints(pts, 3);
+    EXPECT_EQ(pipe.stats().get("points"), 1u);
+}
+
+TEST(Raster, LinesConnectEndpoints)
+{
+    Framebuffer fb(32, 32);
+    Pipeline pipe(fb);
+    fb.clear({0, 0, 0, 255});
+    std::vector<Vertex> v(2);
+    v[0].position = {-0.9f, -0.9f, 0, 1};
+    v[0].color = {1, 1, 1, 1};
+    v[1].position = {0.9f, 0.9f, 0, 1};
+    v[1].color = {1, 1, 1, 1};
+    pipe.drawLines(v, {0, 1});
+    uint32_t lit = countPixels(fb, tex::Color{255, 255, 255, 255}.pack());
+    // A diagonal across ~29 pixels of extent.
+    EXPECT_GE(lit, 25u);
+    EXPECT_LE(lit, 40u);
+    EXPECT_EQ(pipe.stats().get("lines"), 1u);
+    // Endpoints are lit.
+    EXPECT_EQ(fb.pixel(1, 30), (tex::Color{255, 255, 255, 255}.pack()));
+}
+
+TEST(Raster, LineRespectsDepthTest)
+{
+    Framebuffer fb(16, 16);
+    Pipeline pipe(fb);
+    fb.clear({0, 0, 0, 255}, 0.0f); // everything already at depth 0
+    std::vector<Vertex> v(2);
+    v[0].position = {-1, 0, 0.5f, 1};
+    v[1].position = {1, 0, 0.5f, 1};
+    v[0].color = v[1].color = {1, 0, 0, 1};
+    pipe.drawLines(v, {0, 1});
+    EXPECT_EQ(countPixels(fb, tex::Color{255, 0, 0, 255}.pack()), 0u);
+}
+
+TEST(Raster, LineClipsAtNearPlane)
+{
+    Framebuffer fb(16, 16);
+    Pipeline pipe(fb);
+    fb.clear({0, 0, 0, 255});
+    std::vector<Vertex> v(2);
+    v[0].position = {0, 0, 0, 1};
+    v[0].color = {1, 1, 0, 1};
+    v[1].position = {0, 0, -2, -1}; // behind the eye
+    v[1].color = {1, 1, 0, 1};
+    pipe.drawLines(v, {0, 1}); // must not crash; partial segment drawn
+    std::vector<Vertex> w = {v[1], v[1]};
+    pipe.drawLines(w, {0, 1}); // fully behind: dropped
+    EXPECT_EQ(pipe.stats().get("lines"), 1u);
+}

@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Memory-subsystem tests: RAM paging, the memory simulator's latency and
+ * bandwidth behaviour, the non-blocking banked cache (hits, misses, MSHR
+ * merging, virtual-port coalescing, bank conflicts, write-through traffic,
+ * flush), the scratchpad, and a randomized completeness property: every
+ * request receives exactly one response, under any mix, with no deadlock.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "mem/cache.h"
+#include "mem/memsim.h"
+#include "mem/ram.h"
+#include "mem/router.h"
+#include "mem/sharedmem.h"
+
+using namespace vortex;
+using namespace vortex::mem;
+
+//
+// RAM.
+//
+
+TEST(Ram, ReadWriteWidths)
+{
+    Ram ram;
+    ram.write32(0x100, 0x11223344);
+    EXPECT_EQ(ram.read8(0x100), 0x44u);
+    EXPECT_EQ(ram.read8(0x103), 0x11u);
+    EXPECT_EQ(ram.read16(0x100), 0x3344u);
+    EXPECT_EQ(ram.read16(0x102), 0x1122u);
+    EXPECT_EQ(ram.read32(0x100), 0x11223344u);
+    ram.write8(0x101, 0xAA);
+    EXPECT_EQ(ram.read32(0x100), 0x1122AA44u);
+    ram.writeFloat(0x200, 2.5f);
+    EXPECT_EQ(ram.readFloat(0x200), 2.5f);
+}
+
+TEST(Ram, PageBoundaryCrossing)
+{
+    Ram ram;
+    Addr edge = Ram::kPageSize - 2;
+    ram.write32(edge, 0xCAFEBABE);
+    EXPECT_EQ(ram.read32(edge), 0xCAFEBABEu);
+    EXPECT_EQ(ram.numPages(), 2u);
+
+    std::vector<uint8_t> blob(300);
+    for (size_t i = 0; i < blob.size(); ++i)
+        blob[i] = static_cast<uint8_t>(i);
+    ram.writeBlock(Ram::kPageSize - 100, blob.data(), blob.size());
+    std::vector<uint8_t> back(300);
+    ram.readBlock(Ram::kPageSize - 100, back.data(), back.size());
+    EXPECT_EQ(blob, back);
+}
+
+TEST(Ram, UntouchedReadsZero)
+{
+    Ram ram;
+    EXPECT_EQ(ram.read32(0xDEAD0000), 0u);
+    EXPECT_EQ(ram.numPages(), 0u);
+}
+
+//
+// MemSim.
+//
+
+namespace {
+
+struct RspCollector
+{
+    std::vector<MemRsp> rsps;
+    void operator()(const MemRsp& r) { rsps.push_back(r); }
+};
+
+} // namespace
+
+TEST(MemSim, ReadLatency)
+{
+    MemSimConfig cfg;
+    cfg.latency = 10;
+    cfg.lineSize = 64;
+    cfg.busWidth = 16; // 4-cycle transfer
+    MemSim mem(cfg);
+    std::vector<std::pair<uint64_t, Cycle>> done;
+    mem.setRspCallback([&](const MemRsp& r) { done.push_back({r.reqId, 0}); });
+
+    mem.reqPush(MemReq{0x1000, false, 1, {}});
+    Cycle now = 0;
+    Cycle rsp_cycle = 0;
+    while (done.empty() && now < 100) {
+        ++now;
+        mem.tick(now);
+        if (!done.empty())
+            rsp_cycle = now;
+    }
+    ASSERT_EQ(done.size(), 1u);
+    // Accepted at cycle 1, responds at 1 + latency + lineCycles = 15.
+    EXPECT_EQ(rsp_cycle, 15u);
+    EXPECT_TRUE(mem.idle());
+}
+
+TEST(MemSim, WritesConsumeBandwidthNoResponse)
+{
+    MemSimConfig cfg;
+    MemSim mem(cfg);
+    int rsps = 0;
+    mem.setRspCallback([&](const MemRsp&) { ++rsps; });
+    mem.reqPush(MemReq{0x0, true, 1, {}});
+    mem.reqPush(MemReq{0x40, true, 2, {}});
+    for (Cycle now = 1; now < 50; ++now)
+        mem.tick(now);
+    EXPECT_EQ(rsps, 0);
+    EXPECT_TRUE(mem.idle());
+    EXPECT_EQ(mem.stats().get("writes"), 2u);
+}
+
+TEST(MemSim, ChannelParallelism)
+{
+    // Two requests on different channels start the same cycle; on the same
+    // channel they serialize by the transfer occupancy.
+    MemSimConfig cfg;
+    cfg.latency = 5;
+    cfg.lineSize = 64;
+    cfg.busWidth = 16;
+    cfg.numChannels = 2;
+    MemSim mem(cfg);
+    std::vector<Cycle> times;
+    Cycle now = 0;
+    mem.setRspCallback([&](const MemRsp&) { times.push_back(now); });
+    // Same channel: lines 0 and 2 (interleaved by line index).
+    mem.reqPush(MemReq{0 * 64, false, 1, {}});
+    mem.reqPush(MemReq{2 * 64, false, 2, {}});
+    for (now = 1; now < 50; ++now)
+        mem.tick(now);
+    ASSERT_EQ(times.size(), 2u);
+    Cycle same_gap = times[1] - times[0];
+    EXPECT_EQ(same_gap, 4u); // serialized by the 4-cycle transfer
+
+    times.clear();
+    MemSim mem2(cfg);
+    mem2.setRspCallback([&](const MemRsp&) { times.push_back(now); });
+    mem2.reqPush(MemReq{0 * 64, false, 1, {}});
+    mem2.reqPush(MemReq{1 * 64, false, 2, {}}); // different channel
+    for (now = 1; now < 50; ++now)
+        mem2.tick(now);
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[1] - times[0], 0u); // parallel channels
+}
+
+//
+// Cache.
+//
+
+namespace {
+
+struct CacheHarness
+{
+    explicit CacheHarness(CacheConfig ccfg = {}, MemSimConfig mcfg = {})
+        : cache(ccfg), mem(mcfg)
+    {
+        cache.connectMem(&mem);
+        mem.setRspCallback([this](const MemRsp& r) { cache.memRsp(r); });
+        cache.setRspCallback(
+            [this](const CoreRsp& r) { rsps.push_back(r); });
+    }
+
+    void
+    tick()
+    {
+        ++now;
+        mem.tick(now);
+        cache.tick(now);
+    }
+
+    /** Run until idle; panics (via test failure) on stall-out. */
+    void
+    drain(uint32_t limit = 10000)
+    {
+        uint32_t n = 0;
+        while (!cache.idle() || !mem.idle()) {
+            tick();
+            ASSERT_LT(++n, limit) << "cache did not drain";
+        }
+    }
+
+    void
+    push(uint32_t lane, Addr addr, bool write, uint64_t id)
+    {
+        while (!cache.laneReady(lane))
+            tick();
+        CoreReq req;
+        req.addr = addr;
+        req.write = write;
+        req.reqId = id;
+        req.lane = lane;
+        cache.lanePush(lane, req);
+    }
+
+    Cache cache;
+    MemSim mem;
+    std::vector<CoreRsp> rsps;
+    Cycle now = 0;
+};
+
+} // namespace
+
+TEST(Cache, MissThenHitLatency)
+{
+    CacheHarness h;
+    h.push(0, 0x1000, false, 1);
+    h.drain();
+    ASSERT_EQ(h.rsps.size(), 1u);
+    EXPECT_EQ(h.cache.stats().get("read_misses"), 1u);
+    Cycle miss_time = h.now;
+
+    // Same line again: a hit, much faster.
+    Cycle start = h.now;
+    h.push(0, 0x1004, false, 2);
+    h.drain();
+    EXPECT_EQ(h.cache.stats().get("read_hits"), 1u);
+    EXPECT_LT(h.now - start, miss_time / 2);
+}
+
+TEST(Cache, MshrMergesSameLine)
+{
+    CacheHarness h;
+    // Four lanes read the same line in consecutive cycles: one memory
+    // fill, the rest merge.
+    h.push(0, 0x2000, false, 1);
+    h.tick();
+    h.push(1, 0x2004, false, 2);
+    h.tick();
+    h.push(2, 0x2008, false, 3);
+    h.tick();
+    h.push(3, 0x200C, false, 4);
+    h.drain();
+    EXPECT_EQ(h.rsps.size(), 4u);
+    EXPECT_EQ(h.mem.stats().get("reads"), 1u);
+    EXPECT_GE(h.cache.stats().get("mshr_merges"), 1u);
+}
+
+TEST(Cache, VirtualPortCoalescing)
+{
+    // With 4 virtual ports, 4 same-cycle same-line requests coalesce into
+    // one bank access; with 1 port they serialize as bank conflicts.
+    for (uint32_t ports : {1u, 4u}) {
+        CacheConfig ccfg;
+        ccfg.numPorts = ports;
+        ccfg.numLanes = 4;
+        CacheHarness h(ccfg);
+        for (uint32_t lane = 0; lane < 4; ++lane)
+            h.push(lane, 0x3000 + 4 * lane, false, lane + 1);
+        h.drain();
+        EXPECT_EQ(h.rsps.size(), 4u);
+        if (ports == 4) {
+            EXPECT_EQ(h.cache.stats().get("sel_conflicts"), 0u);
+            EXPECT_EQ(h.cache.bankUtilization(), 1.0);
+        } else {
+            EXPECT_GE(h.cache.stats().get("sel_conflicts"), 3u);
+            EXPECT_LT(h.cache.bankUtilization(), 1.0);
+        }
+    }
+}
+
+TEST(Cache, DifferentBanksNoConflict)
+{
+    CacheConfig ccfg;
+    ccfg.numPorts = 1;
+    CacheHarness h(ccfg);
+    // Four different lines mapping to the four banks.
+    for (uint32_t lane = 0; lane < 4; ++lane)
+        h.push(lane, 0x4000 + 64 * lane, false, lane + 1);
+    h.drain();
+    EXPECT_EQ(h.rsps.size(), 4u);
+    EXPECT_EQ(h.cache.stats().get("sel_conflicts"), 0u);
+}
+
+TEST(Cache, WriteThroughTraffic)
+{
+    CacheHarness h;
+    h.push(0, 0x5000, true, 1);
+    h.drain();
+    ASSERT_EQ(h.rsps.size(), 1u);
+    EXPECT_TRUE(h.rsps[0].write);
+    EXPECT_EQ(h.mem.stats().get("writes"), 1u);
+    EXPECT_EQ(h.mem.stats().get("reads"), 0u);
+
+    // A read of that line still misses (no write-allocate).
+    h.push(0, 0x5000, false, 2);
+    h.drain();
+    EXPECT_EQ(h.mem.stats().get("reads"), 1u);
+}
+
+TEST(Cache, EvictionOnCapacity)
+{
+    CacheConfig ccfg; // 16KB, 4 banks, 2 ways, 64B lines -> 32 sets/bank
+    CacheHarness h(ccfg);
+    // Three lines in the same set of the same bank (stride = banks * sets
+    // * lineSize = 4*32*64 = 8192) overflow the 2 ways.
+    for (uint64_t i = 0; i < 3; ++i) {
+        h.push(0, static_cast<Addr>(0x10000 + i * 8192), false, i + 1);
+        h.drain();
+    }
+    EXPECT_EQ(h.cache.stats().get("evictions"), 1u);
+    // Re-reading the evicted line misses again.
+    h.push(0, 0x10000, false, 9);
+    h.drain();
+    EXPECT_EQ(h.cache.stats().get("read_misses"), 4u);
+}
+
+TEST(Cache, FlushInvalidates)
+{
+    CacheHarness h;
+    h.push(0, 0x6000, false, 1);
+    h.drain();
+    h.push(0, 0x6000, false, 2);
+    h.drain();
+    EXPECT_EQ(h.cache.stats().get("read_hits"), 1u);
+    h.cache.flushAll();
+    h.push(0, 0x6000, false, 3);
+    h.drain();
+    EXPECT_EQ(h.cache.stats().get("read_misses"), 2u);
+}
+
+TEST(Cache, RandomStressCompleteness)
+{
+    // Property: every request gets exactly one response, regardless of the
+    // mix of reads/writes/banks/lines, with a small MSHR and memory queue
+    // (exercises the early-full deadlock avoidance).
+    CacheConfig ccfg;
+    ccfg.mshrEntries = 2;
+    ccfg.memQueueDepth = 2;
+    ccfg.numLanes = 4;
+    MemSimConfig mcfg;
+    mcfg.latency = 17;
+    mcfg.queueDepth = 2;
+    CacheHarness h(ccfg, mcfg);
+
+    Xorshift rng(99);
+    std::set<uint64_t> outstanding;
+    uint64_t next_id = 1;
+    const int kReqs = 2000;
+    int sent = 0;
+    while (sent < kReqs || !outstanding.empty()) {
+        if (sent < kReqs) {
+            uint32_t lane = rng.nextBounded(4);
+            if (h.cache.laneReady(lane)) {
+                CoreReq req;
+                req.addr = rng.nextBounded(0x4000) & ~3u;
+                req.write = rng.nextBounded(4) == 0;
+                req.reqId = next_id++;
+                req.lane = lane;
+                h.cache.lanePush(lane, req);
+                outstanding.insert(req.reqId);
+                ++sent;
+            }
+        }
+        h.tick();
+        for (const CoreRsp& r : h.rsps) {
+            auto it = outstanding.find(r.reqId);
+            ASSERT_NE(it, outstanding.end()) << "duplicate response";
+            outstanding.erase(it);
+        }
+        h.rsps.clear();
+        ASSERT_LT(h.now, 1000000u) << "stall-out (deadlock?)";
+    }
+    h.drain();
+    EXPECT_TRUE(h.cache.idle());
+}
+
+//
+// SharedMem.
+//
+
+TEST(SharedMem, ConflictFreeParallelAccess)
+{
+    SharedMemConfig cfg;
+    SharedMem smem(cfg);
+    std::vector<CoreRsp> rsps;
+    smem.setRspCallback([&](const CoreRsp& r) { rsps.push_back(r); });
+    // Four lanes to four different banks: all accepted in one cycle.
+    for (uint32_t lane = 0; lane < 4; ++lane) {
+        CoreReq req;
+        req.addr = 0xFF000000 + 4 * lane;
+        req.reqId = lane + 1;
+        req.lane = lane;
+        smem.lanePush(lane, req);
+    }
+    Cycle now = 0;
+    while (!smem.idle() && now < 100)
+        smem.tick(++now);
+    EXPECT_EQ(rsps.size(), 4u);
+    EXPECT_EQ(smem.stats().get("bank_conflicts"), 0u);
+}
+
+TEST(SharedMem, BankConflictSerializes)
+{
+    SharedMemConfig cfg;
+    SharedMem smem(cfg);
+    std::vector<CoreRsp> rsps;
+    smem.setRspCallback([&](const CoreRsp& r) { rsps.push_back(r); });
+    // Two lanes to the same bank (same word offset).
+    for (uint32_t lane = 0; lane < 2; ++lane) {
+        CoreReq req;
+        req.addr = 0xFF000000; // same bank
+        req.reqId = lane + 1;
+        req.lane = lane;
+        smem.lanePush(lane, req);
+    }
+    Cycle now = 0;
+    while (!smem.idle() && now < 100)
+        smem.tick(++now);
+    EXPECT_EQ(rsps.size(), 2u);
+    EXPECT_GE(smem.stats().get("bank_conflicts"), 1u);
+}
+
+//
+// MemRouter.
+//
+
+TEST(MemRouter, RoutesToIssuingPort)
+{
+    MemSimConfig mcfg;
+    MemSim mem(mcfg);
+    MemRouter router(&mem);
+    mem.setRspCallback([&](const MemRsp& r) { router.onRsp(r); });
+    std::vector<uint64_t> got_a, got_b;
+    MemSink* pa = router.makePort(
+        [&](const MemRsp& r) { got_a.push_back(r.reqId); });
+    MemSink* pb = router.makePort(
+        [&](const MemRsp& r) { got_b.push_back(r.reqId); });
+    pa->reqPush(MemReq{0x1000, false, 101, {}});
+    pb->reqPush(MemReq{0x2000, false, 202, {}});
+    pb->reqPush(MemReq{0x3000, true, 303, {}}); // write: no response
+    for (Cycle now = 1; now < 200; ++now)
+        mem.tick(now);
+    ASSERT_EQ(got_a.size(), 1u);
+    ASSERT_EQ(got_b.size(), 1u);
+    EXPECT_EQ(got_a[0], 101u);
+    EXPECT_EQ(got_b[0], 202u);
+    EXPECT_TRUE(router.idle());
+}

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Texture sampler tests: format pack/unpack round trips (property over
+ * random colors), wrap modes, point/bilinear golden values, texel-center
+ * exactness, mip chains, trilinear blending, and the address trace used by
+ * the cycle model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mem/ram.h"
+#include "tex/sampler.h"
+
+using namespace vortex;
+using namespace vortex::tex;
+
+namespace {
+
+/** Write a WxH RGBA8 texture where texel (x,y) = f(x,y). */
+template <typename F>
+void
+fillTexture(mem::Ram& ram, const SamplerState& st, uint32_t lod, F f)
+{
+    for (uint32_t y = 0; y < st.height(lod); ++y) {
+        for (uint32_t x = 0; x < st.width(lod); ++x) {
+            ram.write32(st.texelAddr(lod, x, y),
+                        packTexel(st.format, f(x, y)));
+        }
+    }
+}
+
+SamplerState
+basicState(Addr addr = 0x1000, uint32_t wlog2 = 3, uint32_t hlog2 = 3)
+{
+    SamplerState st;
+    st.addr = addr;
+    st.widthLog2 = wlog2;
+    st.heightLog2 = hlog2;
+    st.format = Format::RGBA8;
+    st.wrapU = st.wrapV = Wrap::Clamp;
+    st.filter = Filter::Point;
+    return st;
+}
+
+} // namespace
+
+//
+// Formats.
+//
+
+class FormatRoundTrip : public ::testing::TestWithParam<Format>
+{
+};
+
+TEST_P(FormatRoundTrip, PackUnpackStable)
+{
+    Format fmt = GetParam();
+    Xorshift rng(static_cast<uint64_t>(fmt) + 1);
+    for (int i = 0; i < 256; ++i) {
+        Color c{static_cast<uint8_t>(rng.next()),
+                static_cast<uint8_t>(rng.next()),
+                static_cast<uint8_t>(rng.next()),
+                static_cast<uint8_t>(rng.next())};
+        // pack -> unpack -> pack must be a fixed point (lossy once).
+        uint32_t raw = packTexel(fmt, c);
+        Color c2 = unpackTexel(fmt, raw);
+        uint32_t raw2 = packTexel(fmt, c2);
+        EXPECT_EQ(raw, raw2);
+        // Unpacked channels replicate high bits: full range reachable.
+        Color white = unpackTexel(fmt, packTexel(fmt, {255, 255, 255, 255}));
+        if (fmt != Format::A8) {
+            EXPECT_EQ(white.r, 255);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, FormatRoundTrip,
+                         ::testing::Values(Format::RGBA8, Format::BGRA8,
+                                           Format::RGB565, Format::RGBA4,
+                                           Format::L8, Format::A8),
+                         [](const ::testing::TestParamInfo<Format>& info) {
+                             switch (info.param) {
+                               case Format::RGBA8: return "RGBA8";
+                               case Format::BGRA8: return "BGRA8";
+                               case Format::RGB565: return "RGB565";
+                               case Format::RGBA4: return "RGBA4";
+                               case Format::L8: return "L8";
+                               case Format::A8: return "A8";
+                             }
+                             return "unknown";
+                         });
+
+TEST(Format, TexelSizes)
+{
+    EXPECT_EQ(texelSize(Format::RGBA8), 4u);
+    EXPECT_EQ(texelSize(Format::BGRA8), 4u);
+    EXPECT_EQ(texelSize(Format::RGB565), 2u);
+    EXPECT_EQ(texelSize(Format::RGBA4), 2u);
+    EXPECT_EQ(texelSize(Format::L8), 1u);
+    EXPECT_EQ(texelSize(Format::A8), 1u);
+}
+
+TEST(Format, KnownEncodings)
+{
+    // RGB565 pure red.
+    Color red = unpackTexel(Format::RGB565, 0xF800);
+    EXPECT_EQ(red.r, 255);
+    EXPECT_EQ(red.g, 0);
+    EXPECT_EQ(red.b, 0);
+    EXPECT_EQ(red.a, 255);
+    // BGRA8 channel order.
+    Color c = unpackTexel(Format::BGRA8, 0xAA112233);
+    EXPECT_EQ(c.b, 0x33);
+    EXPECT_EQ(c.g, 0x22);
+    EXPECT_EQ(c.r, 0x11);
+    EXPECT_EQ(c.a, 0xAA);
+    // L8 replicates into rgb with opaque alpha.
+    Color l = unpackTexel(Format::L8, 0x7F);
+    EXPECT_EQ(l.r, 0x7F);
+    EXPECT_EQ(l.g, 0x7F);
+    EXPECT_EQ(l.b, 0x7F);
+    EXPECT_EQ(l.a, 255);
+}
+
+//
+// Wrap modes.
+//
+
+TEST(Wrap, Clamp)
+{
+    EXPECT_EQ(applyWrap(Wrap::Clamp, -5, 8), 0);
+    EXPECT_EQ(applyWrap(Wrap::Clamp, 0, 8), 0);
+    EXPECT_EQ(applyWrap(Wrap::Clamp, 7, 8), 7);
+    EXPECT_EQ(applyWrap(Wrap::Clamp, 12, 8), 7);
+}
+
+TEST(Wrap, Repeat)
+{
+    EXPECT_EQ(applyWrap(Wrap::Repeat, 8, 8), 0);
+    EXPECT_EQ(applyWrap(Wrap::Repeat, 9, 8), 1);
+    EXPECT_EQ(applyWrap(Wrap::Repeat, -1, 8), 7);
+    EXPECT_EQ(applyWrap(Wrap::Repeat, -9, 8), 7);
+}
+
+TEST(Wrap, Mirror)
+{
+    EXPECT_EQ(applyWrap(Wrap::Mirror, 0, 4), 0);
+    EXPECT_EQ(applyWrap(Wrap::Mirror, 3, 4), 3);
+    EXPECT_EQ(applyWrap(Wrap::Mirror, 4, 4), 3);
+    EXPECT_EQ(applyWrap(Wrap::Mirror, 5, 4), 2);
+    EXPECT_EQ(applyWrap(Wrap::Mirror, 7, 4), 0);
+    EXPECT_EQ(applyWrap(Wrap::Mirror, 8, 4), 0);
+    EXPECT_EQ(applyWrap(Wrap::Mirror, -1, 4), 0);
+    EXPECT_EQ(applyWrap(Wrap::Mirror, -2, 4), 1);
+}
+
+//
+// Sampling.
+//
+
+TEST(Sampler, PointSamplesExactTexel)
+{
+    mem::Ram ram;
+    SamplerState st = basicState();
+    fillTexture(ram, st, 0, [](uint32_t x, uint32_t y) {
+        return Color{static_cast<uint8_t>(x), static_cast<uint8_t>(y), 0,
+                     255};
+    });
+    // Texel centers map to their own texel.
+    for (uint32_t y = 0; y < 8; ++y) {
+        for (uint32_t x = 0; x < 8; ++x) {
+            float u = (x + 0.5f) / 8.0f;
+            float v = (y + 0.5f) / 8.0f;
+            SampleResult r = samplePoint(ram, st, u, v, 0);
+            EXPECT_EQ(r.color.r, x);
+            EXPECT_EQ(r.color.g, y);
+            EXPECT_EQ(r.texelAddrs.size(), 1u);
+        }
+    }
+}
+
+TEST(Sampler, BilinearAtTexelCenterIsExact)
+{
+    mem::Ram ram;
+    SamplerState st = basicState();
+    st.filter = Filter::Bilinear;
+    fillTexture(ram, st, 0, [](uint32_t x, uint32_t y) {
+        return Color{static_cast<uint8_t>(x * 30), static_cast<uint8_t>(y),
+                     9, 255};
+    });
+    SampleResult r = sampleBilinear(ram, st, (3 + 0.5f) / 8.0f,
+                                    (5 + 0.5f) / 8.0f, 0);
+    EXPECT_EQ(r.color.r, 90);
+    EXPECT_EQ(r.color.g, 5);
+    EXPECT_EQ(r.texelAddrs.size(), 4u);
+}
+
+TEST(Sampler, BilinearMidpointAverages)
+{
+    mem::Ram ram;
+    SamplerState st = basicState();
+    st.filter = Filter::Bilinear;
+    // Two columns: 0 and 200.
+    fillTexture(ram, st, 0, [](uint32_t x, uint32_t) {
+        return Color{static_cast<uint8_t>(x % 2 ? 200 : 0), 0, 0, 255};
+    });
+    // Halfway between texel 0 and 1 horizontally: frac = 128/256.
+    float u = (0.5f + 0.5f) / 8.0f;
+    SampleResult r = sampleBilinear(ram, st, u, 0.5f / 8.0f + 0.001f, 0);
+    EXPECT_NEAR(r.color.r, 100, 2);
+}
+
+TEST(Sampler, UniformTextureAnyCoords)
+{
+    mem::Ram ram;
+    SamplerState st = basicState();
+    st.filter = Filter::Bilinear;
+    st.wrapU = st.wrapV = Wrap::Repeat;
+    fillTexture(ram, st, 0,
+                [](uint32_t, uint32_t) { return Color{77, 88, 99, 66}; });
+    Xorshift rng(3);
+    for (int i = 0; i < 200; ++i) {
+        float u = rng.nextFloat() * 4.0f - 2.0f;
+        float v = rng.nextFloat() * 4.0f - 2.0f;
+        SampleResult r = sample(ram, st, u, v, 0);
+        EXPECT_EQ(r.color, (Color{77, 88, 99, 66}))
+            << "at u=" << u << " v=" << v;
+    }
+}
+
+TEST(Sampler, MipChainOffsetsAndTrilinear)
+{
+    mem::Ram ram;
+    SamplerState st = basicState(0x2000, 2, 2); // 4x4 with 2 levels
+    st.numLods = 2;
+    st.filter = Filter::Bilinear;
+    // Level 0 all 100, level 1 all 200.
+    fillTexture(ram, st, 0,
+                [](uint32_t, uint32_t) { return Color{100, 0, 0, 255}; });
+    fillTexture(ram, st, 1,
+                [](uint32_t, uint32_t) { return Color{200, 0, 0, 255}; });
+    EXPECT_EQ(st.mipByteOffset(0), 0u);
+    EXPECT_EQ(st.mipByteOffset(1), 4u * 4u * 4u);
+
+    EXPECT_EQ(sampleBilinear(ram, st, 0.5f, 0.5f, 0).color.r, 100);
+    EXPECT_EQ(sampleBilinear(ram, st, 0.5f, 0.5f, 1).color.r, 200);
+    // lod clamps to the chain.
+    EXPECT_EQ(sampleBilinear(ram, st, 0.5f, 0.5f, 7).color.r, 200);
+
+    // Trilinear at lod 0.5 blends halfway (integer lerp, frac8=128).
+    SampleResult tri = sampleTrilinear(ram, st, 0.5f, 0.5f, 0.5f);
+    EXPECT_NEAR(tri.color.r, 150, 1);
+    EXPECT_EQ(tri.texelAddrs.size(), 8u);
+    // lod 0 and lod ~1 endpoints.
+    EXPECT_EQ(sampleTrilinear(ram, st, 0.5f, 0.5f, 0.0f).color.r, 100);
+    EXPECT_NEAR(sampleTrilinear(ram, st, 0.5f, 0.5f, 0.999f).color.r, 200,
+                2);
+}
+
+TEST(Sampler, LerpColorIntegerMath)
+{
+    Color a{0, 100, 200, 255};
+    Color b{255, 100, 0, 255};
+    Color mid = lerpColor(a, b, 128);
+    EXPECT_EQ(mid.r, 127); // (0*128 + 255*128) >> 8
+    EXPECT_EQ(mid.g, 100);
+    EXPECT_EQ(mid.b, 100);
+    EXPECT_EQ(lerpColor(a, b, 0), a);
+    // frac 255 is almost-b (the hardware never reaches exactly b).
+    EXPECT_EQ(lerpColor(a, b, 255).r, 254);
+}
+
+TEST(Sampler, NonSquareTexture)
+{
+    mem::Ram ram;
+    SamplerState st = basicState(0x3000, 4, 2); // 16x4
+    fillTexture(ram, st, 0, [](uint32_t x, uint32_t y) {
+        return Color{static_cast<uint8_t>(x), static_cast<uint8_t>(y), 0,
+                     255};
+    });
+    SampleResult r = samplePoint(ram, st, 10.5f / 16.0f, 2.5f / 4.0f, 0);
+    EXPECT_EQ(r.color.r, 10);
+    EXPECT_EQ(r.color.g, 2);
+}
