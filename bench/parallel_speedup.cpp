@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Wall-clock comparison of the serial and parallel tick backends on a
+ * Figure-18-style multi-core scaling workload. Simulated results must be
+ * bit-identical between backends; only host time may differ. Reports
+ * simulated cycles, wall-clock seconds, simulated-cycles-per-host-second,
+ * and the parallel speedup.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace vortex;
+
+namespace {
+
+struct Measurement
+{
+    runtime::RunResult result;
+    double seconds = 0.0;
+};
+
+Measurement
+measure(core::ArchConfig cfg, const std::string& kernel, uint32_t scale)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    runtime::RunResult r = bench::runVerified(cfg, kernel, scale);
+    auto t1 = std::chrono::steady_clock::now();
+    return Measurement{r, std::chrono::duration<double>(t1 - t0).count()};
+}
+
+} // namespace
+
+int
+main()
+{
+    const uint32_t cores = 8;
+    const uint32_t scale = 2;
+    const unsigned host_cpus = std::thread::hardware_concurrency();
+    // Force a real pool even on a single-CPU host (where the auto setting
+    // of tickThreads=0 would fall back to serial): the comparison is then
+    // honest about threading overhead rather than silently serial.
+    const uint32_t pool = std::min(cores, std::max(2u, host_cpus));
+
+    bench::printHeader("Parallel tick engine: serial vs parallel wall clock");
+    std::printf("host CPUs: %u, simulated cores: %u, pool threads: %u\n\n",
+                host_cpus, cores, pool);
+    std::printf("%-10s %12s %10s %10s %12s %9s  %s\n", "kernel", "cycles",
+                "serial_s", "par_s", "kcycles/s", "speedup", "identical");
+
+    for (const std::string& kernel : {std::string("sgemm"),
+                                      std::string("vecadd"),
+                                      std::string("sfilter")}) {
+        core::ArchConfig serial_cfg = bench::baselineConfig(cores);
+        core::ArchConfig par_cfg = serial_cfg;
+        par_cfg.parallelTick = true;
+        par_cfg.tickThreads = pool;
+
+        Measurement s = measure(serial_cfg, kernel, scale);
+        Measurement p = measure(par_cfg, kernel, scale);
+
+        bool identical = s.result.cycles == p.result.cycles &&
+                         s.result.threadInstrs == p.result.threadInstrs;
+        std::printf("%-10s %12llu %10.3f %10.3f %12.0f %8.2fx  %s\n",
+                    kernel.c_str(),
+                    static_cast<unsigned long long>(s.result.cycles),
+                    s.seconds, p.seconds,
+                    static_cast<double>(p.result.cycles) / p.seconds / 1e3,
+                    s.seconds / p.seconds, identical ? "yes" : "NO");
+        if (!identical)
+            return 1;
+    }
+    return 0;
+}

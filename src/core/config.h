@@ -94,6 +94,15 @@ struct ArchConfig
     bool texEnabled = true;
 
     //
+    // Host simulation backend. The serial and parallel backends are
+    // bit-identical to *each other* — same cycles(), threadInstrs(), and
+    // functional results (see core/tick_engine.h); both share the
+    // end-of-cycle cross-core commit phase of Processor::tick.
+    //
+    bool parallelTick = false; ///< tick cores on a persistent thread pool
+    uint32_t tickThreads = 0;  ///< pool size; 0 = min(numCores, host CPUs)
+
+    //
     // Software-visible layout.
     //
     Addr startPC = 0x80000000;

@@ -21,6 +21,12 @@ Processor::Processor(const ArchConfig& config) : config_(config)
     for (uint32_t c = 0; c < config.numCores; ++c)
         cores_.push_back(std::make_unique<Core>(config, c, ram_, this));
     wire();
+    pendingArrivals_.resize(config.numCores);
+    std::vector<Core*> core_ptrs;
+    core_ptrs.reserve(cores_.size());
+    for (auto& core : cores_)
+        core_ptrs.push_back(core.get());
+    tickEngine_ = makeTickEngine(config_, std::move(core_ptrs));
 }
 
 Processor::~Processor() = default;
@@ -38,6 +44,21 @@ linkCacheToCache(mem::Cache& upstream, mem::Cache& downstream, uint32_t lane,
 }
 
 } // namespace
+
+mem::MemSink*
+Processor::staged(mem::MemSink* down, size_t depth)
+{
+    stagedPorts_.push_back(std::make_unique<mem::StagedMemPort>(down, depth));
+    return stagedPorts_.back().get();
+}
+
+void
+Processor::linkStagedL1(mem::Cache& l1, mem::Cache& downstream, uint32_t lane)
+{
+    adapters_.push_back(std::make_unique<mem::CacheMemPort>(downstream, lane));
+    l1.connectMem(
+        staged(adapters_.back().get(), l1.config().memQueueDepth));
+}
 
 void
 Processor::wire()
@@ -74,14 +95,17 @@ Processor::wire()
                 std::make_unique<mem::Cache>(config_.l2Config(cores_here));
             mem::Cache& l2 = *l2s_[cl];
 
-            // L2 responses route back to the owning L1 by lane.
+            // L2 responses route back to the owning L1 by lane. L1 request
+            // sides go through staging ports (drained in core order) so
+            // the parallel tick engine never touches the shared L2 from a
+            // worker thread.
             std::vector<mem::Cache*> owners(2 * cores_here, nullptr);
             for (uint32_t i = 0; i < cores_here; ++i) {
                 Core& core = *cores_[first_core + i];
                 owners[2 * i] = &core.icache();
                 owners[2 * i + 1] = &core.dcache();
-                linkCacheToCache(core.icache(), l2, 2 * i, adapters_);
-                linkCacheToCache(core.dcache(), l2, 2 * i + 1, adapters_);
+                linkStagedL1(core.icache(), l2, 2 * i);
+                linkStagedL1(core.dcache(), l2, 2 * i + 1);
             }
             l2.setRspCallback([owners](const mem::CoreRsp& rsp) {
                 if (rsp.write)
@@ -117,8 +141,8 @@ Processor::wire()
             Core& core = *cores_[i];
             owners[2 * i] = &core.icache();
             owners[2 * i + 1] = &core.dcache();
-            linkCacheToCache(core.icache(), *l3_, 2 * i, adapters_);
-            linkCacheToCache(core.dcache(), *l3_, 2 * i + 1, adapters_);
+            linkStagedL1(core.icache(), *l3_, 2 * i);
+            linkStagedL1(core.dcache(), *l3_, 2 * i + 1);
         }
         l3_->setRspCallback([owners](const mem::CoreRsp& rsp) {
             if (rsp.write)
@@ -130,10 +154,14 @@ Processor::wire()
     for (auto& core : cores_) {
         mem::Cache* ic = &core->icache();
         mem::Cache* dc = &core->dcache();
-        ic->connectMem(memRouter_->makePort(
-            [ic](const mem::MemRsp& rsp) { ic->memRsp(rsp); }));
-        dc->connectMem(memRouter_->makePort(
-            [dc](const mem::MemRsp& rsp) { dc->memRsp(rsp); }));
+        ic->connectMem(staged(
+            memRouter_->makePort(
+                [ic](const mem::MemRsp& rsp) { ic->memRsp(rsp); }),
+            ic->config().memQueueDepth));
+        dc->connectMem(staged(
+            memRouter_->makePort(
+                [dc](const mem::MemRsp& rsp) { dc->memRsp(rsp); }),
+            dc->config().memQueueDepth));
     }
 }
 
@@ -153,8 +181,29 @@ Processor::tick()
         l3_->tick(cycles_);
     for (auto& l2 : l2s_)
         l2->tick(cycles_);
-    for (auto& core : cores_)
-        core->tick(cycles_);
+    // Core phase: cores only touch core-local state plus their staging
+    // buffers, so the engine may run them concurrently.
+    tickEngine_->tick(cycles_);
+    commitCrossCore();
+}
+
+void
+Processor::commitCrossCore()
+{
+    // Staged L1 memory requests enter the shared fabric in core order
+    // (ports were created in core order), mirroring the serial tick order.
+    for (auto& port : stagedPorts_)
+        port->drain();
+    // Global barrier arrivals, also in core order. Releases take effect
+    // next cycle for every wavefront, whichever thread simulated it.
+    for (CoreId c = 0; c < pendingArrivals_.size(); ++c) {
+        for (const PendingArrival& a : pendingArrivals_[c]) {
+            auto releases = globalBarriers_.arrive(a.id, a.count, c, a.wid);
+            for (const auto& r : releases)
+                cores_.at(r.core)->releaseBarrierWarp(r.warp);
+        }
+        pendingArrivals_[c].clear();
+    }
 }
 
 bool
@@ -172,6 +221,10 @@ Processor::busy() const
     }
     if (l3_ && !l3_->idle())
         return true;
+    for (const auto& port : stagedPorts_) {
+        if (!port->empty())
+            return true;
+    }
     return false;
 }
 
@@ -215,9 +268,10 @@ Processor::ipc() const
 void
 Processor::globalArrive(uint32_t id, uint32_t count, CoreId core, WarpId wid)
 {
-    auto releases = globalBarriers_.arrive(id, count, core, wid);
-    for (const auto& r : releases)
-        cores_.at(r.core)->releaseBarrierWarp(r.warp);
+    // Called during the tick phase, possibly from a pool worker. Each core
+    // appends only to its own buffer, so no synchronization is needed; the
+    // arrivals are applied in core order in commitCrossCore().
+    pendingArrivals_.at(core).push_back(PendingArrival{id, count, wid});
 }
 
 } // namespace vortex::core

@@ -16,9 +16,11 @@
 #include "core/barrier.h"
 #include "core/config.h"
 #include "core/core.h"
+#include "core/tick_engine.h"
 #include "mem/memsim.h"
 #include "mem/ram.h"
 #include "mem/router.h"
+#include "mem/staging.h"
 
 namespace vortex::core {
 
@@ -66,12 +68,26 @@ class Processor : public BarrierHub
     }
     mem::Cache* l3() { return l3_.get(); }
 
-    // BarrierHub
+    /** The active core tick backend (serial or parallel). */
+    const TickEngine& tickEngine() const { return *tickEngine_; }
+
+    // BarrierHub. Safe to call from any tick worker: the arrival is
+    // buffered per core and applied in core order after the tick phase.
     void globalArrive(uint32_t id, uint32_t count, CoreId core,
                       WarpId wid) override;
 
   private:
     void wire();
+
+    /** Wrap @p down in a staging port drained serially in core order. */
+    mem::MemSink* staged(mem::MemSink* down, size_t depth);
+
+    /** Connect an L1's memory side to lane @p lane of a shared downstream
+     *  cache through a staging port. */
+    void linkStagedL1(mem::Cache& l1, mem::Cache& downstream, uint32_t lane);
+
+    /** Commit phase: staged L1 requests, then global barrier arrivals. */
+    void commitCrossCore();
 
     ArchConfig config_;
     mem::Ram ram_;
@@ -82,6 +98,18 @@ class Processor : public BarrierHub
     std::unique_ptr<mem::Cache> l3_;
     /** Keep-alive for CacheMemPort adapters used in the wiring. */
     std::vector<std::unique_ptr<mem::MemSink>> adapters_;
+    /** L1 memory-side staging ports, in drain (core) order. */
+    std::vector<std::unique_ptr<mem::StagedMemPort>> stagedPorts_;
+    std::unique_ptr<TickEngine> tickEngine_;
+
+    /** A global-barrier arrival buffered during the tick phase. */
+    struct PendingArrival
+    {
+        uint32_t id;
+        uint32_t count;
+        WarpId wid;
+    };
+    std::vector<std::vector<PendingArrival>> pendingArrivals_; ///< per core
 
     GlobalBarrierTable globalBarriers_;
     Cycle cycles_ = 0;

@@ -4,14 +4,25 @@
  * (the FPGA board DRAM of the paper). All functional loads/stores and the
  * host-side driver copies go through this object; the timing models only
  * carry addresses.
+ *
+ * Thread safety: the page table is a flat array of atomic page pointers so
+ * the parallel tick engine's workers can access memory concurrently, and
+ * the scalar load/store paths use relaxed atomic byte/word accesses (plain
+ * moves on mainstream hardware). Accesses to distinct addresses are fully
+ * race-free; same-address conflicts from different cores in the same cycle
+ * are *program-level* races with unspecified ordering — exactly the real
+ * device's weakly-coherent memory model — but remain defined behavior
+ * here. The bulk block helpers are host-driver paths (device idle) and use
+ * plain memcpy.
  */
 
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
-#include <memory>
-#include <unordered_map>
+#include <mutex>
 #include <vector>
 
 #include "common/types.h"
@@ -24,6 +35,13 @@ class Ram
   public:
     static constexpr uint32_t kPageBits = 16;
     static constexpr uint32_t kPageSize = 1u << kPageBits;
+    static constexpr uint32_t kNumPages = 1u << (32 - kPageBits);
+
+    Ram() : pages_(kNumPages) {}
+    ~Ram() { clear(); }
+
+    Ram(const Ram&) = delete;
+    Ram& operator=(const Ram&) = delete;
 
     uint8_t read8(Addr addr) const;
     uint16_t read16(Addr addr) const;
@@ -39,49 +57,115 @@ class Ram
     void writeBlock(Addr addr, const void* src, size_t size);
     void readBlock(Addr addr, void* dst, size_t size) const;
 
-    /** Zero everything (drop all pages). */
-    void clear() { pages_.clear(); }
+    /** Zero everything (drop all pages). Not safe during simulation. */
+    void
+    clear()
+    {
+        for (auto& slot : pages_) {
+            delete[] slot.load(std::memory_order_relaxed);
+            slot.store(nullptr, std::memory_order_relaxed);
+        }
+        numPages_.store(0, std::memory_order_relaxed);
+    }
 
     /** Number of touched pages (for tests). */
-    size_t numPages() const { return pages_.size(); }
+    size_t numPages() const
+    {
+        return numPages_.load(std::memory_order_relaxed);
+    }
 
   private:
-    using Page = std::vector<uint8_t>;
+    /** Get the page backing @p addr, allocating (zeroed) on first touch. */
+    uint8_t*
+    page(Addr addr)
+    {
+        auto& slot = pages_[addr >> kPageBits];
+        if (uint8_t* p = slot.load(std::memory_order_acquire))
+            return p;
+        std::lock_guard<std::mutex> lock(allocMutex_);
+        uint8_t* p = slot.load(std::memory_order_relaxed);
+        if (!p) {
+            p = new uint8_t[kPageSize]();
+            slot.store(p, std::memory_order_release);
+            numPages_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return p;
+    }
 
-    Page& page(Addr addr);
-    const Page* pageIfPresent(Addr addr) const;
+    const uint8_t*
+    pageIfPresent(Addr addr) const
+    {
+        return pages_[addr >> kPageBits].load(std::memory_order_acquire);
+    }
 
-    std::unordered_map<uint32_t, Page> pages_;
+    //
+    // Relaxed atomic scalar accesses (compile to plain loads/stores on
+    // x86/ARM) keeping simulated-program races defined at the host level.
+    //
+    static uint8_t
+    loadByte(const uint8_t* p)
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        return __atomic_load_n(p, __ATOMIC_RELAXED);
+#else
+        return std::atomic_ref<uint8_t>(*const_cast<uint8_t*>(p))
+            .load(std::memory_order_relaxed);
+#endif
+    }
+
+    static void
+    storeByte(uint8_t* p, uint8_t v)
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        __atomic_store_n(p, v, __ATOMIC_RELAXED);
+#else
+        std::atomic_ref<uint8_t>(*p).store(v, std::memory_order_relaxed);
+#endif
+    }
+
+    /** @p p must be 4-byte aligned. */
+    static uint32_t
+    loadWord(const uint8_t* p)
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        return __atomic_load_n(reinterpret_cast<const uint32_t*>(p),
+                               __ATOMIC_RELAXED);
+#else
+        return std::atomic_ref<uint32_t>(
+                   *reinterpret_cast<uint32_t*>(const_cast<uint8_t*>(p)))
+            .load(std::memory_order_relaxed);
+#endif
+    }
+
+    /** @p p must be 4-byte aligned. */
+    static void
+    storeWord(uint8_t* p, uint32_t v)
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        __atomic_store_n(reinterpret_cast<uint32_t*>(p), v,
+                         __ATOMIC_RELAXED);
+#else
+        std::atomic_ref<uint32_t>(*reinterpret_cast<uint32_t*>(p))
+            .store(v, std::memory_order_relaxed);
+#endif
+    }
+
+    std::vector<std::atomic<uint8_t*>> pages_;
+    std::mutex allocMutex_;
+    std::atomic<size_t> numPages_{0};
 };
-
-inline Ram::Page&
-Ram::page(Addr addr)
-{
-    uint32_t idx = addr >> kPageBits;
-    auto it = pages_.find(idx);
-    if (it == pages_.end())
-        it = pages_.emplace(idx, Page(kPageSize, 0)).first;
-    return it->second;
-}
-
-inline const Ram::Page*
-Ram::pageIfPresent(Addr addr) const
-{
-    auto it = pages_.find(addr >> kPageBits);
-    return it == pages_.end() ? nullptr : &it->second;
-}
 
 inline uint8_t
 Ram::read8(Addr addr) const
 {
-    const Page* p = pageIfPresent(addr);
-    return p ? (*p)[addr & (kPageSize - 1)] : 0;
+    const uint8_t* p = pageIfPresent(addr);
+    return p ? loadByte(p + (addr & (kPageSize - 1))) : 0;
 }
 
 inline void
 Ram::write8(Addr addr, uint8_t value)
 {
-    page(addr)[addr & (kPageSize - 1)] = value;
+    storeByte(page(addr) + (addr & (kPageSize - 1)), value);
 }
 
 inline uint16_t
@@ -94,14 +178,10 @@ Ram::read16(Addr addr) const
 inline uint32_t
 Ram::read32(Addr addr) const
 {
-    // Fast path: fully inside one page.
-    uint32_t off = addr & (kPageSize - 1);
-    if (off + 4 <= kPageSize) {
-        if (const Page* p = pageIfPresent(addr)) {
-            uint32_t v;
-            std::memcpy(&v, p->data() + off, 4);
-            return v;
-        }
+    // Fast path: aligned, so a single atomic word access suffices.
+    if ((addr & 3) == 0) {
+        if (const uint8_t* p = pageIfPresent(addr))
+            return loadWord(p + (addr & (kPageSize - 1)));
         return 0;
     }
     return static_cast<uint32_t>(read16(addr)) |
@@ -118,9 +198,8 @@ Ram::write16(Addr addr, uint16_t value)
 inline void
 Ram::write32(Addr addr, uint32_t value)
 {
-    uint32_t off = addr & (kPageSize - 1);
-    if (off + 4 <= kPageSize) {
-        std::memcpy(page(addr).data() + off, &value, 4);
+    if ((addr & 3) == 0) {
+        storeWord(page(addr) + (addr & (kPageSize - 1)), value);
         return;
     }
     write16(addr, value & 0xFFFF);
@@ -152,8 +231,7 @@ Ram::writeBlock(Addr addr, const void* src, size_t size)
     while (i < size) {
         uint32_t off = (addr + i) & (kPageSize - 1);
         size_t chunk = std::min<size_t>(size - i, kPageSize - off);
-        std::memcpy(page(addr + static_cast<Addr>(i)).data() + off, s + i,
-                    chunk);
+        std::memcpy(page(addr + static_cast<Addr>(i)) + off, s + i, chunk);
         i += chunk;
     }
 }
@@ -166,8 +244,8 @@ Ram::readBlock(Addr addr, void* dst, size_t size) const
     while (i < size) {
         uint32_t off = (addr + i) & (kPageSize - 1);
         size_t chunk = std::min<size_t>(size - i, kPageSize - off);
-        if (const Page* p = pageIfPresent(addr + static_cast<Addr>(i)))
-            std::memcpy(d + i, p->data() + off, chunk);
+        if (const uint8_t* p = pageIfPresent(addr + static_cast<Addr>(i)))
+            std::memcpy(d + i, p + off, chunk);
         else
             std::memset(d + i, 0, chunk);
         i += chunk;

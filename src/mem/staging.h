@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Producer-local staging for requests into shared memory fabric.
+ *
+ * Under the parallel tick engine, cores tick concurrently; anything a core
+ * pushes into a *shared* component (an L2/L3 lane, the board-memory router)
+ * during its tick would race with its siblings and make timing depend on
+ * thread scheduling. A StagedMemPort sits between each L1's memory side and
+ * the shared downstream sink: pushes land in a buffer owned by the producer
+ * (thread-safe without locks), and the Processor drains every buffer in
+ * core order in a serial commit phase at the end of the cycle. The serial
+ * backend uses the exact same path, so both backends see bit-identical
+ * request streams.
+ *
+ * Timing-model note: relative to the pre-staging simulator, producers
+ * observe shared-sink occupancy as of the start of the core phase rather
+ * than mid-phase, so under contention a core may stage a request one cycle
+ * earlier than it would previously have left the L1. This is a uniform,
+ * deterministic refinement shared by both backends (no test pins absolute
+ * cycle counts).
+ */
+
+#pragma once
+
+#include <deque>
+
+#include "mem/memtypes.h"
+
+namespace vortex::mem {
+
+/** A MemSink front that defers pushes to a serial drain() phase. */
+class StagedMemPort final : public MemSink
+{
+  public:
+    /**
+     * @param down  the shared downstream sink (owned elsewhere)
+     * @param depth staging capacity cap; sized to the producer's
+     *              memory-queue depth so staging never throttles below the
+     *              downstream's own acceptance rate
+     */
+    StagedMemPort(MemSink* down, size_t depth) : down_(down), depth_(depth) {}
+
+    // MemSink (called from the producer, possibly on a worker thread).
+    // Consulting down_->reqReady() here is safe and deterministic: shared
+    // sinks are only *mutated* in the serial phases, so during the tick
+    // phase every producer reads the same start-of-cycle snapshot. It also
+    // keeps downstream back-pressure visible to the producer in the same
+    // cycle instead of adding a full staging buffer of slack.
+    bool
+    reqReady() const override
+    {
+        return staged_.size() < depth_ && down_->reqReady();
+    }
+
+    void reqPush(const MemReq& req) override { staged_.push_back(req); }
+
+    /** Commit phase: forward staged requests while the sink accepts.
+     *  Leftovers keep back-pressuring the producer via reqReady(). */
+    void
+    drain()
+    {
+        while (!staged_.empty() && down_->reqReady()) {
+            down_->reqPush(staged_.front());
+            staged_.pop_front();
+        }
+    }
+
+    bool empty() const { return staged_.empty(); }
+
+  private:
+    MemSink* down_;
+    size_t depth_;
+    std::deque<MemReq> staged_;
+};
+
+} // namespace vortex::mem

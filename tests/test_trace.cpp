@@ -76,8 +76,9 @@ TEST(Trace, ProgramOrderPreservedPerWarp)
     for (const auto& [uid, t] : buf.timelines()) {
         (void)uid;
         auto it = last_issue.find(t.wid);
-        if (it != last_issue.end())
+        if (it != last_issue.end()) {
             EXPECT_GE(*t.issue, it->second);
+        }
         last_issue[t.wid] = *t.issue;
     }
 }
