@@ -4,68 +4,17 @@
  * (non-blocking-ness), bank count, and line size — on the baseline 4W-4T
  * core. Not a paper figure; this quantifies why the paper's cache is built
  * the way it is (non-blocking with per-bank MSHRs, 4 banks, 64B lines).
+ * Thin wrapper over the ablation_{mshr,banks,linesize} campaign presets.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "bench/bench_util.h"
-
-using namespace vortex;
+#include "sweep/presets.h"
 
 int
 main()
 {
-    bench::printHeader("Ablation: non-blocking depth (MSHR entries/bank)");
-    std::printf("%-10s", "kernel");
-    const std::vector<uint32_t> mshrs = {1, 2, 4, 8, 16};
-    for (uint32_t m : mshrs)
-        std::printf("  mshr=%-3u", m);
-    std::printf("\n");
-    for (const char* kernel : {"saxpy", "sgemm"}) {
-        std::printf("%-10s", kernel);
-        for (uint32_t m : mshrs) {
-            core::ArchConfig cfg = bench::baselineConfig(1);
-            cfg.mshrEntries = m;
-            runtime::RunResult r = bench::runVerified(cfg, kernel);
-            std::printf("  %8.3f", r.ipc);
-        }
-        std::printf("\n");
-    }
-
-    bench::printHeader("Ablation: D$ bank count (1 virtual port)");
-    std::printf("%-10s", "kernel");
-    const std::vector<uint32_t> banks = {1, 2, 4, 8};
-    for (uint32_t b : banks)
-        std::printf("  banks=%-2u", b);
-    std::printf("\n");
-    for (const char* kernel : {"saxpy", "sgemm"}) {
-        std::printf("%-10s", kernel);
-        for (uint32_t b : banks) {
-            core::ArchConfig cfg = bench::baselineConfig(1);
-            cfg.dcacheBanks = b;
-            runtime::RunResult r = bench::runVerified(cfg, kernel);
-            std::printf("  %8.3f", r.ipc);
-        }
-        std::printf("\n");
-    }
-
-    bench::printHeader("Ablation: line size");
-    std::printf("%-10s", "kernel");
-    const std::vector<uint32_t> lines = {16, 32, 64, 128};
-    for (uint32_t l : lines)
-        std::printf("  line=%-4u", l);
-    std::printf("\n");
-    for (const char* kernel : {"saxpy", "vecadd"}) {
-        std::printf("%-10s", kernel);
-        for (uint32_t l : lines) {
-            core::ArchConfig cfg = bench::baselineConfig(1);
-            cfg.lineSize = l;
-            cfg.mem.lineSize = l;
-            runtime::RunResult r = bench::runVerified(cfg, kernel);
-            std::printf("  %8.3f", r.ipc);
-        }
-        std::printf("\n");
-    }
+    for (const char* preset :
+         {"ablation_mshr", "ablation_banks", "ablation_linesize"})
+        if (int rc = vortex::sweep::runPresetMain(preset))
+            return rc;
     return 0;
 }

@@ -1,87 +1,20 @@
 /**
  * @file
  * Ablation: core pipeline sizing — instruction-buffer depth, LSU depth
- * (memory-level parallelism per core), and FPU latency sensitivity (the
- * DSP-mapping argument of §6.2.2: nearn's fsqrt dominates its runtime).
+ * (memory-level parallelism per core), scheduling policy, and FPU latency
+ * sensitivity (the DSP-mapping argument of §6.2.2: nearn's fsqrt
+ * dominates its runtime). Thin wrapper over the
+ * ablation_{ibuffer,lsu,sched,fsqrt} campaign presets.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "bench/bench_util.h"
-
-using namespace vortex;
+#include "sweep/presets.h"
 
 int
 main()
 {
-    bench::printHeader("Ablation: ibuffer depth");
-    std::printf("%-10s", "kernel");
-    const std::vector<uint32_t> depths = {1, 2, 4, 8};
-    for (uint32_t d : depths)
-        std::printf("  ibuf=%-3u", d);
-    std::printf("\n");
-    for (const char* kernel : {"sgemm", "saxpy"}) {
-        std::printf("%-10s", kernel);
-        for (uint32_t d : depths) {
-            core::ArchConfig cfg = bench::baselineConfig(1);
-            cfg.ibufferDepth = d;
-            runtime::RunResult r = bench::runVerified(cfg, kernel);
-            std::printf("  %8.3f", r.ipc);
-        }
-        std::printf("\n");
-    }
-
-    bench::printHeader("Ablation: LSU depth (in-flight warp memory ops)");
-    std::printf("%-10s", "kernel");
-    const std::vector<uint32_t> lsu = {1, 2, 4, 8};
-    for (uint32_t d : lsu)
-        std::printf("  lsu=%-4u", d);
-    std::printf("\n");
-    for (const char* kernel : {"saxpy", "vecadd"}) {
-        std::printf("%-10s", kernel);
-        for (uint32_t d : lsu) {
-            core::ArchConfig cfg = bench::baselineConfig(1);
-            cfg.lsuDepth = d;
-            runtime::RunResult r = bench::runVerified(cfg, kernel);
-            std::printf("  %8.3f", r.ipc);
-        }
-        std::printf("\n");
-    }
-
-    bench::printHeader("Ablation: wavefront scheduling policy "
-                       "(hierarchical vs round-robin)");
-    std::printf("%-10s %14s %14s\n", "kernel", "hierarchical",
-                "round-robin");
-    for (const char* kernel : {"sgemm", "saxpy", "nearn", "bfs"}) {
-        double ipc[2];
-        int i = 0;
-        for (core::SchedPolicy pol : {core::SchedPolicy::Hierarchical,
-                                      core::SchedPolicy::RoundRobin}) {
-            core::ArchConfig cfg = bench::baselineConfig(1);
-            cfg.numWarps = 8; // policy differences show with more warps
-            cfg.schedPolicy = pol;
-            ipc[i++] = bench::runVerified(cfg, kernel).ipc;
-        }
-        std::printf("%-10s %14.3f %14.3f\n", kernel, ipc[0], ipc[1]);
-    }
-
-    bench::printHeader("Ablation: fsqrt latency (nearn sensitivity, "
-                       "§6.2.3)");
-    std::printf("%-10s", "kernel");
-    const std::vector<uint32_t> lat = {4, 12, 24, 48};
-    for (uint32_t l : lat)
-        std::printf("  fsqrt=%-3u", l);
-    std::printf("\n");
-    for (const char* kernel : {"nearn", "saxpy"}) {
-        std::printf("%-10s", kernel);
-        for (uint32_t l : lat) {
-            core::ArchConfig cfg = bench::baselineConfig(1);
-            cfg.lat.fsqrt = l;
-            runtime::RunResult r = bench::runVerified(cfg, kernel);
-            std::printf("  %8.3f", r.ipc);
-        }
-        std::printf("\n");
-    }
+    for (const char* preset : {"ablation_ibuffer", "ablation_lsu",
+                               "ablation_sched", "ablation_fsqrt"})
+        if (int rc = vortex::sweep::runPresetMain(preset))
+            return rc;
     return 0;
 }

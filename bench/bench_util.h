@@ -1,71 +1,29 @@
 /**
  * @file
- * Shared helpers for the table/figure reproduction harnesses.
+ * Shared helpers for the bench harnesses that drive single runs directly
+ * (parallel_speedup, microbench). The figure/table harnesses are thin
+ * wrappers over the campaign presets instead — see src/sweep/presets.h,
+ * where the kernel lists, geometry axis, and baseline machine builder
+ * now live.
  */
 
 #pragma once
 
 #include <cstdio>
 #include <string>
-#include <vector>
 
 #include "common/log.h"
-#include "core/config.h"
 #include "runtime/workloads.h"
+#include "sweep/presets.h"
 
 namespace vortex::bench {
 
-/** The five §6.2.1 design-space core geometries of Table 3 / Fig. 14. */
-struct CoreGeometry
-{
-    uint32_t warps;
-    uint32_t threads;
-    const char* name;
-};
-
-inline const std::vector<CoreGeometry>&
-fig14Geometries()
-{
-    static const std::vector<CoreGeometry> g = {
-        {4, 4, "4W-4T"}, {2, 8, "2W-8T"}, {8, 2, "8W-2T"},
-        {4, 8, "4W-8T"}, {8, 4, "8W-4T"},
-    };
-    return g;
-}
-
-/** The five Rodinia kernels plotted in Fig. 14 / Fig. 19. */
-inline const std::vector<std::string>&
-fig14Kernels()
-{
-    static const std::vector<std::string> k = {"sgemm", "vecadd", "sfilter",
-                                               "saxpy", "nearn"};
-    return k;
-}
-
-/** All seven Rodinia kernels of the scaling study (Fig. 18). */
-inline const std::vector<std::string>&
-fig18Kernels()
-{
-    static const std::vector<std::string> k = {
-        "sgemm", "vecadd", "sfilter", "saxpy", "nearn", "gaussian", "bfs"};
-    return k;
-}
-
-/** Baseline machine: the paper's 4W-4T core (§6.2.1). */
+/** Baseline machine: the paper's 4W-4T core scaled to @p cores
+ *  (forwards to sweep::baselineConfig). */
 inline core::ArchConfig
 baselineConfig(uint32_t cores = 1)
 {
-    core::ArchConfig cfg;
-    cfg.numWarps = 4;
-    cfg.numThreads = 4;
-    cfg.numCores = cores;
-    if (cores >= 4) {
-        cfg.l2Enabled = true;  // clusters attach an optional L2 (§4.1)
-        cfg.coresPerCluster = 4;
-    }
-    if (cores > 16)
-        cfg.mem.numChannels = 8; // Stratix 10 board (8 banks, §6.5)
-    return cfg;
+    return sweep::baselineConfig(cores);
 }
 
 /** Run one verified kernel; fatal on verification failure so the bench

@@ -2,54 +2,15 @@
  * @file
  * Figure 14 reproduction: IPC of the five single-core design-space
  * configurations (4W-4T, 2W-8T, 8W-2T, 4W-8T, 8W-4T) on sgemm, vecadd,
- * sfilter, saxpy, and nearn.
- *
- * Shape targets (paper §6.2.1): 2W-8T gains ~20% over 4W-4T on sgemm;
- * 8W-2T loses ~36% on sgemm; 8W-4T recovers most of the 4W-8T performance
- * at lower cost.
+ * sfilter, saxpy, and nearn. Thin wrapper over the "fig14" campaign
+ * preset (src/sweep/presets.h); the report includes the paper's §6.2.1
+ * shape checks (2W-8T ~ +20% on sgemm, 8W-2T ~ -36%).
  */
 
-#include <cstdio>
-
-#include "bench/bench_util.h"
-
-using namespace vortex;
+#include "sweep/presets.h"
 
 int
 main()
 {
-    bench::printHeader("Figure 14: IPC per core configuration");
-    std::printf("%-10s", "kernel");
-    for (const auto& g : bench::fig14Geometries())
-        std::printf("%10s", g.name);
-    std::printf("\n");
-
-    double sgemm_4w4t = 0.0, sgemm_2w8t = 0.0, sgemm_8w2t = 0.0;
-    for (const auto& kernel : bench::fig14Kernels()) {
-        std::printf("%-10s", kernel.c_str());
-        for (const auto& g : bench::fig14Geometries()) {
-            core::ArchConfig cfg = bench::baselineConfig(1);
-            cfg.numWarps = g.warps;
-            cfg.numThreads = g.threads;
-            runtime::RunResult r = bench::runVerified(cfg, kernel);
-            std::printf("%10.3f", r.ipc);
-            if (kernel == "sgemm") {
-                if (std::string(g.name) == "4W-4T")
-                    sgemm_4w4t = r.ipc;
-                if (std::string(g.name) == "2W-8T")
-                    sgemm_2w8t = r.ipc;
-                if (std::string(g.name) == "8W-2T")
-                    sgemm_8w2t = r.ipc;
-            }
-        }
-        std::printf("\n");
-    }
-
-    std::printf("\nshape check (paper: 2W-8T ~ +20%% on sgemm, "
-                "8W-2T ~ -36%%):\n");
-    std::printf("  sgemm 2W-8T / 4W-4T = %+.1f%%\n",
-                100.0 * (sgemm_2w8t / sgemm_4w4t - 1.0));
-    std::printf("  sgemm 8W-2T / 4W-4T = %+.1f%%\n",
-                100.0 * (sgemm_8w2t / sgemm_4w4t - 1.0));
-    return 0;
+    return vortex::sweep::runPresetMain("fig14");
 }

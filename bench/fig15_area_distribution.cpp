@@ -4,29 +4,13 @@
  * build. The paper publishes this as an unlabeled pie chart; the fractions
  * here are read off the figure under its stated constraints (texture units
  * and caches dominate; the FPU is small because FMA maps to DSP blocks).
+ * Thin wrapper over the "fig15" preset.
  */
 
-#include <cstdio>
-
-#include "area/area.h"
-#include "bench/bench_util.h"
-
-using namespace vortex;
+#include "sweep/presets.h"
 
 int
 main()
 {
-    bench::printHeader("Figure 15: area distribution (8-core build)");
-    double total = 0.0;
-    for (const area::AreaSlice& s : area::areaDistribution()) {
-        std::printf("  %-32s %5.1f%%  ", s.component.c_str(),
-                    100.0 * s.fraction);
-        int bars = static_cast<int>(s.fraction * 100.0 + 0.5);
-        for (int i = 0; i < bars; ++i)
-            std::printf("#");
-        std::printf("\n");
-        total += s.fraction;
-    }
-    std::printf("  %-32s %5.1f%%\n", "(total)", 100.0 * total);
-    return 0;
+    return vortex::sweep::runPresetMain("fig15");
 }

@@ -2,46 +2,18 @@
  * @file
  * Figure 18 reproduction: IPC scaling with core count (1-16) for the
  * compute-bound group (sgemm, vecadd, sfilter) and the memory-bound group
- * (saxpy, nearn, gaussian, bfs).
+ * (saxpy, nearn, gaussian, bfs). Thin wrapper over the "fig18" campaign
+ * preset (src/sweep/presets.h).
  *
  * Shape targets: near-linear scaling for the compute-bound group,
  * sub-linear for the memory-bound group, and poor scaling for nearn
  * (long-latency fsqrt serialization, §6.2.3).
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "bench/bench_util.h"
-
-using namespace vortex;
+#include "sweep/presets.h"
 
 int
 main()
 {
-    const std::vector<uint32_t> core_counts = {1, 2, 4, 8, 16};
-
-    bench::printHeader("Figure 18: IPC vs core count");
-    std::printf("%-10s %-8s", "kernel", "group");
-    for (uint32_t c : core_counts)
-        std::printf("   %3uc  ", c);
-    std::printf("  speedup(16c/1c)\n");
-
-    for (const auto& kernel : bench::fig18Kernels()) {
-        std::printf("%-10s %-8s", kernel.c_str(),
-                    runtime::isComputeBound(kernel) ? "compute" : "memory");
-        double first = 0.0, last = 0.0;
-        for (uint32_t c : core_counts) {
-            // Scale the problem with the machine so every core has work.
-            uint32_t scale = c >= 4 ? 2 : 1;
-            runtime::RunResult r =
-                bench::runVerified(bench::baselineConfig(c), kernel, scale);
-            if (c == core_counts.front())
-                first = r.ipc;
-            last = r.ipc;
-            std::printf(" %7.3f", r.ipc);
-        }
-        std::printf("   %6.2fx\n", last / first);
-    }
-    return 0;
+    return vortex::sweep::runPresetMain("fig18");
 }

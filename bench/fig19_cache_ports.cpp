@@ -2,7 +2,8 @@
  * @file
  * Figure 19 reproduction: effect of virtual multi-porting on the 4-bank
  * data cache of a single 4W-4T core — bank utilization and IPC at 1, 2,
- * and 4 virtual ports per bank.
+ * and 4 virtual ports per bank. Thin wrapper over the "fig19" campaign
+ * preset (src/sweep/presets.h).
  *
  * Shape targets (§6.3): sgemm and vecadd see the lowest 1-port utilization
  * (bank conflicts from same-line lane accesses); utilization rises toward
@@ -10,47 +11,10 @@
  * balance.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "bench/bench_util.h"
-#include "runtime/device.h"
-
-using namespace vortex;
+#include "sweep/presets.h"
 
 int
 main()
 {
-    const std::vector<uint32_t> ports = {1, 2, 4};
-
-    bench::printHeader("Figure 19: D$ bank utilization / IPC vs virtual "
-                       "ports (1 core, 4 banks)");
-    std::printf("%-10s", "kernel");
-    for (uint32_t p : ports)
-        std::printf("  util@%up  ", p);
-    for (uint32_t p : ports)
-        std::printf("   IPC@%up", p);
-    std::printf("\n");
-
-    for (const auto& kernel : bench::fig14Kernels()) {
-        std::vector<double> util, ipc;
-        for (uint32_t p : ports) {
-            core::ArchConfig cfg = bench::baselineConfig(1);
-            cfg.dcachePorts = p;
-            runtime::Device dev(cfg);
-            runtime::RunResult r = runtime::runRodinia(dev, kernel);
-            if (!r.ok)
-                fatal("fig19 kernel failed: ", r.error);
-            util.push_back(
-                dev.processor().core(0).dcache().bankUtilization());
-            ipc.push_back(r.ipc);
-        }
-        std::printf("%-10s", kernel.c_str());
-        for (double u : util)
-            std::printf("  %6.1f%%  ", 100.0 * u);
-        for (double i : ipc)
-            std::printf("  %7.3f", i);
-        std::printf("\n");
-    }
-    return 0;
+    return vortex::sweep::runPresetMain("fig19");
 }

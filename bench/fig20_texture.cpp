@@ -2,63 +2,24 @@
  * @file
  * Figure 20 reproduction: hardware texture acceleration vs the software
  * sampler for point, bilinear, and trilinear filtering at 1/2/4/8 cores.
- * Time is reported in kilocycles (the FPGA milliseconds of the paper are
- * cycles / 200 MHz; the shape is what matters).
+ * Thin wrapper over the "fig20" campaign preset; pass a size argument to
+ * render larger targets (the preset default is a small target so the
+ * cycle-level simulation completes in seconds — resolution does not
+ * change the compute/bandwidth ratio that produces the shape).
  *
  * Shape targets (§6.4): point HW ~= SW (the RGBA8 software path is a
  * copy); bilinear HW ~2x at one core with the gap narrowing as cores
  * saturate memory bandwidth; trilinear HW wins but by less than bilinear
  * (double memory traffic).
- *
- * The paper renders 1080p; the default here is 128x128 so the cycle-level
- * simulation completes in seconds (resolution does not change the
- * compute/bandwidth ratio that produces the shape). Pass a size argument
- * to run larger targets.
  */
 
-#include <cstdio>
-#include <cstdlib>
-#include <vector>
-
-#include "bench/bench_util.h"
-#include "runtime/device.h"
-
-using namespace vortex;
+#include "sweep/presets.h"
 
 int
 main(int argc, char** argv)
 {
-    uint32_t size = 64;
+    vortex::sweep::PresetArgs args;
     if (argc > 1)
-        size = static_cast<uint32_t>(std::atoi(argv[1]));
-
-    const std::vector<uint32_t> core_counts = {1, 2, 4, 8};
-    const std::vector<std::pair<runtime::TexFilterMode, const char*>> modes =
-        {{runtime::TexFilterMode::Point, "point"},
-         {runtime::TexFilterMode::Bilinear, "bilinear"},
-         {runtime::TexFilterMode::Trilinear, "trilinear"}};
-
-    bench::printHeader("Figure 20: HW vs SW texture filtering "
-                       "(kilocycles; lower is better)");
-    std::printf("(render target %ux%u RGBA8)\n", size, size);
-    std::printf("%-6s %-10s %10s %10s %8s\n", "cores", "filter", "SW",
-                "HW", "SW/HW");
-
-    for (uint32_t c : core_counts) {
-        for (const auto& [mode, name] : modes) {
-            double t[2] = {0.0, 0.0};
-            for (int hw = 0; hw <= 1; ++hw) {
-                runtime::Device dev(bench::baselineConfig(c));
-                runtime::RunResult r =
-                    runtime::runTexture(dev, mode, hw != 0, size);
-                if (!r.ok)
-                    fatal("fig20 ", name, (hw ? " HW" : " SW"),
-                          " failed: ", r.error);
-                t[hw] = static_cast<double>(r.cycles) / 1000.0;
-            }
-            std::printf("%-6u %-10s %10.1f %10.1f %7.2fx\n", c, name, t[0],
-                        t[1], t[0] / t[1]);
-        }
-    }
-    return 0;
+        args.push_back({"size", argv[1]});
+    return vortex::sweep::runPresetMain("fig20", args);
 }

@@ -2,7 +2,8 @@
  * @file
  * Figure 21 reproduction: the effect of board-memory latency and bandwidth
  * on performance, swept with the cycle-level simulator (the paper's SIMX
- * experiment on a 16-core, 16-wavefront, 16-thread configuration).
+ * experiment on a 16-core, 16-wavefront, 16-thread configuration). Thin
+ * wrapper over the "fig21" campaign preset.
  *
  * Shape targets (§6.5): IPC degrades as latency grows and recovers as
  * bandwidth is added; the memory-bound kernel is far more sensitive than
@@ -12,47 +13,15 @@
  * the sweep finishes in seconds; pass "--paper" for the full 16/16/16.
  */
 
-#include <cstdio>
 #include <cstring>
-#include <vector>
 
-#include "bench/bench_util.h"
-
-using namespace vortex;
+#include "sweep/presets.h"
 
 int
 main(int argc, char** argv)
 {
-    bool paper_size = argc > 1 && std::strcmp(argv[1], "--paper") == 0;
-    const uint32_t geo = paper_size ? 16 : 8;
-
-    const std::vector<uint32_t> latencies = {25, 50, 100, 200, 400};
-    const std::vector<uint32_t> bandwidths = {1, 2, 4}; // channel multiplier
-
-    bench::printHeader("Figure 21: memory latency/bandwidth scaling");
-    std::printf("(machine: %u cores x %uW x %uT, L2 enabled)\n", geo, geo,
-                geo);
-
-    for (const char* kernel : {"saxpy", "sgemm"}) {
-        std::printf("\n%s (%s-bound):\n", kernel,
-                    runtime::isComputeBound(kernel) ? "compute" : "memory");
-        std::printf("%-12s", "latency");
-        for (uint32_t bw : bandwidths)
-            std::printf("   bw x%u ", bw);
-        std::printf("\n");
-        for (uint32_t lat : latencies) {
-            std::printf("%-12u", lat);
-            for (uint32_t bw : bandwidths) {
-                core::ArchConfig cfg = bench::baselineConfig(geo);
-                cfg.numWarps = geo;
-                cfg.numThreads = geo;
-                cfg.mem.latency = lat;
-                cfg.mem.numChannels = 2 * bw;
-                runtime::RunResult r = bench::runVerified(cfg, kernel, 2);
-                std::printf(" %8.3f", r.ipc);
-            }
-            std::printf("\n");
-        }
-    }
-    return 0;
+    vortex::sweep::PresetArgs args;
+    if (argc > 1 && std::strcmp(argv[1], "--paper") == 0)
+        args.push_back({"paper", "1"});
+    return vortex::sweep::runPresetMain("fig21", args);
 }

@@ -3,43 +3,13 @@
  * Table 3 reproduction: synthesis results (LUTs, registers, BRAM, fmax)
  * for the five core configurations, from the calibrated area model
  * (DESIGN.md substitution #1) next to the paper's published values.
+ * Thin wrapper over the "table3" preset (src/sweep/presets.h).
  */
 
-#include <cstdio>
-
-#include "area/area.h"
-#include "bench/bench_util.h"
-
-using namespace vortex;
+#include "sweep/presets.h"
 
 int
 main()
 {
-    struct PaperRow
-    {
-        const char* name;
-        uint32_t w, t;
-        double lut, regs, bram, fmax;
-    };
-    const PaperRow paper[] = {
-        {"4W-4T", 4, 4, 21502, 32661, 131, 233},
-        {"2W-8T", 2, 8, 36361, 54438, 238, 224},
-        {"8W-2T", 8, 2, 16981, 24343, 77, 225},
-        {"4W-8T", 4, 8, 37857, 57614, 247, 224},
-        {"8W-4T", 8, 4, 24485, 34854, 139, 228},
-    };
-
-    bench::printHeader("Table 3: core synthesis (model vs paper)");
-    std::printf("%-8s %18s %18s %14s %16s\n", "config", "LUT (mdl/paper)",
-                "Regs (mdl/paper)", "BRAM (mdl/pap)", "fmax (mdl/pap)");
-    for (const PaperRow& row : paper) {
-        area::CoreArea a = area::coreArea(row.w, row.t);
-        std::printf("%-8s %8.0f /%8.0f %8.0f /%8.0f %6.0f /%6.0f "
-                    "%7.0f /%6.0f\n",
-                    row.name, a.luts, row.lut, a.regs, row.regs, a.brams,
-                    row.bram, a.fmaxMhz, row.fmax);
-    }
-    std::printf("\n(model is least-squares calibrated on these rows; "
-                "max residual ~2%%)\n");
-    return 0;
+    return vortex::sweep::runPresetMain("table3");
 }

@@ -3,49 +3,13 @@
  * Table 4 reproduction: whole-device synthesis for 1-32 cores (ALM%,
  * registers, BRAM%, DSP%, fmax) from the calibrated area model, next to
  * the paper's values. Rows 1-16 target the Arria 10, row 32 the
- * Stratix 10 (as in the paper).
+ * Stratix 10 (as in the paper). Thin wrapper over the "table4" preset.
  */
 
-#include <cstdio>
-
-#include "area/area.h"
-#include "bench/bench_util.h"
-
-using namespace vortex;
+#include "sweep/presets.h"
 
 int
 main()
 {
-    struct PaperRow
-    {
-        uint32_t cores;
-        area::Fpga fpga;
-        double alm, regsK, bram, dsp, fmax;
-    };
-    const PaperRow paper[] = {
-        {1, area::Fpga::Arria10, 13, 78, 10, 2, 234},
-        {2, area::Fpga::Arria10, 19, 111, 15, 5, 225},
-        {4, area::Fpga::Arria10, 30, 176, 25, 9, 223},
-        {8, area::Fpga::Arria10, 53, 305, 45, 19, 210},
-        {16, area::Fpga::Arria10, 85, 525, 83, 38, 203},
-        {32, area::Fpga::Stratix10, 70, 1057, 23, 20, 200},
-    };
-
-    bench::printHeader("Table 4: multi-core synthesis (model vs paper)");
-    std::printf("%-6s %-5s %14s %16s %14s %13s %14s\n", "cores", "FPGA",
-                "ALM%% m/p", "Regs(K) m/p", "BRAM%% m/p", "DSP%% m/p",
-                "fmax m/p");
-    for (const PaperRow& row : paper) {
-        area::DeviceArea a = area::deviceArea(row.cores, row.fpga);
-        std::printf("%-6u %-5s %6.0f /%5.0f %7.0f /%6.0f %6.0f /%5.0f "
-                    "%5.0f /%5.0f %6.0f /%5.0f\n",
-                    row.cores,
-                    row.fpga == area::Fpga::Arria10 ? "A10" : "S10",
-                    a.almPercent, row.alm, a.regsK, row.regsK,
-                    a.bramPercent, row.bram, a.dspPercent, row.dsp,
-                    a.fmaxMhz, row.fmax);
-    }
-    std::printf("\n(A10 rows calibrated; the S10 row is rescaled by device "
-                "capacity)\n");
-    return 0;
+    return vortex::sweep::runPresetMain("table4");
 }

@@ -3,48 +3,14 @@
  * Table 5 reproduction: synthesis of the virtually multi-ported 4-bank
  * data cache at 1, 2, and 4 ports, from the calibrated area model.
  * The paper's headline deltas — +9% LUTs for 2 ports, +25% for 4, BRAM
- * unchanged — hold by construction.
+ * unchanged — hold by construction. Thin wrapper over the "table5"
+ * preset.
  */
 
-#include <cstdio>
-
-#include "area/area.h"
-#include "bench/bench_util.h"
-
-using namespace vortex;
+#include "sweep/presets.h"
 
 int
 main()
 {
-    struct PaperRow
-    {
-        uint32_t ports;
-        double lut, regs, bram, fmax;
-    };
-    const PaperRow paper[] = {
-        {1, 10747, 13238, 72, 253},
-        {2, 11722, 13650, 72, 250},
-        {4, 13516, 14928, 72, 244},
-    };
-
-    bench::printHeader("Table 5: 4-bank D$ synthesis (model vs paper)");
-    std::printf("%-7s %18s %18s %13s %15s\n", "ports", "LUT (mdl/paper)",
-                "Regs (mdl/paper)", "BRAM (m/p)", "fmax (m/p)");
-    double lut1 = 0.0;
-    for (const PaperRow& row : paper) {
-        area::CacheArea a = area::cacheArea(4, row.ports, 16384);
-        if (row.ports == 1)
-            lut1 = a.luts;
-        std::printf("%-7u %8.0f /%8.0f %8.0f /%8.0f %5.0f /%5.0f "
-                    "%6.0f /%5.0f\n",
-                    row.ports, a.luts, row.lut, a.regs, row.regs, a.brams,
-                    row.bram, a.fmaxMhz, row.fmax);
-    }
-    area::CacheArea a2 = area::cacheArea(4, 2, 16384);
-    area::CacheArea a4 = area::cacheArea(4, 4, 16384);
-    std::printf("\nLUT delta: 2-port %+.1f%% (paper +9%%), 4-port %+.1f%% "
-                "(paper +25%%)\n",
-                100.0 * (a2.luts / lut1 - 1.0),
-                100.0 * (a4.luts / lut1 - 1.0));
-    return 0;
+    return vortex::sweep::runPresetMain("table5");
 }

@@ -1,7 +1,18 @@
 /**
  * @file
  * Lightweight named statistics counters. Components expose a StatGroup;
- * benches and EXPERIMENTS tooling read them by name.
+ * benches, the sweep campaign engine, and EXPERIMENTS tooling read them
+ * by name.
+ *
+ * Counter naming conventions:
+ *  - keys are lower_snake_case event counts ("core_reads", "mshr_replays",
+ *    "fetch_icache_stalls"), monotonically non-decreasing over a run;
+ *  - group names are the component instance ("dcache", "memsim"); when
+ *    groups are aggregated across a device the flattened key is
+ *    "<group>.<key>" (see sweep::Campaign);
+ *  - derived metrics (ratios, utilizations) are NOT counters — compute
+ *    them from counters at the point of reporting (e.g.
+ *    mem::Cache::bankUtilization()).
  */
 
 #pragma once
@@ -10,45 +21,72 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace vortex {
 
-/** A named collection of 64-bit counters with insertion-order printing. */
+/**
+ * A named collection of 64-bit counters, printed and iterated in
+ * insertion order (the order a component first touched each counter —
+ * typically its natural event order, not alphabetical).
+ */
 class StatGroup
 {
   public:
     explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
 
-    uint64_t& counter(const std::string& key) { return counters_[key]; }
+    /** The counter for @p key, created zero on first use. The reference
+     *  is invalidated when a *different* key is first inserted — bump in
+     *  place (`++g.counter("k")`), don't hold it. */
+    uint64_t&
+    counter(const std::string& key)
+    {
+        auto [it, inserted] = index_.try_emplace(key, items_.size());
+        if (inserted)
+            items_.emplace_back(key, 0);
+        return items_[it->second].second;
+    }
 
+    /** Read @p key without creating it (0 when absent). */
     uint64_t
     get(const std::string& key) const
     {
-        auto it = counters_.find(key);
-        return it == counters_.end() ? 0 : it->second;
+        auto it = index_.find(key);
+        return it == index_.end() ? 0 : items_[it->second].second;
     }
 
+    /** Accumulate every counter of @p other into this group (counters new
+     *  to this group keep @p other's relative order). */
     void
     add(const StatGroup& other)
     {
-        for (const auto& [k, v] : other.counters_)
-            counters_[k] += v;
+        for (const auto& [k, v] : other.items_)
+            counter(k) += v;
     }
 
-    const std::map<std::string, uint64_t>& all() const { return counters_; }
+    /** All (key, value) pairs in insertion order. */
+    const std::vector<std::pair<std::string, uint64_t>>&
+    all() const
+    {
+        return items_;
+    }
+
     const std::string& name() const { return name_; }
 
+    /** Print "name.key = value" lines in insertion order. */
     void
     print(std::ostream& os) const
     {
-        for (const auto& [k, v] : counters_)
+        for (const auto& [k, v] : items_)
             os << name_ << (name_.empty() ? "" : ".") << k << " = " << v
                << "\n";
     }
 
   private:
     std::string name_;
-    std::map<std::string, uint64_t> counters_;
+    std::vector<std::pair<std::string, uint64_t>> items_;
+    std::map<std::string, size_t> index_; ///< key -> position in items_
 };
 
 } // namespace vortex

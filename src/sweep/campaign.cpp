@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Campaign execution: job pool, device-stat flattening, the result
+ * cache, and CSV/JSON emission.
+ */
+
+#include "sweep/campaign.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/log.h"
+#include "core/processor.h"
+#include "mem/cache.h"
+#include "mem/memsim.h"
+#include "mem/sharedmem.h"
+#include "runtime/device.h"
+#include "sweep/report.h"
+#include "tex/texunit.h"
+
+namespace vortex::sweep {
+
+namespace {
+
+constexpr const char* kCacheMagic = "vortex-sweep-cache v1";
+
+/** Flatten @p group into @p flat under "<prefix>.<key>" names. */
+void
+flatten(StatGroup& flat, const std::string& prefix, const StatGroup& group)
+{
+    for (const auto& [k, v] : group.all())
+        flat.counter(prefix + "." + k) += v;
+}
+
+/** Mirror of Processor::ipc() so cache-restored records reproduce the
+ *  exact double a fresh run reports. */
+double
+ipcOf(uint64_t threadInstrs, uint64_t cycles)
+{
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(threadInstrs) /
+                             static_cast<double>(cycles);
+}
+
+/** Shortest round-trippable formatting for the JSON doubles. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+double
+RunRecord::dcacheBankUtilization() const
+{
+    uint64_t accepted = stats.get("dcache.sel_accepted");
+    uint64_t conflicts = stats.get("dcache.sel_conflicts");
+    uint64_t total = accepted + conflicts;
+    return total == 0 ? 1.0 : static_cast<double>(accepted) / total;
+}
+
+const RunRecord&
+CampaignResult::at(const std::vector<std::string>& labels) const
+{
+    for (const RunRecord& r : records) {
+        if (r.spec.coords.size() != labels.size())
+            continue;
+        bool match = true;
+        for (size_t i = 0; i < labels.size(); ++i)
+            if (r.spec.coords[i].second != labels[i]) {
+                match = false;
+                break;
+            }
+        if (match)
+            return r;
+    }
+    std::string want;
+    for (const std::string& l : labels)
+        want += (want.empty() ? "" : "/") + l;
+    fatal("campaign '", name, "': no run at coordinates '", want, "'");
+}
+
+void
+CampaignResult::writeCsv(std::ostream& os) const
+{
+    // Stat columns: the union of counter keys over all records, in
+    // first-seen (insertion) order — stable because records are in
+    // matrix order regardless of job count or cache hits.
+    StatGroup keyOrder;
+    for (const RunRecord& r : records)
+        for (const auto& [k, v] : r.stats.all()) {
+            (void)v;
+            keyOrder.counter(k);
+        }
+
+    for (const std::string& a : axisNames)
+        os << csvCell(a) << ",";
+    os << "id,hash,ok,cycles,thread_instrs,ipc";
+    for (const auto& [k, v] : keyOrder.all()) {
+        (void)v;
+        os << "," << csvCell(k);
+    }
+    os << "\n";
+
+    for (const RunRecord& r : records) {
+        for (const auto& [axis, label] : r.spec.coords) {
+            (void)axis;
+            os << csvCell(label) << ",";
+        }
+        os << csvCell(r.spec.id()) << "," << r.spec.contentHash() << ","
+           << (r.result.ok ? 1 : 0) << "," << r.result.cycles << ","
+           << r.result.threadInstrs << "," << fmtF(r.result.ipc, 6);
+        for (const auto& [k, v] : keyOrder.all()) {
+            (void)v;
+            os << "," << r.stats.get(k);
+        }
+        os << "\n";
+    }
+}
+
+void
+CampaignResult::writeJson(std::ostream& os) const
+{
+    os << "{\n  \"campaign\": \"" << jsonEscape(name) << "\",\n";
+    os << "  \"axes\": [";
+    for (size_t i = 0; i < axisNames.size(); ++i)
+        os << (i ? ", " : "") << "\"" << jsonEscape(axisNames[i]) << "\"";
+    os << "],\n  \"runs\": [\n";
+    for (size_t i = 0; i < records.size(); ++i) {
+        const RunRecord& r = records[i];
+        os << "    {\"id\": \"" << jsonEscape(r.spec.id())
+           << "\", \"hash\": \"" << r.spec.contentHash()
+           << "\", \"coords\": {";
+        for (size_t c = 0; c < r.spec.coords.size(); ++c)
+            os << (c ? ", " : "") << "\""
+               << jsonEscape(r.spec.coords[c].first) << "\": \""
+               << jsonEscape(r.spec.coords[c].second) << "\"";
+        // No execution metadata (fromCache, hostSeconds) here: JSON, like
+        // CSV, is byte-identical across job counts and cache states.
+        os << "}, \"workload\": \"" << jsonEscape(r.spec.workload.describe())
+           << "\", \"ok\": " << (r.result.ok ? "true" : "false")
+           << ", \"cycles\": " << r.result.cycles
+           << ", \"thread_instrs\": " << r.result.threadInstrs
+           << ", \"ipc\": " << fmtDouble(r.result.ipc) << ", \"stats\": {";
+        bool first = true;
+        for (const auto& [k, v] : r.stats.all()) {
+            os << (first ? "" : ", ") << "\"" << jsonEscape(k)
+               << "\": " << v;
+            first = false;
+        }
+        os << "}}" << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+Campaign::Campaign(CampaignOptions opts) : opts_(std::move(opts))
+{
+    if (opts_.jobs == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        opts_.jobs = hw == 0 ? 1 : hw;
+    }
+}
+
+RunRecord
+Campaign::executeOne(const RunSpec& spec) const
+{
+    RunRecord rec;
+    rec.spec = spec;
+
+    auto t0 = std::chrono::steady_clock::now();
+    runtime::Device dev(spec.config);
+    rec.result = spec.workload.run(dev);
+    auto t1 = std::chrono::steady_clock::now();
+    rec.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+
+    // Flatten the device's component counters in a fixed hierarchy order
+    // (core-private units first, then the shared levels outward).
+    core::Processor& proc = dev.processor();
+    StatGroup cores, icache, dcache, smem, tex;
+    for (size_t i = 0; i < proc.numCores(); ++i) {
+        core::Core& c = proc.core(i);
+        cores.add(c.stats());
+        icache.add(c.icache().stats());
+        dcache.add(c.dcache().stats());
+        smem.add(c.sharedMem().stats());
+        if (c.texUnit())
+            tex.add(c.texUnit()->stats());
+    }
+    flatten(rec.stats, "core", cores);
+    flatten(rec.stats, "icache", icache);
+    flatten(rec.stats, "dcache", dcache);
+    flatten(rec.stats, "smem", smem);
+    flatten(rec.stats, "tex", tex);
+    StatGroup l2;
+    for (uint32_t cl = 0; cl < spec.config.numClusters(); ++cl)
+        if (mem::Cache* c = proc.l2(cl))
+            l2.add(c->stats());
+    flatten(rec.stats, "l2", l2);
+    if (mem::Cache* c = proc.l3())
+        flatten(rec.stats, "l3", c->stats());
+    flatten(rec.stats, "mem", proc.memSim().stats());
+    return rec;
+}
+
+std::string
+Campaign::cachePath(const std::string& hash) const
+{
+    return opts_.cacheDir + "/" + hash + ".run";
+}
+
+bool
+Campaign::tryLoadCached(const RunSpec& spec, RunRecord& out) const
+{
+    if (opts_.cacheDir.empty())
+        return false;
+    std::ifstream in(cachePath(spec.contentHash()));
+    if (!in)
+        return false;
+
+    std::string line;
+    if (!std::getline(in, line) || line != kCacheMagic)
+        return false;
+
+    RunRecord rec;
+    rec.spec = spec;
+    rec.fromCache = true;
+    rec.result.ok = true;
+    bool complete = false;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag == "hash") {
+            std::string h;
+            ls >> h;
+            if (h != spec.contentHash())
+                return false; // foreign entry (renamed file?)
+        } else if (tag == "cycles") {
+            ls >> rec.result.cycles;
+        } else if (tag == "thread_instrs") {
+            ls >> rec.result.threadInstrs;
+        } else if (tag == "stat") {
+            std::string key;
+            uint64_t value = 0;
+            ls >> key >> value;
+            rec.stats.counter(key) = value;
+        } else if (tag == "end") {
+            complete = true;
+        }
+    }
+    if (!complete)
+        return false; // truncated write
+    rec.result.ipc = ipcOf(rec.result.threadInstrs, rec.result.cycles);
+    out = std::move(rec);
+    return true;
+}
+
+void
+Campaign::storeCached(const RunRecord& record) const
+{
+    if (opts_.cacheDir.empty() || !record.result.ok)
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.cacheDir, ec);
+
+    const std::string hash = record.spec.contentHash();
+    const std::string path = cachePath(hash);
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(
+            std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    {
+        std::ofstream outf(tmp, std::ios::trunc);
+        if (!outf)
+            return; // cache is best-effort; the run still succeeded
+        outf << kCacheMagic << "\n";
+        outf << "hash " << hash << "\n";
+        outf << "id " << record.spec.id() << "\n";
+        outf << "cycles " << record.result.cycles << "\n";
+        outf << "thread_instrs " << record.result.threadInstrs << "\n";
+        for (const auto& [k, v] : record.stats.all())
+            outf << "stat " << k << " " << v << "\n";
+        outf << "end\n";
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+CampaignResult
+Campaign::run(const SweepSpec& spec)
+{
+    std::vector<RunSpec> runs = spec.expand();
+
+    CampaignResult result;
+    result.name = spec.name;
+    for (const Axis& a : spec.axes)
+        result.axisNames.push_back(a.name);
+    result.records.resize(runs.size());
+
+    std::atomic<size_t> cursor{0};
+    std::atomic<uint32_t> hits{0}, misses{0};
+    std::vector<std::exception_ptr> errors(runs.size());
+    std::mutex io;
+
+    auto worker = [&] {
+        while (true) {
+            size_t i = cursor.fetch_add(1);
+            if (i >= runs.size())
+                return;
+            try {
+                RunRecord rec;
+                if (tryLoadCached(runs[i], rec)) {
+                    ++hits;
+                } else {
+                    rec = executeOne(runs[i]);
+                    if (!rec.result.ok)
+                        fatal("campaign '", spec.name, "' run '",
+                              runs[i].id(), "' failed verification: ",
+                              rec.result.error);
+                    storeCached(rec);
+                    ++misses;
+                }
+                if (opts_.verbose) {
+                    std::lock_guard<std::mutex> lk(io);
+                    std::fprintf(stderr,
+                                 "[%zu/%zu] %-28s %s cycles=%llu "
+                                 "ipc=%.3f%s\n",
+                                 i + 1, runs.size(), rec.spec.id().c_str(),
+                                 rec.spec.workload.describe().c_str(),
+                                 static_cast<unsigned long long>(
+                                     rec.result.cycles),
+                                 rec.result.ipc,
+                                 rec.fromCache ? " (cached)" : "");
+                }
+                result.records[i] = std::move(rec);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    uint32_t nworkers = static_cast<uint32_t>(
+        std::min<size_t>(opts_.jobs, std::max<size_t>(runs.size(), 1)));
+    if (nworkers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        for (uint32_t t = 0; t < nworkers; ++t)
+            pool.emplace_back(worker);
+        for (std::thread& t : pool)
+            t.join();
+    }
+
+    // Deterministic error reporting: the lowest-index failure wins, no
+    // matter which worker hit it first.
+    for (std::exception_ptr& e : errors)
+        if (e)
+            std::rethrow_exception(e);
+
+    result.cacheHits = hits;
+    result.cacheMisses = misses;
+    return result;
+}
+
+} // namespace vortex::sweep

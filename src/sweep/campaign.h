@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The campaign engine: executes a SweepSpec's run matrix on a host job
+ * pool and emits structured results.
+ *
+ * Determinism contract (the sweep-level analogue of core/tick_engine.h):
+ * every run constructs its own Device, so runs share no simulation state;
+ * workers claim runs from an atomic cursor but store each RunRecord at
+ * the run's matrix index; and all emission (CSV/JSON/reports) walks the
+ * records in matrix order. Campaign output is therefore byte-identical
+ * for any job count — `--jobs 4` only changes wall-clock time.
+ *
+ * Result cache: a run's cache key is the content hash of its canonical
+ * (config, workload) serialization (RunSpec::contentHash). Cached records
+ * store the counters and metrics of the finished run; a hit skips the
+ * simulation entirely. Only verified (ok) runs are cached. Entries are
+ * one file per key under CampaignOptions::cacheDir, written atomically
+ * (temp file + rename) so concurrent campaigns may share a cache
+ * directory.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sweep/spec.h"
+
+namespace vortex::sweep {
+
+/** How a Campaign executes and where it caches. */
+struct CampaignOptions
+{
+    uint32_t jobs = 1;    ///< concurrent runs; 0 = host hardware threads
+    std::string cacheDir; ///< result-cache directory ("" disables caching)
+    bool verbose = false; ///< per-run progress lines on stderr
+};
+
+/** One executed (or cache-restored) run with its counters. */
+struct RunRecord
+{
+    RunSpec spec;              ///< what was run
+    runtime::RunResult result; ///< verified metrics (cycles, IPC, ...)
+    StatGroup stats;      ///< device counters flattened to "group.key"
+    bool fromCache = false;    ///< restored from the result cache
+    double hostSeconds = 0.0; ///< wall-clock of the simulation (0 on hit)
+
+    /** Derived D$ bank utilization: accepted / (accepted + conflicts)
+     *  over the summed per-core dcache selector counters (Fig. 19). */
+    double dcacheBankUtilization() const;
+};
+
+/** All records of one campaign, in matrix (spec-expansion) order. */
+struct CampaignResult
+{
+    std::string name;                   ///< the spec's campaign name
+    std::vector<std::string> axisNames; ///< spec axes, in order
+    std::vector<RunRecord> records;     ///< one per run, matrix order
+    uint32_t cacheHits = 0;             ///< runs restored from cache
+    uint32_t cacheMisses = 0;           ///< runs actually simulated
+
+    /** The record whose coordinate labels equal @p labels (one per axis,
+     *  spec order); fatal when absent. */
+    const RunRecord& at(const std::vector<std::string>& labels) const;
+
+    /**
+     * Write one CSV row per run: axis coordinates, run id, content hash,
+     * ok, cycles, thread_instrs, ipc, host metadata-free counters (the
+     * union of stat keys across records, first-seen order). Byte-stable
+     * across job counts and cache states.
+     */
+    void writeCsv(std::ostream& os) const;
+
+    /** JSON: campaign name, axes, and per-run objects with coords,
+     *  hash, metrics, and counters. Like CSV, byte-stable across job
+     *  counts and cache states (no execution metadata is embedded). */
+    void writeJson(std::ostream& os) const;
+};
+
+/** Executes SweepSpecs; see the file comment for the determinism and
+ *  caching contracts. */
+class Campaign
+{
+  public:
+    explicit Campaign(CampaignOptions opts = {});
+
+    /** Expand @p spec and execute every run (or restore it from cache).
+     *  Fatal when a run fails verification — a campaign never silently
+     *  reports numbers from a wrong result. */
+    CampaignResult run(const SweepSpec& spec);
+
+    /** The options this campaign executes with (jobs resolved). */
+    const CampaignOptions& options() const { return opts_; }
+
+  private:
+    RunRecord executeOne(const RunSpec& spec) const;
+    bool tryLoadCached(const RunSpec& spec, RunRecord& out) const;
+    void storeCached(const RunRecord& record) const;
+    std::string cachePath(const std::string& hash) const;
+
+    CampaignOptions opts_;
+};
+
+} // namespace vortex::sweep

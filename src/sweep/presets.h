@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Built-in campaign presets: one per paper figure/table plus the cache
+ * and pipeline ablations. Each preset either expands to a SweepSpec
+ * (simulation campaigns — Figs. 14/18/19/20/21, ablations) or produces a
+ * ReportTable directly (the synthesis/area tables 3-5 and Fig. 15, which
+ * evaluate the calibrated area model without running the simulator).
+ *
+ * The bench/ harnesses and the `vortex_sweep` CLI are both thin clients
+ * of this registry, so "run one figure" and "run any campaign" share a
+ * single definition of every experiment.
+ */
+
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sweep/campaign.h"
+#include "sweep/report.h"
+#include "sweep/spec.h"
+
+namespace vortex::sweep {
+
+/**
+ * Baseline machine builder: the paper's 4W-4T core (§6.2.1), scaled to
+ * @p cores with the evaluation's machine rules — clusters attach an L2
+ * from 4 cores (§4.1) and the board becomes the 8-channel Stratix 10
+ * above 16 cores (§6.5). Scaling starts from @p base so axis assignments
+ * made before a "cores" assignment survive it.
+ */
+core::ArchConfig baselineConfig(uint32_t cores = 1,
+                                core::ArchConfig base = {});
+
+/** The five §6.2.1 design-space geometry labels of Table 3 / Fig. 14
+ *  ("4W-4T", ...), as a geometry axis over numWarps/numThreads. */
+Axis geometryAxis();
+
+/** The five Rodinia kernels plotted in Fig. 14 / Fig. 19. */
+const std::vector<std::string>& fig14Kernels();
+
+/** All seven Rodinia kernels of the scaling study (Fig. 18). */
+const std::vector<std::string>& fig18Kernels();
+
+//
+// Spec builders (parameterized; the registry uses the defaults).
+//
+SweepSpec fig14Spec(); ///< IPC of the five core geometries x five kernels
+SweepSpec fig18Spec(); ///< IPC vs core count (1-16), all seven kernels
+SweepSpec fig19Spec(); ///< D$ virtual ports: bank utilization and IPC
+SweepSpec fig20Spec(uint32_t size = 64); ///< HW vs SW texture filtering
+SweepSpec fig21Spec(bool paperSize = false); ///< memory latency/bandwidth
+
+/** Preset parameters as (key, value) pairs (`--arg size=128`). */
+using PresetArgs = std::vector<std::pair<std::string, std::string>>;
+
+/** One runnable experiment in the preset registry. Exactly one of
+ *  `sweep` / `table` is set. */
+struct Preset
+{
+    std::string name;        ///< CLI name (e.g. "fig18")
+    std::string description; ///< one-liner for --list / the README table
+    /** Builds the campaign spec (simulation presets). Fatal on an
+     *  argument the preset does not take (fig20: size=N;
+     *  fig21: paper=0/1; the rest take none). */
+    std::function<SweepSpec(const PresetArgs&)> sweep;
+    /** Builds the finished table (area/synthesis presets; take no
+     *  arguments). */
+    std::function<ReportTable()> table;
+    /** Renders the figure-shaped human report from campaign results
+     *  (simulation presets only). */
+    std::function<ReportTable(const CampaignResult&)> report;
+};
+
+/** Every built-in preset, in paper order. */
+const std::vector<Preset>& presets();
+
+/** Registry lookup; nullptr when @p name is unknown. */
+const Preset* findPreset(const std::string& name);
+
+/**
+ * Generic two-axis IPC pivot: rows = first-axis labels, columns =
+ * second-axis labels. The report shape of the ablation presets and the
+ * fallback for ad-hoc CLI sweeps with two axes.
+ */
+ReportTable pivotIpc(const CampaignResult& result);
+
+/**
+ * Run preset @p name and print its report to stdout — the whole body of
+ * a bench/ harness. The job count comes from the VORTEX_SWEEP_JOBS
+ * environment variable (default: host hardware threads); results are
+ * identical for any job count.
+ * @return a process exit code (0 on success).
+ */
+int runPresetMain(const std::string& name, const PresetArgs& args = {});
+
+/** runPresetMain for an already-built spec (ad-hoc sweeps); @p report
+ *  renders the figure, nullptr prints no report. */
+int runSpecMain(const SweepSpec& spec,
+                const std::function<ReportTable(const CampaignResult&)>&
+                    report);
+
+} // namespace vortex::sweep

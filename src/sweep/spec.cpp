@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Sweep-spec expansion, the named-field registry, and canonical
+ * serialization/hashing of resolved runs.
+ */
+
+#include "sweep/spec.h"
+
+#include <sstream>
+
+#include "common/log.h"
+#include "runtime/device.h"
+#include "sweep/presets.h"
+
+namespace vortex::sweep {
+
+uint32_t
+parseU32Value(const std::string& what, const std::string& value)
+{
+    try {
+        size_t pos = 0;
+        unsigned long v = std::stoul(value, &pos);
+        if (pos != value.size() || v > UINT32_MAX)
+            throw std::invalid_argument(value);
+        return static_cast<uint32_t>(v);
+    } catch (const std::exception&) {
+        fatal(what, ": cannot parse '", value,
+              "' as an unsigned integer");
+    }
+}
+
+bool
+parseBoolValue(const std::string& what, const std::string& value)
+{
+    if (value == "0" || value == "false" || value == "off")
+        return false;
+    if (value == "1" || value == "true" || value == "on")
+        return true;
+    fatal(what, ": cannot parse '", value,
+          "' as a boolean (use 0/1/true/false/on/off)");
+}
+
+namespace {
+
+uint32_t
+parseU32(const std::string& name, const std::string& value)
+{
+    return parseU32Value("sweep field '" + name + "'", value);
+}
+
+bool
+parseBool(const std::string& name, const std::string& value)
+{
+    return parseBoolValue("sweep field '" + name + "'", value);
+}
+
+core::SchedPolicy
+parseSchedPolicy(const std::string& value)
+{
+    if (value == "hierarchical")
+        return core::SchedPolicy::Hierarchical;
+    if (value == "roundrobin" || value == "round-robin")
+        return core::SchedPolicy::RoundRobin;
+    fatal("sweep field 'schedPolicy': unknown policy '", value,
+          "' (hierarchical | roundrobin)");
+}
+
+runtime::TexFilterMode
+parseTexFilter(const std::string& value)
+{
+    if (value == "point")
+        return runtime::TexFilterMode::Point;
+    if (value == "bilinear")
+        return runtime::TexFilterMode::Bilinear;
+    if (value == "trilinear")
+        return runtime::TexFilterMode::Trilinear;
+    fatal("sweep field 'texFilter': unknown mode '", value,
+          "' (point | bilinear | trilinear)");
+}
+
+const char*
+schedPolicyName(core::SchedPolicy p)
+{
+    return p == core::SchedPolicy::RoundRobin ? "roundrobin"
+                                              : "hierarchical";
+}
+
+const char*
+texFilterName(runtime::TexFilterMode m)
+{
+    switch (m) {
+    case runtime::TexFilterMode::Point:
+        return "point";
+    case runtime::TexFilterMode::Bilinear:
+        return "bilinear";
+    case runtime::TexFilterMode::Trilinear:
+        return "trilinear";
+    }
+    return "?";
+}
+
+/** One entry of the field registry: name -> assignment function. */
+struct FieldDef
+{
+    const char* name;
+    const char* help;
+    void (*apply)(core::ArchConfig&, WorkloadSpec&, const std::string&);
+};
+
+#define VORTEX_U32_FIELD(field, help)                                       \
+    {#field, help,                                                          \
+     [](core::ArchConfig& c, WorkloadSpec&, const std::string& v) {         \
+         c.field = parseU32(#field, v);                                     \
+     }}
+#define VORTEX_BOOL_FIELD(field, help)                                      \
+    {#field, help,                                                          \
+     [](core::ArchConfig& c, WorkloadSpec&, const std::string& v) {         \
+         c.field = parseBool(#field, v);                                    \
+     }}
+
+const FieldDef kFields[] = {
+    // SIMT geometry.
+    VORTEX_U32_FIELD(numThreads, "threads per wavefront"),
+    VORTEX_U32_FIELD(numWarps, "wavefronts per core"),
+    VORTEX_U32_FIELD(numCores, "core count (raw; see also 'cores')"),
+    VORTEX_U32_FIELD(coresPerCluster, "cores sharing one L2 cluster"),
+    {"cores", "core count with the paper's scaling rules (L2 from 4 "
+              "cores, 8-channel board above 16)",
+     [](core::ArchConfig& c, WorkloadSpec&, const std::string& v) {
+         c = baselineConfig(parseU32("cores", v), c);
+     }},
+
+    // Pipeline.
+    VORTEX_U32_FIELD(ibufferDepth, "instruction-buffer depth"),
+    VORTEX_U32_FIELD(lsuDepth, "in-flight warp memory ops per core"),
+    {"schedPolicy", "wavefront scheduling (hierarchical | roundrobin)",
+     [](core::ArchConfig& c, WorkloadSpec&, const std::string& v) {
+         c.schedPolicy = parseSchedPolicy(v);
+     }},
+    VORTEX_U32_FIELD(lat.alu, "ALU latency (cycles)"),
+    VORTEX_U32_FIELD(lat.mul, "integer-multiply latency"),
+    VORTEX_U32_FIELD(lat.div, "integer-divide latency"),
+    VORTEX_U32_FIELD(lat.fpu, "FP add/mul/fma latency"),
+    VORTEX_U32_FIELD(lat.fcvt, "FP convert/move/compare latency"),
+    VORTEX_U32_FIELD(lat.fdiv, "FP divide latency"),
+    VORTEX_U32_FIELD(lat.fsqrt, "FP square-root latency"),
+    VORTEX_U32_FIELD(lat.sfu, "SFU latency"),
+
+    // L1 caches.
+    {"lineSize", "cache AND board-memory line size (bytes)",
+     [](core::ArchConfig& c, WorkloadSpec&, const std::string& v) {
+         c.lineSize = parseU32("lineSize", v);
+         c.mem.lineSize = c.lineSize;
+     }},
+    VORTEX_U32_FIELD(icacheSize, "L1I size (bytes)"),
+    VORTEX_U32_FIELD(icacheWays, "L1I associativity"),
+    VORTEX_U32_FIELD(dcacheSize, "L1D size (bytes)"),
+    VORTEX_U32_FIELD(dcacheWays, "L1D associativity"),
+    VORTEX_U32_FIELD(dcacheBanks, "L1D bank count"),
+    VORTEX_U32_FIELD(dcachePorts, "L1D virtual ports per bank (Fig. 19)"),
+    VORTEX_U32_FIELD(mshrEntries, "MSHR entries per bank"),
+
+    // Shared memory.
+    VORTEX_U32_FIELD(smemSize, "per-core scratchpad size (bytes)"),
+    VORTEX_U32_FIELD(smemLatency, "scratchpad latency (cycles)"),
+
+    // Optional cache hierarchy.
+    VORTEX_BOOL_FIELD(l2Enabled, "attach a per-cluster L2"),
+    VORTEX_U32_FIELD(l2Size, "L2 size (bytes)"),
+    VORTEX_U32_FIELD(l2Banks, "L2 bank count"),
+    VORTEX_U32_FIELD(l2Ways, "L2 associativity"),
+    VORTEX_BOOL_FIELD(l3Enabled, "attach a device-level L3"),
+    VORTEX_U32_FIELD(l3Size, "L3 size (bytes)"),
+    VORTEX_U32_FIELD(l3Banks, "L3 bank count"),
+    VORTEX_U32_FIELD(l3Ways, "L3 associativity"),
+
+    // Board memory.
+    VORTEX_U32_FIELD(mem.latency, "board-memory latency (cycles)"),
+    VORTEX_U32_FIELD(mem.busWidth, "bytes per channel per cycle"),
+    VORTEX_U32_FIELD(mem.numChannels, "independent memory channels"),
+    VORTEX_U32_FIELD(mem.queueDepth, "memory input-queue depth"),
+
+    // Texture + host backend.
+    VORTEX_BOOL_FIELD(texEnabled, "build the per-core texture units"),
+    VORTEX_BOOL_FIELD(parallelTick, "tick cores on a host thread pool"),
+    VORTEX_U32_FIELD(tickThreads, "pool size (0 = host CPUs)"),
+
+    // Workload selection.
+    {"workload", "workload family (rodinia | texture)",
+     [](core::ArchConfig&, WorkloadSpec& w, const std::string& v) {
+         if (v == "rodinia")
+             w.kind = WorkloadSpec::Kind::Rodinia;
+         else if (v == "texture")
+             w.kind = WorkloadSpec::Kind::Texture;
+         else
+             fatal("sweep field 'workload': unknown family '", v,
+                   "' (rodinia | texture)");
+     }},
+    {"kernel", "Rodinia kernel name (implies workload=rodinia)",
+     [](core::ArchConfig&, WorkloadSpec& w, const std::string& v) {
+         w.kind = WorkloadSpec::Kind::Rodinia;
+         w.kernel = v;
+     }},
+    {"scale", "Rodinia problem-size multiplier",
+     [](core::ArchConfig&, WorkloadSpec& w, const std::string& v) {
+         w.scale = parseU32("scale", v);
+     }},
+    {"texFilter", "texture filtering (point | bilinear | trilinear; "
+                  "implies workload=texture)",
+     [](core::ArchConfig&, WorkloadSpec& w, const std::string& v) {
+         w.kind = WorkloadSpec::Kind::Texture;
+         w.texFilter = parseTexFilter(v);
+     }},
+    {"texHw", "1 = hardware `tex` instruction, 0 = software sampler",
+     [](core::ArchConfig&, WorkloadSpec& w, const std::string& v) {
+         w.texHw = parseBool("texHw", v);
+     }},
+    {"texSize", "square texture/render-target size (power of two)",
+     [](core::ArchConfig&, WorkloadSpec& w, const std::string& v) {
+         w.texSize = parseU32("texSize", v);
+     }},
+};
+
+#undef VORTEX_U32_FIELD
+#undef VORTEX_BOOL_FIELD
+
+/** FNV-1a 64-bit. */
+uint64_t
+fnv1a(const std::string& s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+std::string
+WorkloadSpec::describe() const
+{
+    std::ostringstream os;
+    if (kind == Kind::Rodinia) {
+        os << kernel;
+        if (scale != 1)
+            os << " x" << scale;
+    } else {
+        os << "texture " << texFilterName(texFilter)
+           << (texHw ? " hw " : " sw ") << texSize;
+    }
+    return os.str();
+}
+
+runtime::RunResult
+WorkloadSpec::run(runtime::Device& dev) const
+{
+    if (kind == Kind::Rodinia)
+        return runtime::runRodinia(dev, kernel, scale);
+    return runtime::runTexture(dev, texFilter, texHw, texSize);
+}
+
+Axis
+Axis::sweep(const std::string& field, const std::vector<std::string>& values)
+{
+    Axis a;
+    a.name = field;
+    for (const std::string& v : values)
+        a.points.push_back(AxisPoint{v, {{field, v}}});
+    return a;
+}
+
+Axis
+Axis::sweepU32(const std::string& field, const std::vector<uint32_t>& values)
+{
+    std::vector<std::string> vs;
+    for (uint32_t v : values)
+        vs.push_back(std::to_string(v));
+    return sweep(field, vs);
+}
+
+std::string
+RunSpec::id() const
+{
+    std::string s;
+    for (const auto& [axis, label] : coords) {
+        (void)axis;
+        if (!s.empty())
+            s += '/';
+        s += label;
+    }
+    return s.empty() ? workload.describe() : s;
+}
+
+std::string
+RunSpec::canonical() const
+{
+    // Serialize EVERY field. When ArchConfig or WorkloadSpec grows a knob,
+    // add it here (and bump the version tag if an old serialization would
+    // be ambiguous) — tests/test_sweep.cpp guards the differentiation
+    // property for the swept fields.
+    const core::ArchConfig& c = config;
+    const WorkloadSpec& w = workload;
+    std::ostringstream os;
+    os << "vortex-run v1\n";
+    os << "numThreads = " << c.numThreads << "\n"
+       << "numWarps = " << c.numWarps << "\n"
+       << "numCores = " << c.numCores << "\n"
+       << "coresPerCluster = " << c.coresPerCluster << "\n"
+       << "ibufferDepth = " << c.ibufferDepth << "\n"
+       << "lsuDepth = " << c.lsuDepth << "\n"
+       << "schedPolicy = " << schedPolicyName(c.schedPolicy) << "\n"
+       << "lat.alu = " << c.lat.alu << "\n"
+       << "lat.mul = " << c.lat.mul << "\n"
+       << "lat.div = " << c.lat.div << "\n"
+       << "lat.fpu = " << c.lat.fpu << "\n"
+       << "lat.fcvt = " << c.lat.fcvt << "\n"
+       << "lat.fdiv = " << c.lat.fdiv << "\n"
+       << "lat.fsqrt = " << c.lat.fsqrt << "\n"
+       << "lat.sfu = " << c.lat.sfu << "\n"
+       << "lineSize = " << c.lineSize << "\n"
+       << "icacheSize = " << c.icacheSize << "\n"
+       << "icacheWays = " << c.icacheWays << "\n"
+       << "dcacheSize = " << c.dcacheSize << "\n"
+       << "dcacheWays = " << c.dcacheWays << "\n"
+       << "dcacheBanks = " << c.dcacheBanks << "\n"
+       << "dcachePorts = " << c.dcachePorts << "\n"
+       << "mshrEntries = " << c.mshrEntries << "\n"
+       << "smemSize = " << c.smemSize << "\n"
+       << "smemLatency = " << c.smemLatency << "\n"
+       << "l2Enabled = " << c.l2Enabled << "\n"
+       << "l2Size = " << c.l2Size << "\n"
+       << "l2Banks = " << c.l2Banks << "\n"
+       << "l2Ways = " << c.l2Ways << "\n"
+       << "l3Enabled = " << c.l3Enabled << "\n"
+       << "l3Size = " << c.l3Size << "\n"
+       << "l3Banks = " << c.l3Banks << "\n"
+       << "l3Ways = " << c.l3Ways << "\n"
+       << "mem.latency = " << c.mem.latency << "\n"
+       << "mem.lineSize = " << c.mem.lineSize << "\n"
+       << "mem.busWidth = " << c.mem.busWidth << "\n"
+       << "mem.numChannels = " << c.mem.numChannels << "\n"
+       << "mem.queueDepth = " << c.mem.queueDepth << "\n"
+       << "texEnabled = " << c.texEnabled << "\n"
+       << "startPC = " << c.startPC << "\n"
+       << "smemBase = " << c.smemBase << "\n";
+    // parallelTick / tickThreads are deliberately EXCLUDED: the backends
+    // are bit-identical (core/tick_engine.h), so a cached serial result is
+    // valid for a parallel-backend run of the same machine and vice versa.
+    os << "workload = "
+       << (w.kind == WorkloadSpec::Kind::Rodinia ? "rodinia" : "texture")
+       << "\n";
+    if (w.kind == WorkloadSpec::Kind::Rodinia)
+        os << "kernel = " << w.kernel << "\n"
+           << "scale = " << w.scale << "\n";
+    else
+        os << "texFilter = " << texFilterName(w.texFilter) << "\n"
+           << "texHw = " << w.texHw << "\n"
+           << "texSize = " << w.texSize << "\n";
+    return os.str();
+}
+
+std::string
+RunSpec::contentHash() const
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a(canonical())));
+    return buf;
+}
+
+size_t
+SweepSpec::runCount() const
+{
+    size_t n = 1;
+    for (const Axis& a : axes)
+        n *= a.points.size();
+    return n;
+}
+
+std::vector<RunSpec>
+SweepSpec::expand() const
+{
+    for (const Axis& a : axes)
+        if (a.points.empty())
+            fatal("sweep '", name, "': axis '", a.name, "' has no points");
+
+    std::vector<RunSpec> runs;
+    runs.reserve(runCount());
+    std::vector<size_t> idx(axes.size(), 0);
+    while (true) {
+        RunSpec r;
+        r.config = base;
+        r.workload = baseWorkload;
+        for (size_t a = 0; a < axes.size(); ++a) {
+            const AxisPoint& p = axes[a].points[idx[a]];
+            r.coords.emplace_back(axes[a].name, p.label);
+            for (const auto& [field, value] : p.sets)
+                if (!applyField(r.config, r.workload, field, value))
+                    fatal("sweep '", name, "': axis '", axes[a].name,
+                          "' point '", p.label, "': unknown field '",
+                          field, "'");
+        }
+        runs.push_back(std::move(r));
+
+        // Row-major increment: the last axis varies fastest.
+        size_t a = axes.size();
+        while (a > 0) {
+            --a;
+            if (++idx[a] < axes[a].points.size())
+                break;
+            idx[a] = 0;
+            if (a == 0)
+                return runs;
+        }
+        if (axes.empty())
+            return runs;
+    }
+}
+
+bool
+applyField(core::ArchConfig& cfg, WorkloadSpec& wl, const std::string& name,
+           const std::string& value)
+{
+    for (const FieldDef& f : kFields) {
+        if (name == f.name) {
+            f.apply(cfg, wl, value);
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<FieldInfo>&
+sweepableFields()
+{
+    static const std::vector<FieldInfo> infos = [] {
+        std::vector<FieldInfo> v;
+        for (const FieldDef& f : kFields)
+            v.push_back(FieldInfo{f.name, f.help});
+        return v;
+    }();
+    return infos;
+}
+
+} // namespace vortex::sweep

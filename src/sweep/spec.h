@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Declarative simulation-sweep specifications.
+ *
+ * A SweepSpec names a set of axes — each axis a list of labeled points
+ * that assign values to ArchConfig fields and/or workload choices — and
+ * expands their cartesian product into a flat run matrix of RunSpec
+ * entries. Fields are addressed by name through a registry (applyField /
+ * sweepableFields) so sweeps can be written declaratively in presets or
+ * assembled from CLI arguments, with no per-figure loop code.
+ *
+ * Every RunSpec has a canonical text serialization covering *every*
+ * architectural and workload field; its FNV-1a hash is the content key of
+ * the campaign result cache (see campaign.h).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "runtime/workloads.h"
+
+namespace vortex::runtime {
+class Device;
+}
+
+namespace vortex::sweep {
+
+/** What one run executes: a Rodinia kernel or a texture rendering pass. */
+struct WorkloadSpec
+{
+    /** Workload family. */
+    enum class Kind : uint8_t
+    {
+        Rodinia, ///< one of the seven verified Rodinia kernels (§6.1)
+        Texture, ///< HW-vs-SW texture filtering pass (§6.4)
+    };
+
+    Kind kind = Kind::Rodinia; ///< which family this run executes
+
+    std::string kernel = "vecadd"; ///< Rodinia kernel name (Kind::Rodinia)
+    uint32_t scale = 1;            ///< problem-size multiplier (1 = test-sized)
+
+    runtime::TexFilterMode texFilter =
+        runtime::TexFilterMode::Bilinear; ///< filtering mode (Kind::Texture)
+    bool texHw = true;                    ///< hardware `tex` path vs software
+    uint32_t texSize = 64;                ///< square texture/render-target size
+
+    /** Short human-readable description, e.g. "sgemm x2" or
+     *  "texture bilinear hw 64". */
+    std::string describe() const;
+
+    /** Execute this workload on @p dev (verified against the host
+     *  reference; see runtime/workloads.h). */
+    runtime::RunResult run(runtime::Device& dev) const;
+};
+
+/** One labeled point on an axis: a set of field assignments applied
+ *  together (e.g. {"4W-8T", {{"numWarps","4"},{"numThreads","8"}}}). */
+struct AxisPoint
+{
+    std::string label; ///< coordinate label used in ids, CSV, and reports
+    std::vector<std::pair<std::string, std::string>> sets; ///< field=value
+};
+
+/** A named sweep dimension: an ordered list of points. */
+struct Axis
+{
+    std::string name;             ///< dimension name (CSV column header)
+    std::vector<AxisPoint> points;///< the swept values, in sweep order
+
+    /** Axis over one field; each value becomes a point labeled by the
+     *  value itself. */
+    static Axis sweep(const std::string& field,
+                      const std::vector<std::string>& values);
+
+    /** Convenience uint32 overload of sweep(). */
+    static Axis sweepU32(const std::string& field,
+                         const std::vector<uint32_t>& values);
+};
+
+/** One fully-resolved run of the matrix. */
+struct RunSpec
+{
+    core::ArchConfig config; ///< the machine this run simulates
+    WorkloadSpec workload;   ///< what it executes
+    /** (axis name, point label) for every axis, in spec order. */
+    std::vector<std::pair<std::string, std::string>> coords;
+
+    /** Coordinate labels joined by '/', e.g. "sgemm/8c". */
+    std::string id() const;
+
+    /** Canonical `field = value` serialization of every config and
+     *  workload field (the cache key preimage). */
+    std::string canonical() const;
+
+    /** 16-hex-digit FNV-1a 64 hash of canonical(). */
+    std::string contentHash() const;
+};
+
+/** A declarative sweep: base machine + workload, and the axes whose
+ *  cartesian product forms the run matrix. */
+struct SweepSpec
+{
+    std::string name;        ///< campaign name (default output basename)
+    std::string description; ///< one-line summary shown by --list
+    core::ArchConfig base;   ///< configuration before axis assignments
+    WorkloadSpec baseWorkload; ///< workload before axis assignments
+    std::vector<Axis> axes;  ///< first axis slowest, last axis fastest
+
+    /**
+     * Expand the axes row-major (the last axis varies fastest) into the
+     * flat run matrix. Fatal on an unknown field name or unparsable
+     * value.
+     */
+    std::vector<RunSpec> expand() const;
+
+    /** Product of the axis sizes (1 when there are no axes). */
+    size_t runCount() const;
+};
+
+/**
+ * Assign @p value to the named configuration or workload field.
+ * Recognized names are listed by sweepableFields(); they cover every
+ * ArchConfig knob (including dotted "mem.*" and "lat.*" subfields),
+ * the workload selectors ("kernel", "scale", "workload", "texFilter",
+ * "texHw", "texSize"), and the derived "cores" field which applies the
+ * paper's machine-scaling rules (L2 clusters from 4 cores, the 8-channel
+ * Stratix 10 board above 16; see presets.h baselineConfig).
+ *
+ * @return false when @p name is not a known field (cfg/wl untouched);
+ *         fatal on a value that does not parse for a known field.
+ */
+bool applyField(core::ArchConfig& cfg, WorkloadSpec& wl,
+                const std::string& name, const std::string& value);
+
+/** One registry entry of sweepableFields(). */
+struct FieldInfo
+{
+    const char* name; ///< the name applyField() matches
+    const char* help; ///< one-line description for `vortex_sweep --fields`
+};
+
+/** Every field name applyField() accepts, with a one-line description. */
+const std::vector<FieldInfo>& sweepableFields();
+
+/** Strict uint32 parse (whole string must consume); fatal on failure,
+ *  naming @p what. Shared by the field registry, preset arguments, and
+ *  the CLI so every numeric surface rejects the same typos. */
+uint32_t parseU32Value(const std::string& what, const std::string& value);
+
+/** Strict boolean parse (0/1/true/false/on/off); fatal on failure. */
+bool parseBoolValue(const std::string& what, const std::string& value);
+
+} // namespace vortex::sweep

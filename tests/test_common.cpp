@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "common/bitmanip.h"
 #include "common/elastic.h"
 #include "common/rng.h"
@@ -134,6 +136,33 @@ TEST(Stats, CountersAndMerge)
     EXPECT_EQ(a.get("x"), 7u);
     EXPECT_EQ(a.get("y"), 1u);
     EXPECT_EQ(a.get("missing"), 0u);
+}
+
+TEST(Stats, IterationAndPrintingFollowInsertionOrder)
+{
+    StatGroup g("g");
+    g.counter("zeta") = 1;
+    g.counter("alpha") = 2;
+    g.counter("mid") = 3;
+    g.counter("zeta") += 10; // re-touching must not move the counter
+
+    ASSERT_EQ(g.all().size(), 3u);
+    EXPECT_EQ(g.all()[0].first, "zeta");
+    EXPECT_EQ(g.all()[1].first, "alpha");
+    EXPECT_EQ(g.all()[2].first, "mid");
+    EXPECT_EQ(g.all()[0].second, 11u);
+
+    std::ostringstream os;
+    g.print(os);
+    EXPECT_EQ(os.str(), "g.zeta = 11\ng.alpha = 2\ng.mid = 3\n");
+
+    // add() appends counters new to the target in the source's order.
+    StatGroup h("h");
+    h.counter("beta") = 7;
+    h.add(g);
+    ASSERT_EQ(h.all().size(), 4u);
+    EXPECT_EQ(h.all()[0].first, "beta");
+    EXPECT_EQ(h.all()[1].first, "zeta");
 }
 
 TEST(Rng, DeterministicAndBounded)

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * `vortex_sweep` — the unified simulation-campaign CLI.
+ *
+ * Runs a built-in preset (one per paper figure/table, plus ablations) or
+ * an ad-hoc sweep assembled from --axis/--set arguments, fanning the run
+ * matrix out over a host job pool with content-hash result caching, and
+ * emits the campaign as CSV/JSON plus the figure-shaped report.
+ *
+ *   vortex_sweep --list
+ *   vortex_sweep --preset fig18 --jobs 4 --cache .sweep-cache
+ *   vortex_sweep --preset fig20 --arg size=128 --csv tex.csv --json -
+ *   vortex_sweep --axis kernel=sgemm,saxpy --axis cores=1,2,4 \
+ *                --set numWarps=8 --jobs 0
+ *   vortex_sweep --fields
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "sweep/campaign.h"
+#include "sweep/presets.h"
+
+using namespace vortex;
+
+namespace {
+
+int
+usage(int code)
+{
+    std::printf(
+        "usage: vortex_sweep [mode] [options]\n"
+        "\n"
+        "modes:\n"
+        "  --preset NAME        run a built-in preset (see --list)\n"
+        "  --axis F=V1,V2,...   add a sweep axis over field F (repeatable;\n"
+        "                       first axis varies slowest)\n"
+        "  --list               list presets and exit\n"
+        "  --fields             list sweepable fields and exit\n"
+        "\n"
+        "options:\n"
+        "  --set F=V            fix field F to V in the base machine\n"
+        "                       (repeatable, applied before the axes)\n"
+        "  --arg K=V            preset parameter (fig20: size=N;\n"
+        "                       fig21: paper=1)\n"
+        "  --jobs N             concurrent runs (default 1; 0 = host CPUs)\n"
+        "  --cache DIR          result-cache directory (skip unchanged "
+        "runs)\n"
+        "  --csv PATH           CSV output ('-' = stdout; default "
+        "<name>.csv)\n"
+        "  --json PATH          also emit JSON ('-' = stdout)\n"
+        "  --no-csv             suppress the CSV file\n"
+        "  --name NAME          campaign name for ad-hoc sweeps\n"
+        "  --quiet              no per-run progress lines\n"
+        "  -h, --help           this text\n");
+    return code;
+}
+
+/** Split "field=v1,v2,v3" into an Axis. */
+sweep::Axis
+parseAxisArg(const std::string& arg)
+{
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size())
+        fatal("--axis expects FIELD=V1,V2,... (got '", arg, "')");
+    std::string field = arg.substr(0, eq);
+    std::vector<std::string> values;
+    std::stringstream ss(arg.substr(eq + 1));
+    std::string v;
+    while (std::getline(ss, v, ','))
+        if (!v.empty())
+            values.push_back(v);
+    if (values.empty())
+        fatal("--axis ", field, ": no values");
+    return sweep::Axis::sweep(field, values);
+}
+
+std::pair<std::string, std::string>
+parseKeyValue(const char* flag, const std::string& arg)
+{
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0)
+        fatal(flag, " expects KEY=VALUE (got '", arg, "')");
+    return {arg.substr(0, eq), arg.substr(eq + 1)};
+}
+
+void
+writeTo(const std::string& path, const std::string& what,
+        const std::function<void(std::ostream&)>& emit)
+{
+    if (path == "-") {
+        emit(std::cout);
+        return;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        fatal("cannot open ", path, " for writing");
+    emit(out);
+    std::fprintf(stderr, "wrote %s -> %s\n", what.c_str(), path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string presetName, csvPath, jsonPath, campaignName;
+    std::vector<sweep::Axis> axes;
+    std::vector<std::pair<std::string, std::string>> sets, presetArgs;
+    sweep::CampaignOptions opts;
+    opts.jobs = 1;
+    opts.verbose = true;
+    bool list = false, fields = false, noCsv = false;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            std::string a = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    fatal(a, " expects an argument");
+                return argv[++i];
+            };
+            if (a == "--preset")
+                presetName = next();
+            else if (a == "--axis")
+                axes.push_back(parseAxisArg(next()));
+            else if (a == "--set")
+                sets.push_back(parseKeyValue("--set", next()));
+            else if (a == "--arg")
+                presetArgs.push_back(parseKeyValue("--arg", next()));
+            else if (a == "--jobs")
+                opts.jobs = sweep::parseU32Value("--jobs", next());
+            else if (a == "--cache")
+                opts.cacheDir = next();
+            else if (a == "--csv")
+                csvPath = next();
+            else if (a == "--json")
+                jsonPath = next();
+            else if (a == "--no-csv")
+                noCsv = true;
+            else if (a == "--name")
+                campaignName = next();
+            else if (a == "--quiet")
+                opts.verbose = false;
+            else if (a == "--list")
+                list = true;
+            else if (a == "--fields")
+                fields = true;
+            else if (a == "-h" || a == "--help")
+                return usage(0);
+            else {
+                std::fprintf(stderr, "unknown argument '%s'\n",
+                             a.c_str());
+                return usage(2);
+            }
+        }
+        if (list) {
+            std::printf("%-18s %s\n", "preset", "description");
+            for (const sweep::Preset& p : sweep::presets())
+                std::printf("%-18s %s%s\n", p.name.c_str(),
+                            p.description.c_str(),
+                            p.table ? " [table]" : "");
+            return 0;
+        }
+        if (fields) {
+            std::printf("%-18s %s\n", "field", "description");
+            for (const sweep::FieldInfo& f : sweep::sweepableFields())
+                std::printf("%-18s %s\n", f.name, f.help);
+            return 0;
+        }
+        if (presetName.empty() && axes.empty()) {
+            std::fprintf(stderr, "nothing to do: give --preset or "
+                                 "--axis (see --list)\n");
+            return usage(2);
+        }
+
+        //
+        // Resolve the spec (or finished table) to run.
+        //
+        sweep::SweepSpec spec;
+        std::function<sweep::ReportTable(const sweep::CampaignResult&)>
+            report;
+        if (!presetName.empty()) {
+            if (!axes.empty())
+                fatal("--axis does not combine with --preset; use --set "
+                      "to fix base-machine fields, or drop --preset for "
+                      "an ad-hoc sweep");
+            if (!campaignName.empty())
+                fatal("--name only applies to ad-hoc sweeps (presets "
+                      "are named after themselves)");
+            const sweep::Preset* p = sweep::findPreset(presetName);
+            if (!p)
+                fatal("unknown preset '", presetName,
+                      "' (vortex_sweep --list)");
+            if (p->table) {
+                if (!sets.empty())
+                    fatal("preset '", presetName,
+                          "' is an area table; --set has no effect on "
+                          "it");
+                if (!presetArgs.empty())
+                    fatal("preset '", presetName, "' takes no --arg '",
+                          presetArgs[0].first, "'");
+                // Area/synthesis presets produce their table directly.
+                sweep::ReportTable t = p->table();
+                std::string out = csvPath.empty() && !noCsv
+                                      ? presetName + ".csv"
+                                      : csvPath;
+                if (!out.empty() && !noCsv)
+                    writeTo(out, "table CSV", [&](std::ostream& os) {
+                        t.writeCsv(os);
+                    });
+                if (!jsonPath.empty())
+                    writeTo(jsonPath, "table JSON",
+                            [&](std::ostream& os) { t.writeJson(os); });
+                t.print(std::cout);
+                return 0;
+            }
+            spec = p->sweep(presetArgs);
+            report = p->report;
+        } else {
+            if (!presetArgs.empty())
+                fatal("--arg only applies to presets (use --set for "
+                      "base-machine fields)");
+            spec.name = campaignName.empty() ? "custom" : campaignName;
+            spec.description = "ad-hoc CLI sweep";
+            spec.axes = std::move(axes);
+            if (spec.axes.size() == 2)
+                report = sweep::pivotIpc;
+        }
+        for (const auto& [k, v] : sets)
+            if (!sweep::applyField(spec.base, spec.baseWorkload, k, v))
+                fatal("--set: unknown field '", k,
+                      "' (vortex_sweep --fields)");
+
+        sweep::Campaign campaign(opts);
+        std::fprintf(stderr, "campaign '%s': %zu runs, %u jobs%s\n",
+                     spec.name.c_str(), spec.runCount(),
+                     campaign.options().jobs,
+                     opts.cacheDir.empty()
+                         ? ""
+                         : (" (cache: " + opts.cacheDir + ")").c_str());
+
+        sweep::CampaignResult result = campaign.run(spec);
+
+        if (!noCsv) {
+            std::string out =
+                csvPath.empty() ? spec.name + ".csv" : csvPath;
+            writeTo(out, "campaign CSV",
+                    [&](std::ostream& os) { result.writeCsv(os); });
+        }
+        if (!jsonPath.empty())
+            writeTo(jsonPath, "campaign JSON",
+                    [&](std::ostream& os) { result.writeJson(os); });
+
+        if (report)
+            report(result).print(std::cout);
+        if (!opts.cacheDir.empty())
+            std::fprintf(stderr, "cache: %u hit%s, %u miss%s\n",
+                         result.cacheHits,
+                         result.cacheHits == 1 ? "" : "s",
+                         result.cacheMisses,
+                         result.cacheMisses == 1 ? "" : "es");
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
