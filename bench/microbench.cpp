@@ -142,4 +142,33 @@ BM_SimulatorThroughput(benchmark::State& state)
 }
 BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
 
+static void
+BM_SimulatorSampling(benchmark::State& state)
+{
+    // Tick-path cost of per-interval counter sampling. Arg is
+    // ArchConfig::sampleInterval: 0 = disabled (the guard branch only —
+    // must be indistinguishable from BM_SimulatorThroughput), small
+    // intervals bound the worst-case snapshot overhead.
+    uint64_t cycles = 0, samples = 0;
+    for (auto _ : state) {
+        core::ArchConfig cfg;
+        cfg.sampleInterval = static_cast<uint64_t>(state.range(0));
+        runtime::Device dev(cfg);
+        runtime::RunResult r = runtime::runVecAdd(dev, 1024);
+        if (!r.ok)
+            state.SkipWithError("vecadd verification failed");
+        cycles += r.cycles;
+        samples += dev.processor().timeSeries().numSamples();
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+    state.counters["samples"] = static_cast<double>(samples);
+}
+BENCHMARK(BM_SimulatorSampling)
+    ->Arg(0)
+    ->Arg(10000)
+    ->Arg(1000)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
 BENCHMARK_MAIN();

@@ -89,4 +89,120 @@ class StatGroup
     std::map<std::string, size_t> index_; ///< key -> position in items_
 };
 
+/**
+ * A delta-encoded counter time series: one row per counter key, one
+ * column per sample window. Column s covers the cycles
+ * (sampleCycles[s-1], sampleCycles[s]] (from cycle 0 for s == 0), and
+ * deltas[k][s] is how much counter keys[k] advanced inside that window —
+ * so a counter's end-of-run value is the sum of its row, and rate curves
+ * (IPC, hit rate, bandwidth) divide a row by the window widths.
+ *
+ * Samples land on multiples of `interval`; the last window may be a
+ * shorter end-of-run remainder (sampleCycles.back() is then the final
+ * cycle count). Keys appear in first-seen order; a counter first touched
+ * mid-run is backfilled with zero deltas for the windows before it
+ * existed, so the rows always form a rectangular matrix.
+ */
+struct TimeSeries
+{
+    uint64_t interval = 0; ///< sampling period in cycles (0 = disabled)
+    std::vector<uint64_t> sampleCycles; ///< cycle stamp of each sample
+    std::vector<std::string> keys;      ///< counter names, first-seen order
+    std::vector<std::vector<uint64_t>> deltas; ///< [key][sample] increments
+
+    /** Number of sample windows taken. */
+    size_t numSamples() const { return sampleCycles.size(); }
+
+    /** No samples recorded (sampling disabled or the run never ticked). */
+    bool empty() const { return sampleCycles.empty(); }
+
+    /** End-of-run total of the row for @p key (0 for an unknown key). */
+    uint64_t
+    total(const std::string& key) const
+    {
+        for (size_t k = 0; k < keys.size(); ++k)
+            if (keys[k] == key) {
+                uint64_t sum = 0;
+                for (uint64_t d : deltas[k])
+                    sum += d;
+                return sum;
+            }
+        return 0;
+    }
+
+    bool operator==(const TimeSeries&) const = default;
+};
+
+/**
+ * Periodically snapshots a monotonically non-decreasing StatGroup and
+ * delta-encodes the increments into a TimeSeries.
+ *
+ * The sampler is deliberately passive: the owner decides *when* a cycle
+ * boundary is safe to observe (for the simulator that is after the
+ * Processor's cross-core commit phase, so the serial and parallel tick
+ * backends see bit-identical counters — see core/processor.h) and hands
+ * in the flattened snapshot. due() is one load-and-test when disabled, so
+ * an idle sampler costs nothing on the hot tick path.
+ */
+class StatSampler
+{
+  public:
+    explicit StatSampler(uint64_t interval = 0) { series_.interval = interval; }
+
+    bool enabled() const { return series_.interval != 0; }
+
+    /** Is @p now a sampling boundary? (false whenever disabled) */
+    bool
+    due(uint64_t now) const
+    {
+        return series_.interval != 0 && now % series_.interval == 0;
+    }
+
+    /** Record the increments since the previous sample as a new window
+     *  stamped @p now. @p snapshot must be monotonically non-decreasing
+     *  between calls and @p now strictly increasing. */
+    void
+    sample(uint64_t now, const StatGroup& snapshot)
+    {
+        // Register keys new to this snapshot, backfilling zero deltas for
+        // the windows recorded before the counter first existed.
+        for (const auto& [k, v] : snapshot.all()) {
+            (void)v;
+            auto [it, inserted] = index_.try_emplace(k, series_.keys.size());
+            (void)it;
+            if (inserted) {
+                series_.keys.push_back(k);
+                series_.deltas.emplace_back(series_.numSamples(), 0);
+            }
+        }
+        for (size_t k = 0; k < series_.keys.size(); ++k) {
+            const std::string& key = series_.keys[k];
+            uint64_t v = snapshot.get(key);
+            series_.deltas[k].push_back(v - prev_.get(key));
+        }
+        series_.sampleCycles.push_back(now);
+        prev_ = snapshot;
+    }
+
+    /** End-of-run partial window: like sample(), but a no-op when
+     *  disabled, when @p now is 0, or when a sample already landed on
+     *  @p now (the run ended exactly on a boundary). */
+    void
+    finalize(uint64_t now, const StatGroup& snapshot)
+    {
+        if (!enabled() || now == 0)
+            return;
+        if (!series_.empty() && series_.sampleCycles.back() == now)
+            return;
+        sample(now, snapshot);
+    }
+
+    const TimeSeries& series() const { return series_; }
+
+  private:
+    TimeSeries series_;
+    StatGroup prev_; ///< counter values at the previous sample
+    std::map<std::string, size_t> index_; ///< key -> row in series_.keys
+};
+
 } // namespace vortex

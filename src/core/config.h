@@ -103,6 +103,15 @@ struct ArchConfig
     uint32_t tickThreads = 0;  ///< pool size; 0 = min(numCores, host CPUs)
 
     //
+    // Observability. When nonzero, the Processor snapshots every device
+    // StatGroup each `sampleInterval` cycles (at the cycle-boundary
+    // commit point, so the series is bit-identical across tick backends)
+    // and delta-encodes the increments into a TimeSeries (common/stats.h).
+    // 0 disables sampling; the disabled path costs one branch per cycle.
+    //
+    uint64_t sampleInterval = 0; ///< cycles between counter snapshots
+
+    //
     // Software-visible layout.
     //
     Addr startPC = 0x80000000;

@@ -9,7 +9,8 @@
 
 namespace vortex::core {
 
-Processor::Processor(const ArchConfig& config) : config_(config)
+Processor::Processor(const ArchConfig& config)
+    : config_(config), sampler_(config.sampleInterval)
 {
     if (config.numThreads == 0 || config.numThreads > 64)
         fatal("numThreads must be in [1, 64]");
@@ -185,6 +186,14 @@ Processor::tick()
     // buffers, so the engine may run them concurrently.
     tickEngine_->tick(cycles_);
     commitCrossCore();
+    // Sampling happens after the commit phase: every cross-core effect of
+    // this cycle has landed, so both tick backends observe identical
+    // counters here (the sampling half of the determinism contract).
+    if (sampler_.due(cycles_)) {
+        StatGroup snapshot;
+        collectStats(snapshot);
+        sampler_.sample(cycles_, snapshot);
+    }
 }
 
 void
@@ -236,7 +245,55 @@ Processor::run(uint64_t max_cycles)
             return false;
         tick();
     }
+    // Close the series with the end-of-run remainder window (a no-op when
+    // sampling is disabled or the run ended exactly on a boundary), so
+    // summing a counter's deltas always reproduces its final value.
+    if (sampler_.enabled()) {
+        StatGroup snapshot;
+        collectStats(snapshot);
+        sampler_.finalize(cycles_, snapshot);
+    }
     return true;
+}
+
+namespace {
+
+/** Flatten @p group into @p flat under "<prefix>.<key>" names. */
+void
+flatten(StatGroup& flat, const std::string& prefix, const StatGroup& group)
+{
+    for (const auto& [k, v] : group.all())
+        flat.counter(prefix + "." + k) += v;
+}
+
+} // namespace
+
+void
+Processor::collectStats(StatGroup& flat)
+{
+    flat.counter("core.thread_instrs") += threadInstrs();
+    flat.counter("core.warp_instrs") += warpInstrs();
+    StatGroup cores, icache, dcache, smem, tex;
+    for (auto& core : cores_) {
+        cores.add(core->stats());
+        icache.add(core->icache().stats());
+        dcache.add(core->dcache().stats());
+        smem.add(core->sharedMem().stats());
+        if (core->texUnit())
+            tex.add(core->texUnit()->stats());
+    }
+    flatten(flat, "core", cores);
+    flatten(flat, "icache", icache);
+    flatten(flat, "dcache", dcache);
+    flatten(flat, "smem", smem);
+    flatten(flat, "tex", tex);
+    StatGroup l2;
+    for (auto& c : l2s_)
+        l2.add(c->stats());
+    flatten(flat, "l2", l2);
+    if (l3_)
+        flatten(flat, "l3", l3_->stats());
+    flatten(flat, "mem", memSim_->stats());
 }
 
 uint64_t

@@ -71,6 +71,26 @@ class Processor : public BarrierHub
     /** The active core tick backend (serial or parallel). */
     const TickEngine& tickEngine() const { return *tickEngine_; }
 
+    /**
+     * Flatten every device StatGroup into @p flat under "<group>.<key>"
+     * names, summed across cores, in fixed hierarchy order (core-private
+     * units first, then the shared levels outward: core, icache, dcache,
+     * smem, tex, l2, l3, mem). The synthetic "core.thread_instrs" /
+     * "core.warp_instrs" counters lead the core group so IPC curves can
+     * be computed from a snapshot alone. Counters accumulate into any
+     * the caller already has (@p flat need not be empty).
+     */
+    void collectStats(StatGroup& flat);
+
+    /**
+     * The per-interval counter time series recorded by this run (empty
+     * unless ArchConfig::sampleInterval is nonzero). Samples are taken
+     * after the cross-core commit phase of tick(), i.e. at the same
+     * deterministic cycle boundary the serial and parallel backends
+     * agree on, plus one final partial window when run() goes idle.
+     */
+    const TimeSeries& timeSeries() const { return sampler_.series(); }
+
     // BarrierHub. Safe to call from any tick worker: the arrival is
     // buffered per core and applied in core order after the tick phase.
     void globalArrive(uint32_t id, uint32_t count, CoreId core,
@@ -112,6 +132,7 @@ class Processor : public BarrierHub
     std::vector<std::vector<PendingArrival>> pendingArrivals_; ///< per core
 
     GlobalBarrierTable globalBarriers_;
+    StatSampler sampler_; ///< per-interval counter sampling (off by default)
     Cycle cycles_ = 0;
 };
 

@@ -6,9 +6,13 @@
 
 #include "sweep/campaign.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -18,26 +22,16 @@
 
 #include "common/log.h"
 #include "core/processor.h"
-#include "mem/cache.h"
-#include "mem/memsim.h"
-#include "mem/sharedmem.h"
 #include "runtime/device.h"
 #include "sweep/report.h"
-#include "tex/texunit.h"
 
 namespace vortex::sweep {
 
 namespace {
 
-constexpr const char* kCacheMagic = "vortex-sweep-cache v1";
-
-/** Flatten @p group into @p flat under "<prefix>.<key>" names. */
-void
-flatten(StatGroup& flat, const std::string& prefix, const StatGroup& group)
-{
-    for (const auto& [k, v] : group.all())
-        flat.counter(prefix + "." + k) += v;
-}
+// v2: "campaign" provenance line + the time-series block. v1 entries
+// fail the magic check and simply miss (the run is re-simulated).
+constexpr const char* kCacheMagic = "vortex-sweep-cache v2";
 
 /** Mirror of Processor::ipc() so cache-restored records reproduce the
  *  exact double a fresh run reports. */
@@ -163,6 +157,76 @@ CampaignResult::writeJson(std::ostream& os) const
     os << "  ]\n}\n";
 }
 
+void
+CampaignResult::writeTimeSeriesJson(std::ostream& os) const
+{
+    os << "{\n  \"campaign\": \"" << jsonEscape(name) << "\",\n";
+    os << "  \"axes\": [";
+    for (size_t i = 0; i < axisNames.size(); ++i)
+        os << (i ? ", " : "") << "\"" << jsonEscape(axisNames[i]) << "\"";
+    os << "],\n  \"runs\": [\n";
+    for (size_t i = 0; i < records.size(); ++i) {
+        const RunRecord& r = records[i];
+        os << "    {\"id\": \"" << jsonEscape(r.spec.id())
+           << "\", \"hash\": \"" << r.spec.contentHash()
+           << "\", \"coords\": {";
+        for (size_t c = 0; c < r.spec.coords.size(); ++c)
+            os << (c ? ", " : "") << "\""
+               << jsonEscape(r.spec.coords[c].first) << "\": \""
+               << jsonEscape(r.spec.coords[c].second) << "\"";
+        os << "},\n     \"interval\": " << r.series.interval
+           << ", \"sample_cycles\": [";
+        for (size_t s = 0; s < r.series.sampleCycles.size(); ++s)
+            os << (s ? ", " : "") << r.series.sampleCycles[s];
+        os << "],\n     \"counters\": {";
+        for (size_t k = 0; k < r.series.keys.size(); ++k) {
+            os << (k ? ", " : "") << "\"" << jsonEscape(r.series.keys[k])
+               << "\": [";
+            for (size_t s = 0; s < r.series.deltas[k].size(); ++s)
+                os << (s ? ", " : "") << r.series.deltas[k][s];
+            os << "]";
+        }
+        os << "}}" << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+void
+CampaignResult::writeBenchJson(std::ostream& os) const
+{
+    // The trajectory headline: enough to spot a simulator perf or model
+    // regression at a glance, small enough to diff across CI runs.
+    static const char* kHeadlineCounters[] = {
+        "core.thread_instrs", "core.retired",      "icache.core_reads",
+        "dcache.core_reads",  "dcache.read_hits",  "dcache.read_misses",
+        "mem.bytes",
+    };
+    double total = 0.0;
+    for (const RunRecord& r : records)
+        total += r.hostSeconds;
+    os << "{\n  \"campaign\": \"" << jsonEscape(name) << "\",\n";
+    os << "  \"total_host_seconds\": " << fmtDouble(total) << ",\n";
+    os << "  \"runs\": [\n";
+    for (size_t i = 0; i < records.size(); ++i) {
+        const RunRecord& r = records[i];
+        os << "    {\"id\": \"" << jsonEscape(r.spec.id())
+           << "\", \"hash\": \"" << r.spec.contentHash()
+           << "\", \"from_cache\": " << (r.fromCache ? "true" : "false")
+           << ", \"host_seconds\": " << fmtDouble(r.hostSeconds)
+           << ",\n     \"cycles\": " << r.result.cycles
+           << ", \"thread_instrs\": " << r.result.threadInstrs
+           << ", \"ipc\": " << fmtDouble(r.result.ipc) << ", \"stats\": {";
+        bool first = true;
+        for (const char* k : kHeadlineCounters) {
+            os << (first ? "" : ", ") << "\"" << k
+               << "\": " << r.stats.get(k);
+            first = false;
+        }
+        os << "}}" << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
 Campaign::Campaign(CampaignOptions opts) : opts_(std::move(opts))
 {
     if (opts_.jobs == 0) {
@@ -183,32 +247,8 @@ Campaign::executeOne(const RunSpec& spec) const
     auto t1 = std::chrono::steady_clock::now();
     rec.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
 
-    // Flatten the device's component counters in a fixed hierarchy order
-    // (core-private units first, then the shared levels outward).
-    core::Processor& proc = dev.processor();
-    StatGroup cores, icache, dcache, smem, tex;
-    for (size_t i = 0; i < proc.numCores(); ++i) {
-        core::Core& c = proc.core(i);
-        cores.add(c.stats());
-        icache.add(c.icache().stats());
-        dcache.add(c.dcache().stats());
-        smem.add(c.sharedMem().stats());
-        if (c.texUnit())
-            tex.add(c.texUnit()->stats());
-    }
-    flatten(rec.stats, "core", cores);
-    flatten(rec.stats, "icache", icache);
-    flatten(rec.stats, "dcache", dcache);
-    flatten(rec.stats, "smem", smem);
-    flatten(rec.stats, "tex", tex);
-    StatGroup l2;
-    for (uint32_t cl = 0; cl < spec.config.numClusters(); ++cl)
-        if (mem::Cache* c = proc.l2(cl))
-            l2.add(c->stats());
-    flatten(rec.stats, "l2", l2);
-    if (mem::Cache* c = proc.l3())
-        flatten(rec.stats, "l3", c->stats());
-    flatten(rec.stats, "mem", proc.memSim().stats());
+    dev.processor().collectStats(rec.stats);
+    rec.series = dev.processor().timeSeries();
     return rec;
 }
 
@@ -254,19 +294,39 @@ Campaign::tryLoadCached(const RunSpec& spec, RunRecord& out) const
             uint64_t value = 0;
             ls >> key >> value;
             rec.stats.counter(key) = value;
+        } else if (tag == "sample_interval") {
+            ls >> rec.series.interval;
+        } else if (tag == "sample_cycles") {
+            uint64_t c = 0;
+            while (ls >> c)
+                rec.series.sampleCycles.push_back(c);
+        } else if (tag == "series") {
+            std::string key;
+            ls >> key;
+            rec.series.keys.push_back(key);
+            rec.series.deltas.emplace_back();
+            uint64_t d = 0;
+            while (ls >> d)
+                rec.series.deltas.back().push_back(d);
         } else if (tag == "end") {
             complete = true;
         }
     }
     if (!complete)
         return false; // truncated write
+    // A well-formed series is rectangular: every delta row as long as the
+    // cycle-stamp vector. Treat anything else as corruption -> miss.
+    for (const auto& row : rec.series.deltas)
+        if (row.size() != rec.series.numSamples())
+            return false;
     rec.result.ipc = ipcOf(rec.result.threadInstrs, rec.result.cycles);
     out = std::move(rec);
     return true;
 }
 
 void
-Campaign::storeCached(const RunRecord& record) const
+Campaign::storeCached(const RunRecord& record,
+                      const std::string& campaignName) const
 {
     if (opts_.cacheDir.empty() || !record.result.ok)
         return;
@@ -286,10 +346,24 @@ Campaign::storeCached(const RunRecord& record) const
         outf << kCacheMagic << "\n";
         outf << "hash " << hash << "\n";
         outf << "id " << record.spec.id() << "\n";
+        outf << "campaign " << campaignName << "\n";
         outf << "cycles " << record.result.cycles << "\n";
         outf << "thread_instrs " << record.result.threadInstrs << "\n";
         for (const auto& [k, v] : record.stats.all())
             outf << "stat " << k << " " << v << "\n";
+        if (record.series.interval != 0) {
+            outf << "sample_interval " << record.series.interval << "\n";
+            outf << "sample_cycles";
+            for (uint64_t c : record.series.sampleCycles)
+                outf << " " << c;
+            outf << "\n";
+            for (size_t k = 0; k < record.series.keys.size(); ++k) {
+                outf << "series " << record.series.keys[k];
+                for (uint64_t d : record.series.deltas[k])
+                    outf << " " << d;
+                outf << "\n";
+            }
+        }
         outf << "end\n";
     }
     std::filesystem::rename(tmp, path, ec);
@@ -328,7 +402,7 @@ Campaign::run(const SweepSpec& spec)
                         fatal("campaign '", spec.name, "' run '",
                               runs[i].id(), "' failed verification: ",
                               rec.result.error);
-                    storeCached(rec);
+                    storeCached(rec, spec.name);
                     ++misses;
                 }
                 if (opts_.verbose) {
@@ -370,7 +444,147 @@ Campaign::run(const SweepSpec& spec)
 
     result.cacheHits = hits;
     result.cacheMisses = misses;
+    // Keep the cache's manifest in sync with what is now on disk.
+    if (!opts_.cacheDir.empty())
+        writeCacheManifest(opts_.cacheDir);
     return result;
+}
+
+namespace {
+
+/** @p path's mtime as seconds since the Unix epoch (0 on error). */
+int64_t
+mtimeSeconds(const std::filesystem::path& path)
+{
+    std::error_code ec;
+    auto ftime = std::filesystem::last_write_time(path, ec);
+    if (ec)
+        return 0;
+    // Portable file_clock -> system_clock conversion (no C++20
+    // clock_cast dependency): rebase through the two clocks' "now".
+    auto sys = std::chrono::time_point_cast<std::chrono::seconds>(
+        ftime - std::filesystem::file_time_type::clock::now() +
+        std::chrono::system_clock::now());
+    return sys.time_since_epoch().count();
+}
+
+/** @p epochSeconds as "YYYY-MM-DDThh:mm:ssZ". */
+std::string
+isoUtc(int64_t epochSeconds)
+{
+    std::time_t t = static_cast<std::time_t>(epochSeconds);
+    std::tm tm{};
+    gmtime_r(&t, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+} // namespace
+
+std::vector<CacheEntryInfo>
+listCache(const std::string& dir)
+{
+    std::vector<CacheEntryInfo> entries;
+    std::error_code ec;
+    for (const auto& de :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file() || de.path().extension() != ".run")
+            continue;
+        std::ifstream in(de.path());
+        std::string line;
+        if (!in || !std::getline(in, line) || line != kCacheMagic)
+            continue; // stale-format or foreign file; not an entry
+        CacheEntryInfo info;
+        info.hash = de.path().stem().string();
+        info.mtime = mtimeSeconds(de.path());
+        while (std::getline(in, line)) {
+            std::istringstream ls(line);
+            std::string tag;
+            ls >> tag;
+            if (tag == "id")
+                std::getline(ls >> std::ws, info.id);
+            else if (tag == "campaign")
+                std::getline(ls >> std::ws, info.campaign);
+            else if (tag == "cycles")
+                break; // provenance lines precede the payload
+        }
+        entries.push_back(std::move(info));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const CacheEntryInfo& a, const CacheEntryInfo& b) {
+                  return a.hash < b.hash;
+              });
+    return entries;
+}
+
+void
+writeCacheManifest(const std::string& dir)
+{
+    std::vector<CacheEntryInfo> entries = listCache(dir);
+    // Unlike cache entries (same hash -> same bytes), two processes'
+    // manifests can genuinely differ mid-churn, so the temp name must be
+    // unique across processes, not just threads.
+    const std::string path = dir + "/manifest.json";
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(
+            std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            return; // the manifest is best-effort metadata
+        os << "{\n  \"entries\": [\n";
+        for (size_t i = 0; i < entries.size(); ++i) {
+            const CacheEntryInfo& e = entries[i];
+            os << "    {\"hash\": \"" << jsonEscape(e.hash)
+               << "\", \"id\": \"" << jsonEscape(e.id)
+               << "\", \"campaign\": \"" << jsonEscape(e.campaign)
+               << "\", \"written\": \"" << isoUtc(e.mtime) << "\"}"
+               << (i + 1 < entries.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n}\n";
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+size_t
+pruneCache(const std::string& dir, double olderThanDays)
+{
+    const int64_t cutoff =
+        olderThanDays < 0.0
+            ? INT64_MAX // prune everything
+            : std::chrono::duration_cast<std::chrono::seconds>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                      .count() -
+                  static_cast<int64_t>(olderThanDays * 86400.0);
+    size_t removed = 0;
+    std::error_code ec;
+    for (const auto& de :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file())
+            continue;
+        const std::string fname = de.path().filename().string();
+        // Sweep leftover temp files from interrupted writes regardless
+        // of age; they are never valid entries.
+        if (fname.find(".run.tmp.") != std::string::npos ||
+            fname.find("manifest.json.tmp.") != std::string::npos) {
+            std::filesystem::remove(de.path(), ec);
+            continue;
+        }
+        if (de.path().extension() != ".run")
+            continue;
+        if (mtimeSeconds(de.path()) <= cutoff) {
+            std::filesystem::remove(de.path(), ec);
+            if (!ec)
+                ++removed;
+        }
+    }
+    writeCacheManifest(dir);
+    return removed;
 }
 
 } // namespace vortex::sweep

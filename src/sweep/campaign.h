@@ -45,6 +45,9 @@ struct RunRecord
     RunSpec spec;              ///< what was run
     runtime::RunResult result; ///< verified metrics (cycles, IPC, ...)
     StatGroup stats;      ///< device counters flattened to "group.key"
+    /** Per-interval counter deltas (empty unless the run's config set
+     *  sampleInterval; round-trips through the result cache). */
+    TimeSeries series;
     bool fromCache = false;    ///< restored from the result cache
     double hostSeconds = 0.0; ///< wall-clock of the simulation (0 on hit)
 
@@ -78,7 +81,57 @@ struct CampaignResult
      *  hash, metrics, and counters. Like CSV, byte-stable across job
      *  counts and cache states (no execution metadata is embedded). */
     void writeJson(std::ostream& os) const;
+
+    /**
+     * Time-series JSON: one object per run — id, hash, coordinate
+     * labels, sampling interval, sample-cycle stamps, and one delta
+     * array per counter ("counters": {"core.thread_instrs": [..], ...})
+     * — directly plottable as IPC / hit-rate / bandwidth curves (divide
+     * a row by the window widths). Byte-stable across job counts, cache
+     * states, and tick backends. Runs without sampling emit empty
+     * arrays.
+     */
+    void writeTimeSeriesJson(std::ostream& os) const;
+
+    /**
+     * Bench-trajectory JSON (the CI perf-smoke artifact): per-run
+     * hostSeconds, cache provenance, and headline counters, plus the
+     * campaign's total simulation wall-clock. Unlike every other
+     * emitter this one DOES carry execution metadata — it measures the
+     * simulator, not the simulation — so it is NOT byte-stable.
+     */
+    void writeBenchJson(std::ostream& os) const;
 };
+
+/** One result-cache entry as listed by the manifest. */
+struct CacheEntryInfo
+{
+    std::string hash;     ///< content hash (the file basename)
+    std::string id;       ///< run id recorded at store time
+    std::string campaign; ///< campaign name recorded at store time
+    int64_t mtime = 0;    ///< entry mtime, seconds since the Unix epoch
+};
+
+/** All valid entries under cache directory @p dir, sorted by hash
+ *  (empty when the directory is missing). */
+std::vector<CacheEntryInfo> listCache(const std::string& dir);
+
+/**
+ * Rewrite @p dir/manifest.json from the entries on disk: one object per
+ * cached record (hash, run id, campaign, ISO-8601 UTC timestamp).
+ * Atomic (temp file + rename) and self-healing — it reflects whatever
+ * entries exist, including ones written by other campaigns sharing the
+ * directory. Campaign::run refreshes it after every cached campaign.
+ */
+void writeCacheManifest(const std::string& dir);
+
+/**
+ * Delete cached records from @p dir: all of them, or with
+ * @p olderThanDays >= 0 only those whose mtime is older than that many
+ * days. Also sweeps leftover temp files and rewrites the manifest.
+ * @return the number of records removed.
+ */
+size_t pruneCache(const std::string& dir, double olderThanDays = -1.0);
 
 /** Executes SweepSpecs; see the file comment for the determinism and
  *  caching contracts. */
@@ -98,7 +151,8 @@ class Campaign
   private:
     RunRecord executeOne(const RunSpec& spec) const;
     bool tryLoadCached(const RunSpec& spec, RunRecord& out) const;
-    void storeCached(const RunRecord& record) const;
+    void storeCached(const RunRecord& record,
+                     const std::string& campaignName) const;
     std::string cachePath(const std::string& hash) const;
 
     CampaignOptions opts_;

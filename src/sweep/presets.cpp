@@ -421,6 +421,19 @@ fig20Spec(uint32_t size)
 }
 
 SweepSpec
+perfSmokeSpec()
+{
+    SweepSpec s;
+    s.name = "perf_smoke";
+    s.description =
+        "CI perf-trajectory smoke: 3 kernels x {1, 2} cores, test-sized";
+    s.base = baselineConfig(1);
+    s.axes = {Axis::sweep("kernel", {"vecadd", "saxpy", "sgemm"}),
+              Axis::sweep("cores", {"1", "2"})};
+    return s;
+}
+
+SweepSpec
 fig21Spec(bool paperSize)
 {
     const uint32_t geo = paperSize ? 16 : 8;
@@ -629,6 +642,8 @@ presets()
             },
             pivotIpc);
 
+        sweepPreset([] { return perfSmokeSpec(); }, pivotIpc);
+
         return p;
     }();
     return all;
@@ -640,6 +655,15 @@ findPreset(const std::string& name)
     for (const Preset& p : presets())
         if (p.name == name)
             return &p;
+    // Accept the long bench-harness names as aliases: "fig18_scaling" is
+    // the fig18 preset, "table3_core_area" is table3, and so on. Only
+    // figN_*/tableN_* are shortened — ablation_* presets keep their
+    // underscore names.
+    if (name.rfind("fig", 0) == 0 || name.rfind("table", 0) == 0) {
+        size_t us = name.find('_');
+        if (us != std::string::npos)
+            return findPreset(name.substr(0, us));
+    }
     return nullptr;
 }
 

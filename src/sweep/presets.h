@@ -53,6 +53,12 @@ SweepSpec fig19Spec(); ///< D$ virtual ports: bank utilization and IPC
 SweepSpec fig20Spec(uint32_t size = 64); ///< HW vs SW texture filtering
 SweepSpec fig21Spec(bool paperSize = false); ///< memory latency/bandwidth
 
+/** The pinned CI perf-trajectory campaign: three kernels x {1, 2} cores,
+ *  test-sized, small enough for every PR. CI runs it with sampling on
+ *  and records its `--bench-json` output as the bench trajectory point
+ *  (see .github/workflows/ci.yml, job `perf-smoke`). */
+SweepSpec perfSmokeSpec();
+
 /** Preset parameters as (key, value) pairs (`--arg size=128`). */
 using PresetArgs = std::vector<std::pair<std::string, std::string>>;
 
@@ -77,7 +83,9 @@ struct Preset
 /** Every built-in preset, in paper order. */
 const std::vector<Preset>& presets();
 
-/** Registry lookup; nullptr when @p name is unknown. */
+/** Registry lookup; nullptr when @p name is unknown. The long
+ *  bench-harness names are accepted as aliases ("fig18_scaling" ->
+ *  "fig18", "table3_core_area" -> "table3", ...). */
 const Preset* findPreset(const std::string& name);
 
 /**

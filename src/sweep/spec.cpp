@@ -185,6 +185,20 @@ const FieldDef kFields[] = {
     VORTEX_BOOL_FIELD(parallelTick, "tick cores on a host thread pool"),
     VORTEX_U32_FIELD(tickThreads, "pool size (0 = host CPUs)"),
 
+    // Observability. The config field is 64-bit; parse it as such.
+    {"sampleInterval", "cycles between counter snapshots (0 = off)",
+     [](core::ArchConfig& c, WorkloadSpec&, const std::string& v) {
+         try {
+             size_t pos = 0;
+             c.sampleInterval = std::stoull(v, &pos);
+             if (pos != v.size())
+                 throw std::invalid_argument(v);
+         } catch (const std::exception&) {
+             fatal("sweep field 'sampleInterval': cannot parse '", v,
+                   "' as an unsigned integer");
+         }
+     }},
+
     // Workload selection.
     {"workload", "workload family (rodinia | texture)",
      [](core::ArchConfig&, WorkloadSpec& w, const std::string& v) {
@@ -303,7 +317,7 @@ RunSpec::canonical() const
     const core::ArchConfig& c = config;
     const WorkloadSpec& w = workload;
     std::ostringstream os;
-    os << "vortex-run v1\n";
+    os << "vortex-run v2\n"; // v2: added sampleInterval
     os << "numThreads = " << c.numThreads << "\n"
        << "numWarps = " << c.numWarps << "\n"
        << "numCores = " << c.numCores << "\n"
@@ -344,10 +358,14 @@ RunSpec::canonical() const
        << "mem.queueDepth = " << c.mem.queueDepth << "\n"
        << "texEnabled = " << c.texEnabled << "\n"
        << "startPC = " << c.startPC << "\n"
-       << "smemBase = " << c.smemBase << "\n";
+       << "smemBase = " << c.smemBase << "\n"
+       << "sampleInterval = " << c.sampleInterval << "\n";
     // parallelTick / tickThreads are deliberately EXCLUDED: the backends
     // are bit-identical (core/tick_engine.h), so a cached serial result is
     // valid for a parallel-backend run of the same machine and vice versa.
+    // sampleInterval IS included even though it cannot change simulation
+    // results: a cached record must carry the time series the request
+    // asks for, and the series shape depends on the interval.
     os << "workload = "
        << (w.kind == WorkloadSpec::Kind::Rodinia ? "rodinia" : "texture")
        << "\n";

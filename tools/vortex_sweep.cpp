@@ -10,14 +10,18 @@
  *   vortex_sweep --list
  *   vortex_sweep --preset fig18 --jobs 4 --cache .sweep-cache
  *   vortex_sweep --preset fig20 --arg size=128 --csv tex.csv --json -
+ *   vortex_sweep --preset fig18_scaling --sample 10000 --timeseries ts.json
+ *   vortex_sweep --preset perf_smoke --sample 2000 --bench-json BENCH.json
  *   vortex_sweep --axis kernel=sgemm,saxpy --axis cores=1,2,4 \
  *                --set numWarps=8 --jobs 0
+ *   vortex_sweep --cache .sweep-cache --cache-prune --older-than 30
  *   vortex_sweep --fields
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <functional>
 #include <iostream>
 #include <sstream>
@@ -44,6 +48,8 @@ usage(int code)
         "                       first axis varies slowest)\n"
         "  --list               list presets and exit\n"
         "  --fields             list sweepable fields and exit\n"
+        "  --cache-prune        delete cached records under --cache DIR\n"
+        "                       (all, or --older-than DAYS) and exit\n"
         "\n"
         "options:\n"
         "  --set F=V            fix field F to V in the base machine\n"
@@ -53,6 +59,14 @@ usage(int code)
         "  --jobs N             concurrent runs (default 1; 0 = host CPUs)\n"
         "  --cache DIR          result-cache directory (skip unchanged "
         "runs)\n"
+        "  --sample N           snapshot device counters every N cycles\n"
+        "                       (shorthand for --set sampleInterval=N)\n"
+        "  --timeseries PATH    emit the per-interval counter time series\n"
+        "                       as JSON ('-' = stdout); needs --sample\n"
+        "  --bench-json PATH    emit host wall-clock + headline counters\n"
+        "                       (the CI bench-trajectory artifact)\n"
+        "  --older-than DAYS    with --cache-prune: only drop entries\n"
+        "                       older than DAYS (fractions allowed)\n"
         "  --csv PATH           CSV output ('-' = stdout; default "
         "<name>.csv)\n"
         "  --json PATH          also emit JSON ('-' = stdout)\n"
@@ -112,12 +126,14 @@ int
 main(int argc, char** argv)
 {
     std::string presetName, csvPath, jsonPath, campaignName;
+    std::string timeseriesPath, benchJsonPath, olderThan;
     std::vector<sweep::Axis> axes;
     std::vector<std::pair<std::string, std::string>> sets, presetArgs;
     sweep::CampaignOptions opts;
     opts.jobs = 1;
     opts.verbose = true;
-    bool list = false, fields = false, noCsv = false;
+    uint32_t sampleInterval = 0;
+    bool list = false, fields = false, noCsv = false, cachePrune = false;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -139,6 +155,16 @@ main(int argc, char** argv)
                 opts.jobs = sweep::parseU32Value("--jobs", next());
             else if (a == "--cache")
                 opts.cacheDir = next();
+            else if (a == "--sample")
+                sampleInterval = sweep::parseU32Value("--sample", next());
+            else if (a == "--timeseries")
+                timeseriesPath = next();
+            else if (a == "--bench-json")
+                benchJsonPath = next();
+            else if (a == "--cache-prune")
+                cachePrune = true;
+            else if (a == "--older-than")
+                olderThan = next();
             else if (a == "--csv")
                 csvPath = next();
             else if (a == "--json")
@@ -175,6 +201,32 @@ main(int argc, char** argv)
                 std::printf("%-18s %s\n", f.name, f.help);
             return 0;
         }
+        if (cachePrune) {
+            if (opts.cacheDir.empty())
+                fatal("--cache-prune needs --cache DIR");
+            double days = -1.0;
+            if (!olderThan.empty()) {
+                try {
+                    size_t pos = 0;
+                    days = std::stod(olderThan, &pos);
+                    if (pos != olderThan.size() || days < 0.0)
+                        throw std::invalid_argument(olderThan);
+                } catch (const std::exception&) {
+                    fatal("--older-than: cannot parse '", olderThan,
+                          "' as a non-negative number of days");
+                }
+            }
+            size_t removed = sweep::pruneCache(opts.cacheDir, days);
+            size_t left = sweep::listCache(opts.cacheDir).size();
+            std::fprintf(stderr,
+                         "cache %s: pruned %zu entr%s, %zu left "
+                         "(manifest.json rewritten)\n",
+                         opts.cacheDir.c_str(), removed,
+                         removed == 1 ? "y" : "ies", left);
+            return 0;
+        }
+        if (!olderThan.empty())
+            fatal("--older-than only applies to --cache-prune");
         if (presetName.empty() && axes.empty()) {
             std::fprintf(stderr, "nothing to do: give --preset or "
                                  "--axis (see --list)\n");
@@ -204,6 +256,11 @@ main(int argc, char** argv)
                     fatal("preset '", presetName,
                           "' is an area table; --set has no effect on "
                           "it");
+                if (sampleInterval != 0 || !timeseriesPath.empty() ||
+                    !benchJsonPath.empty())
+                    fatal("preset '", presetName,
+                          "' is an area table; it runs no simulation to "
+                          "sample or time");
                 if (!presetArgs.empty())
                     fatal("preset '", presetName, "' takes no --arg '",
                           presetArgs[0].first, "'");
@@ -238,6 +295,24 @@ main(int argc, char** argv)
             if (!sweep::applyField(spec.base, spec.baseWorkload, k, v))
                 fatal("--set: unknown field '", k,
                       "' (vortex_sweep --fields)");
+        if (sampleInterval != 0)
+            spec.base.sampleInterval = sampleInterval;
+        if (!timeseriesPath.empty()) {
+            // Sampling may come from --sample, --set sampleInterval=N,
+            // or an axis; an all-disabled matrix would emit an empty
+            // (misleading) series, so reject it up front.
+            bool anySampled = spec.base.sampleInterval != 0;
+            if (!anySampled) {
+                for (const sweep::RunSpec& r : spec.expand())
+                    if (r.config.sampleInterval != 0) {
+                        anySampled = true;
+                        break;
+                    }
+            }
+            if (!anySampled)
+                fatal("--timeseries needs sampling enabled: add "
+                      "--sample N (or --set sampleInterval=N)");
+        }
 
         sweep::Campaign campaign(opts);
         std::fprintf(stderr, "campaign '%s': %zu runs, %u jobs%s\n",
@@ -258,6 +333,15 @@ main(int argc, char** argv)
         if (!jsonPath.empty())
             writeTo(jsonPath, "campaign JSON",
                     [&](std::ostream& os) { result.writeJson(os); });
+        if (!timeseriesPath.empty())
+            writeTo(timeseriesPath, "time-series JSON",
+                    [&](std::ostream& os) {
+                        result.writeTimeSeriesJson(os);
+                    });
+        if (!benchJsonPath.empty())
+            writeTo(benchJsonPath, "bench JSON", [&](std::ostream& os) {
+                result.writeBenchJson(os);
+            });
 
         if (report)
             report(result).print(std::cout);
