@@ -7,6 +7,12 @@
  *
  *   vortex_sweep --axis kernel=vecadd,sgemm --axis numWarps=2,4,8 \
  *                --jobs 0 --cache .sweep-cache
+ *
+ * The same spec round-trips through the versionable file form
+ * (docs/SWEEP_SPECS.md): serialize it with specToToml / writeSpecToml,
+ * check the file in, and later rerun it with `vortex_sweep --spec` or
+ * parseSpecFile — the expanded runs hash identically, so both forms
+ * share cache entries.
  */
 
 #include <cstdio>
@@ -14,6 +20,7 @@
 
 #include "sweep/campaign.h"
 #include "sweep/presets.h"
+#include "sweep/specfile.h"
 
 using namespace vortex;
 
@@ -25,6 +32,11 @@ main()
     spec.base = sweep::baselineConfig(1);
     spec.axes = {sweep::Axis::sweep("kernel", {"vecadd", "sgemm"}),
                  sweep::Axis::sweepU32("numWarps", {2, 4, 8})};
+
+    // The campaign as a document: what `--dump-spec` would write, and
+    // what `--spec` (or parseSpecText/parseSpecFile) reads back.
+    std::printf("spec file form:\n%s\n",
+                sweep::specToToml(spec).c_str());
 
     sweep::CampaignOptions opts;
     opts.jobs = 0;                    // one worker per host CPU

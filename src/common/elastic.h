@@ -33,8 +33,8 @@ namespace vortex {
 /** Trace tag attached to elastic requests: instruction PC + wavefront id. */
 struct Tag
 {
-    Addr pc = 0;
-    WarpId wid = 0;
+    Addr pc = 0;      ///< PC of the originating instruction
+    WarpId wid = 0;   ///< wavefront that issued the request
     uint64_t uid = 0; ///< unique per-uop id, for tracing and unit tests
 };
 
@@ -48,6 +48,8 @@ template <typename T>
 class ElasticQueue
 {
   public:
+    /** A queue of @p capacity entries (>= 1, panics otherwise); @p name
+     *  appears in protocol-violation panics. */
     explicit ElasticQueue(size_t capacity, const char* name = "queue")
         : capacity_(capacity), name_(name)
     {
@@ -61,8 +63,11 @@ class ElasticQueue
     /** Consumer side: valid signal. */
     bool empty() const { return q_.empty(); }
 
+    /** Entries currently queued. */
     size_t size() const { return q_.size(); }
+    /** Maximum entries (the constructor argument). */
     size_t capacity() const { return capacity_; }
+    /** Diagnostic name used in panics. */
     const char* name() const { return name_; }
 
     /** Push; caller must have checked !full(). */
@@ -75,6 +80,7 @@ class ElasticQueue
         ++totalPushes_;
     }
 
+    /** Move-push; caller must have checked !full(). */
     void
     push(T&& v)
     {
@@ -93,6 +99,8 @@ class ElasticQueue
         return q_.front();
     }
 
+    /** Const view of the front element; caller must have checked
+     *  !empty(). */
     const T&
     front() const
     {
@@ -112,6 +120,7 @@ class ElasticQueue
         return v;
     }
 
+    /** Drop every queued entry (reset path; totalPushes() survives). */
     void clear() { q_.clear(); }
 
     /** Lifetime statistics (used by bank-utilization accounting). */
@@ -134,6 +143,8 @@ template <typename T>
 class LatencyPipe
 {
   public:
+    /** A pipe whose entries emerge @p latency cycles after enqueue
+     *  (>= 1, panics otherwise). */
     explicit LatencyPipe(uint32_t latency) : latency_(latency)
     {
         if (latency == 0)
@@ -159,8 +170,11 @@ class LatencyPipe
         return std::nullopt;
     }
 
+    /** Nothing in flight? */
     bool empty() const { return inflight_.empty(); }
+    /** Entries still traversing the pipe. */
     size_t size() const { return inflight_.size(); }
+    /** The fixed traversal latency in cycles. */
     uint32_t latency() const { return latency_; }
 
   private:

@@ -14,11 +14,14 @@ namespace vortex {
 class Xorshift
 {
   public:
+    /** Seeded generator; a zero seed is remapped to the default so the
+     *  state never sticks at the xorshift fixed point. */
     explicit Xorshift(uint64_t seed = 0x9E3779B97F4A7C15ull)
         : state_(seed ? seed : 0x9E3779B97F4A7C15ull)
     {
     }
 
+    /** Next raw 64-bit value. */
     uint64_t
     next()
     {

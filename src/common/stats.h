@@ -34,6 +34,8 @@ namespace vortex {
 class StatGroup
 {
   public:
+    /** A group named @p name (the "<group>" half of flattened
+     *  "<group>.<key>" counter names; empty for anonymous groups). */
     explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
 
     /** The counter for @p key, created zero on first use. The reference
@@ -72,6 +74,7 @@ class StatGroup
         return items_;
     }
 
+    /** The group (component-instance) name. */
     const std::string& name() const { return name_; }
 
     /** Print "name.key = value" lines in insertion order. */
@@ -130,6 +133,7 @@ struct TimeSeries
         return 0;
     }
 
+    /** Memberwise equality (used by the cache round-trip tests). */
     bool operator==(const TimeSeries&) const = default;
 };
 
@@ -147,8 +151,10 @@ struct TimeSeries
 class StatSampler
 {
   public:
+    /** A sampler firing every @p interval cycles (0 = disabled). */
     explicit StatSampler(uint64_t interval = 0) { series_.interval = interval; }
 
+    /** Was the sampler constructed with a nonzero interval? */
     bool enabled() const { return series_.interval != 0; }
 
     /** Is @p now a sampling boundary? (false whenever disabled) */
@@ -197,6 +203,7 @@ class StatSampler
         sample(now, snapshot);
     }
 
+    /** The series recorded so far. */
     const TimeSeries& series() const { return series_; }
 
   private:

@@ -46,12 +46,14 @@ class BarrierTable
         return 0;
     }
 
+    /** Any barrier with arrivals still pending? */
     bool
     anyWaiting() const
     {
         return !entries_.empty();
     }
 
+    /** Forget every pending barrier (core reset). */
     void clear() { entries_.clear(); }
 
   private:
@@ -69,8 +71,8 @@ class GlobalBarrierTable
     /** One (core, wavefront) pair to release. */
     struct Release
     {
-        CoreId core;
-        WarpId warp;
+        CoreId core; ///< core whose wavefront is stalled
+        WarpId warp; ///< the stalled wavefront
     };
 
     /**
@@ -91,6 +93,7 @@ class GlobalBarrierTable
         return {};
     }
 
+    /** Forget every pending barrier (device reset). */
     void clear() { entries_.clear(); }
 
   private:

@@ -30,7 +30,7 @@ struct FuLatencies
     uint32_t fcvt = 2;  ///< converts/moves/compares, pipelined
     uint32_t fdiv = 16; ///< iterative (unit busy)
     uint32_t fsqrt = 24;///< iterative (unit busy)
-    uint32_t sfu = 1;
+    uint32_t sfu = 1;   ///< wspawn/tmc/split/join/bar control ops
 };
 
 /** Full machine configuration. */
@@ -41,57 +41,59 @@ struct ArchConfig
     //
     uint32_t numThreads = 4; ///< threads per wavefront (max 64)
     uint32_t numWarps = 4;   ///< wavefronts per core
-    uint32_t numCores = 1;
-    uint32_t coresPerCluster = 4;
+    uint32_t numCores = 1;   ///< cores in the device
+    uint32_t coresPerCluster = 4; ///< cores sharing one (optional) L2
 
     //
     // Pipeline.
     //
-    uint32_t ibufferDepth = 2;
+    uint32_t ibufferDepth = 2; ///< per-wavefront instruction-buffer depth
     uint32_t lsuDepth = 4; ///< in-flight warp memory ops per core
-    SchedPolicy schedPolicy = SchedPolicy::Hierarchical;
-    FuLatencies lat;
+    SchedPolicy schedPolicy =
+        SchedPolicy::Hierarchical; ///< wavefront selection policy
+    FuLatencies lat;               ///< functional-unit latencies
 
     //
     // L1 caches (per core).
     //
-    uint32_t lineSize = 64;
-    uint32_t icacheSize = 8192;
-    uint32_t icacheWays = 2;
-    uint32_t dcacheSize = 16384;
-    uint32_t dcacheWays = 2;
-    uint32_t dcacheBanks = 4;
+    uint32_t lineSize = 64;     ///< cache line size (bytes; also board mem)
+    uint32_t icacheSize = 8192; ///< L1I size (bytes)
+    uint32_t icacheWays = 2;    ///< L1I associativity
+    uint32_t dcacheSize = 16384;///< L1D size (bytes)
+    uint32_t dcacheWays = 2;    ///< L1D associativity
+    uint32_t dcacheBanks = 4;   ///< L1D bank count
     uint32_t dcachePorts = 1; ///< virtual ports per bank (Fig. 19 knob)
-    uint32_t mshrEntries = 8;
+    uint32_t mshrEntries = 8; ///< MSHR entries per bank (non-blocking depth)
 
     //
     // Shared memory (per core).
     //
-    uint32_t smemSize = 16384;
-    uint32_t smemLatency = 1;
+    uint32_t smemSize = 16384; ///< scratchpad size (bytes)
+    uint32_t smemLatency = 1;  ///< scratchpad access latency (cycles)
 
     //
     // Optional cache hierarchy.
     //
-    bool l2Enabled = false;
-    uint32_t l2Size = 131072;
-    uint32_t l2Banks = 8;
-    uint32_t l2Ways = 4;
-    bool l3Enabled = false;
-    uint32_t l3Size = 262144;
-    uint32_t l3Banks = 8;
-    uint32_t l3Ways = 8;
+    bool l2Enabled = false;   ///< attach a per-cluster L2
+    uint32_t l2Size = 131072; ///< L2 size (bytes)
+    uint32_t l2Banks = 8;     ///< L2 bank count
+    uint32_t l2Ways = 4;      ///< L2 associativity
+    bool l3Enabled = false;   ///< attach a device-level L3
+    uint32_t l3Size = 262144; ///< L3 size (bytes)
+    uint32_t l3Banks = 8;     ///< L3 bank count
+    uint32_t l3Ways = 8;      ///< L3 associativity
 
     //
     // Board memory.
     //
     mem::MemSimConfig mem{/*latency=*/80, /*lineSize=*/64, /*busWidth=*/16,
-                          /*numChannels=*/2, /*queueDepth=*/16};
+                          /*numChannels=*/2,
+                          /*queueDepth=*/16}; ///< board-memory model
 
     //
     // Texture units.
     //
-    bool texEnabled = true;
+    bool texEnabled = true; ///< build the per-core texture units
 
     //
     // Host simulation backend. The serial and parallel backends are
@@ -114,7 +116,7 @@ struct ArchConfig
     //
     // Software-visible layout.
     //
-    Addr startPC = 0x80000000;
+    Addr startPC = 0x80000000;  ///< reset PC of wavefront 0
     Addr smemBase = 0xFF000000; ///< per-core scratchpad window
 
     /** Number of clusters implied by numCores/coresPerCluster. */
@@ -161,6 +163,8 @@ struct ArchConfig
         return c;
     }
 
+    /** Per-cluster L2 geometry serving @p coresInCluster cores (one I$
+     *  plus one D$ lane each). */
     mem::CacheConfig
     l2Config(uint32_t coresInCluster) const
     {
@@ -177,6 +181,7 @@ struct ArchConfig
         return c;
     }
 
+    /** Device-level L3 geometry (one lane per cluster port). */
     mem::CacheConfig
     l3Config() const
     {
@@ -193,6 +198,7 @@ struct ArchConfig
         return c;
     }
 
+    /** Per-core scratchpad geometry (one bank and lane per thread). */
     mem::SharedMemConfig
     smemConfig() const
     {

@@ -48,6 +48,10 @@ class BarrierHub
 class Core
 {
   public:
+    /** Build core @p core_id of a device configured by @p config, on
+     *  shared backing RAM @p ram; @p hub receives global barrier
+     *  arrivals (may be nullptr for single-core test rigs that never
+     *  execute a global barrier). */
     Core(const ArchConfig& config, CoreId core_id, mem::Ram& ram,
          BarrierHub* hub);
 
@@ -66,21 +70,27 @@ class Core
     //
     // Component access (hierarchy glue + tests).
     //
-    mem::Cache& icache() { return *icache_; }
-    mem::Cache& dcache() { return *dcache_; }
-    mem::SharedMem& sharedMem() { return *smem_; }
+    mem::Cache& icache() { return *icache_; }      ///< the L1I
+    mem::Cache& dcache() { return *dcache_; }      ///< the L1D
+    mem::SharedMem& sharedMem() { return *smem_; } ///< the scratchpad
+    /** The texture unit (nullptr when ArchConfig::texEnabled is off). */
     tex::TexUnit* texUnit() { return texUnit_.get(); }
 
     //
     // Emulator interface (functional execution).
     //
+    /** Architectural state of wavefront @p wid. */
     Warp& warp(WarpId wid) { return warps_.at(wid); }
+    /** Const view of wavefront @p wid. */
     const Warp& warp(WarpId wid) const { return warps_.at(wid); }
-    mem::Ram& ram() { return ram_; }
-    const ArchConfig& config() const { return config_; }
-    CoreId coreId() const { return coreId_; }
+    mem::Ram& ram() { return ram_; }                      ///< backing RAM
+    const ArchConfig& config() const { return config_; }  ///< the machine
+    CoreId coreId() const { return coreId_; }             ///< this core's id
 
+    /** Read CSR @p addr as seen by (wavefront, thread) — includes the
+     *  Vortex identification CSRs (core/thread/wavefront ids). */
     Word csrRead(uint32_t addr, WarpId wid, ThreadId tid) const;
+    /** Write soft CSR @p addr for wavefront @p wid. */
     void csrWrite(uint32_t addr, Word value, WarpId wid);
 
     /** wspawn target: activate wavefront @p wid at @p pc with thread 0. */
@@ -89,6 +99,7 @@ class Core
     /** Release a wavefront stalled at a barrier. */
     void releaseBarrierWarp(WarpId wid);
 
+    /** The wavefront scheduler (mask maintenance from the emulator). */
     WarpScheduler& scheduler() { return scheduler_; }
 
     /** Attach an instruction-lifecycle trace sink (nullptr disables). */
@@ -97,10 +108,13 @@ class Core
     //
     // Statistics.
     //
-    StatGroup& stats() { return stats_; }
-    const StatGroup& stats() const { return stats_; }
+    StatGroup& stats() { return stats_; }             ///< core counters
+    const StatGroup& stats() const { return stats_; } ///< const counters
+    /** Thread-instructions retired (the IPC numerator). */
     uint64_t threadInstrs() const { return threadInstrs_; }
+    /** Wavefront-instructions retired. */
     uint64_t warpInstrs() const { return warpInstrs_; }
+    /** Cycles this core has ticked. */
     uint64_t cycles() const { return cycles_; }
 
   private:

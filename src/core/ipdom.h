@@ -28,21 +28,25 @@ namespace vortex::core {
 /** One IPDOM stack entry. */
 struct IpdomEntry
 {
-    uint64_t tmask = 0;
-    Addr pc = 0;
-    bool fallThrough = false;
+    uint64_t tmask = 0;      ///< thread mask to restore (or run the else)
+    Addr pc = 0;             ///< else-path PC (non-fall-through entries)
+    bool fallThrough = false;///< restore-and-continue entry (no redirect)
 };
 
 /** Fixed-capacity per-wavefront IPDOM stack. */
 class IpdomStack
 {
   public:
+    /** A stack of at most @p capacity nested divergences (the hardware
+     *  sizes this structure statically). */
     explicit IpdomStack(uint32_t capacity = 16) : capacity_(capacity) {}
 
-    bool empty() const { return entries_.empty(); }
-    size_t size() const { return entries_.size(); }
-    uint32_t capacity() const { return capacity_; }
+    bool empty() const { return entries_.empty(); }    ///< no divergence
+    size_t size() const { return entries_.size(); }    ///< nesting depth
+    uint32_t capacity() const { return capacity_; }    ///< maximum depth
 
+    /** Push a divergence entry; fatal on overflow (deeper nesting than
+     *  the modeled hardware supports). */
     void
     push(const IpdomEntry& e)
     {
@@ -52,6 +56,7 @@ class IpdomStack
         entries_.push_back(e);
     }
 
+    /** Pop the innermost entry (a `join`); fatal on underflow. */
     IpdomEntry
     pop()
     {
@@ -62,6 +67,7 @@ class IpdomStack
         return e;
     }
 
+    /** Drop every entry (wavefront reset). */
     void clear() { entries_.clear(); }
 
   private:

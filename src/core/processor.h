@@ -28,11 +28,14 @@ namespace vortex::core {
 class Processor : public BarrierHub
 {
   public:
+    /** Build and wire the whole device described by @p config: cores,
+     *  optional L2/L3 clusters, board memory, and the tick backend. */
     explicit Processor(const ArchConfig& config);
+    /** Tears down the tick engine before the cores it references. */
     ~Processor() override;
 
-    mem::Ram& ram() { return ram_; }
-    const ArchConfig& config() const { return config_; }
+    mem::Ram& ram() { return ram_; }                     ///< backing RAM
+    const ArchConfig& config() const { return config_; } ///< the machine
 
     /** Reset every core and start wavefront 0 of each at startPC. */
     void start();
@@ -50,22 +53,28 @@ class Processor : public BarrierHub
      */
     bool run(uint64_t max_cycles = 200000000ull);
 
+    /** Cycles simulated so far. */
     Cycle cycles() const { return cycles_; }
 
     /** Total thread-instructions executed (the IPC numerator used in the
      *  paper's figures). */
     uint64_t threadInstrs() const;
+    /** Total wavefront-instructions executed, summed across cores. */
     uint64_t warpInstrs() const;
+    /** threadInstrs() / cycles() (0 before the first tick). */
     double ipc() const;
 
-    size_t numCores() const { return cores_.size(); }
-    Core& core(size_t i) { return *cores_.at(i); }
+    size_t numCores() const { return cores_.size(); } ///< device core count
+    Core& core(size_t i) { return *cores_.at(i); }    ///< core @p i
+    /** Const view of core @p i. */
     const Core& core(size_t i) const { return *cores_.at(i); }
-    mem::MemSim& memSim() { return *memSim_; }
+    mem::MemSim& memSim() { return *memSim_; } ///< the board-memory model
+    /** Cluster @p cluster's L2 (nullptr when L2s are disabled). */
     mem::Cache* l2(size_t cluster)
     {
         return cluster < l2s_.size() ? l2s_[cluster].get() : nullptr;
     }
+    /** The device L3 (nullptr when disabled). */
     mem::Cache* l3() { return l3_.get(); }
 
     /** The active core tick backend (serial or parallel). */

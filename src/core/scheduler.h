@@ -34,6 +34,7 @@ enum class SchedPolicy : uint8_t
 class WarpScheduler
 {
   public:
+    /** A scheduler over @p num_warps wavefronts using @p policy. */
     explicit WarpScheduler(uint32_t num_warps,
                            SchedPolicy policy = SchedPolicy::Hierarchical)
         : numWarps_(num_warps), policy_(policy)
@@ -43,6 +44,8 @@ class WarpScheduler
     //
     // Mask maintenance.
     //
+    /** Activate/deactivate wavefront @p wid (deactivation clears its
+     *  stalled/barrier/visible bits too). */
     void
     setActive(WarpId wid, bool on)
     {
@@ -54,17 +57,19 @@ class WarpScheduler
         }
     }
 
+    /** Stall/unstall @p wid (long-latency op in flight). */
     void setStalled(WarpId wid, bool on) { setBit(stalled_, wid, on); }
+    /** Park/release @p wid at a barrier. */
     void setBarrier(WarpId wid, bool on) { setBit(barrier_, wid, on); }
 
-    bool isActive(WarpId wid) const { return (active_ >> wid) & 1; }
-    bool isStalled(WarpId wid) const { return (stalled_ >> wid) & 1; }
-    bool isBarrier(WarpId wid) const { return (barrier_ >> wid) & 1; }
+    bool isActive(WarpId wid) const { return (active_ >> wid) & 1; }   ///< active bit
+    bool isStalled(WarpId wid) const { return (stalled_ >> wid) & 1; } ///< stalled bit
+    bool isBarrier(WarpId wid) const { return (barrier_ >> wid) & 1; } ///< barrier bit
 
-    uint64_t activeMask() const { return active_; }
-    uint64_t stalledMask() const { return stalled_; }
-    uint64_t barrierMask() const { return barrier_; }
-    uint64_t visibleMask() const { return visible_; }
+    uint64_t activeMask() const { return active_; }   ///< all active bits
+    uint64_t stalledMask() const { return stalled_; } ///< all stalled bits
+    uint64_t barrierMask() const { return barrier_; } ///< all barrier bits
+    uint64_t visibleMask() const { return visible_; } ///< hierarchical group
 
     /**
      * Select the next wavefront to fetch. @p eligible lets the fetch stage
@@ -99,12 +104,14 @@ class WarpScheduler
         return wid;
     }
 
+    /** Clear every mask (core reset). */
     void
     reset()
     {
         active_ = stalled_ = barrier_ = visible_ = 0;
     }
 
+    /** Wavefronts this scheduler arbitrates. */
     uint32_t numWarps() const { return numWarps_; }
 
   private:

@@ -20,6 +20,7 @@ namespace vortex::core {
 class Scoreboard
 {
   public:
+    /** Busy tables for @p num_warps wavefronts (int + FP files each). */
     explicit Scoreboard(uint32_t num_warps)
         : intBusy_(num_warps, 0), fpBusy_(num_warps, 0)
     {
@@ -44,6 +45,7 @@ class Scoreboard
                !busy(wid, instr.src3()) && !busy(wid, instr.dst());
     }
 
+    /** Mark destination @p ref pending at issue (no-op for reads/x0). */
     void
     setBusy(WarpId wid, const isa::RegRef& ref)
     {
@@ -55,6 +57,7 @@ class Scoreboard
             fpBusy_[wid] |= 1u << ref.idx;
     }
 
+    /** Clear destination @p ref at writeback. */
     void
     clearBusy(WarpId wid, const isa::RegRef& ref)
     {
@@ -73,6 +76,7 @@ class Scoreboard
         return intBusy_[wid] != 0 || fpBusy_[wid] != 0;
     }
 
+    /** Clear every busy bit (core reset). */
     void
     reset()
     {

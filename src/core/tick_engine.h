@@ -42,6 +42,7 @@ class TickEngine
     /** Tick all cores once for simulated cycle @p now. */
     virtual void tick(Cycle now) = 0;
 
+    /** Backend name ("serial" / "parallel") for logs and benches. */
     virtual const char* name() const = 0;
 
     /** Host threads participating in the tick phase (1 for serial). */

@@ -33,10 +33,10 @@ enum class TraceStage : uint8_t
 struct TraceEvent
 {
     uint64_t uid = 0; ///< unique instruction id
-    WarpId wid = 0;
-    Addr pc = 0;
-    TraceStage stage = TraceStage::Fetch;
-    Cycle cycle = 0;
+    WarpId wid = 0;   ///< issuing wavefront
+    Addr pc = 0;      ///< instruction PC
+    TraceStage stage = TraceStage::Fetch; ///< milestone reached
+    Cycle cycle = 0;                      ///< when it was reached
 };
 
 /** Receiver interface. */
@@ -44,6 +44,7 @@ class TraceSink
 {
   public:
     virtual ~TraceSink() = default;
+    /** Deliver one lifecycle event (called from Core::tick). */
     virtual void record(const TraceEvent& event) = 0;
 };
 
@@ -57,21 +58,25 @@ class TraceBuffer : public TraceSink
         events_.push_back(event);
     }
 
+    /** Every event recorded, in arrival order. */
     const std::vector<TraceEvent>& events() const { return events_; }
 
     /** Reconstructed lifecycle of one instruction. */
     struct Timeline
     {
-        WarpId wid = 0;
-        Addr pc = 0;
+        WarpId wid = 0; ///< issuing wavefront
+        Addr pc = 0;    ///< instruction PC
+        /** Cycle each milestone was reached (absent if never seen). */
         std::optional<Cycle> fetch, decode, issue, commit;
 
+        /** Every milestone observed? */
         bool
         complete() const
         {
             return fetch && decode && issue && commit;
         }
 
+        /** Complete and in pipeline order (fetch <= ... <= commit)? */
         bool
         ordered() const
         {
@@ -99,6 +104,7 @@ class TraceBuffer : public TraceSink
         return out;
     }
 
+    /** Drop every recorded event. */
     void clear() { events_.clear(); }
 
   private:

@@ -25,44 +25,44 @@ struct ExecOut
     //
     // Register writeback.
     //
-    bool hasDst = false;
-    isa::RegRef dst;
+    bool hasDst = false;      ///< the instruction writes a register
+    isa::RegRef dst;          ///< destination register (when hasDst)
     std::vector<Word> values; ///< per thread; valid where tmask bit set
 
     //
     // Memory access (loads and stores).
     //
-    bool isMem = false;
-    bool memWrite = false;
+    bool isMem = false;       ///< load/store through the LSU
+    bool memWrite = false;    ///< store (vs load)
     bool memShared = false;   ///< routed to the scratchpad
     std::vector<Addr> addrs;  ///< per thread; valid where tmask bit set
 
     //
     // Texture access.
     //
-    bool isTex = false;
-    uint32_t texStage = 0;
-    std::vector<tex::TexLaneReq> texLanes;
+    bool isTex = false;    ///< `tex` instruction (texture-unit path)
+    uint32_t texStage = 0; ///< sampler pipeline stage selector
+    std::vector<tex::TexLaneReq> texLanes; ///< per-lane sample requests
 
     //
     // Wavefront scheduling events.
     //
     bool haltWarp = false;  ///< tmc 0 / ecall / ebreak
-    bool isBarrier = false;
-    bool barrierGlobal = false;
-    uint32_t barrierId = 0;
-    uint32_t barrierCount = 0;
+    bool isBarrier = false; ///< `bar` arrival
+    bool barrierGlobal = false; ///< inter-core (global) barrier scope
+    uint32_t barrierId = 0;     ///< barrier identifier
+    uint32_t barrierCount = 0;  ///< wavefront arrivals expected
     bool isFence = false; ///< completes only when the LSU/D$ drain
 };
 
 /** One in-flight instruction. */
 struct Uop
 {
-    isa::Instr instr;
-    Addr pc = 0;
-    WarpId wid = 0;
+    isa::Instr instr; ///< the decoded instruction
+    Addr pc = 0;      ///< its PC
+    WarpId wid = 0;   ///< issuing wavefront
     uint64_t uid = 0; ///< unique instruction id (trace tag)
-    ExecOut out;
+    ExecOut out;      ///< functional results awaiting commit
 };
 
 } // namespace vortex::core

@@ -20,27 +20,30 @@ namespace vortex::core {
 /** Per-wavefront architectural state. */
 struct Warp
 {
+    /** State for a wavefront of @p num_threads threads. */
     explicit Warp(uint32_t num_threads)
         : iregs(num_threads), fregs(num_threads)
     {
     }
 
-    Addr pc = 0;
+    Addr pc = 0;        ///< next instruction to fetch
     uint64_t tmask = 0; ///< bit t set => thread t active
-    bool active = false;
+    bool active = false;///< wavefront participates in scheduling
 
     /** Integer registers, [thread][reg]; x0 is kept zero by construction. */
     std::vector<std::array<Word, 32>> iregs;
     /** FP registers as raw bit patterns, [thread][reg]. */
     std::vector<std::array<Word, 32>> fregs;
 
-    IpdomStack ipdom;
+    IpdomStack ipdom; ///< divergence reconvergence stack
 
+    /** Threads per wavefront (the register-file width). */
     uint32_t numThreads() const
     {
         return static_cast<uint32_t>(iregs.size());
     }
 
+    /** Number of currently active threads. */
     uint32_t activeThreads() const { return popcount(tmask); }
 
     /** Lowest active thread (predicate source for scalar decisions). */
@@ -50,6 +53,7 @@ struct Warp
         return tmask ? ctz(tmask) : 0;
     }
 
+    /** FP register r of thread t reinterpreted as a float. */
     float
     freadFloat(ThreadId t, RegId r) const
     {
@@ -59,6 +63,8 @@ struct Warp
         return f;
     }
 
+    /** Restart at @p start_pc with thread mask @p mask, zeroing the
+     *  register files and the IPDOM stack. */
     void
     reset(Addr start_pc, uint64_t mask)
     {

@@ -55,6 +55,75 @@ fmtDouble(double v)
 } // namespace
 
 double
+estimateRunCost(const RunSpec& spec)
+{
+    const core::ArchConfig& c = spec.config;
+    const WorkloadSpec& w = spec.workload;
+
+    // Problem work. The weights are crude per-kernel relative costs
+    // (sgemm is O(n^3) on the same n, bfs touches little data); they
+    // only need to rank runs, not predict seconds.
+    double work = 1.0;
+    if (w.kind == WorkloadSpec::Kind::Rodinia) {
+        double weight = 1.0;
+        if (w.kernel == "sgemm")
+            weight = 8.0;
+        else if (w.kernel == "gaussian")
+            weight = 6.0;
+        else if (w.kernel == "sfilter")
+            weight = 4.0;
+        else if (w.kernel == "nearn")
+            weight = 3.0;
+        else if (w.kernel == "bfs")
+            weight = 2.0;
+        double s = static_cast<double>(w.scale);
+        work = weight * s * s;
+    } else {
+        double area = static_cast<double>(w.texSize) *
+                      static_cast<double>(w.texSize) / (64.0 * 64.0);
+        double filter =
+            w.texFilter == runtime::TexFilterMode::Trilinear  ? 3.0
+            : w.texFilter == runtime::TexFilterMode::Bilinear ? 2.0
+                                                              : 1.0;
+        // The software sampler executes many more instructions per texel
+        // than the hardware `tex` path.
+        work = area * filter * (w.texHw ? 1.0 : 4.0);
+    }
+
+    // Host cost grows with the simulated machine: every core ticked
+    // every cycle, wider cores emulate more lanes per instruction.
+    double machine = static_cast<double>(c.numCores) *
+                     static_cast<double>(c.numWarps) *
+                     static_cast<double>(c.numThreads);
+    return work * (1.0 + machine / 16.0);
+}
+
+double
+cachedHostSeconds(const std::string& dir, const std::string& hash)
+{
+    std::ifstream in(dir + "/" + hash + ".run");
+    std::string line;
+    if (!in || !std::getline(in, line) || line != kCacheMagic)
+        return -1.0;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag == "host_seconds") {
+            double s = 0.0;
+            ls >> s;
+            return s;
+        }
+        if (tag == "cycles")
+            break; // provenance lines precede the payload
+    }
+    // A valid entry that predates the host_seconds line: still a hit —
+    // report "recorded cost unknown", not "absent", so the scheduler
+    // prices it like any other hit.
+    return 0.0;
+}
+
+double
 RunRecord::dcacheBankUtilization() const
 {
     uint64_t accepted = stats.get("dcache.sel_accepted");
@@ -347,6 +416,10 @@ Campaign::storeCached(const RunRecord& record,
         outf << "hash " << hash << "\n";
         outf << "id " << record.spec.id() << "\n";
         outf << "campaign " << campaignName << "\n";
+        // Provenance, not payload: what the simulation cost this host.
+        // Readers that predate the tag ignore it (unknown-tag rule), so
+        // the cache format stays v2.
+        outf << "host_seconds " << fmtDouble(record.hostSeconds) << "\n";
         outf << "cycles " << record.result.cycles << "\n";
         outf << "thread_instrs " << record.result.threadInstrs << "\n";
         for (const auto& [k, v] : record.stats.all())
@@ -382,16 +455,48 @@ Campaign::run(const SweepSpec& spec)
         result.axisNames.push_back(a.name);
     result.records.resize(runs.size());
 
+    // Claim order. LPT (longest processing time first) shortens the
+    // critical path at high job counts: the most expensive simulations
+    // start immediately instead of landing on a nearly-drained pool.
+    // Scheduling only — records are stored at their matrix index and
+    // emitted in matrix order, so output bytes cannot depend on it.
+    // Costs: a run already in the result cache restores in microseconds
+    // (price ~0, claimed last); everything else gets the deterministic
+    // estimateRunCost heuristic. Sort is stable with an index tiebreak,
+    // so the order is identical on every host.
+    std::vector<double> costs(runs.size());
+    for (size_t i = 0; i < runs.size(); ++i) {
+        bool cached = !opts_.cacheDir.empty() &&
+                      cachedHostSeconds(opts_.cacheDir,
+                                        runs[i].contentHash()) >= 0.0;
+        costs[i] = cached ? 0.0 : estimateRunCost(runs[i]);
+    }
+    std::vector<size_t> order(runs.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    if (opts_.lpt)
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return costs[a] > costs[b];
+                         });
+    double totalCost = 0.0;
+    for (double c : costs)
+        totalCost += c;
+
     std::atomic<size_t> cursor{0};
     std::atomic<uint32_t> hits{0}, misses{0};
     std::vector<std::exception_ptr> errors(runs.size());
     std::mutex io;
+    size_t doneCount = 0;    // guarded by io
+    double doneCost = 0.0;   // guarded by io
+    const auto wallStart = std::chrono::steady_clock::now();
 
     auto worker = [&] {
         while (true) {
-            size_t i = cursor.fetch_add(1);
-            if (i >= runs.size())
+            size_t slot = cursor.fetch_add(1);
+            if (slot >= order.size())
                 return;
+            size_t i = order[slot];
             try {
                 RunRecord rec;
                 if (tryLoadCached(runs[i], rec)) {
@@ -405,17 +510,43 @@ Campaign::run(const SweepSpec& spec)
                     storeCached(rec, spec.name);
                     ++misses;
                 }
-                if (opts_.verbose) {
+                if (opts_.verbose || opts_.progress) {
                     std::lock_guard<std::mutex> lk(io);
+                    ++doneCount;
+                    doneCost += costs[i];
+                    std::string eta;
+                    if (opts_.progress) {
+                        double elapsed =
+                            std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                wallStart)
+                                .count();
+                        char buf[64];
+                        // Extrapolate from estimate units actually
+                        // retired so far; until a costed run finishes
+                        // there is nothing to extrapolate from.
+                        if (doneCost > 0.0 && totalCost > doneCost)
+                            std::snprintf(buf, sizeof(buf),
+                                          " elapsed=%.1fs eta=%.1fs",
+                                          elapsed,
+                                          elapsed * (totalCost - doneCost) /
+                                              doneCost);
+                        else
+                            std::snprintf(buf, sizeof(buf),
+                                          " elapsed=%.1fs", elapsed);
+                        eta = buf;
+                    }
                     std::fprintf(stderr,
                                  "[%zu/%zu] %-28s %s cycles=%llu "
-                                 "ipc=%.3f%s\n",
-                                 i + 1, runs.size(), rec.spec.id().c_str(),
+                                 "ipc=%.3f%s%s\n",
+                                 doneCount, runs.size(),
+                                 rec.spec.id().c_str(),
                                  rec.spec.workload.describe().c_str(),
                                  static_cast<unsigned long long>(
                                      rec.result.cycles),
                                  rec.result.ipc,
-                                 rec.fromCache ? " (cached)" : "");
+                                 rec.fromCache ? " (cached)" : "",
+                                 eta.c_str());
                 }
                 result.records[i] = std::move(rec);
             } catch (...) {

@@ -10,6 +10,15 @@
  * records in matrix order. Campaign output is therefore byte-identical
  * for any job count — `--jobs 4` only changes wall-clock time.
  *
+ * Scheduling (CampaignOptions::lpt, default on) reorders only the claim
+ * sequence: runs are claimed longest-estimated-first (LPT) so the most
+ * expensive simulations cannot strand the pool at the tail. The cost of
+ * a run is the result cache's recorded wall-clock when the run will be
+ * a hit (~0: it restores instead of simulating) and the deterministic
+ * estimateRunCost heuristic otherwise; the same costs drive the
+ * CampaignOptions::progress ETA. Because storage and emission stay in
+ * matrix order, LPT is invisible in every output byte.
+ *
  * Result cache: a run's cache key is the content hash of its canonical
  * (config, workload) serialization (RunSpec::contentHash). Cached records
  * store the counters and metrics of the finished run; a hit skips the
@@ -37,6 +46,14 @@ struct CampaignOptions
     uint32_t jobs = 1;    ///< concurrent runs; 0 = host hardware threads
     std::string cacheDir; ///< result-cache directory ("" disables caching)
     bool verbose = false; ///< per-run progress lines on stderr
+    /** Claim runs longest-estimated-first (LPT) instead of in matrix
+     *  order. Scheduling only — records are still stored and emitted in
+     *  matrix order, so output bytes are unchanged (the determinism
+     *  contract). Costs come from estimateRunCost(). */
+    bool lpt = true;
+    /** Append an elapsed/ETA estimate to each per-run stderr line, from
+     *  the same cost estimates LPT schedules with. */
+    bool progress = false;
 };
 
 /** One executed (or cache-restored) run with its counters. */
@@ -102,6 +119,27 @@ struct CampaignResult
      */
     void writeBenchJson(std::ostream& os) const;
 };
+
+/**
+ * Relative host-cost estimate of simulating @p spec, in arbitrary
+ * deterministic units (NOT seconds): roughly problem work (kernel
+ * weight x scale^2, or texture area x filter cost) scaled by machine
+ * size (cores x warps x threads). LPT scheduling sorts by it and the
+ * --progress ETA extrapolates with it. Only the ordering matters — a
+ * mis-estimate can lengthen the critical path, never change results.
+ */
+double estimateRunCost(const RunSpec& spec);
+
+/**
+ * The simulation wall-clock seconds recorded in cache directory @p dir
+ * for content hash @p hash: negative when no valid entry exists, 0 for
+ * a valid entry that predates the host_seconds provenance line. A
+ * non-negative return means Campaign::run will restore the run instead
+ * of simulating it, so the scheduler prices it at (nearly) zero — the
+ * recorded seconds tell the *next* heuristic consumer what the run
+ * once cost, and give tests a round-trip probe.
+ */
+double cachedHostSeconds(const std::string& dir, const std::string& hash);
 
 /** One result-cache entry as listed by the manifest. */
 struct CacheEntryInfo

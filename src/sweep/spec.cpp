@@ -78,27 +78,6 @@ parseTexFilter(const std::string& value)
           "' (point | bilinear | trilinear)");
 }
 
-const char*
-schedPolicyName(core::SchedPolicy p)
-{
-    return p == core::SchedPolicy::RoundRobin ? "roundrobin"
-                                              : "hierarchical";
-}
-
-const char*
-texFilterName(runtime::TexFilterMode m)
-{
-    switch (m) {
-    case runtime::TexFilterMode::Point:
-        return "point";
-    case runtime::TexFilterMode::Bilinear:
-        return "bilinear";
-    case runtime::TexFilterMode::Trilinear:
-        return "trilinear";
-    }
-    return "?";
-}
-
 /** One entry of the field registry: name -> assignment function. */
 struct FieldDef
 {
@@ -251,6 +230,27 @@ fnv1a(const std::string& s)
 }
 
 } // namespace
+
+const char*
+schedPolicyName(core::SchedPolicy p)
+{
+    return p == core::SchedPolicy::RoundRobin ? "roundrobin"
+                                              : "hierarchical";
+}
+
+const char*
+texFilterName(runtime::TexFilterMode m)
+{
+    switch (m) {
+    case runtime::TexFilterMode::Point:
+        return "point";
+    case runtime::TexFilterMode::Bilinear:
+        return "bilinear";
+    case runtime::TexFilterMode::Trilinear:
+        return "trilinear";
+    }
+    return "?";
+}
 
 std::string
 WorkloadSpec::describe() const

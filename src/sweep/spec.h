@@ -148,6 +148,15 @@ struct FieldInfo
 /** Every field name applyField() accepts, with a one-line description. */
 const std::vector<FieldInfo>& sweepableFields();
 
+/** Canonical text of a scheduling policy ("hierarchical" /
+ *  "roundrobin") — the spelling the field registry parses back. Shared
+ *  by RunSpec::canonical() and the spec-file serializer. */
+const char* schedPolicyName(core::SchedPolicy p);
+
+/** Canonical text of a texture filter mode ("point" / "bilinear" /
+ *  "trilinear") — the spelling the field registry parses back. */
+const char* texFilterName(runtime::TexFilterMode m);
+
 /** Strict uint32 parse (whole string must consume); fatal on failure,
  *  naming @p what. Shared by the field registry, preset arguments, and
  *  the CLI so every numeric surface rejects the same typos. */

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Versionable sweep-spec files: parse and serialize a full SweepSpec as a
+ * document, so a campaign is a checked-in artifact instead of a command
+ * line.
+ *
+ * Two input syntaxes share one schema (docs/SWEEP_SPECS.md is the format
+ * reference):
+ *
+ *  - a dependency-free TOML subset — comments, `key = value` pairs
+ *    (strings, integers, booleans), dotted keys (`set.kernel = "sgemm"`),
+ *    `[table]` and `[[array-of-tables]]` headers — which covers every
+ *    construct the schema needs;
+ *  - standard JSON, detected by a leading `{`, for machine-generated
+ *    specs.
+ *
+ * Both parsers produce the same document tree and report malformed input
+ * through SpecParseError with `file:line:col` positions, so a typo in a
+ * checked-in spec points at the offending character, not at a failed
+ * campaign.
+ *
+ * Serialization (writeSpecToml) is canonical and self-contained: every
+ * base machine and workload field is written explicitly (not just the
+ * fields that differ from today's defaults), so a spec file pins the
+ * machine even if ArchConfig defaults drift later. `vortex_sweep
+ * --dump-spec` uses it to export any preset; the shipped TOML files
+ * under examples/specs/ are exactly these dumps, and CI re-dumps and
+ * diffs them so the registry and the documents cannot drift apart
+ * (tests/test_specfile.cpp pins content-hash equality of the round trip).
+ */
+
+#pragma once
+
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "sweep/spec.h"
+
+namespace vortex::sweep {
+
+/** Malformed spec-file input. what() carries the full diagnostic;
+ *  file/line/column locate the first offending character (column 0 when
+ *  the error spans a whole construct, e.g. a missing required key). */
+class SpecParseError : public std::runtime_error
+{
+  public:
+    /** Build the diagnostic "file:line:col: message" (line/col omitted
+     *  when 0). */
+    SpecParseError(std::string file, size_t line, size_t column,
+                   const std::string& message);
+
+    /** The file name (or pseudo-name) the text came from. */
+    const std::string& file() const { return file_; }
+    /** 1-based line of the error; 0 when the position is unknown. */
+    size_t line() const { return line_; }
+    /** 1-based column of the error; 0 when the position is unknown. */
+    size_t column() const { return column_; }
+
+  private:
+    std::string file_; ///< input name used in the diagnostic
+    size_t line_;      ///< 1-based error line (0 = unknown)
+    size_t column_;    ///< 1-based error column (0 = unknown)
+};
+
+/**
+ * Parse spec text in either supported syntax (JSON when the first
+ * non-whitespace character is `{`, the TOML subset otherwise) into a
+ * SweepSpec. Field names and values are validated through the same
+ * registry as `--set`/`--axis` (applyField), so a spec file can express
+ * exactly what the CLI can.
+ *
+ * @param text     the document content
+ * @param filename name used in diagnostics (e.g. the path, or "<string>")
+ * @throws SpecParseError on malformed syntax, unknown keys, unknown
+ *         field names, or type mismatches — always with line/column.
+ */
+SweepSpec parseSpecText(const std::string& text,
+                        const std::string& filename = "<string>");
+
+/** parseSpecText over the content of @p path; fatal when the file cannot
+ *  be read. */
+SweepSpec parseSpecFile(const std::string& path);
+
+/**
+ * Serialize @p spec as a canonical, self-contained TOML document:
+ * header (`spec`/`name`/`description`), the full `[base]` machine (every
+ * registry config field, in registry order), the `[workload]` block, and
+ * one `[[axes]]` / `[[axes.points]]` pair per axis point. The output
+ * parses back (parseSpecText) to a spec whose expanded run matrix is
+ * content-hash-identical to @p spec's — the round trip CI and the tests
+ * rely on.
+ *
+ * Derived fields ("cores") are never emitted: the concrete fields they
+ * assign are. Note lineSize is written once and re-applies to both the
+ * cache and board-memory line size, matching the field registry.
+ */
+void writeSpecToml(const SweepSpec& spec, std::ostream& os);
+
+/** writeSpecToml rendered to a string (convenience for tests/tools). */
+std::string specToToml(const SweepSpec& spec);
+
+} // namespace vortex::sweep

@@ -9,6 +9,8 @@
  *
  *   vortex_sweep --list
  *   vortex_sweep --preset fig18 --jobs 4 --cache .sweep-cache
+ *   vortex_sweep --spec examples/specs/fig18.toml --jobs 0 --progress
+ *   vortex_sweep --preset fig18 --dump-spec fig18.toml
  *   vortex_sweep --preset fig20 --arg size=128 --csv tex.csv --json -
  *   vortex_sweep --preset fig18_scaling --sample 10000 --timeseries ts.json
  *   vortex_sweep --preset perf_smoke --sample 2000 --bench-json BENCH.json
@@ -31,6 +33,7 @@
 #include "common/log.h"
 #include "sweep/campaign.h"
 #include "sweep/presets.h"
+#include "sweep/specfile.h"
 
 using namespace vortex;
 
@@ -44,8 +47,14 @@ usage(int code)
         "\n"
         "modes:\n"
         "  --preset NAME        run a built-in preset (see --list)\n"
+        "  --spec FILE          run the sweep described by a spec file\n"
+        "                       (TOML or JSON; see docs/SWEEP_SPECS.md)\n"
         "  --axis F=V1,V2,...   add a sweep axis over field F (repeatable;\n"
-        "                       first axis varies slowest)\n"
+        "                       first axis varies slowest; appends to\n"
+        "                       --spec axes)\n"
+        "  --dump-spec PATH     serialize the resolved sweep as a TOML\n"
+        "                       spec file ('-' = stdout) and exit without\n"
+        "                       running it\n"
         "  --list               list presets and exit\n"
         "  --fields             list sweepable fields and exit\n"
         "  --cache-prune        delete cached records under --cache DIR\n"
@@ -59,6 +68,10 @@ usage(int code)
         "  --jobs N             concurrent runs (default 1; 0 = host CPUs)\n"
         "  --cache DIR          result-cache directory (skip unchanged "
         "runs)\n"
+        "  --progress           per-run elapsed/ETA lines on stderr\n"
+        "  --no-lpt             claim runs in matrix order instead of\n"
+        "                       longest-first (output is identical either\n"
+        "                       way; LPT only shortens wall-clock)\n"
         "  --sample N           snapshot device counters every N cycles\n"
         "                       (shorthand for --set sampleInterval=N)\n"
         "  --timeseries PATH    emit the per-interval counter time series\n"
@@ -127,6 +140,7 @@ main(int argc, char** argv)
 {
     std::string presetName, csvPath, jsonPath, campaignName;
     std::string timeseriesPath, benchJsonPath, olderThan;
+    std::string specPath, dumpSpecPath;
     std::vector<sweep::Axis> axes;
     std::vector<std::pair<std::string, std::string>> sets, presetArgs;
     sweep::CampaignOptions opts;
@@ -145,6 +159,14 @@ main(int argc, char** argv)
             };
             if (a == "--preset")
                 presetName = next();
+            else if (a == "--spec")
+                specPath = next();
+            else if (a == "--dump-spec")
+                dumpSpecPath = next();
+            else if (a == "--progress")
+                opts.progress = true;
+            else if (a == "--no-lpt")
+                opts.lpt = false;
             else if (a == "--axis")
                 axes.push_back(parseAxisArg(next()));
             else if (a == "--set")
@@ -227,11 +249,14 @@ main(int argc, char** argv)
         }
         if (!olderThan.empty())
             fatal("--older-than only applies to --cache-prune");
-        if (presetName.empty() && axes.empty()) {
-            std::fprintf(stderr, "nothing to do: give --preset or "
-                                 "--axis (see --list)\n");
+        if (presetName.empty() && axes.empty() && specPath.empty()) {
+            std::fprintf(stderr, "nothing to do: give --preset, --spec, "
+                                 "or --axis (see --list)\n");
             return usage(2);
         }
+        if (!presetName.empty() && !specPath.empty())
+            fatal("--preset does not combine with --spec (export the "
+                  "preset with --dump-spec and edit the file instead)");
 
         //
         // Resolve the spec (or finished table) to run.
@@ -245,8 +270,8 @@ main(int argc, char** argv)
                       "to fix base-machine fields, or drop --preset for "
                       "an ad-hoc sweep");
             if (!campaignName.empty())
-                fatal("--name only applies to ad-hoc sweeps (presets "
-                      "are named after themselves)");
+                fatal("--name only applies to ad-hoc and --spec sweeps "
+                      "(presets are named after themselves)");
             const sweep::Preset* p = sweep::findPreset(presetName);
             if (!p)
                 fatal("unknown preset '", presetName,
@@ -261,6 +286,10 @@ main(int argc, char** argv)
                     fatal("preset '", presetName,
                           "' is an area table; it runs no simulation to "
                           "sample or time");
+                if (!dumpSpecPath.empty())
+                    fatal("preset '", presetName,
+                          "' is an area table; it has no sweep spec to "
+                          "dump");
                 if (!presetArgs.empty())
                     fatal("preset '", presetName, "' takes no --arg '",
                           presetArgs[0].first, "'");
@@ -281,6 +310,18 @@ main(int argc, char** argv)
             }
             spec = p->sweep(presetArgs);
             report = p->report;
+        } else if (!specPath.empty()) {
+            if (!presetArgs.empty())
+                fatal("--arg only applies to presets (spec files carry "
+                      "their parameters in [base]/[workload])");
+            spec = sweep::parseSpecFile(specPath);
+            if (!campaignName.empty())
+                spec.name = campaignName;
+            // CLI axes append after the file's own (they vary fastest).
+            for (sweep::Axis& a : axes)
+                spec.axes.push_back(std::move(a));
+            if (spec.axes.size() == 2)
+                report = sweep::pivotIpc;
         } else {
             if (!presetArgs.empty())
                 fatal("--arg only applies to presets (use --set for "
@@ -297,6 +338,15 @@ main(int argc, char** argv)
                       "' (vortex_sweep --fields)");
         if (sampleInterval != 0)
             spec.base.sampleInterval = sampleInterval;
+        if (!dumpSpecPath.empty()) {
+            // Export instead of run: the resolved sweep (preset, spec
+            // file, or ad-hoc axes, with --set/--sample folded in) as a
+            // canonical TOML document.
+            writeTo(dumpSpecPath, "sweep spec", [&](std::ostream& os) {
+                sweep::writeSpecToml(spec, os);
+            });
+            return 0;
+        }
         if (!timeseriesPath.empty()) {
             // Sampling may come from --sample, --set sampleInterval=N,
             // or an axis; an all-disabled matrix would emit an empty
