@@ -9,6 +9,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <deque>
+#include <vector>
+
+#include "common/small_vec.h"
+#include "common/stats.h"
+#include "core/decode_cache.h"
+#include "core/uop.h"
 #include "graphics/pipeline.h"
 #include "isa/assembler.h"
 #include "isa/isa.h"
@@ -123,6 +130,128 @@ BM_RasterizerFill(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * 256 * 256);
 }
 BENCHMARK(BM_RasterizerFill);
+
+static void
+BM_FetchDecode(benchmark::State& state)
+{
+    // The per-fetch host cost of producing a decoded instruction from a
+    // PC, over a loop-shaped 256-instruction code region. Arg 0 is the
+    // pre-decode-cache path (RAM read + full decode every fetch); arg 1
+    // is the steady-state DecodeCache::lookup path the core now runs.
+    mem::Ram ram;
+    const Addr base = 0x80000000;
+    const uint32_t n = 256;
+    for (uint32_t i = 0; i < n; ++i)
+        ram.write32(base + i * 4, 0x00A50533); // add a0, a0, a0
+    core::DecodeCache dcache;
+    const bool cached = state.range(0) != 0;
+    Addr pc = base;
+    for (auto _ : state) {
+        if (cached) {
+            benchmark::DoNotOptimize(dcache.lookup(ram, pc));
+        } else {
+            benchmark::DoNotOptimize(isa::decode(ram.read32(pc)));
+        }
+        pc += 4;
+        if (pc == base + n * 4)
+            pc = base;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FetchDecode)->Arg(0)->Arg(1);
+
+static void
+BM_StatCounterLookup(benchmark::State& state)
+{
+    // The per-event cost of bumping a stat counter in a group sized like
+    // the D$'s (18 keys). Arg 0 is the string-keyed map probe the hot
+    // paths used to pay per event; arg 1 is the cached CounterRef.
+    StatGroup g("dcache");
+    static const char* kKeys[] = {
+        "core_reads", "core_writes", "core_rsps", "mem_reqs",
+        "mshr_replays", "fills", "memq_stalls", "write_hits",
+        "write_misses", "read_hits", "read_misses", "mshr_merges",
+        "mshr_stalls", "evictions", "sel_candidates", "sel_input_full",
+        "sel_accepted", "sel_conflicts",
+    };
+    for (const char* k : kKeys)
+        g.counter(k);
+    CounterRef ref = g.counterRef("read_hits");
+    const bool use_ref = state.range(0) != 0;
+    for (auto _ : state) {
+        if (use_ref)
+            ++ref;
+        else
+            ++g.counter("read_hits");
+    }
+    benchmark::DoNotOptimize(g.get("read_hits"));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatCounterLookup)->Arg(0)->Arg(1);
+
+namespace {
+
+/** BM_UopChurn payload shaped like ExecOut's per-thread lanes. */
+template <typename WordVec, typename AddrVec>
+struct ChurnUop
+{
+    isa::Instr instr;
+    WordVec values;
+    AddrVec addrs;
+};
+
+/** One simulated instruction lifetime: fill 4-lane payloads, travel a
+ *  4-deep queue (the ibuffer/FU shape), retire into @p pool. */
+template <typename U>
+void
+churn(benchmark::State& state, std::deque<U>& pipe, std::vector<U>& pool,
+      bool recycle)
+{
+    for (auto _ : state) {
+        U uop;
+        if (recycle && !pool.empty()) {
+            uop = std::move(pool.back());
+            pool.pop_back();
+        }
+        uop.values.assign(4, 0x12345678u);
+        uop.addrs.assign(4, 0x1000u);
+        pipe.push_back(std::move(uop));
+        if (pipe.size() >= 4) {
+            U retired = std::move(pipe.front());
+            pipe.pop_front();
+            benchmark::DoNotOptimize(retired.values[3]);
+            retired.values.clear();
+            retired.addrs.clear();
+            if (recycle && pool.size() < 64)
+                pool.push_back(std::move(retired));
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+static void
+BM_UopChurn(benchmark::State& state)
+{
+    // Heap churn of the uop payload flow. Arg 0 reproduces the old
+    // std::vector payloads (one heap alloc+free per per-thread array per
+    // instruction); arg 1 is the shipped SmallVec + recycle-pool flow
+    // (allocation-free at <= 8 lanes).
+    if (state.range(0) == 0) {
+        using U = ChurnUop<std::vector<Word>, std::vector<Addr>>;
+        std::deque<U> pipe;
+        std::vector<U> pool;
+        churn(state, pipe, pool, /*recycle=*/false);
+    } else {
+        using U = ChurnUop<SmallVec<Word, core::kUopInlineLanes>,
+                           SmallVec<Addr, core::kUopInlineLanes>>;
+        std::deque<U> pipe;
+        std::vector<U> pool;
+        churn(state, pipe, pool, /*recycle=*/true);
+    }
+}
+BENCHMARK(BM_UopChurn)->Arg(0)->Arg(1);
 
 static void
 BM_SimulatorThroughput(benchmark::State& state)

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <utility>
 
 #include "common/log.h"
 #include "common/types.h"
@@ -156,6 +157,13 @@ class LatencyPipe
     enqueue(const T& v, Cycle now)
     {
         inflight_.push_back({v, now + latency_});
+    }
+
+    /** Enter a new element this cycle by move (payload-carrying ops). */
+    void
+    enqueue(T&& v, Cycle now)
+    {
+        inflight_.push_back({std::move(v), now + latency_});
     }
 
     /** @return the next element whose latency has elapsed, if any. */

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Generation-tagged freelist slot pool for in-flight request tracking.
+ *
+ * The simulator's request/response matching used to round-trip an
+ * unordered_map<reqId, payload> per in-flight request (pending fetches,
+ * LSU responses, texture batches, cache fills): one hash insert at issue
+ * and one probe + erase at completion, on every simulated event. A
+ * SlotPool instead *encodes the slot index in the reqId it hands out*,
+ * so completion is an array index. A 24-bit generation tag stored beside
+ * each slot (and echoed in the id) preserves the map's error checking:
+ * a stale or mismatched id panics exactly like the old "unmatched
+ * response" paths, instead of silently aliasing a recycled slot.
+ *
+ * Id layout (64-bit): `base | generation << 16 | index`. The caller's
+ * @p base occupies bits >= 40 and keeps ids from different pools (or
+ * different component instances) globally disjoint — e.g. the Core tags
+ * each pool with a request-kind nibble, and caches embed their instance
+ * id, which response routers rely on for uniqueness. 16 index bits are
+ * ample (in-flight populations are queue-depth bounded), buying a
+ * 24-bit generation: the stale-id check only false-negatives if one
+ * slot is recycled exactly a multiple of 2^24 times between a request
+ * and its duplicate/stale completion — probabilistic where the old maps
+ * were exact, but astronomically far from any real in-flight window.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+
+namespace vortex {
+
+/** Freelist pool of T payloads addressed by generation-tagged ids. */
+template <typename T>
+class SlotPool
+{
+  public:
+    /** A pool whose ids carry @p base in the bits above the index and
+     *  generation fields (base must not intrude below bit 40); @p name
+     *  appears in stale-id panics. */
+    explicit SlotPool(uint64_t base = 0, const char* name = "slot_pool")
+        : base_(base), name_(name)
+    {
+        if (base & ((1ull << 40) - 1))
+            panic("SlotPool '", name,
+                  "': base intrudes on index/generation bits");
+    }
+
+    /** Store @p value in a free slot and return its request id. */
+    uint64_t
+    alloc(T&& value)
+    {
+        uint32_t index;
+        if (!freelist_.empty()) {
+            index = freelist_.back();
+            freelist_.pop_back();
+        } else {
+            index = static_cast<uint32_t>(slots_.size());
+            if (index >= (1u << 16))
+                panic("SlotPool '", name_, "': slot space exhausted");
+            slots_.emplace_back();
+        }
+        Slot& slot = slots_[index];
+        slot.live = true;
+        slot.value = std::move(value);
+        ++live_;
+        return base_ | (static_cast<uint64_t>(slot.generation) << 16) |
+               index;
+    }
+
+    /** The payload of @p id; panics on a stale or foreign id. */
+    T&
+    at(uint64_t id)
+    {
+        return slot(id).value;
+    }
+
+    /** Remove and return the payload of @p id; the slot is recycled
+     *  under a bumped generation, so a duplicate completion panics. */
+    T
+    take(uint64_t id)
+    {
+        Slot& s = slot(id);
+        T value = std::move(s.value);
+        s.live = false;
+        s.generation = (s.generation + 1) & 0xFFFFFF;
+        s.value = T{};
+        freelist_.push_back(static_cast<uint32_t>(id & 0xFFFF));
+        --live_;
+        return value;
+    }
+
+    /** Number of live (allocated, not yet taken) entries. */
+    size_t size() const { return live_; }
+    /** No live entries? */
+    bool empty() const { return live_ == 0; }
+
+    /** Drop every live entry (reset path); their ids become stale. */
+    void
+    clear()
+    {
+        freelist_.clear();
+        for (uint32_t i = 0; i < slots_.size(); ++i) {
+            Slot& s = slots_[i];
+            if (s.live) {
+                s.live = false;
+                s.generation = (s.generation + 1) & 0xFFFFFF;
+                s.value = T{};
+            }
+            freelist_.push_back(i);
+        }
+        live_ = 0;
+    }
+
+  private:
+    struct Slot
+    {
+        T value{};
+        uint32_t generation = 0; ///< 24-bit, wraps
+        bool live = false;
+    };
+
+    Slot&
+    slot(uint64_t id)
+    {
+        uint32_t index = static_cast<uint32_t>(id & 0xFFFF);
+        uint32_t gen = static_cast<uint32_t>((id >> 16) & 0xFFFFFF);
+        if ((id & ~0xFFFFFFFFFFull) != base_ || index >= slots_.size() ||
+            !slots_[index].live || slots_[index].generation != gen)
+            panic("SlotPool '", name_, "': unmatched request id ", id);
+        return slots_[index];
+    }
+
+    uint64_t base_;
+    const char* name_;
+    std::vector<Slot> slots_;
+    std::vector<uint32_t> freelist_; ///< indices ready for reuse
+    size_t live_ = 0;
+};
+
+} // namespace vortex

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <ostream>
 #include <string>
@@ -30,6 +31,10 @@ namespace vortex {
  * A named collection of 64-bit counters, printed and iterated in
  * insertion order (the order a component first touched each counter —
  * typically its natural event order, not alphabetical).
+ *
+ * Storage is a deque so counter references stay valid as later keys are
+ * inserted; CounterRef exploits that to turn hot-path counter bumps into
+ * a single pointer increment (see below).
  */
 class StatGroup
 {
@@ -39,8 +44,8 @@ class StatGroup
     explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
 
     /** The counter for @p key, created zero on first use. The reference
-     *  is invalidated when a *different* key is first inserted — bump in
-     *  place (`++g.counter("k")`), don't hold it. */
+     *  stays valid for the lifetime of the group (deque storage never
+     *  relocates existing entries). */
     uint64_t&
     counter(const std::string& key)
     {
@@ -49,6 +54,10 @@ class StatGroup
             items_.emplace_back(key, 0);
         return items_[it->second].second;
     }
+
+    /** A cached hot-path handle to counter @p key (see CounterRef below;
+     *  defined out of line because CounterRef needs the full group). */
+    inline class CounterRef counterRef(std::string key);
 
     /** Read @p key without creating it (0 when absent). */
     uint64_t
@@ -68,7 +77,7 @@ class StatGroup
     }
 
     /** All (key, value) pairs in insertion order. */
-    const std::vector<std::pair<std::string, uint64_t>>&
+    const std::deque<std::pair<std::string, uint64_t>>&
     all() const
     {
         return items_;
@@ -88,9 +97,66 @@ class StatGroup
 
   private:
     std::string name_;
-    std::vector<std::pair<std::string, uint64_t>> items_;
+    std::deque<std::pair<std::string, uint64_t>> items_;
     std::map<std::string, size_t> index_; ///< key -> position in items_
 };
+
+/**
+ * A cached handle to one StatGroup counter, for hot paths that bump the
+ * same counter every simulated event. A plain `g.counter("key")` pays a
+ * string hash + map probe per bump; a CounterRef pays it once and then
+ * increments through a stable `uint64_t*` (StatGroup's deque storage
+ * never relocates entries).
+ *
+ * Resolution is deliberately *lazy* — the counter is registered on the
+ * first bump, not at handle construction — so a group's key set and
+ * insertion order remain exactly the first-touch order they had before
+ * handles existed. That keeps flattened stats, CSV columns, and
+ * time-series keys byte-identical: a counter a run never bumps still
+ * never appears. Convention for new hot-path code: resolve a CounterRef
+ * member at component construction and bump it with `++ref` / `ref += n`
+ * (see ARCHITECTURE.md "Host-performance playbook").
+ */
+class CounterRef
+{
+  public:
+    /** An unbound handle (never resolvable; for late initialization). */
+    CounterRef() = default;
+
+    /** A handle to @p group's counter @p key (not yet registered). */
+    CounterRef(StatGroup& group, std::string key)
+        : group_(&group), key_(std::move(key))
+    {
+    }
+
+    /** The counter itself, registering it on first access. */
+    uint64_t&
+    value()
+    {
+        if (!ptr_)
+            ptr_ = &group_->counter(key_);
+        return *ptr_;
+    }
+
+    /** Bump by one (`++ref`). */
+    uint64_t& operator++() { return ++value(); }
+    /** Bump by @p n (`ref += n`). */
+    uint64_t& operator+=(uint64_t n) { return value() += n; }
+
+    /** Read without registering (0 while unregistered). */
+    uint64_t get() const { return ptr_ ? *ptr_ : 0; }
+
+  private:
+    uint64_t* ptr_ = nullptr; ///< resolved on first bump; stable after
+    StatGroup* group_ = nullptr;
+    std::string key_;
+};
+
+inline CounterRef
+StatGroup::counterRef(std::string key)
+{
+    return CounterRef(*this, std::move(key));
+}
 
 /**
  * A delta-encoded counter time series: one row per counter key, one

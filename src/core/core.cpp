@@ -37,13 +37,11 @@ Core::Core(const ArchConfig& config, CoreId core_id, mem::Ram& ram,
         tc.cacheLaneBase = config.numThreads;
         tc.numCacheLanes = config.numThreads;
         texUnit_ = std::make_unique<tex::TexUnit>(
-            tc, ram_, dcache_.get(), [this] { return allocReqId(); });
+            tc, ram_, dcache_.get(), [this] { return allocTexelReqId(); });
         texUnit_->setRspCallback([this](const tex::TexResponse& rsp) {
-            auto it = texPending_.find(rsp.reqId);
-            if (it == texPending_.end())
-                panic("core ", coreId_, ": unmatched texture response");
-            Uop uop = std::move(it->second);
-            texPending_.erase(it);
+            // A stale or foreign id panics in the pool (the old
+            // "unmatched texture response" check).
+            Uop uop = texBatchPool_.take(rsp.reqId);
             uop.out.values.assign(rsp.colors.begin(), rsp.colors.end());
             texDone_.push_back(std::move(uop));
         });
@@ -57,16 +55,17 @@ Core::Core(const ArchConfig& config, CoreId core_id, mem::Ram& ram,
         ibuffers_.emplace_back(config.ibufferDepth, "ibuffer");
 
     icache_->setRspCallback([this](const mem::CoreRsp& rsp) {
-        auto it = pendingFetches_.find(rsp.reqId);
-        if (it == pendingFetches_.end())
-            panic("core ", coreId_, ": unmatched fetch response");
-        decodeQueue_.push_back(Fetched{std::move(it->second),
+        // A stale or foreign id panics in the pool (the old "unmatched
+        // fetch response" check).
+        decodeQueue_.push_back(Fetched{fetchPool_.take(rsp.reqId),
                                        curCycle_ + 1});
-        pendingFetches_.erase(it);
     });
 
     dcache_->setRspCallback([this](const mem::CoreRsp& rsp) {
-        if (texUnit_ && texUnit_->cacheRsp(rsp))
+        // Texel fetches carry their own id kind, so LSU responses skip
+        // the texture unit's pending-set probe entirely.
+        if ((rsp.reqId & kReqKindMask) == kTexelReqBase && texUnit_ &&
+            texUnit_->cacheRsp(rsp))
             return;
         onLsuRsp(rsp.reqId);
     });
@@ -77,11 +76,9 @@ Core::Core(const ArchConfig& config, CoreId core_id, mem::Ram& ram,
 void
 Core::onLsuRsp(uint64_t req_id)
 {
-    auto it = lsuByReqId_.find(req_id);
-    if (it == lsuByReqId_.end())
-        panic("core ", coreId_, ": unmatched LSU response ", req_id);
-    LsuOp* op = it->second;
-    lsuByReqId_.erase(it);
+    // A stale or foreign id panics in the pool (the old "unmatched LSU
+    // response" check).
+    LsuOp* op = lsuRspPool_.take(req_id);
     if (op->pendingRsps == 0)
         panic("core ", coreId_, ": LSU response underflow");
     --op->pendingRsps;
@@ -97,7 +94,7 @@ Core::reset()
     scheduler_.reset();
     scoreboard_.reset();
     barriers_.clear();
-    pendingFetches_.clear();
+    fetchPool_.clear();
     std::fill(fetchOutstanding_.begin(), fetchOutstanding_.end(), false);
     decodeQueue_.clear();
     for (auto& ib : ibuffers_)
@@ -109,8 +106,8 @@ Core::reset()
         fu->busyUntil = 0;
     }
     lsuOps_.clear();
-    lsuByReqId_.clear();
-    texPending_.clear();
+    lsuRspPool_.clear();
+    texBatchPool_.clear();
     texDone_.clear();
     softCsrs_.clear();
     issueRR_ = 0;
@@ -212,7 +209,7 @@ Core::fetchStage(Cycle now)
 {
     (void)now;
     if (!icache_->laneReady(0)) {
-        ++stats_.counter("fetch_icache_stalls");
+        ++ctrFetchIcacheStalls_;
         return;
     }
     uint64_t eligible = 0;
@@ -226,13 +223,16 @@ Core::fetchStage(Cycle now)
     WarpId wid = *sel;
     Warp& w = warps_[wid];
 
-    uint32_t raw = ram_.read32(w.pc);
-    isa::Instr instr = isa::decode(raw);
+    // Steady-state fetch of a static instruction skips read32 + decode
+    // through the decoded-instruction cache (invalidation contract in
+    // core/decode_cache.h).
+    const isa::Instr& instr = decodeCache_.lookup(ram_, w.pc);
     if (!instr.valid())
         fatal("core ", coreId_, " warp ", wid,
-              ": invalid instruction 0x", std::hex, raw, " at PC 0x", w.pc);
+              ": invalid instruction 0x", std::hex, instr.raw,
+              " at PC 0x", w.pc);
 
-    Uop uop;
+    Uop uop = takeUop();
     uop.instr = instr;
     uop.pc = w.pc;
     uop.wid = wid;
@@ -246,19 +246,16 @@ Core::fetchStage(Cycle now)
     else
         w.pc += 4;
 
-    uint64_t req_id = allocReqId();
-    pendingFetches_.emplace(req_id, uop);
-    fetchOutstanding_[wid] = true;
-
     mem::CoreReq req;
     req.addr = uop.pc;
     req.write = false;
-    req.reqId = req_id;
     req.lane = 0;
     req.tag = Tag{uop.pc, wid, uop.uid};
-    icache_->lanePush(0, req);
     trace(uop, TraceStage::Fetch);
-    ++stats_.counter("fetches");
+    req.reqId = fetchPool_.alloc(std::move(uop));
+    fetchOutstanding_[wid] = true;
+    icache_->lanePush(0, req);
+    ++ctrFetches_;
 }
 
 void
@@ -285,7 +282,7 @@ Core::issueStage(Cycle now)
             continue;
         Uop& head = ibuffers_[wid].front();
         if (!scoreboard_.ready(wid, head.instr)) {
-            ++stats_.counter("issue_scoreboard_stalls");
+            ++ctrIssueScoreboardStalls_;
             continue;
         }
         // Structural check on the target functional unit.
@@ -303,7 +300,7 @@ Core::issueStage(Cycle now)
             break;
         }
         if (!free) {
-            ++stats_.counter("issue_structural_stalls");
+            ++ctrIssueStructuralStalls_;
             continue;
         }
         Uop uop = ibuffers_[wid].pop();
@@ -320,7 +317,9 @@ Core::dispatch(Uop&& uop, Cycle now)
 {
     const WarpId wid = uop.wid;
     trace(uop, TraceStage::Issue);
-    uop.out = execute(*this, wid, uop.instr, uop.pc);
+    // In-place execution reuses the uop's (possibly recycled) payload
+    // capacity instead of building a fresh ExecOut per instruction.
+    executeInto(*this, wid, uop.instr, uop.pc, uop.out);
 
     threadInstrs_ += popcount(uop.out.tmask);
     ++warpInstrs_;
@@ -352,14 +351,14 @@ Core::dispatch(Uop&& uop, Cycle now)
         break;
       }
       case isa::FuType::TEX: {
-        uint64_t req_id = allocReqId();
         tex::TexRequest treq;
-        treq.reqId = req_id;
         treq.stage = uop.out.texStage;
         treq.tag = Tag{uop.pc, wid, uop.uid};
-        treq.lanes = uop.out.texLanes;
-        texPending_.emplace(req_id, std::move(uop));
-        texUnit_->push(treq);
+        // The lane payload moves to the unit: nothing reads it from the
+        // parked uop once the request is in flight.
+        treq.lanes = std::move(uop.out.texLanes);
+        treq.reqId = texBatchPool_.alloc(std::move(uop));
+        texUnit_->push(std::move(treq));
         break;
       }
     }
@@ -380,7 +379,7 @@ Core::applyScheduleEvents(const Uop& uop)
     if (uop.out.isBarrier) {
         scheduler_.setStalled(wid, false);
         scheduler_.setBarrier(wid, true);
-        ++stats_.counter("barriers");
+        ++ctrBarriers_;
         if (uop.out.barrierGlobal && hub_) {
             hub_->globalArrive(uop.out.barrierId, uop.out.barrierCount,
                                coreId_, wid);
@@ -499,10 +498,9 @@ Core::lsuTick(Cycle now)
             mem::CoreReq req;
             req.addr = op.uop.out.addrs[t];
             req.write = op.uop.out.memWrite;
-            req.reqId = allocReqId();
+            req.reqId = lsuRspPool_.alloc(&op);
             req.lane = t;
             req.tag = Tag{op.uop.pc, op.uop.wid, op.uop.uid};
-            lsuByReqId_[req.reqId] = &op;
             ++op.pendingRsps;
             op.lanesToIssue &= ~(1ull << t);
             if (shared)
@@ -536,20 +534,24 @@ Core::commitStage(Cycle now)
         while (!fu->output.empty()) {
             if (!tryRetire(fu->output.front()))
                 break;
+            recycleUop(std::move(fu->output.front()));
             fu->output.pop_front();
         }
     }
     // LSU completions (any order).
     for (auto it = lsuOps_.begin(); it != lsuOps_.end();) {
-        if (it->done && tryRetire(it->uop))
+        if (it->done && tryRetire(it->uop)) {
+            recycleUop(std::move(it->uop));
             it = lsuOps_.erase(it);
-        else
+        } else {
             ++it;
+        }
     }
     // Texture completions.
     while (!texDone_.empty()) {
         if (!tryRetire(texDone_.front()))
             break;
+        recycleUop(std::move(texDone_.front()));
         texDone_.pop_front();
     }
 }
@@ -571,12 +573,12 @@ Core::writeback(const Uop& uop)
                 w.fregs[t][dst.idx] = uop.out.values[t];
         }
         scoreboard_.clearBusy(wid, dst);
-        ++stats_.counter("writebacks");
+        ++ctrWritebacks_;
     }
     if (uop.out.isFence)
         scheduler_.setStalled(wid, false);
     trace(uop, TraceStage::Commit);
-    ++stats_.counter("retired");
+    ++ctrRetired_;
 }
 
 bool
@@ -584,7 +586,7 @@ Core::busy() const
 {
     if (scheduler_.activeMask() != 0)
         return true;
-    if (!pendingFetches_.empty() || !decodeQueue_.empty())
+    if (!fetchPool_.empty() || !decodeQueue_.empty())
         return true;
     for (const auto& ib : ibuffers_) {
         if (!ib.empty())
@@ -592,7 +594,7 @@ Core::busy() const
     }
     if (!alu_.empty() || !muldiv_.empty() || !fpu_.empty() || !sfu_.empty())
         return true;
-    if (!lsuOps_.empty() || !texPending_.empty() || !texDone_.empty())
+    if (!lsuOps_.empty() || !texBatchPool_.empty() || !texDone_.empty())
         return true;
     if (!icache_->idle() || !dcache_->idle() || !smem_->idle())
         return true;

@@ -17,9 +17,11 @@
 #include <vector>
 
 #include "common/elastic.h"
+#include "common/slot_pool.h"
 #include "common/stats.h"
 #include "core/barrier.h"
 #include "core/config.h"
+#include "core/decode_cache.h"
 #include "core/scheduler.h"
 #include "core/trace.h"
 #include "core/scoreboard.h"
@@ -134,7 +136,41 @@ class Core
     void writeback(const Uop& uop);
     void onLsuRsp(uint64_t reqId);
 
-    uint64_t allocReqId() { return nextReqId_++; }
+    //
+    // Request-id spaces. Every in-flight request id carries a kind in
+    // its top bits, so ids from the three slot pools and the texel-fetch
+    // counter can share the D$/I$/scratchpad without colliding, and a
+    // D$ response routes by kind instead of probing the texture unit's
+    // pending set.
+    //
+    static constexpr uint64_t kReqKindMask = 3ull << 62;
+    static constexpr uint64_t kFetchReqBase = 1ull << 62; ///< I$ fetches
+    static constexpr uint64_t kLsuReqBase = 2ull << 62;   ///< LSU lanes
+    static constexpr uint64_t kTexelReqBase = 3ull << 62; ///< texel reads
+
+    /** Texel-fetch ids handed to the texture unit (tracked only in the
+     *  unit's own pending set, so a plain counter suffices). */
+    uint64_t allocTexelReqId() { return kTexelReqBase | nextTexelReqId_++; }
+
+    /** A fresh (or recycled) uop: payload capacity is reused, all other
+     *  state is reset by the caller/executeInto. */
+    Uop
+    takeUop()
+    {
+        if (uopPool_.empty())
+            return Uop{};
+        Uop uop = std::move(uopPool_.back());
+        uopPool_.pop_back();
+        return uop;
+    }
+
+    /** Return a retired uop's payload capacity to the pool. */
+    void
+    recycleUop(Uop&& uop)
+    {
+        if (uopPool_.size() < kUopPoolDepth)
+            uopPool_.push_back(std::move(uop));
+    }
 
     //
     // Functional-unit pipes with per-op latency; iterative ops set busy.
@@ -192,8 +228,9 @@ class Core
         Uop uop;
         Cycle readyAt;
     };
-    std::unordered_map<uint64_t, Uop> pendingFetches_; ///< by icache reqId
-    std::vector<bool> fetchOutstanding_;               ///< per wavefront
+    DecodeCache decodeCache_;       ///< PC-indexed decoded-instr memo
+    SlotPool<Uop> fetchPool_{kFetchReqBase, "core.fetches"};
+    std::vector<bool> fetchOutstanding_; ///< per wavefront
     std::deque<Fetched> decodeQueue_;
 
     std::vector<ElasticQueue<Uop>> ibuffers_;
@@ -215,15 +252,22 @@ class Core
         bool done = false;
     };
     std::list<LsuOp> lsuOps_;
-    std::unordered_map<uint64_t, LsuOp*> lsuByReqId_;
+    /** In-flight lane requests -> owning op (list nodes are stable). */
+    SlotPool<LsuOp*> lsuRspPool_{kLsuReqBase, "core.lsu_rsps"};
 
     //
     // Texture in-flight uops (keyed by TexRequest reqId).
     //
-    std::unordered_map<uint64_t, Uop> texPending_;
+    SlotPool<Uop> texBatchPool_{0, "core.tex_batches"};
     std::deque<Uop> texDone_;
 
-    uint64_t nextReqId_ = 1;
+    /** Retired-uop recycle pool: bounds how much spilled payload
+     *  capacity is kept for reuse (the in-flight population is itself
+     *  bounded by the ibuffer/LSU/FU queue depths). */
+    static constexpr size_t kUopPoolDepth = 64;
+    std::vector<Uop> uopPool_;
+
+    uint64_t nextTexelReqId_ = 1;
     uint64_t nextUid_ = 1;
     TraceSink* traceSink_ = nullptr;
 
@@ -240,6 +284,15 @@ class Core
     uint64_t threadInstrs_ = 0;
     uint64_t warpInstrs_ = 0;
     StatGroup stats_;
+
+    // Hot-path counter handles (lazy CounterRef: byte-identical output).
+    CounterRef ctrFetchIcacheStalls_{stats_, "fetch_icache_stalls"};
+    CounterRef ctrFetches_{stats_, "fetches"};
+    CounterRef ctrIssueScoreboardStalls_{stats_, "issue_scoreboard_stalls"};
+    CounterRef ctrIssueStructuralStalls_{stats_, "issue_structural_stalls"};
+    CounterRef ctrBarriers_{stats_, "barriers"};
+    CounterRef ctrWritebacks_{stats_, "writebacks"};
+    CounterRef ctrRetired_{stats_, "retired"};
 };
 
 /** Functionally execute @p instr of wavefront @p wid (defined in
@@ -247,5 +300,10 @@ class Core
  *  (PC, thread mask, IPDOM stack) and performs stores/CSR writes; register
  *  writebacks are returned for the timing model to commit. */
 ExecOut execute(Core& core, WarpId wid, const isa::Instr& instr, Addr pc);
+
+/** In-place variant of execute(): resets @p out (keeping its payload
+ *  capacity — the allocation-free dispatch path) and fills it. */
+void executeInto(Core& core, WarpId wid, const isa::Instr& instr, Addr pc,
+                 ExecOut& out);
 
 } // namespace vortex::core

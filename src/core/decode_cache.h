@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Decoded-instruction cache: a direct-mapped, PC-indexed memo of
+ * isa::decode results, so a core's steady-state fetch path skips both
+ * the functional RAM read and the decoder for every re-executed static
+ * instruction (the overwhelming majority of simulated fetches — kernels
+ * are loops).
+ *
+ * Correctness rests on code not being self-modifying, and that
+ * assumption is checked rather than silent: lookup() marks the page it
+ * decodes from via mem::Ram::markCodePage, every store to a marked page
+ * bumps the RAM's code-write epoch, and the cache flushes itself when
+ * the epoch it last saw has moved (including program reloads through
+ * writeBlock and Ram::clear). A same-cycle store from another core is
+ * the simulated program's own race on weakly-coherent device memory —
+ * unspecified order there, unchanged here.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "isa/isa.h"
+#include "mem/ram.h"
+
+namespace vortex::core {
+
+/** Per-core direct-mapped cache of decoded instructions. */
+class DecodeCache
+{
+  public:
+    /** A cache of @p entries slots (power of two; 4096 covers every
+     *  shipped kernel with zero conflict misses). */
+    explicit DecodeCache(size_t entries = 4096)
+        : entries_(entries), mask_(entries - 1)
+    {
+    }
+
+    /** The decoded instruction at @p pc, reading and decoding through
+     *  @p ram only on a miss. Invalid encodings are cached too (the
+     *  caller's fatal paths still fire). */
+    const isa::Instr&
+    lookup(mem::Ram& ram, Addr pc)
+    {
+        const uint64_t now = ram.codeWriteEpoch();
+        if (now != epoch_) {
+            flush();
+            epoch_ = now;
+        }
+        Entry& e = entries_[(pc >> 2) & mask_];
+        if (e.pc != pc) {
+            // Mark before reading so a later store cannot slip between
+            // the read and the mark unnoticed.
+            ram.markCodePage(pc);
+            e.instr = isa::decode(ram.read32(pc));
+            e.pc = pc;
+        }
+        return e.instr;
+    }
+
+    /** Drop every entry (epoch tracking is untouched). */
+    void
+    flush()
+    {
+        for (Entry& e : entries_)
+            e.pc = kNoPc;
+    }
+
+  private:
+    /** Impossible instruction PC (unaligned), used as the empty tag. */
+    static constexpr Addr kNoPc = ~Addr{0};
+
+    struct Entry
+    {
+        Addr pc = kNoPc;  ///< full-PC tag
+        isa::Instr instr; ///< decode(read32(pc)) when pc != kNoPc
+    };
+
+    std::vector<Entry> entries_;
+    size_t mask_;
+    uint64_t epoch_ = ~0ull; ///< RAM code-write epoch at last validation
+};
+
+} // namespace vortex::core

@@ -136,15 +136,15 @@ fmaxRiscv(float a, float b)
 
 } // namespace
 
-ExecOut
-execute(Core& core, WarpId wid, const Instr& in, Addr pc)
+void
+executeInto(Core& core, WarpId wid, const Instr& in, Addr pc, ExecOut& out)
 {
     Warp& w = core.warp(wid);
     const uint32_t nt = w.numThreads();
     const uint64_t tmask = w.tmask;
     const uint32_t first = w.firstActiveThread();
 
-    ExecOut out;
+    out.reset();
     out.tmask = tmask;
 
     auto active = [&](uint32_t t) { return (tmask >> t) & 1; };
@@ -707,6 +707,13 @@ execute(Core& core, WarpId wid, const Instr& in, Addr pc)
         out.hasDst = false;
         out.values.clear();
     }
+}
+
+ExecOut
+execute(Core& core, WarpId wid, const Instr& in, Addr pc)
+{
+    ExecOut out;
+    executeInto(core, wid, in, pc, out);
     return out;
 }
 

@@ -4,18 +4,27 @@
  * functional execution (the simulator executes instruction semantics at
  * dispatch, SimX-style; the timing model then decides when the results
  * become architecturally visible via the scoreboard).
+ *
+ * The per-thread payloads are SmallVecs sized for the common machine
+ * geometries, so executing and retiring an instruction allocates nothing
+ * on the host heap (common/small_vec.h); wider machines spill and the
+ * core's uop recycling reuses the spilled capacity.
  */
 
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
+#include "common/small_vec.h"
 #include "common/types.h"
 #include "isa/isa.h"
 #include "tex/texunit.h"
 
 namespace vortex::core {
+
+/** Inline lane capacity of the per-thread uop payloads: covers every
+ *  machine up to 8 threads/wavefront without heap traffic. */
+constexpr size_t kUopInlineLanes = 8;
 
 /** Outcome of functionally executing one instruction for one wavefront. */
 struct ExecOut
@@ -27,7 +36,8 @@ struct ExecOut
     //
     bool hasDst = false;      ///< the instruction writes a register
     isa::RegRef dst;          ///< destination register (when hasDst)
-    std::vector<Word> values; ///< per thread; valid where tmask bit set
+    /** Per-thread writeback values; valid where tmask bit set. */
+    SmallVec<Word, kUopInlineLanes> values;
 
     //
     // Memory access (loads and stores).
@@ -35,14 +45,16 @@ struct ExecOut
     bool isMem = false;       ///< load/store through the LSU
     bool memWrite = false;    ///< store (vs load)
     bool memShared = false;   ///< routed to the scratchpad
-    std::vector<Addr> addrs;  ///< per thread; valid where tmask bit set
+    /** Per-thread access addresses; valid where tmask bit set. */
+    SmallVec<Addr, kUopInlineLanes> addrs;
 
     //
     // Texture access.
     //
     bool isTex = false;    ///< `tex` instruction (texture-unit path)
     uint32_t texStage = 0; ///< sampler pipeline stage selector
-    std::vector<tex::TexLaneReq> texLanes; ///< per-lane sample requests
+    /** Per-lane sample requests (same inline capacity as TexRequest). */
+    tex::TexLaneVec texLanes;
 
     //
     // Wavefront scheduling events.
@@ -53,6 +65,30 @@ struct ExecOut
     uint32_t barrierId = 0;     ///< barrier identifier
     uint32_t barrierCount = 0;  ///< wavefront arrivals expected
     bool isFence = false; ///< completes only when the LSU/D$ drain
+
+    /** Reset to the default-constructed state while keeping any payload
+     *  capacity, so a recycled uop re-executes without reallocating. */
+    void
+    reset()
+    {
+        tmask = 0;
+        hasDst = false;
+        dst = {};
+        values.clear();
+        isMem = false;
+        memWrite = false;
+        memShared = false;
+        addrs.clear();
+        isTex = false;
+        texStage = 0;
+        texLanes.clear();
+        haltWarp = false;
+        isBarrier = false;
+        barrierGlobal = false;
+        barrierId = 0;
+        barrierCount = 0;
+        isFence = false;
+    }
 };
 
 /** One in-flight instruction. */

@@ -16,13 +16,17 @@ namespace vortex::mem {
 namespace {
 
 /** Memory-side reqIds must be globally unique so fan-in routers can route
- *  responses; embed a per-instance id in the top bits. */
+ *  responses; embed a per-instance id in the top bits (above both the
+ *  fill pool's index/generation fields and the write marker bit 40). */
 uint64_t
 nextInstanceBase()
 {
     static std::atomic<uint64_t> counter{1};
-    return counter.fetch_add(1) << 40;
+    return counter.fetch_add(1) << 41;
 }
+
+/** Marks an untracked (write) memory request id. */
+constexpr uint64_t kWriteReqBit = 1ull << 40;
 
 } // namespace
 
@@ -39,8 +43,27 @@ Cache::Bank::Bank(const CacheConfig& cfg, uint32_t index)
 Cache::Cache(const CacheConfig& config)
     : config_(config),
       memQueue_(config.memQueueDepth, "cache.memq"),
-      nextMemReqId_(nextInstanceBase()),
-      stats_(config.name)
+      instanceBase_(nextInstanceBase()),
+      fillPool_(instanceBase_, "cache.fills"),
+      stats_(config.name),
+      ctrCoreReads_(stats_, "core_reads"),
+      ctrCoreWrites_(stats_, "core_writes"),
+      ctrCoreRsps_(stats_, "core_rsps"),
+      ctrMemReqs_(stats_, "mem_reqs"),
+      ctrMshrReplays_(stats_, "mshr_replays"),
+      ctrFills_(stats_, "fills"),
+      ctrMemqStalls_(stats_, "memq_stalls"),
+      ctrWriteHits_(stats_, "write_hits"),
+      ctrWriteMisses_(stats_, "write_misses"),
+      ctrReadHits_(stats_, "read_hits"),
+      ctrReadMisses_(stats_, "read_misses"),
+      ctrMshrMerges_(stats_, "mshr_merges"),
+      ctrMshrStalls_(stats_, "mshr_stalls"),
+      ctrEvictions_(stats_, "evictions"),
+      ctrSelCandidates_(stats_, "sel_candidates"),
+      ctrSelInputFull_(stats_, "sel_input_full"),
+      ctrSelAccepted_(stats_, "sel_accepted"),
+      ctrSelConflicts_(stats_, "sel_conflicts")
 {
     if (!isPow2(config.lineSize))
         fatal("cache '", config.name, "': lineSize must be a power of two");
@@ -90,7 +113,8 @@ void
 Cache::lanePush(uint32_t lane, const CoreReq& req)
 {
     lanes_.at(lane).push(req);
-    ++stats_.counter(req.write ? "core_writes" : "core_reads");
+    ++pendingLaneReqs_;
+    ++(req.write ? ctrCoreWrites_ : ctrCoreReads_);
 }
 
 void
@@ -139,7 +163,7 @@ Cache::install(Bank& bank, Addr addr, Cycle now)
             if (w.lastUsed < victim->lastUsed)
                 victim = &w;
         }
-        ++stats_.counter("evictions");
+        ++ctrEvictions_;
     }
     victim->valid = true;
     victim->tag = tag;
@@ -165,8 +189,11 @@ Cache::mshrFind(Bank& bank, Addr lineAddr)
 void
 Cache::drainPipes(Cycle now)
 {
+    if (pipeWork_ == 0)
+        return;
     for (Bank& bank : banks_) {
         while (auto op = bank.pipe.dequeueReady(now)) {
+            --pipeWork_;
             if (op->memReq) {
                 // Space was reserved with an early-full check at schedule.
                 memQueue_.push(*op->memReq);
@@ -174,7 +201,7 @@ Cache::drainPipes(Cycle now)
             for (const PortReq& p : op->ports) {
                 if (rspCallback_)
                     rspCallback_(CoreRsp{p.reqId, p.lane, op->write, p.tag});
-                ++stats_.counter("core_rsps");
+                ++ctrCoreRsps_;
             }
         }
     }
@@ -186,13 +213,15 @@ Cache::drainMemQueue()
     while (!memQueue_.empty() && memSink_ && memSink_->reqReady()) {
         memSink_->reqPush(memQueue_.front());
         memQueue_.pop();
-        ++stats_.counter("mem_reqs");
+        ++ctrMemReqs_;
     }
 }
 
 void
 Cache::schedule(Cycle now)
 {
+    if (bankWork_ == 0)
+        return;
     // Count memory-queue credits consumed this cycle across banks so two
     // banks cannot both claim the last slot.
     size_t memq_free = memQueue_.capacity() - memQueue_.size();
@@ -205,28 +234,32 @@ Cache::schedule(Cycle now)
         if (!bank.replayQueue.empty()) {
             MshrEntry entry = std::move(bank.replayQueue.front());
             bank.replayQueue.pop_front();
+            --bankWork_;
             PipeOp op;
             op.ports = std::move(entry.ports);
-            bank.pipe.enqueue(op, now);
-            ++stats_.counter("mshr_replays");
+            bank.pipe.enqueue(std::move(op), now);
+            ++pipeWork_;
+            ++ctrMshrReplays_;
             continue;
         }
         // Priority 2: install an arrived fill and stage its replays.
         if (!bank.fillQueue.empty()) {
             Addr line_addr = bank.fillQueue.front();
             bank.fillQueue.pop_front();
+            --bankWork_;
             install(bank, line_addr, now);
             // Move every MSHR entry waiting on this line to the replay
             // queue (merged entries replay back-to-back).
             for (auto it = bank.mshr.begin(); it != bank.mshr.end();) {
                 if (it->lineAddr == line_addr) {
                     bank.replayQueue.push_back(std::move(*it));
+                    ++bankWork_;
                     it = bank.mshr.erase(it);
                 } else {
                     ++it;
                 }
             }
-            ++stats_.counter("fills");
+            ++ctrFills_;
             continue;
         }
         // Priority 3: a core request from the bank input FIFO.
@@ -236,16 +269,16 @@ Cache::schedule(Cycle now)
         if (req.write) {
             // Write-through: needs a memory-queue slot (early-full check).
             if (memq_free == 0) {
-                ++stats_.counter("memq_stalls");
+                ++ctrMemqStalls_;
                 continue;
             }
             --memq_free;
             ++pipePromisedMemReqs_;
             if (auto way = probe(bank, req.lineAddr)) {
                 bank.sets[setOf(req.lineAddr)][*way].lastUsed = now;
-                ++stats_.counter("write_hits");
+                ++ctrWriteHits_;
             } else {
-                ++stats_.counter("write_misses");
+                ++ctrWriteMisses_;
             }
             PipeOp op;
             op.ports = req.ports;
@@ -253,44 +286,48 @@ Cache::schedule(Cycle now)
             MemReq mreq;
             mreq.lineAddr = req.lineAddr;
             mreq.write = true;
-            mreq.reqId = nextMemReqId_++;
+            mreq.reqId = instanceBase_ | kWriteReqBit | nextWriteReqId_++;
             mreq.tag = req.ports.front().tag;
             op.memReq = mreq;
-            bank.pipe.enqueue(op, now);
+            bank.pipe.enqueue(std::move(op), now);
+            ++pipeWork_;
             bank.input.pop();
+            --bankWork_;
             continue;
         }
         // Read.
         if (auto way = probe(bank, req.lineAddr)) {
             bank.sets[setOf(req.lineAddr)][*way].lastUsed = now;
-            ++stats_.counter("read_hits");
+            ++ctrReadHits_;
             PipeOp op;
             op.ports = req.ports;
-            bank.pipe.enqueue(op, now);
+            bank.pipe.enqueue(std::move(op), now);
+            ++pipeWork_;
             bank.input.pop();
+            --bankWork_;
             continue;
         }
         // Read miss: merge into a pending MSHR entry if one exists.
         if (MshrEntry* entry = mshrFind(bank, req.lineAddr)) {
-            entry->ports.insert(entry->ports.end(), req.ports.begin(),
-                                req.ports.end());
-            ++stats_.counter("mshr_merges");
-            ++stats_.counter("read_misses");
+            entry->ports.append(req.ports.begin(), req.ports.end());
+            ++ctrMshrMerges_;
+            ++ctrReadMisses_;
             bank.input.pop();
+            --bankWork_;
             continue;
         }
         // New miss: needs an MSHR entry and a memory-queue slot.
         if (!mshrHasSpace(bank)) {
-            ++stats_.counter("mshr_stalls");
+            ++ctrMshrStalls_;
             continue;
         }
         if (memq_free == 0) {
-            ++stats_.counter("memq_stalls");
+            ++ctrMemqStalls_;
             continue;
         }
         --memq_free;
         ++pipePromisedMemReqs_;
-        ++stats_.counter("read_misses");
+        ++ctrReadMisses_;
         MshrEntry entry;
         entry.lineAddr = req.lineAddr;
         entry.ports = req.ports;
@@ -298,15 +335,16 @@ Cache::schedule(Cycle now)
         MemReq mreq;
         mreq.lineAddr = req.lineAddr;
         mreq.write = false;
-        mreq.reqId = nextMemReqId_++;
-        mreq.tag = req.ports.front().tag;
-        pendingFills_[mreq.reqId] =
+        mreq.reqId = fillPool_.alloc(
             PendingFill{static_cast<uint32_t>(&bank - banks_.data()),
-                        req.lineAddr};
+                        req.lineAddr});
+        mreq.tag = req.ports.front().tag;
         PipeOp op; // carries only the memory request; responses come later
         op.memReq = mreq;
-        bank.pipe.enqueue(op, now);
+        bank.pipe.enqueue(std::move(op), now);
+        ++pipeWork_;
         bank.input.pop();
+        --bankWork_;
     }
 }
 
@@ -314,6 +352,10 @@ void
 Cache::selectBanks(Cycle now)
 {
     (void)now;
+    // Skip the bank x lane scan on the (common) cycles with no queued
+    // lane requests at all.
+    if (pendingLaneReqs_ == 0)
+        return;
     // Gather head-of-queue candidates per bank.
     for (uint32_t b = 0; b < config_.numBanks; ++b) {
         Bank& bank = banks_[b];
@@ -325,9 +367,9 @@ Cache::selectBanks(Cycle now)
         }
         if (candidates == 0)
             continue;
-        stats_.counter("sel_candidates") += candidates;
+        ctrSelCandidates_ += candidates;
         if (bank.input.full()) {
-            stats_.counter("sel_input_full") += candidates;
+            ctrSelInputFull_ += candidates;
             continue;
         }
         // Take the first candidate's line; coalesce same-line, same-type
@@ -351,11 +393,13 @@ Cache::selectBanks(Cycle now)
             }
             breq.ports.push_back(PortReq{creq.reqId, creq.lane, creq.tag});
             lane.pop();
+            --pendingLaneReqs_;
             ++taken;
         }
         bank.input.push(std::move(breq));
-        stats_.counter("sel_accepted") += taken;
-        stats_.counter("sel_conflicts") += candidates - taken;
+        ++bankWork_;
+        ctrSelAccepted_ += taken;
+        ctrSelConflicts_ += candidates - taken;
     }
 }
 
@@ -371,15 +415,14 @@ Cache::tick(Cycle now)
     // 2. Forward memory requests downstream.
     drainMemQueue();
 
-    // 3. Absorb memory responses into per-bank fill queues.
+    // 3. Absorb memory responses into per-bank fill queues. A response
+    // whose id the pool does not hold panics there ("unmatched request
+    // id"), preserving the old unknown-fill check.
     while (!memRspQueue_.empty()) {
         const MemRsp& rsp = memRspQueue_.front();
-        auto it = pendingFills_.find(rsp.reqId);
-        if (it == pendingFills_.end())
-            panic("cache '", config_.name, "': unknown fill reqId ",
-                  rsp.reqId);
-        banks_[it->second.bank].fillQueue.push_back(it->second.lineAddr);
-        pendingFills_.erase(it);
+        PendingFill fill = fillPool_.take(rsp.reqId);
+        banks_[fill.bank].fillQueue.push_back(fill.lineAddr);
+        ++bankWork_;
         memRspQueue_.pop_front();
     }
 
@@ -393,7 +436,7 @@ Cache::tick(Cycle now)
 bool
 Cache::idle() const
 {
-    if (!memQueue_.empty() || !memRspQueue_.empty() || !pendingFills_.empty())
+    if (!memQueue_.empty() || !memRspQueue_.empty() || !fillPool_.empty())
         return false;
     for (const auto& lane : lanes_) {
         if (!lane.empty())

@@ -31,10 +31,11 @@
 #include <deque>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/elastic.h"
+#include "common/small_vec.h"
+#include "common/slot_pool.h"
 #include "common/stats.h"
 #include "mem/memtypes.h"
 
@@ -117,12 +118,16 @@ class Cache
         Tag tag;
     };
 
+    /** Port list sized for the swept virtual-port counts (1/2/4); MSHR
+     *  merges may spill past the inline capacity. */
+    using PortVec = SmallVec<PortReq, 4>;
+
     /** A coalesced request entering a bank. */
     struct BankReq
     {
         Addr lineAddr = 0;
         bool write = false;
-        std::vector<PortReq> ports;
+        PortVec ports;
     };
 
     /** A miss waiting on a line (one MSHR entry). */
@@ -130,7 +135,7 @@ class Cache
     {
         Addr lineAddr = 0;
         bool pendingFill = true;       ///< false once moved to replay
-        std::vector<PortReq> ports;
+        PortVec ports;
     };
 
     /** Tag-store way. */
@@ -144,7 +149,7 @@ class Cache
     /** Completed bank operation travelling the pipeline. */
     struct PipeOp
     {
-        std::vector<PortReq> ports; ///< responses to emit
+        PortVec ports; ///< responses to emit
         bool write = false;
         std::optional<MemReq> memReq;
     };
@@ -178,21 +183,63 @@ class Cache
     uint32_t numSets_;
     std::vector<Bank> banks_;
     std::vector<ElasticQueue<CoreReq>> lanes_;
+    //
+    // Tick-phase early-out bookkeeping: counts of work queued for the
+    // three per-cycle bank scans, so an idle (or stalled-elsewhere)
+    // cache pays three compares per cycle instead of three bank walks.
+    //
+    size_t pendingLaneReqs_ = 0; ///< queued lane reqs (selector early-out)
+    size_t bankWork_ = 0; ///< bank input + replay + fill entries (schedule)
+    size_t pipeWork_ = 0; ///< ops inside bank pipelines (drainPipes)
     ElasticQueue<MemReq> memQueue_;
     std::deque<MemRsp> memRspQueue_; ///< unbounded: responses always absorbed
     MemSink* memSink_ = nullptr;
     std::function<void(const CoreRsp&)> rspCallback_;
 
-    uint64_t nextMemReqId_ = 1;
     size_t pipePromisedMemReqs_ = 0; ///< memq slots reserved by in-pipe ops
+
+    //
+    // Memory-side request ids. Read ids come from the fill slot pool
+    // (so the response handler is an array index, not a map probe);
+    // write ids — never tracked, writes produce no routed response —
+    // come from a plain counter with a marker bit. Both embed this
+    // instance's id above bit 40, keeping ids globally unique for the
+    // response-routing fan-in (mem/router.h).
+    //
     struct PendingFill
     {
-        uint32_t bank;
-        Addr lineAddr;
+        uint32_t bank = 0;
+        Addr lineAddr = 0;
     };
-    std::unordered_map<uint64_t, PendingFill> pendingFills_;
+    uint64_t instanceBase_;          ///< unique per-cache high bits
+    uint64_t nextWriteReqId_ = 1;    ///< write (untracked) id counter
+    SlotPool<PendingFill> fillPool_; ///< in-flight read fills by reqId
 
     StatGroup stats_;
+
+    //
+    // Hot-path counter handles (see CounterRef in common/stats.h):
+    // resolved lazily on first bump so the flattened key order stays
+    // byte-identical to the string-keyed paths they replace.
+    //
+    CounterRef ctrCoreReads_;
+    CounterRef ctrCoreWrites_;
+    CounterRef ctrCoreRsps_;
+    CounterRef ctrMemReqs_;
+    CounterRef ctrMshrReplays_;
+    CounterRef ctrFills_;
+    CounterRef ctrMemqStalls_;
+    CounterRef ctrWriteHits_;
+    CounterRef ctrWriteMisses_;
+    CounterRef ctrReadHits_;
+    CounterRef ctrReadMisses_;
+    CounterRef ctrMshrMerges_;
+    CounterRef ctrMshrStalls_;
+    CounterRef ctrEvictions_;
+    CounterRef ctrSelCandidates_;
+    CounterRef ctrSelInputFull_;
+    CounterRef ctrSelAccepted_;
+    CounterRef ctrSelConflicts_;
 };
 
 /**

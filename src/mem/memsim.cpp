@@ -45,8 +45,8 @@ MemSim::tick(Cycle now)
         if (channelFree_[ch] > now)
             break;
         channelFree_[ch] = now + lineCycles_;
-        ++stats_.counter(req.write ? "writes" : "reads");
-        stats_.counter("bytes") += config_.lineSize;
+        ++(req.write ? ctrWrites_ : ctrReads_);
+        ctrBytes_ += config_.lineSize;
         if (!req.write) {
             inflight_.push_back({MemRsp{req.reqId, req.tag},
                                  now + config_.latency + lineCycles_});
@@ -62,7 +62,7 @@ MemSim::tick(Cycle now)
             break;
         if (rspCallback_)
             rspCallback_(f.rsp);
-        ++stats_.counter("responses");
+        ++ctrResponses_;
         ++delivered;
     }
     if (delivered)

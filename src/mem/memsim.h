@@ -74,6 +74,12 @@ class MemSim : public MemSink
 
     std::function<void(const MemRsp&)> rspCallback_;
     StatGroup stats_{"memsim"};
+
+    // Hot-path counter handles (lazy CounterRef: byte-identical output).
+    CounterRef ctrReads_{stats_, "reads"};
+    CounterRef ctrWrites_{stats_, "writes"};
+    CounterRef ctrBytes_{stats_, "bytes"};
+    CounterRef ctrResponses_{stats_, "responses"};
 };
 
 } // namespace vortex::mem

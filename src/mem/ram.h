@@ -37,7 +37,7 @@ class Ram
     static constexpr uint32_t kPageSize = 1u << kPageBits;
     static constexpr uint32_t kNumPages = 1u << (32 - kPageBits);
 
-    Ram() : pages_(kNumPages) {}
+    Ram() : pages_(kNumPages), codePages_(kNumPages) {}
     ~Ram() { clear(); }
 
     Ram(const Ram&) = delete;
@@ -57,6 +57,32 @@ class Ram
     void writeBlock(Addr addr, const void* src, size_t size);
     void readBlock(Addr addr, void* dst, size_t size) const;
 
+    //
+    // Code-page write tracking (decode-cache invalidation hook).
+    //
+    // A core's decoded-instruction cache assumes code is not
+    // self-modifying. That assumption is *checked*, not silent: the core
+    // marks every page it decodes from, any store that lands on a marked
+    // page bumps the global code-write epoch, and the decode cache
+    // flushes itself whenever the epoch moved (see core/decode_cache.h).
+    // Unmarked pages — the overwhelming store traffic — cost one relaxed
+    // flag load per store.
+    //
+
+    /** Mark the page containing @p addr as holding decoded code. */
+    void
+    markCodePage(Addr addr)
+    {
+        codePages_[addr >> kPageBits].store(1, std::memory_order_relaxed);
+    }
+
+    /** Monotonic count of stores that hit a marked code page. */
+    uint64_t
+    codeWriteEpoch() const
+    {
+        return codeWriteEpoch_.load(std::memory_order_relaxed);
+    }
+
     /** Zero everything (drop all pages). Not safe during simulation. */
     void
     clear()
@@ -65,6 +91,9 @@ class Ram
             delete[] slot.load(std::memory_order_relaxed);
             slot.store(nullptr, std::memory_order_relaxed);
         }
+        for (auto& flag : codePages_)
+            flag.store(0, std::memory_order_relaxed);
+        codeWriteEpoch_.fetch_add(1, std::memory_order_relaxed);
         numPages_.store(0, std::memory_order_relaxed);
     }
 
@@ -150,7 +179,17 @@ class Ram
 #endif
     }
 
+    /** Bump the code-write epoch when @p addr lies on a marked page. */
+    void
+    noteWrite(Addr addr)
+    {
+        if (codePages_[addr >> kPageBits].load(std::memory_order_relaxed))
+            codeWriteEpoch_.fetch_add(1, std::memory_order_relaxed);
+    }
+
     std::vector<std::atomic<uint8_t*>> pages_;
+    std::vector<std::atomic<uint8_t>> codePages_; ///< decoded-from flags
+    std::atomic<uint64_t> codeWriteEpoch_{0};
     std::mutex allocMutex_;
     std::atomic<size_t> numPages_{0};
 };
@@ -165,6 +204,7 @@ Ram::read8(Addr addr) const
 inline void
 Ram::write8(Addr addr, uint8_t value)
 {
+    noteWrite(addr);
     storeByte(page(addr) + (addr & (kPageSize - 1)), value);
 }
 
@@ -199,6 +239,7 @@ inline void
 Ram::write32(Addr addr, uint32_t value)
 {
     if ((addr & 3) == 0) {
+        noteWrite(addr);
         storeWord(page(addr) + (addr & (kPageSize - 1)), value);
         return;
     }
@@ -231,6 +272,7 @@ Ram::writeBlock(Addr addr, const void* src, size_t size)
     while (i < size) {
         uint32_t off = (addr + i) & (kPageSize - 1);
         size_t chunk = std::min<size_t>(size - i, kPageSize - off);
+        noteWrite(addr + static_cast<Addr>(i));
         std::memcpy(page(addr + static_cast<Addr>(i)) + off, s + i, chunk);
         i += chunk;
     }

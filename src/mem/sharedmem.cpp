@@ -5,13 +5,15 @@
 
 #include "mem/sharedmem.h"
 
+#include <algorithm>
+
 #include "common/bitmanip.h"
 #include "common/log.h"
 
 namespace vortex::mem {
 
 SharedMem::SharedMem(const SharedMemConfig& config)
-    : config_(config), pipe_(config.latency)
+    : config_(config), pipe_(config.latency), bankBusy_(config.numBanks, 0)
 {
     if (!isPow2(config.numBanks))
         fatal("SharedMem: numBanks must be a power of two");
@@ -24,7 +26,8 @@ void
 SharedMem::lanePush(uint32_t lane, const CoreReq& req)
 {
     lanes_.at(lane).push(req);
-    ++stats_.counter(req.write ? "writes" : "reads");
+    ++pendingLaneReqs_;
+    ++(req.write ? ctrWrites_ : ctrReads_);
 }
 
 void
@@ -36,22 +39,26 @@ SharedMem::tick(Cycle now)
             rspCallback_(*rsp);
     }
 
-    // Arbitrate: each bank services at most one lane per cycle.
-    std::vector<bool> bank_busy(config_.numBanks, false);
+    // Arbitrate: each bank services at most one lane per cycle. Skip
+    // the lane scan entirely on the (common) cycles with nothing queued.
+    if (pendingLaneReqs_ == 0)
+        return;
+    std::fill(bankBusy_.begin(), bankBusy_.end(), 0);
     for (auto& lane : lanes_) {
         if (lane.empty())
             continue;
         const CoreReq& req = lane.front();
         uint32_t b = bankOf(req.addr);
-        ++stats_.counter("candidates");
-        if (bank_busy[b]) {
-            ++stats_.counter("bank_conflicts");
+        ++ctrCandidates_;
+        if (bankBusy_[b]) {
+            ++ctrBankConflicts_;
             continue;
         }
-        bank_busy[b] = true;
+        bankBusy_[b] = 1;
         pipe_.enqueue(CoreRsp{req.reqId, req.lane, req.write, req.tag}, now);
-        ++stats_.counter("accesses");
+        ++ctrAccesses_;
         lane.pop();
+        --pendingLaneReqs_;
     }
 }
 

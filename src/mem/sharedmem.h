@@ -57,7 +57,16 @@ class SharedMem
     std::vector<ElasticQueue<CoreReq>> lanes_;
     LatencyPipe<CoreRsp> pipe_;
     std::function<void(const CoreRsp&)> rspCallback_;
+    std::vector<uint8_t> bankBusy_; ///< per-tick arbiter scratch (no alloc)
+    size_t pendingLaneReqs_ = 0; ///< queued lane requests (tick early-out)
     StatGroup stats_{"sharedmem"};
+
+    // Hot-path counter handles (lazy CounterRef: byte-identical output).
+    CounterRef ctrReads_{stats_, "reads"};
+    CounterRef ctrWrites_{stats_, "writes"};
+    CounterRef ctrCandidates_{stats_, "candidates"};
+    CounterRef ctrBankConflicts_{stats_, "bank_conflicts"};
+    CounterRef ctrAccesses_{stats_, "accesses"};
 };
 
 } // namespace vortex::mem

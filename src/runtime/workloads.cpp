@@ -66,9 +66,12 @@ runVecAdd(Device& dev, uint32_t n)
     dev.runKernel(kMaxCycles);
     dev.copyFromDev(c.data(), dc, n * 4);
     for (uint32_t i = 0; i < n; ++i) {
-        if (c[i] != a[i] + b[i])
-            return finish(dev, false,
-                          mismatch("vecadd", i, a[i] + b[i], c[i]));
+        // Wrapping add, like the device's 32-bit `add` (and without the
+        // signed-overflow UB the naive int sum has under UBSan).
+        int32_t want = static_cast<int32_t>(static_cast<uint32_t>(a[i]) +
+                                            static_cast<uint32_t>(b[i]));
+        if (c[i] != want)
+            return finish(dev, false, mismatch("vecadd", i, want, c[i]));
     }
     return finish(dev, true);
 }

@@ -98,7 +98,14 @@ void
 TexUnit::push(const TexRequest& req)
 {
     input_.push(req);
-    ++stats_.counter("requests");
+    ++ctrRequests_;
+}
+
+void
+TexUnit::push(TexRequest&& req)
+{
+    input_.push(std::move(req));
+    ++ctrRequests_;
 }
 
 bool
@@ -126,7 +133,8 @@ TexUnit::startBatch(Cycle now)
     const SamplerState& st = stageState(req.stage);
 
     // Functional sampling for every active lane; collect texel addresses.
-    std::vector<Addr> addrs;
+    std::vector<Addr>& addrs = addrScratch_;
+    addrs.clear();
     for (size_t lane = 0; lane < req.lanes.size(); ++lane) {
         const TexLaneReq& lr = req.lanes[lane];
         if (!lr.active)
@@ -136,13 +144,13 @@ TexUnit::startBatch(Cycle now)
         batch.rsp.colors[lane] = res.color.pack();
         addrs.insert(addrs.end(), res.texelAddrs.begin(),
                      res.texelAddrs.end());
-        stats_.counter("texel_fetches") += res.texelAddrs.size();
+        ctrTexelFetches_ += res.texelAddrs.size();
     }
 
     // De-duplicate texel addresses repeated across threads (Fig. 5 step 2).
     std::sort(addrs.begin(), addrs.end());
     addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
-    stats_.counter("unique_texels") += addrs.size();
+    ctrUniqueTexels_ += addrs.size();
     batch.toIssue.assign(addrs.begin(), addrs.end());
     batch.issuedAll = batch.toIssue.empty();
 
@@ -158,7 +166,7 @@ TexUnit::tick(Cycle now)
     while (auto rsp = samplerPipe_.dequeueReady(now)) {
         if (rspCallback_)
             rspCallback_(*rsp);
-        ++stats_.counter("responses");
+        ++ctrResponses_;
     }
 
     if (!batch_) {
@@ -200,8 +208,8 @@ TexUnit::tick(Cycle now)
     // Only when all texels returned does the sampler start (and the
     // scheduler may begin servicing the next batch).
     if (batch_->issuedAll && batch_->pending.empty()) {
-        stats_.counter("batch_cycles") += now - batch_->startedAt;
-        samplerPipe_.enqueue(batch_->rsp, now);
+        ctrBatchCycles_ += now - batch_->startedAt;
+        samplerPipe_.enqueue(std::move(batch_->rsp), now);
         batch_.reset();
     }
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/elastic.h"
+#include "common/small_vec.h"
 #include "common/stats.h"
 #include "isa/csr.h"
 #include "mem/cache.h"
@@ -50,13 +51,21 @@ struct TexLaneReq
     float lod = 0.0f;
 };
 
+/** Per-lane request payload: inline up to 4 lanes (the baseline machine
+ *  geometry), heap-spilled beyond — shared with core::ExecOut so the
+ *  core hands its lanes to the unit without converting containers. */
+using TexLaneVec = SmallVec<TexLaneReq, 4>;
+
+/** Per-lane packed RGBA8 color payload of a completed request. */
+using TexColorVec = SmallVec<uint32_t, 8>;
+
 /** A `tex` instruction issued to the unit. */
 struct TexRequest
 {
     uint64_t reqId = 0;
     uint32_t stage = 0; ///< texture stage (CSR window index)
     Tag tag;
-    std::vector<TexLaneReq> lanes;
+    TexLaneVec lanes;   ///< per-thread sample coordinates
 };
 
 /** Completed request: one packed RGBA8 color per thread. */
@@ -64,7 +73,7 @@ struct TexResponse
 {
     uint64_t reqId = 0;
     Tag tag;
-    std::vector<uint32_t> colors;
+    TexColorVec colors; ///< one color per lane of the request
 };
 
 /** The texture unit. */
@@ -85,6 +94,8 @@ class TexUnit
 
     bool ready() const { return !input_.full(); }
     void push(const TexRequest& req);
+    /** Move-push: the lane payload transfers without a copy. */
+    void push(TexRequest&& req);
     void setRspCallback(std::function<void(const TexResponse&)> cb)
     {
         rspCallback_ = std::move(cb);
@@ -122,10 +133,18 @@ class TexUnit
     };
     std::optional<Batch> batch_;
     Cycle batchReadyAt_ = 0; ///< models the address-generation latency
+    std::vector<Addr> addrScratch_; ///< texel-dedup scratch (reused)
 
     LatencyPipe<TexResponse> samplerPipe_;
     std::function<void(const TexResponse&)> rspCallback_;
     StatGroup stats_{"texunit"};
+
+    // Hot-path counter handles (lazy CounterRef: byte-identical output).
+    CounterRef ctrRequests_{stats_, "requests"};
+    CounterRef ctrTexelFetches_{stats_, "texel_fetches"};
+    CounterRef ctrUniqueTexels_{stats_, "unique_texels"};
+    CounterRef ctrResponses_{stats_, "responses"};
+    CounterRef ctrBatchCycles_{stats_, "batch_cycles"};
 };
 
 } // namespace vortex::tex

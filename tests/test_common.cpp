@@ -7,10 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <utility>
 
 #include "common/bitmanip.h"
 #include "common/elastic.h"
 #include "common/rng.h"
+#include "common/small_vec.h"
+#include "common/slot_pool.h"
 #include "common/stats.h"
 
 using namespace vortex;
@@ -177,4 +180,128 @@ TEST(Rng, DeterministicAndBounded)
         EXPECT_GE(f, 0.0f);
         EXPECT_LT(f, 1.0f);
     }
+}
+
+//
+// SmallVec: the inline-capacity uop/port payload container.
+//
+
+TEST(SmallVec, InlineThenSpill)
+{
+    SmallVec<uint32_t, 4> v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.capacity(), 4u);
+    for (uint32_t i = 0; i < 4; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.capacity(), 4u); // still inline
+    for (uint32_t i = 4; i < 100; ++i)
+        v.push_back(i); // spills to the heap and keeps growing
+    ASSERT_EQ(v.size(), 100u);
+    for (uint32_t i = 0; i < 100; ++i)
+        EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, AssignReusesCapacityAcrossClear)
+{
+    SmallVec<uint32_t, 2> v;
+    v.assign(64, 7u); // spilled
+    size_t cap = v.capacity();
+    EXPECT_GE(cap, 64u);
+    v.clear();
+    EXPECT_EQ(v.capacity(), cap); // clear() keeps the heap block
+    v.assign(cap, 9u);            // refill without growing
+    EXPECT_EQ(v.capacity(), cap);
+    EXPECT_EQ(v[cap - 1], 9u);
+}
+
+TEST(SmallVec, SelfInsertionAtCapacityIsSafe)
+{
+    // std::vector-legal: push_back of an element of the vector itself,
+    // exactly when the push forces a reallocation.
+    SmallVec<uint32_t, 2> v;
+    v.push_back(11);
+    v.push_back(22); // size == capacity == 2
+    v.push_back(v[0]);
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[2], 11u);
+    // And again across a heap-to-heap grow.
+    while (v.size() < v.capacity())
+        v.push_back(1);
+    v.push_back(v.back());
+    EXPECT_EQ(v.back(), 1u);
+}
+
+TEST(SmallVec, MoveStealsHeapAndMovesInline)
+{
+    SmallVec<uint32_t, 2> heap;
+    heap.assign(32, 5u);
+    const uint32_t* data = heap.begin();
+    SmallVec<uint32_t, 2> stolen = std::move(heap);
+    EXPECT_EQ(stolen.begin(), data); // heap block transferred, not copied
+    EXPECT_EQ(stolen.size(), 32u);
+    EXPECT_TRUE(heap.empty());
+    EXPECT_EQ(heap.capacity(), 2u); // back to inline
+
+    SmallVec<uint32_t, 2> inl;
+    inl.push_back(3);
+    SmallVec<uint32_t, 2> moved = std::move(inl);
+    ASSERT_EQ(moved.size(), 1u);
+    EXPECT_EQ(moved[0], 3u);
+    EXPECT_TRUE(inl.empty());
+
+    // Copy is independent.
+    SmallVec<uint32_t, 2> copy = stolen;
+    copy[0] = 99;
+    EXPECT_EQ(stolen[0], 5u);
+    EXPECT_TRUE(copy == copy);
+    EXPECT_FALSE(copy == stolen);
+}
+
+//
+// SlotPool: generation-tagged in-flight request tracking.
+//
+
+TEST(SlotPool, AllocTakeRoundTripAndReuse)
+{
+    SlotPool<int> pool(1ull << 62, "t");
+    uint64_t a = pool.alloc(10);
+    uint64_t b = pool.alloc(20);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_EQ(pool.at(a), 10);
+    EXPECT_EQ(pool.take(a), 10);
+    EXPECT_EQ(pool.take(b), 20);
+    EXPECT_TRUE(pool.empty());
+    // The recycled slot comes back under a different (generation-bumped)
+    // id, so the old ids stay invalid.
+    uint64_t c = pool.alloc(30);
+    EXPECT_NE(c, a);
+    EXPECT_NE(c, b);
+    EXPECT_EQ(pool.take(c), 30);
+}
+
+TEST(SlotPool, StaleDuplicateAndForeignIdsPanic)
+{
+    SlotPool<int> pool(0, "t");
+    uint64_t id = pool.alloc(1);
+    EXPECT_EQ(pool.take(id), 1);
+    EXPECT_THROW(pool.take(id), PanicError); // duplicate completion
+    uint64_t id2 = pool.alloc(2);
+    EXPECT_THROW(pool.take(id), PanicError);  // stale generation
+    EXPECT_THROW(pool.take(id2 | (1ull << 62)), PanicError); // foreign base
+    EXPECT_THROW(pool.take(id2 + 1), PanicError); // out-of-range index
+    EXPECT_EQ(pool.take(id2), 2);
+    EXPECT_THROW(SlotPool<int>(1, "bad"), PanicError); // base too low
+}
+
+TEST(SlotPool, ClearInvalidatesLiveIds)
+{
+    SlotPool<int> pool(0, "t");
+    uint64_t a = pool.alloc(1);
+    (void)pool.alloc(2);
+    pool.clear();
+    EXPECT_TRUE(pool.empty());
+    EXPECT_THROW(pool.take(a), PanicError);
+    uint64_t c = pool.alloc(3); // slots are reusable after clear
+    EXPECT_EQ(pool.take(c), 3);
 }

@@ -439,3 +439,43 @@ TEST(Pipeline, RoundRobinPolicyRunsKernels)
     for (uint32_t w = 1; w < 4; ++w)
         EXPECT_EQ(proc.ram().read32(0x20000 + 4 * w), w);
 }
+
+//
+// Decoded-instruction cache: hit behavior + checked invalidation.
+//
+
+TEST(DecodeCache, CachesAndChecksInvalidation)
+{
+    mem::Ram ram;
+    DecodeCache dc(16);
+    const Addr pc = 0x80000000;
+    const uint32_t add = 0x00A50533;  // add a0, a0, a0
+    const uint32_t sub = 0x40A50533;  // sub a0, a0, a0
+    ram.write32(pc, add);
+
+    EXPECT_EQ(dc.lookup(ram, pc).raw, add);
+    // A store to an unrelated (non-code) page must not disturb the
+    // cached entry or bump the epoch.
+    uint64_t epoch = ram.codeWriteEpoch();
+    ram.write32(0x10000000, 0xDEADBEEF);
+    EXPECT_EQ(ram.codeWriteEpoch(), epoch);
+    EXPECT_EQ(dc.lookup(ram, pc).raw, add);
+
+    // Overwriting the fetched instruction (a code page) bumps the epoch
+    // and the next lookup re-decodes — the self-modifying-code check.
+    ram.write32(pc, sub);
+    EXPECT_GT(ram.codeWriteEpoch(), epoch);
+    EXPECT_EQ(dc.lookup(ram, pc).raw, sub);
+    EXPECT_EQ(dc.lookup(ram, pc).kind, isa::InstrKind::SUB);
+
+    // Bulk program reloads (the driver path) are caught too.
+    uint32_t word = add;
+    ram.writeBlock(pc, &word, 4);
+    EXPECT_EQ(dc.lookup(ram, pc).raw, add);
+
+    // Direct-mapped conflicts just re-decode (16 entries => pc and
+    // pc + 16*4 collide).
+    ram.write32(pc + 64, sub);
+    EXPECT_EQ(dc.lookup(ram, pc + 64).raw, sub);
+    EXPECT_EQ(dc.lookup(ram, pc).raw, add);
+}

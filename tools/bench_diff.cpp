@@ -1,0 +1,409 @@
+/**
+ * @file
+ * bench_diff: compare two bench-trajectory JSON files (the
+ * CampaignResult::writeBenchJson artifact, BENCH_PR.json) run by run.
+ *
+ * Two kinds of fields live in that artifact and they are diffed with
+ * opposite severities:
+ *  - *simulated* numbers (cycles, thread_instrs, the stats counters)
+ *    are deterministic and machine-independent: under `--fail-on-cycles`
+ *    any difference — including a missing or extra run — is an error
+ *    (the CI bit-identity gate for host-perf work);
+ *  - *host* numbers (host_seconds, total_host_seconds) measure the
+ *    simulator on whatever machine produced the file: they are always
+ *    report-only, printed as the perf trajectory delta.
+ *
+ * Usage: bench_diff BASELINE.json NEW.json [--fail-on-cycles]
+ */
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/**
+ * Minimal JSON reader for the writeBenchJson shape (objects, arrays,
+ * strings, numbers, bools). No dependency, position-tracked errors.
+ */
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : s_(text) {}
+
+    /** Parse one JSON value and return true; false with a message on
+     *  malformed input. */
+    bool
+    fail(const std::string& msg)
+    {
+        err_ = msg + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    const std::string& error() const { return err_; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ >= s_.size() || s_[pos_] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos_;
+        return true;
+    }
+
+    /** Is @p c the next non-whitespace character? (not consumed) */
+    bool
+    peek(char c)
+    {
+        skipWs();
+        return pos_ < s_.size() && s_[pos_] == c;
+    }
+
+    bool
+    parseString(std::string& out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\' && pos_ + 1 < s_.size())
+                ++pos_; // the artifact only escapes '"' and '\'
+            out += s_[pos_++];
+        }
+        return consume('"');
+    }
+
+    bool
+    parseNumber(double& out)
+    {
+        skipWs();
+        size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected number");
+        try {
+            out = std::stod(s_.substr(start, pos_ - start));
+        } catch (const std::exception&) {
+            return fail("malformed number");
+        }
+        return true;
+    }
+
+    /** Skip any JSON value (used for fields bench_diff ignores). */
+    bool
+    skipValue()
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return fail("unexpected end of input");
+        char c = s_[pos_];
+        if (c == '"') {
+            std::string tmp;
+            return parseString(tmp);
+        }
+        if (c == '{' || c == '[') {
+            char close = c == '{' ? '}' : ']';
+            ++pos_;
+            skipWs();
+            if (peek(close)) {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                if (c == '{') {
+                    std::string key;
+                    if (!parseString(key) || !consume(':'))
+                        return false;
+                }
+                if (!skipValue())
+                    return false;
+                skipWs();
+                if (peek(',')) {
+                    ++pos_;
+                    continue;
+                }
+                return consume(close);
+            }
+        }
+        if (std::strncmp(s_.c_str() + pos_, "true", 4) == 0) {
+            pos_ += 4;
+            return true;
+        }
+        if (std::strncmp(s_.c_str() + pos_, "false", 5) == 0) {
+            pos_ += 5;
+            return true;
+        }
+        double d;
+        return parseNumber(d);
+    }
+
+  private:
+    const std::string& s_;
+    size_t pos_ = 0;
+    std::string err_;
+};
+
+/** One run row of a bench JSON file. */
+struct BenchRun
+{
+    std::string id;
+    double hostSeconds = 0.0;
+    uint64_t cycles = 0;
+    uint64_t threadInstrs = 0;
+    std::map<std::string, uint64_t> stats;
+};
+
+/** The parts of a bench JSON file bench_diff compares. */
+struct BenchFile
+{
+    std::string campaign;
+    double totalHostSeconds = 0.0;
+    std::vector<BenchRun> runs;
+};
+
+bool
+parseRun(Parser& p, BenchRun& run)
+{
+    if (!p.consume('{'))
+        return false;
+    while (true) {
+        std::string key;
+        if (!p.parseString(key) || !p.consume(':'))
+            return false;
+        if (key == "id") {
+            if (!p.parseString(run.id))
+                return false;
+        } else if (key == "host_seconds") {
+            if (!p.parseNumber(run.hostSeconds))
+                return false;
+        } else if (key == "cycles" || key == "thread_instrs") {
+            double d;
+            if (!p.parseNumber(d))
+                return false;
+            (key == "cycles" ? run.cycles : run.threadInstrs) =
+                static_cast<uint64_t>(d);
+        } else if (key == "stats") {
+            if (!p.consume('{'))
+                return false;
+            while (!p.peek('}')) {
+                std::string k;
+                double v;
+                if (!p.parseString(k) || !p.consume(':') ||
+                    !p.parseNumber(v))
+                    return false;
+                run.stats[k] = static_cast<uint64_t>(v);
+                if (p.peek(','))
+                    p.consume(',');
+            }
+            if (!p.consume('}'))
+                return false;
+        } else {
+            if (!p.skipValue())
+                return false;
+        }
+        if (p.peek(',')) {
+            p.consume(',');
+            continue;
+        }
+        return p.consume('}');
+    }
+}
+
+bool
+parseBenchFile(const std::string& path, BenchFile& out, std::string& err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot open " + path;
+        return false;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    Parser p(text);
+    if (!p.consume('{'))
+        goto bad;
+    while (true) {
+        std::string key;
+        if (!p.parseString(key) || !p.consume(':'))
+            goto bad;
+        if (key == "campaign") {
+            if (!p.parseString(out.campaign))
+                goto bad;
+        } else if (key == "total_host_seconds") {
+            if (!p.parseNumber(out.totalHostSeconds))
+                goto bad;
+        } else if (key == "runs") {
+            if (!p.consume('['))
+                goto bad;
+            while (!p.peek(']')) {
+                BenchRun run;
+                if (!parseRun(p, run))
+                    goto bad;
+                out.runs.push_back(std::move(run));
+                if (p.peek(','))
+                    p.consume(',');
+            }
+            if (!p.consume(']'))
+                goto bad;
+        } else {
+            if (!p.skipValue())
+                goto bad;
+        }
+        if (p.peek(',')) {
+            p.consume(',');
+            continue;
+        }
+        if (!p.consume('}'))
+            goto bad;
+        return true;
+    }
+bad:
+    err = path + ": " + p.error();
+    return false;
+}
+
+const BenchRun*
+findRun(const BenchFile& f, const std::string& id)
+{
+    for (const BenchRun& r : f.runs) {
+        if (r.id == id)
+            return &r;
+    }
+    return nullptr;
+}
+
+double
+pctDelta(double base, double fresh)
+{
+    return base == 0.0 ? 0.0 : (fresh - base) / base * 100.0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool fail_on_cycles = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--fail-on-cycles")
+            fail_on_cycles = true;
+        else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: bench_diff BASELINE.json NEW.json"
+                " [--fail-on-cycles]\n"
+                "Diffs two writeBenchJson artifacts (BENCH_PR.json).\n"
+                "host_seconds deltas are always report-only;"
+                " --fail-on-cycles exits 1\n"
+                "when any simulated number (cycles, thread_instrs, stats)"
+                " or the run set differs.\n");
+            return 0;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2) {
+        std::fprintf(stderr,
+                     "bench_diff: need exactly two files (see --help)\n");
+        return 2;
+    }
+
+    BenchFile base, fresh;
+    std::string err;
+    if (!parseBenchFile(paths[0], base, err) ||
+        !parseBenchFile(paths[1], fresh, err)) {
+        std::fprintf(stderr, "bench_diff: %s\n", err.c_str());
+        return 2;
+    }
+
+    int sim_mismatches = 0;
+    std::printf("%-12s %12s %12s   %10s %10s %8s\n", "run", "cycles(a)",
+                "cycles(b)", "host_s(a)", "host_s(b)", "dhost");
+    for (const BenchRun& b : base.runs) {
+        const BenchRun* n = findRun(fresh, b.id);
+        if (!n) {
+            std::printf("%-12s missing from %s\n", b.id.c_str(),
+                        paths[1].c_str());
+            ++sim_mismatches;
+            continue;
+        }
+        std::printf("%-12s %12llu %12llu   %10.4f %10.4f %+7.1f%%\n",
+                    b.id.c_str(),
+                    static_cast<unsigned long long>(b.cycles),
+                    static_cast<unsigned long long>(n->cycles),
+                    b.hostSeconds, n->hostSeconds,
+                    pctDelta(b.hostSeconds, n->hostSeconds));
+        if (n->cycles != b.cycles) {
+            std::printf("  MISMATCH cycles: %llu -> %llu\n",
+                        static_cast<unsigned long long>(b.cycles),
+                        static_cast<unsigned long long>(n->cycles));
+            ++sim_mismatches;
+        }
+        if (n->threadInstrs != b.threadInstrs) {
+            std::printf("  MISMATCH thread_instrs: %llu -> %llu\n",
+                        static_cast<unsigned long long>(b.threadInstrs),
+                        static_cast<unsigned long long>(n->threadInstrs));
+            ++sim_mismatches;
+        }
+        for (const auto& [k, v] : b.stats) {
+            auto it = n->stats.find(k);
+            uint64_t nv = it == n->stats.end() ? 0 : it->second;
+            if (nv != v) {
+                std::printf("  MISMATCH %s: %llu -> %llu\n", k.c_str(),
+                            static_cast<unsigned long long>(v),
+                            static_cast<unsigned long long>(nv));
+                ++sim_mismatches;
+            }
+        }
+        // Keys only the fresh file has are simulated-output drift too.
+        for (const auto& [k, v] : n->stats) {
+            if (!b.stats.count(k)) {
+                std::printf("  MISMATCH %s: (absent) -> %llu\n", k.c_str(),
+                            static_cast<unsigned long long>(v));
+                ++sim_mismatches;
+            }
+        }
+    }
+    for (const BenchRun& n : fresh.runs) {
+        if (!findRun(base, n.id)) {
+            std::printf("%-12s only in %s\n", n.id.c_str(),
+                        paths[1].c_str());
+            ++sim_mismatches;
+        }
+    }
+    std::printf("total_host_seconds: %.4f -> %.4f (%+.1f%%)\n",
+                base.totalHostSeconds, fresh.totalHostSeconds,
+                pctDelta(base.totalHostSeconds, fresh.totalHostSeconds));
+
+    if (sim_mismatches) {
+        std::printf("%d simulated-number mismatch(es)%s\n", sim_mismatches,
+                    fail_on_cycles ? " -> FAIL" : " (report-only)");
+        if (fail_on_cycles)
+            return 1;
+    } else {
+        std::printf("simulated numbers identical\n");
+    }
+    return 0;
+}
