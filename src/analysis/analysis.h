@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Static analysis of decoded guest code images.
+ *
+ * The analyzer recovers a control-flow graph from an assembled program
+ * (see cfg.h) and runs a pass pipeline that proves — or refutes — the
+ * invariants the simulator otherwise only checks by running the program:
+ *
+ *  - **ipdom.balance** — `split`/`join` pairing verified along every
+ *    static path with a symbolic divergence depth, mirroring the
+ *    hardware IPDOM stack semantics of core/ipdom.h: a `join` at depth
+ *    zero, paths merging at different depths, and a return or halt with
+ *    open splits are all errors.
+ *  - **barrier.divergence** — a `bar` reachable at nonzero divergence
+ *    depth deadlocks the wavefront (it arrives once per replayed path);
+ *    calls that transitively reach a `bar` from inside a split region
+ *    are reported at the call site.
+ *  - **reg.undef / reg.maybe-undef** — forward use-before-def dataflow
+ *    over caller-saved registers, seeded with the ABI/kargs register
+ *    state at each entry kind (warp entries start cleared; task
+ *    functions receive the standard argument registers) and composed
+ *    across calls with per-function must-write summaries.
+ *  - **mem.bounds / mem.align / mem.code-write** — loads and stores
+ *    whose effective address constant-folds are checked against the
+ *    configured device memory map and their natural alignment.
+ *  - **structure.* / wspawn.budget / tmc.budget / barrier.count** —
+ *    jump targets inside the segment, no fall-through off its end,
+ *    decodable reachable instructions, and statically-known `wspawn` /
+ *    `tmc` / `bar` operands within the configured machine budgets.
+ *
+ * The analysis is conservative where the guest program is dynamic: only
+ * statically-resolvable operands are checked, indirect calls are
+ * over-approximated by the set of address-taken code entries, and every
+ * diagnostic carries the pc it is anchored to so a report stays useful
+ * as assembler input moves.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/assembler.h"
+
+namespace vortex::analysis {
+
+/** How severe a diagnostic is. Only errors reject a program. */
+enum class Severity : uint8_t
+{
+    Info,    ///< advisory observation (never gates)
+    Warning, ///< suspicious but not provably fatal
+    Error,   ///< proven violation of a machine invariant
+};
+
+/** Canonical lowercase name of a severity ("error", "warning", "info"). */
+const char* severityName(Severity s);
+
+/** One finding, anchored to the program counter that violates a check. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error; ///< how bad it is
+    Addr pc = 0;          ///< anchor pc (0 when not instruction-anchored)
+    std::string check;    ///< check id, e.g. "ipdom.balance"
+    std::string message;  ///< human-readable explanation
+
+    /** Ordering for deterministic reports: by pc, then severity
+     *  (errors first), then check id and message text. */
+    bool operator<(const Diagnostic& o) const;
+    /** Equality over all fields (used to dedupe overlapping analyses). */
+    bool operator==(const Diagnostic& o) const;
+};
+
+/** One contiguous region of the device memory map. */
+struct MemRegion
+{
+    std::string name;     ///< human-readable region name ("heap", ...)
+    Addr base = 0;        ///< first byte address
+    uint64_t size = 0;    ///< region length in bytes
+    bool writable = true; ///< stores allowed (code segments are not)
+
+    /** True when [addr, addr+len) lies inside this region. */
+    bool contains(Addr addr, uint32_t len) const;
+};
+
+/** The device memory map statically-resolved accesses are checked
+ *  against. An empty map disables the bounds pass. */
+struct MemMap
+{
+    std::vector<MemRegion> regions; ///< the mapped windows, any order
+
+    /** Region containing [addr, addr+len), or nullptr. */
+    const MemRegion* find(Addr addr, uint32_t len) const;
+};
+
+/** Machine budgets and policy knobs the passes check operands against.
+ *  Defaults mirror the baseline ArchConfig; build one from a config
+ *  with optionsFor(). */
+struct AnalyzerOptions
+{
+    uint32_t numThreads = 4;     ///< threads per wavefront (tmc budget)
+    uint32_t numWarps = 4;       ///< wavefronts per core (wspawn budget)
+    uint32_t numCores = 1;       ///< cores (global barrier budget)
+    uint32_t ipdomCapacity = 16; ///< IPDOM stack entries (2 per split)
+    MemMap memMap;               ///< memory map ({} = skip bounds pass)
+};
+
+/** The outcome of analyzing one program. */
+struct Report
+{
+    std::vector<Diagnostic> diagnostics; ///< sorted, deduped findings
+    size_t functionCount = 0;    ///< functions discovered in the CFG
+    size_t instructionCount = 0; ///< reachable instructions decoded
+
+    /** Number of diagnostics at @p s. */
+    size_t count(Severity s) const;
+    size_t errors() const { return count(Severity::Error); }     ///< error count
+    size_t warnings() const { return count(Severity::Warning); } ///< warning count
+
+    /** A verified program: no errors and no warnings. */
+    bool clean() const { return errors() == 0 && warnings() == 0; }
+
+    /**
+     * Print `pc: severity: message [check]` lines to @p os. When
+     * @p program is given, each instruction-anchored diagnostic is
+     * followed by its disassembled context (the enclosing function name
+     * and the neighbouring instructions, the anchor marked with '>').
+     */
+    void print(std::ostream& os, const isa::Program* program = nullptr) const;
+
+    /** Machine-readable JSON: program geometry, severity totals, and
+     *  one record per diagnostic. Stable field order. */
+    void writeJson(std::ostream& os, const isa::Program* program = nullptr) const;
+};
+
+/**
+ * Analyze @p program against the machine described by @p opts and
+ * return every finding. Pure function of its inputs: the report is
+ * deterministic and the program is never executed.
+ */
+Report analyze(const isa::Program& program, const AnalyzerOptions& opts);
+
+} // namespace vortex::analysis

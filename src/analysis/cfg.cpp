@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Recursive-descent CFG recovery (see cfg.h).
+ */
+
+#include "analysis/cfg.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vortex::analysis {
+
+namespace {
+
+/** Format an address the way every diagnostic spells them. */
+std::string
+hexAddr(Addr pc)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << pc;
+    return os.str();
+}
+
+/** Registers conventionally used as links: ra and the runtime's t6. */
+bool
+isLinkReg(uint32_t reg)
+{
+    return reg == 1 || reg == 31;
+}
+
+} // namespace
+
+Addr
+BasicBlock::end() const
+{
+    return instrs.empty() ? start
+                          : instrs.back().pc + 4;
+}
+
+CodeImage::CodeImage(const isa::Program& program)
+    : program_(&program), base_(program.base),
+      end_(program.base + static_cast<Addr>(program.image.size()))
+{
+}
+
+bool
+CodeImage::validPc(Addr pc) const
+{
+    return pc >= base_ && pc + 4 <= end_ && (pc & 3u) == 0;
+}
+
+uint32_t
+CodeImage::word(Addr pc) const
+{
+    size_t off = pc - base_;
+    const uint8_t* p = program_->image.data() + off;
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+}
+
+isa::Instr
+CodeImage::decode(Addr pc) const
+{
+    return isa::decode(word(pc));
+}
+
+std::string
+CodeImage::symbolFor(Addr pc) const
+{
+    const std::string* best = nullptr;
+    Addr bestAddr = 0;
+    for (const auto& [name, addr] : program_->symbols) {
+        if (addr > pc || addr < base_ || addr >= end_)
+            continue;
+        if (!best || addr > bestAddr ||
+            (addr == bestAddr && name < *best)) {
+            best = &name;
+            bestAddr = addr;
+        }
+    }
+    if (!best)
+        return "pc " + hexAddr(pc);
+    if (bestAddr == pc)
+        return *best;
+    return *best + "+" + std::to_string(pc - bestAddr);
+}
+
+bool
+blockLocalConst(const BasicBlock& block, size_t at, uint32_t reg,
+                uint32_t& value)
+{
+    if (reg == 0) {
+        value = 0;
+        return true;
+    }
+    using K = isa::InstrKind;
+    for (size_t i = at; i-- > 0;) {
+        const isa::Instr& in = block.instrs[i].in;
+        isa::RegRef d = in.dst();
+        if (d.file != isa::RegFile::Int || d.idx != reg)
+            continue;
+        if (in.kind == K::ADDI && in.rs1 == 0) {
+            value = static_cast<uint32_t>(in.imm);
+            return true;
+        }
+        if (in.kind == K::LUI) {
+            value = static_cast<uint32_t>(in.imm);
+            return true;
+        }
+        if (in.kind == K::ADDI && in.rs1 == reg && i > 0) {
+            // li's lui+addi pair: resolve the lui half recursively.
+            uint32_t hi = 0;
+            if (blockLocalConst(block, i, reg, hi)) {
+                value = hi + static_cast<uint32_t>(in.imm);
+                return true;
+            }
+            return false;
+        }
+        return false; // written by something we do not fold
+    }
+    return false;
+}
+
+namespace {
+
+/** Classification of one decoded instruction for block building. */
+struct Step
+{
+    TermKind term = TermKind::Fall; ///< Fall = not a terminator
+    bool terminates = false;        ///< ends the block
+    Addr target = 0;                ///< branch/jump/call target
+    bool hasTarget = false;         ///< target field is meaningful
+};
+
+Step
+classify(const isa::Instr& in, Addr pc)
+{
+    using K = isa::InstrKind;
+    Step s;
+    if (in.isBranch()) {
+        s.term = TermKind::Branch;
+        s.terminates = true;
+        s.target = pc + static_cast<Addr>(in.imm);
+        s.hasTarget = true;
+        return s;
+    }
+    switch (in.kind) {
+      case K::JAL:
+        s.terminates = true;
+        s.target = pc + static_cast<Addr>(in.imm);
+        s.hasTarget = true;
+        s.term = in.rd == 0 ? TermKind::Jump : TermKind::Call;
+        return s;
+      case K::JALR:
+        s.terminates = true;
+        s.term = in.rd == 0 ? TermKind::Return : TermKind::IndirectCall;
+        return s;
+      case K::ECALL:
+      case K::EBREAK:
+        s.terminates = true;
+        s.term = TermKind::Halt;
+        return s;
+      default:
+        return s;
+    }
+}
+
+} // namespace
+
+Function
+buildFunction(const CodeImage& image, Addr entry, EntryKind kind,
+              std::vector<Diagnostic>& diags)
+{
+    Function fn;
+    fn.entry = entry;
+    fn.kind = kind;
+    fn.name = image.symbolFor(entry);
+
+    auto badTarget = [&](Addr from, Addr target, const char* what) {
+        std::ostringstream msg;
+        msg << what << " target " << "0x" << std::hex << target
+            << ((target & 3u) && target >= image.base() &&
+                        target < image.end()
+                    ? " is not 4-byte aligned"
+                    : " lies outside the code segment");
+        diags.push_back({Severity::Error, from, "structure.target",
+                         msg.str()});
+    };
+
+    std::vector<Addr> work{entry};
+    while (!work.empty()) {
+        Addr at = work.back();
+        work.pop_back();
+        if (fn.blocks.count(at))
+            continue;
+        auto inside = fn.blockOf.find(at);
+        if (inside != fn.blockOf.end()) {
+            // Split the containing block: the tail becomes a new block
+            // and the head falls through into it.
+            BasicBlock& head = fn.blocks[inside->second];
+            BasicBlock tail;
+            tail.start = at;
+            size_t cut = (at - head.start) / 4;
+            tail.instrs.assign(head.instrs.begin() +
+                                   static_cast<ptrdiff_t>(cut),
+                               head.instrs.end());
+            tail.term = head.term;
+            tail.succs = std::move(head.succs);
+            tail.callee = head.callee;
+            head.instrs.resize(cut);
+            head.term = TermKind::Fall;
+            head.succs = {at};
+            head.callee = 0;
+            for (const CfgInstr& ci : tail.instrs)
+                fn.blockOf[ci.pc] = at;
+            fn.blocks[at] = std::move(tail);
+            continue;
+        }
+
+        BasicBlock bb;
+        bb.start = at;
+        Addr pc = at;
+        while (true) {
+            if (fn.blocks.count(pc) || fn.blockOf.count(pc)) {
+                // Ran into already-decoded code: fall through. If pc is
+                // a block interior, re-queueing it splits that block so
+                // the edge lands on a real leader.
+                bb.term = TermKind::Fall;
+                bb.succs = {pc};
+                if (!fn.blocks.count(pc))
+                    work.push_back(pc);
+                break;
+            }
+            if (!image.validPc(pc)) {
+                std::ostringstream msg;
+                if (pc >= image.end())
+                    msg << "control flow falls off the end of the code "
+                           "segment";
+                else
+                    msg << "control flow reaches unmapped or misaligned "
+                           "pc 0x"
+                        << std::hex << pc;
+                diags.push_back({Severity::Error,
+                                 bb.instrs.empty() ? pc
+                                                   : bb.instrs.back().pc,
+                                 "structure.falloff", msg.str()});
+                bb.term = TermKind::Broken;
+                break;
+            }
+            isa::Instr in = image.decode(pc);
+            if (!in.valid()) {
+                std::ostringstream msg;
+                msg << "invalid instruction encoding 0x" << std::hex
+                    << image.word(pc) << " on a reachable path";
+                diags.push_back({Severity::Error, pc, "structure.decode",
+                                 msg.str()});
+                bb.term = TermKind::Broken;
+                break;
+            }
+            bb.instrs.push_back({pc, in});
+            fn.blockOf[pc] = at;
+
+            Step s = classify(in, pc);
+            if (!s.terminates) {
+                // A `tmc` whose operand is a block-local constant zero
+                // retires the wavefront: treat it as a halt so the
+                // bytes after it (typically another function) are not
+                // swallowed into this block.
+                if (in.kind == isa::InstrKind::VX_TMC) {
+                    uint32_t v = 0;
+                    if (blockLocalConst(bb, bb.instrs.size() - 1, in.rs1,
+                                        v) &&
+                        v == 0) {
+                        bb.term = TermKind::Halt;
+                        break;
+                    }
+                }
+                pc += 4;
+                continue;
+            }
+
+            bb.term = s.term;
+            switch (s.term) {
+              case TermKind::Jump:
+                if (!image.validPc(s.target)) {
+                    badTarget(pc, s.target, "jump");
+                    bb.term = TermKind::Broken;
+                } else {
+                    bb.succs = {s.target};
+                    work.push_back(s.target);
+                }
+                break;
+              case TermKind::Branch:
+                if (!image.validPc(s.target)) {
+                    badTarget(pc, s.target, "branch");
+                    bb.term = TermKind::Broken;
+                } else {
+                    bb.succs = {s.target, pc + 4};
+                    work.push_back(s.target);
+                    work.push_back(pc + 4);
+                }
+                break;
+              case TermKind::Call:
+                if (!image.validPc(s.target)) {
+                    badTarget(pc, s.target, "call");
+                    bb.term = TermKind::Broken;
+                } else {
+                    bb.callee = s.target;
+                    bb.succs = {pc + 4};
+                    work.push_back(pc + 4);
+                }
+                break;
+              case TermKind::IndirectCall:
+                bb.succs = {pc + 4};
+                work.push_back(pc + 4);
+                break;
+              case TermKind::Return:
+                if (!isLinkReg(in.rs1) || in.imm != 0)
+                    diags.push_back(
+                        {Severity::Warning, pc, "flow.indirect",
+                         "indirect jump through " +
+                             std::string(isa::intRegName(in.rs1)) +
+                             " treated as a function return"});
+                break;
+              case TermKind::Halt:
+              case TermKind::Fall:
+              case TermKind::Broken:
+                break;
+            }
+            break;
+        }
+        fn.blocks[at] = std::move(bb);
+    }
+    return fn;
+}
+
+} // namespace vortex::analysis

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Control-flow-graph recovery over decoded guest code images.
+ *
+ * Recovery is recursive-descent from the known entry points (the
+ * program entry, call targets, statically-resolved `wspawn` targets,
+ * and address-taken code labels): only bytes reachable through decoded
+ * control flow are treated as instructions, so data embedded in the
+ * code segment (`.float` constant pools and the like) is never
+ * misdecoded. Each function gets its own basic-block map; blocks are
+ * split when a later-discovered branch targets their interior.
+ *
+ * Structural violations found while decoding — branch targets outside
+ * the segment or misaligned, invalid encodings on reachable paths,
+ * fall-through past the end of the image — are reported through the
+ * shared Diagnostic list (see analysis.h).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "isa/isa.h"
+
+namespace vortex::analysis {
+
+/** One decoded instruction with its location. */
+struct CfgInstr
+{
+    Addr pc = 0;    ///< instruction address
+    isa::Instr in;  ///< decoded form
+};
+
+/** How a basic block hands control onward. */
+enum class TermKind : uint8_t
+{
+    Fall,         ///< falls through to the next block
+    Jump,         ///< unconditional in-function jump (`j`)
+    Branch,       ///< conditional branch: taken + fall-through edges
+    Call,         ///< direct call; resumes at the next instruction
+    IndirectCall, ///< `jalr rd!=x0`; resumes at the next instruction
+    Return,       ///< `jalr x0` through a link register
+    Halt,         ///< warp retirement (`ecall`, `ebreak`, `tmc 0`)
+    Broken,       ///< decoding stopped (invalid encoding / off the end)
+};
+
+/** A maximal straight-line run of instructions. */
+struct BasicBlock
+{
+    Addr start = 0;               ///< address of the first instruction
+    std::vector<CfgInstr> instrs; ///< the instructions, in address order
+    TermKind term = TermKind::Fall; ///< how the block ends
+    std::vector<Addr> succs;      ///< in-function successor block starts
+    Addr callee = 0;              ///< direct-call target (TermKind::Call)
+
+    /** Address one past the last instruction. */
+    Addr end() const;
+};
+
+/** Why a function entry exists — this decides the register seeding of
+ *  the use-before-def pass. */
+enum class EntryKind : uint8_t
+{
+    WarpEntry,    ///< program entry / `wspawn` target: registers cleared
+    Called,       ///< reached by direct calls: seeded from the call sites
+    AddressTaken, ///< escaped function pointer: standard ABI seeding
+};
+
+/** One recovered function: the blocks reachable from its entry through
+ *  non-call edges. */
+struct Function
+{
+    Addr entry = 0;            ///< entry address
+    std::string name;          ///< nearest symbol name ("pc 0x..." if none)
+    EntryKind kind = EntryKind::Called; ///< how this entry was discovered
+    std::map<Addr, BasicBlock> blocks;  ///< blocks keyed by start address
+    /** Map from every instruction pc to its block start (for splitting
+     *  and predecessor lookups). */
+    std::map<Addr, Addr> blockOf;
+};
+
+/**
+ * Decode helper over a flat program image: pc-addressed 32-bit fetch
+ * plus validity checks shared by the CFG builder and the passes.
+ */
+class CodeImage
+{
+  public:
+    /** Wrap @p program (borrowed; must outlive this object). */
+    explicit CodeImage(const isa::Program& program);
+
+    Addr base() const { return base_; }   ///< first mapped address
+    Addr end() const { return end_; }     ///< one past the last byte
+    const isa::Program& program() const { return *program_; } ///< wrapped program
+
+    /** True when @p pc is 4-aligned and inside the image. */
+    bool validPc(Addr pc) const;
+    /** Raw 32-bit word at @p pc (validPc required). */
+    uint32_t word(Addr pc) const;
+    /** Decode at @p pc; kind == Invalid when undecodable. */
+    isa::Instr decode(Addr pc) const;
+
+    /** Name of the symbol at or nearest below @p pc, or "pc 0x...". */
+    std::string symbolFor(Addr pc) const;
+
+  private:
+    const isa::Program* program_;
+    Addr base_, end_;
+};
+
+/**
+ * Build the function rooted at @p entry. Structural diagnostics are
+ * appended to @p diags; the returned function always has at least one
+ * (possibly Broken) block when the entry itself is valid.
+ */
+Function buildFunction(const CodeImage& image, Addr entry, EntryKind kind,
+                       std::vector<Diagnostic>& diags);
+
+/** Block-local backward scan: the constant value of integer register
+ *  @p reg going *into* instruction @p at of @p block, if a preceding
+ *  `li`/`lui` chain in the same block pins it. @return true and sets
+ *  @p value on success. Used to classify `tmc 0` halts during CFG
+ *  construction, before the dataflow constant pass exists. */
+bool blockLocalConst(const BasicBlock& block, size_t at, uint32_t reg,
+                     uint32_t& value);
+
+} // namespace vortex::analysis

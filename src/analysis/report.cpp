@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Diagnostic ordering and report rendering (text and JSON).
+ */
+
+#include "analysis/analysis.h"
+
+#include <functional>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+
+#include "analysis/cfg.h"
+#include "isa/isa.h"
+
+namespace vortex::analysis {
+
+const char*
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info:
+        return "info";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+bool
+Diagnostic::operator<(const Diagnostic& o) const
+{
+    // Errors sort before warnings before infos at the same pc.
+    auto key = [](const Diagnostic& d) {
+        return std::make_tuple(d.pc, -static_cast<int>(d.severity),
+                               std::cref(d.check), std::cref(d.message));
+    };
+    return key(*this) < key(o);
+}
+
+bool
+Diagnostic::operator==(const Diagnostic& o) const
+{
+    return severity == o.severity && pc == o.pc && check == o.check &&
+           message == o.message;
+}
+
+bool
+MemRegion::contains(Addr addr, uint32_t len) const
+{
+    return addr >= base && static_cast<uint64_t>(addr) + len <=
+                               static_cast<uint64_t>(base) + size;
+}
+
+const MemRegion*
+MemMap::find(Addr addr, uint32_t len) const
+{
+    for (const MemRegion& r : regions)
+        if (r.contains(addr, len))
+            return &r;
+    return nullptr;
+}
+
+size_t
+Report::count(Severity s) const
+{
+    size_t n = 0;
+    for (const Diagnostic& d : diagnostics)
+        if (d.severity == s)
+            ++n;
+    return n;
+}
+
+namespace {
+
+std::string
+hexAddr(Addr pc)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << pc;
+    return os.str();
+}
+
+/** Disassembled neighbourhood of @p pc, the anchor marked with '>'. */
+void
+printContext(std::ostream& os, const CodeImage& image, Addr pc)
+{
+    if (!image.validPc(pc))
+        return;
+    os << "    in " << image.symbolFor(pc) << ":\n";
+    Addr lo = pc >= image.base() + 8 ? pc - 8 : image.base();
+    Addr hi = pc + 12 <= image.end() ? pc + 12 : image.end();
+    for (Addr at = lo; at + 4 <= hi; at += 4) {
+        isa::Instr in = image.decode(at);
+        os << "    " << (at == pc ? "> " : "  ") << hexAddr(at) << ": "
+           << (in.valid() ? isa::disassemble(in)
+                          : ".word " + hexAddr(image.word(at)))
+           << "\n";
+    }
+}
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::ostringstream os;
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << "\\u" << std::hex << std::setw(4)
+                   << std::setfill('0') << static_cast<int>(c)
+                   << std::dec;
+            else
+                os << c;
+        }
+    }
+    return os.str();
+}
+
+} // namespace
+
+void
+Report::print(std::ostream& os, const isa::Program* program) const
+{
+    for (const Diagnostic& d : diagnostics) {
+        os << hexAddr(d.pc) << ": " << severityName(d.severity) << ": "
+           << d.message << " [" << d.check << "]\n";
+        if (program != nullptr) {
+            CodeImage image(*program);
+            printContext(os, image, d.pc);
+        }
+    }
+    os << functionCount << " function(s), " << instructionCount
+       << " instruction(s): " << errors() << " error(s), " << warnings()
+       << " warning(s), " << count(Severity::Info) << " note(s)\n";
+}
+
+void
+Report::writeJson(std::ostream& os, const isa::Program* program) const
+{
+    os << "{\n";
+    if (program != nullptr)
+        os << "  \"base\": " << program->base << ",\n"
+           << "  \"size\": " << program->image.size() << ",\n";
+    os << "  \"functions\": " << functionCount << ",\n"
+       << "  \"instructions\": " << instructionCount << ",\n"
+       << "  \"errors\": " << errors() << ",\n"
+       << "  \"warnings\": " << warnings() << ",\n"
+       << "  \"infos\": " << count(Severity::Info) << ",\n"
+       << "  \"clean\": " << (clean() ? "true" : "false") << ",\n"
+       << "  \"diagnostics\": [";
+    bool first = true;
+    for (const Diagnostic& d : diagnostics) {
+        os << (first ? "\n" : ",\n")
+           << "    {\"pc\": " << d.pc << ", \"severity\": \""
+           << severityName(d.severity) << "\", \"check\": \""
+           << jsonEscape(d.check) << "\", \"message\": \""
+           << jsonEscape(d.message) << "\"}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+} // namespace vortex::analysis

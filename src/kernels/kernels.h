@@ -15,6 +15,9 @@
 
 #pragma once
 
+#include <string>
+#include <vector>
+
 namespace vortex::kernels {
 
 /** crt0 + per-thread stack setup + spawn_tasks (wspawn/tmc/bar based). */
@@ -43,5 +46,21 @@ const char* texTrilinearHw();
 const char* texPointSw();
 const char* texBilinearSw();
 const char* texTrilinearSw();
+
+//
+// Registry: every shipped kernel by name, for tools that enumerate or
+// look up kernels generically (vortex_verify, sweep pre-run checks).
+//
+struct NamedKernel
+{
+    const char* name;        ///< stable lookup name, e.g. "tex_point_hw"
+    const char* (*source)(); ///< the kernel's assembly source
+};
+
+/** All shipped kernels in stable (documentation) order. */
+const std::vector<NamedKernel>& allKernels();
+
+/** Source of the kernel called @p name, or nullptr when unknown. */
+const char* kernelSource(const std::string& name);
 
 } // namespace vortex::kernels

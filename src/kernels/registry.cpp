@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Name-indexed registry of every shipped kernel (see kernels.h).
+ */
+
+#include "kernels/kernels.h"
+
+namespace vortex::kernels {
+
+const std::vector<NamedKernel>&
+allKernels()
+{
+    static const std::vector<NamedKernel> kKernels = {
+        {"vecadd", vecadd},
+        {"saxpy", saxpy},
+        {"sgemm", sgemm},
+        {"sfilter", sfilter},
+        {"nearn", nearn},
+        {"gaussian", gaussian},
+        {"bfs", bfs},
+        {"tex_point_hw", texPointHw},
+        {"tex_bilinear_hw", texBilinearHw},
+        {"tex_trilinear_hw", texTrilinearHw},
+        {"tex_point_sw", texPointSw},
+        {"tex_bilinear_sw", texBilinearSw},
+        {"tex_trilinear_sw", texTrilinearSw},
+    };
+    return kKernels;
+}
+
+const char*
+kernelSource(const std::string& name)
+{
+    for (const NamedKernel& k : allKernels())
+        if (name == k.name)
+            return k.source();
+    return nullptr;
+}
+
+} // namespace vortex::kernels

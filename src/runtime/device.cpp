@@ -11,9 +11,53 @@
 
 namespace vortex::runtime {
 
+analysis::MemMap
+deviceMemMap(const core::ArchConfig& config, const isa::Program& program)
+{
+    analysis::MemMap map;
+    map.regions.push_back({"code", program.base,
+                           static_cast<uint64_t>(program.image.size()),
+                           /*writable=*/false});
+    map.regions.push_back({"kargs", kKernelArgAddr, 0x1000, true});
+    map.regions.push_back(
+        {"heap", kHeapBase,
+         static_cast<uint64_t>(kHeapEnd) - kHeapBase, true});
+    uint64_t stackBytes = static_cast<uint64_t>(config.numCores) *
+                          config.numWarps * config.numThreads
+                          << kStackSizeLog2;
+    map.regions.push_back(
+        {"stack", static_cast<Addr>(kStackBase - stackBytes),
+         stackBytes, true});
+    for (uint32_t core = 0; core < config.numCores; ++core)
+        map.regions.push_back(
+            {"smem(core " + std::to_string(core) + ")",
+             kSmemWindow + core * kSmemStride, config.smemSize, true});
+    return map;
+}
+
+analysis::AnalyzerOptions
+analyzerOptions(const core::ArchConfig& config,
+                const isa::Program& program)
+{
+    analysis::AnalyzerOptions opts;
+    opts.numThreads = config.numThreads;
+    opts.numWarps = config.numWarps;
+    opts.numCores = config.numCores;
+    opts.memMap = deviceMemMap(config, program);
+    return opts;
+}
+
 Device::Device(const core::ArchConfig& config) : config_(config)
 {
     processor_ = std::make_unique<core::Processor>(config);
+}
+
+analysis::Report
+Device::verify() const
+{
+    if (program_.image.empty())
+        fatal("Device::verify: no program uploaded");
+    return analysis::analyze(program_, analyzerOptions(config_, program_));
 }
 
 Addr

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.h"
 #include "core/processor.h"
 #include "isa/assembler.h"
 
@@ -29,6 +30,20 @@ constexpr Addr kStackBase = 0xFEFF0000;     ///< stack tops (grow down)
 constexpr uint32_t kStackSizeLog2 = 12;     ///< 4 KiB per hardware thread
 constexpr Addr kSmemWindow = 0xFF000000;    ///< core-local scratchpad base
 constexpr uint32_t kSmemStride = 0x00010000;///< per-core scratchpad stride
+
+/**
+ * The memory map of a device built from @p config with @p program
+ * loaded, in the static analyzer's terms: the (read-only) code segment,
+ * the kernel-argument mailbox, the heap, the per-thread stacks, and one
+ * scratchpad window per core.
+ */
+analysis::MemMap deviceMemMap(const core::ArchConfig& config,
+                              const isa::Program& program);
+
+/** AnalyzerOptions describing the machine @p config builds, including
+ *  the deviceMemMap() of @p program. */
+analysis::AnalyzerOptions analyzerOptions(const core::ArchConfig& config,
+                                          const isa::Program& program);
 
 /** The simulated device with its driver interface. */
 class Device
@@ -61,6 +76,13 @@ class Device
     {
         setKernelArg(&args, sizeof(T));
     }
+
+    /**
+     * Statically verify the uploaded program against this device's
+     * geometry and memory map (see analysis/analysis.h) without
+     * executing it. Call after uploadKernel()/uploadProgram().
+     */
+    analysis::Report verify() const;
 
     /** Reset the device and start every core at the kernel entry. */
     void start();

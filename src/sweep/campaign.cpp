@@ -17,11 +17,14 @@
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <thread>
 
+#include "analysis/analysis.h"
 #include "common/log.h"
 #include "core/processor.h"
+#include "kernels/kernels.h"
 #include "runtime/device.h"
 #include "sweep/report.h"
 
@@ -444,10 +447,50 @@ Campaign::storeCached(const RunRecord& record,
         std::filesystem::remove(tmp, ec);
 }
 
+/**
+ * Statically verify every distinct (kernel, machine) pair of @p runs.
+ * Fatal on the first program with analysis errors, after printing its
+ * full diagnostic list to stderr.
+ */
+static void
+verifyRuns(const std::string& campaignName,
+           const std::vector<RunSpec>& runs)
+{
+    std::set<std::string> seen;
+    for (const RunSpec& run : runs) {
+        std::string kernelName = workloadKernelName(run.workload);
+        std::ostringstream key;
+        key << kernelName << '/' << run.config.numThreads << 't'
+            << run.config.numWarps << 'w' << run.config.numCores << 'c'
+            << run.config.smemSize << 's' << run.config.startPC;
+        if (!seen.insert(key.str()).second)
+            continue;
+        const char* source = kernels::kernelSource(kernelName);
+        if (source == nullptr)
+            fatal("campaign '", campaignName, "': unknown kernel '",
+                  kernelName, "' cannot be verified");
+        isa::Assembler assembler(run.config.startPC);
+        isa::Program program = assembler.assembleAll(
+            {kernels::runtimeSource(), source});
+        analysis::Report report = analysis::analyze(
+            program, runtime::analyzerOptions(run.config, program));
+        if (report.errors() == 0)
+            continue;
+        std::ostringstream diag;
+        report.print(diag, &program);
+        std::fputs(diag.str().c_str(), stderr);
+        fatal("campaign '", campaignName, "' kernel '", kernelName,
+              "' failed static verification with ", report.errors(),
+              " error(s) (run '", run.id(), "')");
+    }
+}
+
 CampaignResult
 Campaign::run(const SweepSpec& spec)
 {
     std::vector<RunSpec> runs = spec.expand();
+    if (opts_.verify)
+        verifyRuns(spec.name, runs);
 
     CampaignResult result;
     result.name = spec.name;

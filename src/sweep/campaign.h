@@ -54,6 +54,12 @@ struct CampaignOptions
     /** Append an elapsed/ETA estimate to each per-run stderr line, from
      *  the same cost estimates LPT schedules with. */
     bool progress = false;
+    /** Statically verify every distinct (kernel, machine) pair of the
+     *  matrix before scheduling any run (see src/analysis/). Fatal on
+     *  analysis errors, with the diagnostic list on stderr. Off by
+     *  default; a scheduling-side option, so it never enters
+     *  RunSpec::canonical() or the result-cache content hash. */
+    bool verify = false;
 };
 
 /** One executed (or cache-restored) run with its counters. */

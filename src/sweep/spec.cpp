@@ -253,6 +253,15 @@ texFilterName(runtime::TexFilterMode m)
 }
 
 std::string
+workloadKernelName(const WorkloadSpec& w)
+{
+    if (w.kind == WorkloadSpec::Kind::Rodinia)
+        return w.kernel;
+    return std::string("tex_") + texFilterName(w.texFilter) +
+           (w.texHw ? "_hw" : "_sw");
+}
+
+std::string
 WorkloadSpec::describe() const
 {
     std::ostringstream os;

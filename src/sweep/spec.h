@@ -157,6 +157,10 @@ const char* schedPolicyName(core::SchedPolicy p);
  *  "trilinear") — the spelling the field registry parses back. */
 const char* texFilterName(runtime::TexFilterMode m);
 
+/** Registry name (kernels::kernelSource) of the kernel @p w executes:
+ *  the Rodinia kernel name, or "tex_<filter>_<hw|sw>". */
+std::string workloadKernelName(const WorkloadSpec& w);
+
 /** Strict uint32 parse (whole string must consume); fatal on failure,
  *  naming @p what. Shared by the field registry, preset arguments, and
  *  the CLI so every numeric surface rejects the same typos. */

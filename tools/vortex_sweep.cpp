@@ -69,6 +69,9 @@ usage(int code)
         "  --cache DIR          result-cache directory (skip unchanged "
         "runs)\n"
         "  --progress           per-run elapsed/ETA lines on stderr\n"
+        "  --verify             statically verify every kernel/machine\n"
+        "                       pair before running (vortex_verify's\n"
+        "                       checks); fatal on analysis errors\n"
         "  --no-lpt             claim runs in matrix order instead of\n"
         "                       longest-first (output is identical either\n"
         "                       way; LPT only shortens wall-clock)\n"
@@ -167,6 +170,8 @@ main(int argc, char** argv)
                 opts.progress = true;
             else if (a == "--no-lpt")
                 opts.lpt = false;
+            else if (a == "--verify")
+                opts.verify = true;
             else if (a == "--axis")
                 axes.push_back(parseAxisArg(next()));
             else if (a == "--set")
