@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Seeded guest-program generator and serial-vs-parallel differential
+ * oracle (see fuzz.h). The generator builds structurally well-formed
+ * programs by construction: every split has a matching join on all
+ * paths, loops have uniform bounded trip counts, wspawn/bar stay inside
+ * the runtime's spawn_tasks, and every memory access is masked into the
+ * harness-provided scratch buffer. Task bodies never execute `bar` —
+ * spawn_tasks calls them under divergence (inside split/join), where a
+ * barrier would deadlock.
+ *
+ * Data-race freedom (the precondition of the backends' bit-identity
+ * contract, see fuzz.h): loads are masked into the read-only lower half
+ * of the scratch buffer, and every store goes through a5, which the
+ * task prologue points at this task's own slot — upper half, one word
+ * per (spawn round, task id) pair.
+ */
+
+#include "fuzz/fuzz.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "runtime/device.h"
+
+namespace vortex::fuzz {
+
+namespace {
+
+/** Scratch integer value pool the generator reads and writes. a0 (task
+ *  id) and a1 (kargs pointer) are read-only inputs; t6 is the loop
+ *  counter, a6 the scratch base, a7 the address/predicate temp, and a5
+ *  the task's private store-slot address. */
+const char* const kPool[] = {"t0", "t1", "t2", "t3", "t4",
+                             "t5", "a2", "a3", "a4"};
+constexpr uint32_t kPoolSize = 9;
+
+const char* const kFpu[] = {"ft0", "ft1", "ft2"};
+constexpr uint32_t kFpuSize = 3;
+
+/** Emits one task function's worth of random-but-well-formed assembly. */
+class TaskGen
+{
+  public:
+    TaskGen(Xorshift& rng, const GenOptions& opts, std::ostringstream& out,
+            uint32_t taskIndex)
+        : r_(rng), opts_(opts), out_(out), task_(taskIndex),
+          loadMask_(opts.scratchWords / 2 - 1),
+          idMask_(opts.scratchWords / 4 - 1),
+          slotBase_((opts.scratchWords / 2 +
+                     taskIndex * (opts.scratchWords / 4)) *
+                    4)
+    {
+    }
+
+    void
+    emit(const std::string& name)
+    {
+        out_ << name << ":\n";
+        prologue();
+        ops(opts_.maxBodyOps, /*depth=*/0, /*allowLoop=*/true);
+        epilogue();
+    }
+
+  private:
+    const char*
+    pool()
+    {
+        return kPool[r_.nextBounded(kPoolSize)];
+    }
+
+    const char*
+    fpu()
+    {
+        return kFpu[r_.nextBounded(kFpuSize)];
+    }
+
+    int
+    smallImm()
+    {
+        return static_cast<int>(r_.nextBounded(128)) - 64;
+    }
+
+    std::string
+    label()
+    {
+        return ".Lf" + std::to_string(task_) + "_" +
+               std::to_string(label_++);
+    }
+
+    /** a7 = scratch + 4 * (reg & loadMask): always inside the read-only
+     *  lower half, whatever value the register soup produced. */
+    void
+    address(const char* reg)
+    {
+        out_ << "    andi a7, " << reg << ", " << loadMask_ << "\n";
+        out_ << "    slli a7, a7, 2\n";
+        out_ << "    add a7, a7, a6\n";
+    }
+
+    /** Give every pool register (and the FP pool) a task-id-derived
+     *  value up front so no path reads an undefined register, and point
+     *  a5 at this task's private store slot in the upper half. */
+    void
+    prologue()
+    {
+        out_ << "    lw a6, 4(a1)\n"; // scratch base from the mailbox
+        out_ << "    andi a5, a0, " << idMask_ << "\n";
+        out_ << "    slli a5, a5, 2\n";
+        out_ << "    add a5, a5, a6\n";
+        out_ << "    addi a5, a5, " << slotBase_ << "\n";
+        for (uint32_t i = 0; i < kPoolSize; ++i) {
+            switch (r_.nextBounded(4)) {
+            case 0:
+                out_ << "    addi " << kPool[i] << ", a0, " << smallImm()
+                     << "\n";
+                break;
+            case 1:
+                out_ << "    slli " << kPool[i] << ", a0, "
+                     << 1 + r_.nextBounded(4) << "\n";
+                break;
+            case 2:
+                out_ << "    xori " << kPool[i] << ", a0, " << smallImm()
+                     << "\n";
+                break;
+            default:
+                out_ << "    sub " << kPool[i] << ", zero, a0\n";
+                break;
+            }
+        }
+        for (uint32_t i = 0; i < kFpuSize; ++i)
+            out_ << "    fmv.w.x " << kFpu[i] << ", " << pool() << "\n";
+    }
+
+    /** Store one pool register to this task's own scratch slot, so every
+     *  task leaves a deterministic footprint even if the random body
+     *  emitted no stores. */
+    void
+    epilogue()
+    {
+        out_ << "    sw " << pool() << ", 0(a5)\n";
+        out_ << "    ret\n";
+    }
+
+    void
+    aluOp()
+    {
+        static const char* const kOps[] = {"add", "sub",  "xor", "or",
+                                           "and", "mul",  "slt", "sltu"};
+        out_ << "    " << kOps[r_.nextBounded(8)] << " " << pool() << ", "
+             << pool() << ", " << pool() << "\n";
+    }
+
+    void
+    aluImmOp()
+    {
+        if (r_.nextBounded(2)) {
+            static const char* const kOps[] = {"addi", "xori", "ori",
+                                               "andi"};
+            out_ << "    " << kOps[r_.nextBounded(4)] << " " << pool()
+                 << ", " << pool() << ", " << smallImm() << "\n";
+        } else {
+            static const char* const kOps[] = {"slli", "srli", "srai"};
+            out_ << "    " << kOps[r_.nextBounded(3)] << " " << pool()
+                 << ", " << pool() << ", " << 1 + r_.nextBounded(8)
+                 << "\n";
+        }
+    }
+
+    void
+    fpOp()
+    {
+        switch (r_.nextBounded(5)) {
+        case 0:
+            out_ << "    fadd.s " << fpu() << ", " << fpu() << ", "
+                 << fpu() << "\n";
+            break;
+        case 1:
+            out_ << "    fsub.s " << fpu() << ", " << fpu() << ", "
+                 << fpu() << "\n";
+            break;
+        case 2:
+            out_ << "    fmul.s " << fpu() << ", " << fpu() << ", "
+                 << fpu() << "\n";
+            break;
+        case 3:
+            out_ << "    fmadd.s " << fpu() << ", " << fpu() << ", "
+                 << fpu() << ", " << fpu() << "\n";
+            break;
+        default:
+            out_ << "    fmv.w.x " << fpu() << ", " << pool() << "\n";
+            break;
+        }
+    }
+
+    void
+    loadOp()
+    {
+        if (r_.nextBounded(4) == 0) {
+            // The task's own slot: only this task ever writes it.
+            out_ << "    lw " << pool() << ", 0(a5)\n";
+            return;
+        }
+        address(pool());
+        if (r_.nextBounded(4) == 0)
+            out_ << "    flw " << fpu() << ", 0(a7)\n";
+        else
+            out_ << "    lw " << pool() << ", 0(a7)\n";
+    }
+
+    /** Stores go only to the private slot — any address derived from
+     *  the value pool could collide with a sibling task's store. */
+    void
+    storeOp()
+    {
+        if (r_.nextBounded(4) == 0)
+            out_ << "    fsw " << fpu() << ", 0(a5)\n";
+        else
+            out_ << "    sw " << pool() << ", 0(a5)\n";
+    }
+
+    /** Balanced divergence: split on a data-dependent predicate, run the
+     *  then-block (and optionally an else-block), join. The predicate
+     *  lives in a7, which is dead again right after the branch. */
+    void
+    splitBlock(uint32_t budget, int depth)
+    {
+        out_ << "    andi a7, " << pool() << ", 1\n";
+        out_ << "    vx_split a7\n";
+        if (r_.nextBounded(2)) { // one-sided
+            std::string join = label();
+            out_ << "    beqz a7, " << join << "\n";
+            ops(budget, depth + 1, false);
+            out_ << join << ":\n";
+        } else { // two-sided
+            std::string els = label();
+            std::string end = label();
+            uint32_t thenOps = 1 + r_.nextBounded(budget);
+            out_ << "    beqz a7, " << els << "\n";
+            ops(thenOps, depth + 1, false);
+            out_ << "    j " << end << "\n";
+            out_ << els << ":\n";
+            ops(budget, depth + 1, false);
+            out_ << end << ":\n";
+        }
+        out_ << "    vx_join\n";
+    }
+
+    /** One bounded loop with a uniform trip count in t6. At most one per
+     *  task (t6 is the only counter register) and only at top level. */
+    void
+    loopBlock(uint32_t budget, int depth)
+    {
+        std::string head = label();
+        out_ << "    li t6, " << 2 + r_.nextBounded(3) << "\n";
+        out_ << head << ":\n";
+        ops(budget, depth + 1, false);
+        out_ << "    addi t6, t6, -1\n";
+        out_ << "    bnez t6, " << head << "\n";
+    }
+
+    /** Emit @p count random operations at @p depth (split nesting). */
+    void
+    ops(uint32_t count, int depth, bool allowLoop)
+    {
+        while (count > 0) {
+            uint32_t kind = r_.nextBounded(12);
+            if (kind >= 10 && count >= 4 && depth < 2) {
+                uint32_t inner = 1 + r_.nextBounded(count - 2);
+                if (kind == 11 && allowLoop && depth == 0 &&
+                    !loopEmitted_) {
+                    loopEmitted_ = true;
+                    loopBlock(inner, depth);
+                } else {
+                    splitBlock(inner, depth);
+                }
+                count -= inner + 1;
+                continue;
+            }
+            switch (kind % 5) {
+            case 0:
+            case 1: aluOp(); break;
+            case 2: aluImmOp(); break;
+            case 3: fpOp(); break;
+            default: r_.nextBounded(2) ? loadOp() : storeOp(); break;
+            }
+            --count;
+        }
+    }
+
+    Xorshift& r_;
+    const GenOptions& opts_;
+    std::ostringstream& out_;
+    uint32_t task_;
+    uint32_t loadMask_;
+    uint32_t idMask_;
+    uint32_t slotBase_;
+    int label_ = 0;
+    bool loopEmitted_ = false;
+};
+
+} // namespace
+
+GeneratedKernel
+generateKernel(uint64_t seed, const GenOptions& opts)
+{
+    Xorshift r(seed);
+    GeneratedKernel k;
+    k.scratchWords = opts.scratchWords;
+    // Unique private slot per task id: ids beyond scratchWords/4 would
+    // alias a sibling's slot and reintroduce a store-store race.
+    uint32_t maxTasks = std::min(opts.maxTasks, opts.scratchWords / 4);
+    k.numTasks = 1 + r.nextBounded(maxTasks);
+    uint32_t rounds = 1 + r.nextBounded(2);
+
+    std::ostringstream out;
+    out << "# fuzz seed " << seed << ": " << k.numTasks << " task(s), "
+        << rounds << " spawn round(s)\n";
+    out << "main:\n";
+    out << "    addi sp, sp, -16\n";
+    out << "    sw ra, 12(sp)\n";
+    out << "    sw s0, 8(sp)\n";
+    out << "    mv s0, a0\n";
+    for (uint32_t i = 0; i < rounds; ++i) {
+        out << "    lw a0, 0(s0)\n";
+        out << "    la a1, fuzz_task" << i << "\n";
+        out << "    mv a2, s0\n";
+        out << "    call spawn_tasks\n";
+    }
+    out << "    lw s0, 8(sp)\n";
+    out << "    lw ra, 12(sp)\n";
+    out << "    addi sp, sp, 16\n";
+    out << "    ret\n\n";
+    for (uint32_t i = 0; i < rounds; ++i) {
+        TaskGen(r, opts, out, i).emit("fuzz_task" + std::to_string(i));
+        out << "\n";
+    }
+    k.source = out.str();
+    return k;
+}
+
+core::ArchConfig
+fuzzConfig()
+{
+    core::ArchConfig c;
+    c.numCores = 2;
+    c.numWarps = 2;
+    c.numThreads = 4;
+    return c;
+}
+
+namespace {
+
+struct RunOutcome
+{
+    uint64_t cycles = 0;
+    uint64_t threadInstrs = 0;
+    std::vector<uint32_t> scratch;
+};
+
+} // namespace
+
+FuzzResult
+runDifferential(uint64_t seed, const core::ArchConfig& base,
+                const GenOptions& opts)
+{
+    FuzzResult res;
+    GeneratedKernel k = generateKernel(seed, opts);
+    res.source = k.source;
+    const std::string unit = "<fuzz:" + std::to_string(seed) + ">";
+
+    auto runOne = [&](bool parallel, RunOutcome* out) -> bool {
+        const char* backend = parallel ? "parallel" : "serial";
+        core::ArchConfig cfg = base;
+        cfg.parallelTick = parallel;
+        cfg.tickThreads = parallel ? 2 : 0;
+        try {
+            runtime::Device dev(cfg);
+            dev.uploadKernelObject(k.source, unit);
+            analysis::Report rep = dev.verify();
+            if (!rep.clean()) {
+                std::ostringstream os;
+                os << "analyzer flagged the generated program ("
+                   << rep.errors() << " error(s), " << rep.warnings()
+                   << " warning(s)):\n";
+                rep.print(os, &dev.program());
+                res.detail = os.str();
+                return false;
+            }
+            Addr scratch = dev.memAlloc(k.scratchWords * 4);
+            std::vector<uint32_t> init(k.scratchWords);
+            Xorshift mem(seed ^ 0xA3EC59D17B4F0E25ull);
+            for (uint32_t& w : init)
+                w = static_cast<uint32_t>(mem.next());
+            dev.copyToDev(scratch, init.data(), init.size() * 4);
+            const uint32_t args[2] = {k.numTasks,
+                                      static_cast<uint32_t>(scratch)};
+            dev.setKernelArg(args, sizeof(args));
+            dev.start();
+            if (!dev.readyWait(50000000ull)) {
+                res.detail = std::string("timeout on the ") + backend +
+                             " backend (50M cycles)";
+                return false;
+            }
+            out->cycles = dev.cycles();
+            out->threadInstrs = dev.processor().threadInstrs();
+            out->scratch.resize(k.scratchWords);
+            dev.copyFromDev(out->scratch.data(), scratch,
+                            k.scratchWords * 4);
+            return true;
+        } catch (const FatalError& e) {
+            res.detail = std::string("fatal error on the ") + backend +
+                         " backend: " + e.what();
+            return false;
+        }
+    };
+
+    RunOutcome serial, par;
+    if (!runOne(false, &serial) || !runOne(true, &par))
+        return res;
+
+    res.cycles = serial.cycles;
+    res.threadInstrs = serial.threadInstrs;
+    std::ostringstream os;
+    if (serial.cycles != par.cycles)
+        os << "cycles diverge: serial " << serial.cycles << " vs parallel "
+           << par.cycles << "\n";
+    if (serial.threadInstrs != par.threadInstrs)
+        os << "thread instrs diverge: serial " << serial.threadInstrs
+           << " vs parallel " << par.threadInstrs << "\n";
+    for (uint32_t i = 0; i < k.scratchWords; ++i) {
+        if (serial.scratch[i] != par.scratch[i]) {
+            os << "scratch[" << i << "] diverges: serial 0x" << std::hex
+               << serial.scratch[i] << " vs parallel 0x" << par.scratch[i]
+               << std::dec << "\n";
+            break; // first mismatch is enough to pin the failure
+        }
+    }
+    res.detail = os.str();
+    res.ok = res.detail.empty();
+    return res;
+}
+
+} // namespace vortex::fuzz

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Differential fuzzing of the guest toolchain and the simulator: a seeded
+ * random generator of well-formed guest programs (balanced split/join,
+ * bounded loops, in-bounds memory traffic) plus a differential oracle
+ * that assembles each program through the full object pipeline
+ * (assemble -> VXOB write/read -> load/relocate), verifies it with the
+ * static analyzer, and runs it on both host tick backends. Any
+ * divergence in cycles, retired thread instructions, or scratch-memory
+ * contents between the serial and parallel backends fails the seed —
+ * the backends are documented bit-identical (core/tick_engine.h).
+ *
+ * Everything here is deterministic: the generator draws from Xorshift
+ * only, and the guest programs index scratch memory through a
+ * power-of-two mask so every access stays in bounds regardless of the
+ * register soup feeding it.
+ *
+ * Generated programs are data-race-free across tasks by construction —
+ * the lower half of the scratch buffer is read-only to the guest and
+ * every store targets the storing task's own private slot in the upper
+ * half. That is the scope of the backends' bit-identity contract:
+ * cross-core *timing* interactions are staged and committed in core
+ * order (core/tick_engine.h), but functional stores land in RAM
+ * immediately during the tick phase, so a guest in which two cores race
+ * on the same word has no deterministic winner on the parallel backend
+ * (exactly like real hardware).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.h"
+
+namespace vortex::fuzz {
+
+/** Knobs of the random guest-program generator. The scratch buffer is
+ *  split: words [0, scratchWords/2) are read-only to the guest, and each
+ *  spawn round owns scratchWords/4 private store slots in the upper
+ *  half, one per task id — so loads and stores can never race across
+ *  tasks. maxTasks is clamped to scratchWords/4 (unique slot per id). */
+struct GenOptions
+{
+    uint32_t maxBodyOps = 24;   ///< random body ops per task function
+    uint32_t scratchWords = 256;///< guest scratch buffer (power of two)
+    uint32_t maxTasks = 64;     ///< spawn_tasks count drawn from [1, max]
+};
+
+/** One generated guest program and the harness values it expects. */
+struct GeneratedKernel
+{
+    std::string source;   ///< assembly text (main + task functions)
+    uint32_t numTasks = 0;///< written to the kargs mailbox, word 0
+    uint32_t scratchWords = 0; ///< size of the scratch buffer, word 1
+};
+
+/** Deterministic random guest program for @p seed. The program defines
+ *  `main`, spawns 1-2 rounds of tasks, and touches only the scratch
+ *  buffer whose address the harness passes in the kargs mailbox. */
+GeneratedKernel generateKernel(uint64_t seed, const GenOptions& opts = {});
+
+/** Outcome of one differential run. */
+struct FuzzResult
+{
+    bool ok = false;
+    std::string detail; ///< failure description; empty when ok
+    std::string source; ///< the generated program, for reproduction
+    uint64_t cycles = 0;       ///< serial-backend cycle count
+    uint64_t threadInstrs = 0; ///< serial-backend retired thread instrs
+};
+
+/** The small wide machine fuzzing runs on: 2 cores x 2 wavefronts x
+ *  4 threads — enough geometry to exercise wspawn, divergence, and the
+ *  cross-core commit phase while staying fast per seed. */
+core::ArchConfig fuzzConfig();
+
+/**
+ * Generate the program for @p seed, push it through the object pipeline
+ * onto a Device built from @p base, require a clean static-analysis
+ * report, then run it to completion on the serial backend and again on
+ * the parallel backend (2 tick threads) and compare cycles, retired
+ * thread instructions, and the full scratch buffer byte-for-byte.
+ */
+FuzzResult runDifferential(uint64_t seed, const core::ArchConfig& base,
+                           const GenOptions& opts = {});
+
+} // namespace vortex::fuzz

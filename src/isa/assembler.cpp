@@ -1,18 +1,31 @@
 /**
  * @file
  * Two-pass assembler implementation.
+ *
+ * Pass 0 parses lines into statements, peeling labels and consuming the
+ * directives that emit nothing (.equ/.section/.globl/...). Pass 1 lays the
+ * three sections out in .text/.rodata/.data order into one flat image and
+ * binds labels. Pass 2 encodes, and — for object output — records a
+ * relocation for every label reference that survives in the encoding as an
+ * absolute address (see isa/object.h; pc-relative branches need none).
+ *
+ * Every diagnostic throws AsmError carrying the unit name plus 1-based
+ * line and column of the offending token.
  */
 
 #include "isa/assembler.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstring>
 #include <optional>
+#include <set>
 #include <sstream>
 
 #include "common/bitmanip.h"
 #include "common/log.h"
 #include "isa/isa.h"
+#include "isa/object.h"
 
 namespace vortex::isa {
 
@@ -49,7 +62,8 @@ lower(std::string s)
     return s;
 }
 
-/** Strip comments: #, //, and ; (outside of string literals). */
+/** Strip comments: #, //, and ; (outside of string literals). Only ever
+ *  truncates, so byte positions in the result match the input line. */
 std::string
 stripComment(const std::string& line)
 {
@@ -66,36 +80,6 @@ stripComment(const std::string& line)
             return line.substr(0, i);
     }
     return line;
-}
-
-/** Split operands on top-level commas (parentheses kept intact). */
-std::vector<std::string>
-splitOperands(const std::string& s)
-{
-    std::vector<std::string> out;
-    int depth = 0;
-    bool in_str = false;
-    std::string cur;
-    for (char c : s) {
-        if (c == '"')
-            in_str = !in_str;
-        if (!in_str) {
-            if (c == '(')
-                ++depth;
-            else if (c == ')')
-                --depth;
-            else if (c == ',' && depth == 0) {
-                out.push_back(trim(cur));
-                cur.clear();
-                continue;
-            }
-        }
-        cur.push_back(c);
-    }
-    std::string last = trim(cur);
-    if (!last.empty())
-        out.push_back(last);
-    return out;
 }
 
 //
@@ -143,14 +127,51 @@ parseFpReg(const std::string& name)
 
 enum class StmtType { Instruction, Directive };
 
+/** A source position: unit index + 1-based line and column. */
+struct Loc
+{
+    int unit = 0;
+    int line = 0;
+    int col = 1;
+};
+
+enum : uint8_t { kText = 0, kRodata = 1, kData = 2, kNumSections = 3 };
+
+const char* const kSectionNames[kNumSections] = {".text", ".rodata",
+                                                 ".data"};
+
 struct Stmt
 {
     StmtType type;
     std::string head;              ///< lower-cased mnemonic or directive
     std::vector<std::string> args; ///< raw operand strings
-    int line = 0;
+    std::vector<int> argCols;      ///< 1-based column of each operand
+    uint8_t section = kText;
+    Loc loc;         ///< position of the mnemonic/directive token
     Addr addr = 0;   ///< assigned in pass 1
     size_t size = 0; ///< byte size, assigned in pass 1
+};
+
+/** What kind of encoding field a label-bearing expression lands in —
+ *  decides which relocation (if any) can represent it. */
+enum class RelCtx
+{
+    Word, ///< .word data — Abs32
+    ImmI, ///< I-type immediate (addi/loads/jalr) — Lo12I via %lo
+    ImmS, ///< S-type immediate (stores) — Lo12S via %lo
+    Lui,  ///< lui operand — Hi20 via %hi
+    LaLi, ///< la / 8-byte li — Hi20 + Lo12I pair
+    None, ///< field that cannot carry a relocation (csr, shifts, ...)
+};
+
+/** Side channel from evalExpr: enough structure to classify the
+ *  expression for relocation purposes. */
+struct ExprInfo
+{
+    enum class Part : uint8_t { None, Hi, Lo };
+    int labelWeight = 0; ///< net signed count of label terms
+    Part part = Part::None;
+    int64_t value = 0; ///< full value before %hi/%lo extraction
 };
 
 //
@@ -162,12 +183,20 @@ class Engine
   public:
     explicit Engine(Addr base) : base_(base) {}
 
-    Program
-    run(const std::string& source)
+    void
+    run(const std::vector<SourceUnit>& units)
     {
-        parse(source);
+        for (const SourceUnit& u : units) {
+            unitNames_.push_back(u.name);
+            parseUnit(static_cast<int>(unitNames_.size()) - 1, u.text);
+        }
         layout();
         emit();
+    }
+
+    Program
+    takeProgram()
+    {
         Program p;
         p.base = base_;
         p.entry = base_;
@@ -176,62 +205,214 @@ class Engine
         return p;
     }
 
+    /** Build the relocatable object; label uses that no relocation can
+     *  express are errors here (but fine for direct assembly). */
+    ObjectFile
+    takeObject()
+    {
+        for (const PendingReloc& r : relocs_)
+            if (!r.supported)
+                err(r.loc, "not relocatable: " + r.note);
+        ObjectFile obj;
+        obj.linkBase = base_;
+        obj.entry = base_;
+        obj.image = std::move(image_);
+        for (int s = 0; s < kNumSections; ++s) {
+            if (s != kText && sectionSize_[s] == 0)
+                continue;
+            obj.sections.push_back(
+                {kSectionNames[s],
+                 static_cast<uint32_t>(sectionStart_[s] - base_),
+                 static_cast<uint32_t>(sectionSize_[s]),
+                 /*exec=*/s == kText, /*writable=*/s == kData});
+        }
+        for (const auto& [name, addr] : symbols_)
+            obj.symbols.push_back({name,
+                                   static_cast<uint32_t>(addr - base_),
+                                   globals_.count(name) > 0});
+        std::stable_sort(relocs_.begin(), relocs_.end(),
+                         [](const PendingReloc& a, const PendingReloc& b) {
+                             return a.addr < b.addr;
+                         });
+        for (const PendingReloc& r : relocs_)
+            obj.relocs.push_back(
+                {static_cast<uint32_t>(r.addr - base_), r.kind, r.target});
+        return obj;
+    }
+
   private:
     [[noreturn]] void
-    err(int line, const std::string& msg) const
+    err(const Loc& loc, const std::string& msg) const
     {
-        fatal("asm line ", line, ": ", msg);
+        const std::string& file =
+            loc.unit >= 0 &&
+                    loc.unit < static_cast<int>(unitNames_.size())
+                ? unitNames_[loc.unit]
+                : "<asm>";
+        throw AsmError(file, loc.line, loc.col, msg);
+    }
+
+    [[noreturn]] void
+    err(const Stmt& st, const std::string& msg) const
+    {
+        err(st.loc, msg);
+    }
+
+    Loc
+    argLoc(const Stmt& st, size_t i) const
+    {
+        Loc loc = st.loc;
+        if (i < st.argCols.size())
+            loc.col = st.argCols[i];
+        return loc;
+    }
+
+    [[noreturn]] void
+    errArg(const Stmt& st, size_t i, const std::string& msg) const
+    {
+        err(argLoc(st, i), msg);
     }
 
     //
     // Pass 0: parse lines into statements; record .equ constants eagerly so
-    // pass-1 sizing of `li` can see them.
+    // pass-1 sizing of `li` can see them, and handle the section/symbol
+    // directives that emit nothing.
     //
 
     void
-    parse(const std::string& source)
+    parseUnit(int unit, const std::string& source)
     {
         std::istringstream is(source);
         std::string raw;
         int lineno = 0;
         while (std::getline(is, raw)) {
             ++lineno;
-            std::string line = trim(stripComment(raw));
-            // Peel leading labels ("name:"), possibly several.
-            while (true) {
-                size_t colon = line.find(':');
-                if (colon == std::string::npos)
-                    break;
-                std::string head = trim(line.substr(0, colon));
-                if (head.empty() || head.find_first_of(" \t(\"") !=
-                        std::string::npos)
-                    break;
-                labelsAt_.push_back({head, static_cast<int>(stmts_.size()),
-                                     lineno});
-                line = trim(line.substr(colon + 1));
-            }
-            if (line.empty())
-                continue;
-
-            Stmt st;
-            st.line = lineno;
-            size_t sp = line.find_first_of(" \t");
-            st.head = lower(sp == std::string::npos ? line
-                                                    : line.substr(0, sp));
-            std::string rest =
-                sp == std::string::npos ? "" : trim(line.substr(sp + 1));
-            st.args = splitOperands(rest);
-            st.type = st.head[0] == '.' ? StmtType::Directive
-                                        : StmtType::Instruction;
-            if (st.type == StmtType::Directive && st.head == ".equ") {
-                if (st.args.size() != 2)
-                    err(lineno, ".equ needs <name>, <value>");
-                equs_[st.args[0]] = evalConst(st.args[1], lineno);
-                continue; // consumed immediately; emits nothing
-            }
-            stmts_.push_back(std::move(st));
+            parseLine(unit, lineno, raw);
         }
-        // Labels pointing past the last statement attach to the end address.
+    }
+
+    void
+    parseLine(int unit, int lineno, const std::string& raw)
+    {
+        std::string line = stripComment(raw);
+        size_t pos = line.find_first_not_of(" \t\r\n");
+        // Peel leading labels ("name:"), possibly several.
+        while (pos != std::string::npos) {
+            size_t colon = line.find(':', pos);
+            if (colon == std::string::npos)
+                break;
+            std::string name =
+                colon > pos ? line.substr(pos, colon - pos) : "";
+            while (!name.empty() &&
+                   std::isspace(static_cast<unsigned char>(name.back())))
+                name.pop_back();
+            if (name.empty() ||
+                name.find_first_of(" \t(\"") != std::string::npos)
+                break;
+            labelsAt_.push_back({name, section_, sectCount_[section_],
+                                 {unit, lineno,
+                                  static_cast<int>(pos) + 1}});
+            pos = line.find_first_not_of(" \t\r\n", colon + 1);
+        }
+        if (pos == std::string::npos)
+            return;
+
+        Stmt st;
+        size_t hend = line.find_first_of(" \t", pos);
+        size_t hstop = hend == std::string::npos ? line.size() : hend;
+        st.head = lower(line.substr(pos, hstop - pos));
+        st.loc = {unit, lineno, static_cast<int>(pos) + 1};
+        splitOperands(line, hstop, st.args, st.argCols);
+        st.type = st.head[0] == '.' ? StmtType::Directive
+                                    : StmtType::Instruction;
+        if (st.type == StmtType::Directive && parseMetaDirective(st))
+            return; // consumed; emits nothing
+        st.section = section_;
+        ++sectCount_[section_];
+        stmts_.push_back(std::move(st));
+    }
+
+    /** Operands of @p s from byte offset @p from, split on top-level
+     *  commas; records each operand's 1-based column. */
+    void
+    splitOperands(const std::string& s, size_t from,
+                  std::vector<std::string>& args,
+                  std::vector<int>& cols) const
+    {
+        int depth = 0;
+        bool in_str = false;
+        size_t start = from;
+        auto flush = [&](size_t end, bool final) {
+            size_t b = s.find_first_not_of(" \t\r\n", start);
+            if (b == std::string::npos || b >= end) {
+                if (!final) { // empty middle operand, kept as ""
+                    args.emplace_back();
+                    cols.push_back(static_cast<int>(start) + 1);
+                }
+                return;
+            }
+            size_t e = s.find_last_not_of(" \t\r\n", end - 1);
+            args.push_back(s.substr(b, e - b + 1));
+            cols.push_back(static_cast<int>(b) + 1);
+        };
+        for (size_t i = from; i < s.size(); ++i) {
+            char c = s[i];
+            if (c == '"')
+                in_str = !in_str;
+            if (!in_str) {
+                if (c == '(') {
+                    ++depth;
+                } else if (c == ')') {
+                    --depth;
+                } else if (c == ',' && depth == 0) {
+                    flush(i, false);
+                    start = i + 1;
+                }
+            }
+        }
+        flush(s.size(), true);
+    }
+
+    /** Handle directives consumed at parse time. @return true if done. */
+    bool
+    parseMetaDirective(const Stmt& st)
+    {
+        const std::string& d = st.head;
+        if (d == ".equ") {
+            if (st.args.size() != 2)
+                err(st, ".equ needs <name>, <value>");
+            equs_[st.args[0]] = evalConst(st.args[1], argLoc(st, 1));
+            return true;
+        }
+        if (d == ".text" || d == ".rodata" || d == ".data") {
+            section_ = sectionByName(d, st.loc);
+            return true;
+        }
+        if (d == ".section") {
+            if (st.args.empty())
+                err(st, ".section needs a name");
+            section_ = sectionByName(st.args[0], argLoc(st, 0));
+            return true;
+        }
+        if (d == ".globl" || d == ".global") {
+            if (st.args.size() != 1)
+                err(st, d + " needs one symbol name");
+            globals_.insert(st.args[0]);
+            return true;
+        }
+        if (d == ".option" || d == ".type" || d == ".size" || d == ".file")
+            return true; // accepted and ignored
+        return false;
+    }
+
+    uint8_t
+    sectionByName(const std::string& name, const Loc& loc) const
+    {
+        for (uint8_t s = 0; s < kNumSections; ++s)
+            if (name == kSectionNames[s])
+                return s;
+        err(loc, "unknown section '" + name +
+                     "' (supported: .text, .rodata, .data)");
     }
 
     //
@@ -285,11 +466,12 @@ class Engine
 
     /** Evaluate a +/- chain of literals, .equ constants, and labels. */
     int64_t
-    evalExpr(const std::string& expr, int line, bool allow_labels) const
+    evalExpr(const std::string& expr, const Loc& loc, bool allow_labels,
+             ExprInfo* info = nullptr) const
     {
         std::string e = trim(expr);
         if (e.empty())
-            err(line, "empty expression");
+            err(loc, "empty expression");
         // %hi / %lo
         if (e.size() > 4 && e[0] == '%') {
             std::string fn = lower(e.substr(1, 2));
@@ -297,15 +479,21 @@ class Engine
             size_t close = e.rfind(')');
             if (open == std::string::npos || close == std::string::npos ||
                 close < open)
-                err(line, "malformed %hi/%lo expression: " + e);
-            int64_t v = evalExpr(e.substr(open + 1, close - open - 1), line,
-                                 allow_labels);
+                err(loc, "malformed %hi/%lo expression: " + e);
+            int64_t v = evalExpr(e.substr(open + 1, close - open - 1), loc,
+                                 allow_labels, info);
             uint32_t u = static_cast<uint32_t>(v);
-            if (fn == "hi")
+            if (fn == "hi") {
+                if (info)
+                    info->part = ExprInfo::Part::Hi;
                 return static_cast<int64_t>((u + 0x800u) >> 12);
-            if (fn == "lo")
+            }
+            if (fn == "lo") {
+                if (info)
+                    info->part = ExprInfo::Part::Lo;
                 return sext(u & 0xFFFu, 12);
-            err(line, "unknown % function: " + e);
+            }
+            err(loc, "unknown % function: " + e);
         }
         // Split on top-level + / - (not the leading sign).
         int64_t acc = 0;
@@ -315,8 +503,8 @@ class Engine
         auto flushTerm = [&](size_t endpos) {
             std::string term = trim(e.substr(start, endpos - start));
             if (term.empty())
-                err(line, "malformed expression: " + e);
-            acc += sign * evalTerm(term, line, allow_labels);
+                err(loc, "malformed expression: " + e);
+            acc += sign * evalTerm(term, loc, allow_labels, sign, info);
             have_term = true;
         };
         for (size_t i = 0; i < e.size(); ++i) {
@@ -329,29 +517,35 @@ class Engine
         }
         flushTerm(e.size());
         if (!have_term)
-            err(line, "malformed expression: " + e);
+            err(loc, "malformed expression: " + e);
+        if (info && info->part == ExprInfo::Part::None)
+            info->value = acc;
         return acc;
     }
 
     int64_t
-    evalTerm(const std::string& term, int line, bool allow_labels) const
+    evalTerm(const std::string& term, const Loc& loc, bool allow_labels,
+             int sign, ExprInfo* info) const
     {
         if (auto lit = tryParseLiteral(term))
             return *lit;
         if (auto it = equs_.find(term); it != equs_.end())
             return it->second;
         if (allow_labels) {
-            if (auto it = symbols_.find(term); it != symbols_.end())
+            if (auto it = symbols_.find(term); it != symbols_.end()) {
+                if (info)
+                    info->labelWeight += sign;
                 return static_cast<int64_t>(it->second);
-            err(line, "undefined symbol '" + term + "'");
+            }
+            err(loc, "undefined symbol '" + term + "'");
         }
-        err(line, "expression must be constant here: '" + term + "'");
+        err(loc, "expression must be constant here: '" + term + "'");
     }
 
     int64_t
-    evalConst(const std::string& expr, int line) const
+    evalConst(const std::string& expr, const Loc& loc) const
     {
-        return evalExpr(expr, line, false);
+        return evalExpr(expr, loc, false);
     }
 
     /** Can this expression be evaluated without labels? */
@@ -359,7 +553,7 @@ class Engine
     isConstExpr(const std::string& expr) const
     {
         try {
-            evalExpr(expr, 0, false);
+            evalExpr(expr, Loc{}, false);
             return true;
         } catch (const FatalError&) {
             return false;
@@ -367,7 +561,7 @@ class Engine
     }
 
     //
-    // Pass 1: assign addresses/sizes, bind labels.
+    // Pass 1: lay out sections in .text/.rodata/.data order, bind labels.
     //
 
     size_t
@@ -384,32 +578,30 @@ class Engine
             return st.args.size();
         if (d == ".space" || d == ".zero") {
             if (st.args.size() != 1)
-                err(st.line, d + " needs a size");
-            return static_cast<size_t>(evalConst(st.args[0], st.line));
+                err(st, d + " needs a size");
+            return static_cast<size_t>(evalConst(st.args[0],
+                                                 argLoc(st, 0)));
         }
         if (d == ".align") { // power-of-two alignment, gas RISC-V style
             if (st.args.size() != 1)
-                err(st.line, ".align needs an argument");
-            uint64_t a = 1ull << evalConst(st.args[0], st.line);
+                err(st, ".align needs an argument");
+            uint64_t a = 1ull << evalConst(st.args[0], argLoc(st, 0));
             return alignUp(lc, a) - lc;
         }
         if (d == ".balign") {
             if (st.args.size() != 1)
-                err(st.line, ".balign needs an argument");
-            uint64_t a = static_cast<uint64_t>(evalConst(st.args[0], st.line));
+                err(st, ".balign needs an argument");
+            uint64_t a = static_cast<uint64_t>(
+                evalConst(st.args[0], argLoc(st, 0)));
             return alignUp(lc, a) - lc;
         }
         if (d == ".ascii" || d == ".asciz") {
             if (st.args.size() != 1)
-                err(st.line, d + " needs one string");
-            return decodeString(st.args[0], st.line).size() +
+                err(st, d + " needs one string");
+            return decodeString(st.args[0], argLoc(st, 0)).size() +
                    (d == ".asciz" ? 1 : 0);
         }
-        if (d == ".globl" || d == ".global" || d == ".text" || d == ".data" ||
-            d == ".section" || d == ".option" || d == ".type" ||
-            d == ".size" || d == ".file")
-            return 0;
-        err(st.line, "unknown directive '" + d + "'");
+        err(st, "unknown directive '" + d + "'");
     }
 
     size_t
@@ -420,9 +612,9 @@ class Engine
             return 8;
         if (m == "li") {
             if (st.args.size() != 2)
-                err(st.line, "li needs <rd>, <imm>");
+                err(st, "li needs <rd>, <imm>");
             if (isConstExpr(st.args[1])) {
-                int64_t v = evalConst(st.args[1], st.line);
+                int64_t v = evalConst(st.args[1], argLoc(st, 1));
                 if (v >= -2048 && v <= 2047)
                     return 4;
             }
@@ -434,23 +626,36 @@ class Engine
     void
     layout()
     {
+        // Per-section label queues, preserving parse order.
+        std::vector<size_t> labelIdx[kNumSections];
+        for (size_t i = 0; i < labelsAt_.size(); ++i)
+            labelIdx[labelsAt_[i].section].push_back(i);
+
         Addr lc = base_;
-        size_t next_label = 0;
-        for (size_t i = 0; i < stmts_.size(); ++i) {
-            while (next_label < labelsAt_.size() &&
-                   labelsAt_[next_label].stmtIndex ==
-                       static_cast<int>(i)) {
-                defineLabel(labelsAt_[next_label], lc);
-                ++next_label;
+        for (uint8_t s = 0; s < kNumSections; ++s) {
+            if (s != kText)
+                lc = static_cast<Addr>(alignUp(lc, 4));
+            sectionStart_[s] = lc;
+            size_t nl = 0;
+            int index = 0;
+            auto bindUpTo = [&](int idx) {
+                while (nl < labelIdx[s].size() &&
+                       labelsAt_[labelIdx[s][nl]].indexInSection <= idx) {
+                    defineLabel(labelsAt_[labelIdx[s][nl]], lc);
+                    ++nl;
+                }
+            };
+            for (Stmt& st : stmts_) {
+                if (st.section != s)
+                    continue;
+                bindUpTo(index);
+                st.addr = lc;
+                st.size = stmtSize(st, lc);
+                lc += static_cast<Addr>(st.size);
+                ++index;
             }
-            Stmt& st = stmts_[i];
-            st.addr = lc;
-            st.size = stmtSize(st, lc);
-            lc += static_cast<Addr>(st.size);
-        }
-        while (next_label < labelsAt_.size()) {
-            defineLabel(labelsAt_[next_label], lc);
-            ++next_label;
+            bindUpTo(sectCount_[s]); // labels at the end of the section
+            sectionSize_[s] = lc - sectionStart_[s];
         }
         imageSize_ = lc - base_;
     }
@@ -458,16 +663,97 @@ class Engine
     struct LabelRef
     {
         std::string name;
-        int stmtIndex;
-        int line;
+        uint8_t section;
+        int indexInSection; ///< index of the next stmt in its section
+        Loc loc;
     };
 
     void
     defineLabel(const LabelRef& l, Addr addr)
     {
         if (symbols_.count(l.name))
-            err(l.line, "duplicate label '" + l.name + "'");
+            err(l.loc, "duplicate label '" + l.name + "'");
         symbols_[l.name] = addr;
+    }
+
+    //
+    // Relocation collection (object output only; direct assembly ignores
+    // the recorded entries).
+    //
+
+    struct PendingReloc
+    {
+        Addr addr = 0;
+        RelocKind kind = RelocKind::Abs32;
+        uint32_t target = 0;
+        bool supported = false;
+        Loc loc;
+        std::string note; ///< for the "not relocatable" diagnostic
+    };
+
+    /** Record the relocation (if any) for an expression evaluated into
+     *  the field class @p ctx at address @p at. */
+    void
+    noteReloc(Addr at, const ExprInfo& info, RelCtx ctx, const Stmt& st,
+              size_t argIdx)
+    {
+        if (info.labelWeight == 0)
+            return; // constant or label-difference: rebase-invariant
+        Loc loc = argLoc(st, argIdx);
+        auto unsupported = [&](const std::string& note) {
+            relocs_.push_back({at, RelocKind::Abs32, 0, false, loc, note});
+        };
+        if (info.labelWeight != 1) {
+            unsupported("expression with net label weight " +
+                        std::to_string(info.labelWeight));
+            return;
+        }
+        uint32_t target = static_cast<uint32_t>(info.value);
+        using Part = ExprInfo::Part;
+        switch (ctx) {
+          case RelCtx::Word:
+            if (info.part == Part::None)
+                relocs_.push_back(
+                    {at, RelocKind::Abs32, target, true, loc, ""});
+            else
+                unsupported("%hi/%lo of a label in .word");
+            return;
+          case RelCtx::ImmI:
+            if (info.part == Part::Lo)
+                relocs_.push_back(
+                    {at, RelocKind::Lo12I, target, true, loc, ""});
+            else
+                unsupported("raw label in an I-type immediate "
+                            "(use %lo(...) or la)");
+            return;
+          case RelCtx::ImmS:
+            if (info.part == Part::Lo)
+                relocs_.push_back(
+                    {at, RelocKind::Lo12S, target, true, loc, ""});
+            else
+                unsupported("raw label in a store offset (use %lo(...))");
+            return;
+          case RelCtx::Lui:
+            if (info.part == Part::Hi)
+                relocs_.push_back(
+                    {at, RelocKind::Hi20, target, true, loc, ""});
+            else
+                unsupported("raw label in lui (use %hi(...))");
+            return;
+          case RelCtx::LaLi:
+            if (info.part == Part::None) {
+                relocs_.push_back(
+                    {at, RelocKind::Hi20, target, true, loc, ""});
+                relocs_.push_back(
+                    {at + 4, RelocKind::Lo12I, target, true, loc, ""});
+            } else {
+                unsupported("%hi/%lo of a label in li/la");
+            }
+            return;
+          case RelCtx::None:
+            unsupported("label in a field that cannot be relocated");
+            return;
+        }
     }
 
     //
@@ -513,15 +799,28 @@ class Engine
         Addr lc = st.addr;
         if (d == ".word") {
             lc = static_cast<Addr>(alignUp(lc, 4));
-            for (const std::string& a : st.args) {
+            for (size_t i = 0; i < st.args.size(); ++i) {
+                ExprInfo info;
                 poke32(lc, static_cast<uint32_t>(
-                               evalExpr(a, st.line, true)));
+                               evalExpr(st.args[i], argLoc(st, i), true,
+                                        &info)));
+                noteReloc(lc, info, RelCtx::Word, st, i);
                 lc += 4;
             }
         } else if (d == ".float") {
             lc = static_cast<Addr>(alignUp(lc, 4));
-            for (const std::string& a : st.args) {
-                float f = std::stof(a);
+            for (size_t i = 0; i < st.args.size(); ++i) {
+                float f = 0.0f;
+                size_t used = 0;
+                try {
+                    f = std::stof(st.args[i], &used);
+                } catch (const std::exception&) {
+                    errArg(st, i,
+                           "bad float literal '" + st.args[i] + "'");
+                }
+                if (used != st.args[i].size())
+                    errArg(st, i,
+                           "bad float literal '" + st.args[i] + "'");
                 uint32_t u;
                 std::memcpy(&u, &f, 4);
                 poke32(lc, u);
@@ -529,18 +828,25 @@ class Engine
             }
         } else if (d == ".half") {
             lc = static_cast<Addr>(alignUp(lc, 2));
-            for (const std::string& a : st.args) {
+            for (size_t i = 0; i < st.args.size(); ++i) {
+                ExprInfo info;
                 poke16(lc, static_cast<uint16_t>(
-                               evalExpr(a, st.line, true)));
+                               evalExpr(st.args[i], argLoc(st, i), true,
+                                        &info)));
+                noteReloc(lc, info, RelCtx::None, st, i);
                 lc += 2;
             }
         } else if (d == ".byte") {
-            for (const std::string& a : st.args) {
-                poke8(lc, static_cast<uint8_t>(evalExpr(a, st.line, true)));
+            for (size_t i = 0; i < st.args.size(); ++i) {
+                ExprInfo info;
+                poke8(lc, static_cast<uint8_t>(
+                              evalExpr(st.args[i], argLoc(st, i), true,
+                                       &info)));
+                noteReloc(lc, info, RelCtx::None, st, i);
                 lc += 1;
             }
         } else if (d == ".ascii" || d == ".asciz") {
-            std::string bytes = decodeString(st.args[0], st.line);
+            std::string bytes = decodeString(st.args[0], argLoc(st, 0));
             if (d == ".asciz")
                 bytes.push_back('\0');
             for (char c : bytes)
@@ -550,11 +856,11 @@ class Engine
     }
 
     std::string
-    decodeString(const std::string& arg, int line) const
+    decodeString(const std::string& arg, const Loc& loc) const
     {
         std::string t = trim(arg);
         if (t.size() < 2 || t.front() != '"' || t.back() != '"')
-            err(line, "expected a quoted string");
+            err(loc, "expected a quoted string");
         std::string out;
         for (size_t i = 1; i + 1 < t.size(); ++i) {
             char c = t[i];
@@ -583,11 +889,11 @@ class Engine
     xreg(const Stmt& st, size_t i) const
     {
         if (i >= st.args.size())
-            err(st.line, "missing operand");
+            err(st, "missing operand");
         auto r = parseIntReg(st.args[i]);
         if (!r)
-            err(st.line, "expected integer register, got '" + st.args[i] +
-                             "'");
+            errArg(st, i, "expected integer register, got '" +
+                              st.args[i] + "'");
         return *r;
     }
 
@@ -595,51 +901,87 @@ class Engine
     freg(const Stmt& st, size_t i) const
     {
         if (i >= st.args.size())
-            err(st.line, "missing operand");
+            err(st, "missing operand");
         auto r = parseFpReg(st.args[i]);
         if (!r)
-            err(st.line, "expected FP register, got '" + st.args[i] + "'");
+            errArg(st, i,
+                   "expected FP register, got '" + st.args[i] + "'");
         return *r;
     }
 
     int32_t
-    imm(const Stmt& st, size_t i) const
+    imm(const Stmt& st, size_t i, RelCtx ctx = RelCtx::None)
     {
         if (i >= st.args.size())
-            err(st.line, "missing immediate");
-        return static_cast<int32_t>(evalExpr(st.args[i], st.line, true));
+            err(st, "missing immediate");
+        ExprInfo info;
+        int64_t v = evalExpr(st.args[i], argLoc(st, i), true, &info);
+        noteReloc(st.addr, info, ctx, st, i);
+        return static_cast<int32_t>(v);
     }
 
-    /** Branch/jump target: label or literal => pc-relative offset. */
+    /** @p v must fit [@p lo, @p hi] or the operand is diagnosed. */
     int32_t
-    target(const Stmt& st, size_t i, Addr pc) const
+    checkRange(const Stmt& st, size_t i, int64_t v, int64_t lo, int64_t hi,
+               const char* what) const
     {
-        int64_t abs = evalExpr(st.args[i], st.line, true);
-        return static_cast<int32_t>(abs - static_cast<int64_t>(pc));
+        if (v < lo || v > hi)
+            errArg(st, i, std::string(what) + " " + std::to_string(v) +
+                              " out of range [" + std::to_string(lo) +
+                              ", " + std::to_string(hi) + "]");
+        return static_cast<int32_t>(v);
+    }
+
+    /** Branch target: label or literal => pc-relative offset, range
+     *  checked for the B-format (+-4 KiB). */
+    int32_t
+    btarget(const Stmt& st, size_t i, Addr pc) const
+    {
+        int64_t abs = evalExpr(st.args[i], argLoc(st, i), true);
+        int64_t off = abs - static_cast<int64_t>(pc);
+        if (off < -4096 || off > 4094 || (off & 1))
+            errArg(st, i, "branch target out of range (offset " +
+                              std::to_string(off) + ", limit +-4 KiB)");
+        return static_cast<int32_t>(off);
+    }
+
+    /** Jump target for jal/j/call/tail: range checked for J (+-1 MiB). */
+    int32_t
+    jtarget(const Stmt& st, size_t i, Addr pc) const
+    {
+        int64_t abs = evalExpr(st.args[i], argLoc(st, i), true);
+        int64_t off = abs - static_cast<int64_t>(pc);
+        if (off < -1048576 || off > 1048574 || (off & 1))
+            errArg(st, i, "jump target out of range (offset " +
+                              std::to_string(off) + ", limit +-1 MiB)");
+        return static_cast<int32_t>(off);
     }
 
     /** Parse "imm(reg)" or "(reg)" or "imm" address syntax. */
     std::pair<int32_t, RegId>
-    memOperand(const Stmt& st, size_t i) const
+    memOperand(const Stmt& st, size_t i, RelCtx ctx)
     {
         if (i >= st.args.size())
-            err(st.line, "missing memory operand");
+            err(st, "missing memory operand");
         const std::string& a = st.args[i];
         size_t open = a.rfind('(');
         if (open == std::string::npos)
-            err(st.line, "expected imm(reg) operand, got '" + a + "'");
+            errArg(st, i, "expected imm(reg) operand, got '" + a + "'");
         size_t close = a.rfind(')');
         if (close == std::string::npos || close < open)
-            err(st.line, "unbalanced parens in '" + a + "'");
+            errArg(st, i, "unbalanced parens in '" + a + "'");
         std::string off = trim(a.substr(0, open));
         std::string reg = trim(a.substr(open + 1, close - open - 1));
         auto r = parseIntReg(reg);
         if (!r)
-            err(st.line, "bad base register '" + reg + "'");
-        int32_t o = off.empty()
-                        ? 0
-                        : static_cast<int32_t>(
-                              evalExpr(off, st.line, true));
+            errArg(st, i, "bad base register '" + reg + "'");
+        int32_t o = 0;
+        if (!off.empty()) {
+            ExprInfo info;
+            int64_t v = evalExpr(off, argLoc(st, i), true, &info);
+            noteReloc(st.addr, info, ctx, st, i);
+            o = checkRange(st, i, v, -2048, 2047, "memory offset");
+        }
         return {o, *r};
     }
 
@@ -661,19 +1003,25 @@ class Engine
     expect(const Stmt& st, size_t n) const
     {
         if (st.args.size() != n)
-            err(st.line, st.head + ": expected " + std::to_string(n) +
-                             " operands, got " +
-                             std::to_string(st.args.size()));
+            err(st, st.head + ": expected " + std::to_string(n) +
+                        " operands, got " + std::to_string(st.args.size()));
     }
 
     void emitInstruction(const Stmt& st);
 
     Addr base_;
+    std::vector<std::string> unitNames_;
     std::vector<Stmt> stmts_;
     std::vector<LabelRef> labelsAt_;
     std::map<std::string, Addr> symbols_;
     std::map<std::string, int64_t> equs_;
+    std::set<std::string> globals_;
+    std::vector<PendingReloc> relocs_;
     std::vector<uint8_t> image_;
+    uint8_t section_ = kText; ///< current section during parse
+    int sectCount_[kNumSections] = {0, 0, 0};
+    Addr sectionStart_[kNumSections] = {0, 0, 0};
+    size_t sectionSize_[kNumSections] = {0, 0, 0};
     size_t imageSize_ = 0;
 };
 
@@ -766,7 +1114,7 @@ Engine::emitInstruction(const Stmt& st)
         expect(st, 2);
         Instr in;
         RegId rs = xreg(st, 0);
-        int32_t off = target(st, 1, pc);
+        int32_t off = btarget(st, 1, pc);
         if (m == "beqz") {
             in = mk(K::BEQ);
             in.rs1 = rs;
@@ -804,7 +1152,7 @@ Engine::emitInstruction(const Stmt& st)
                                     : K::BGEU);
         in.rs1 = xreg(st, 1); // swapped
         in.rs2 = xreg(st, 0);
-        in.imm = target(st, 2, pc);
+        in.imm = btarget(st, 2, pc);
         emitWord(pc, in);
         return;
     }
@@ -812,7 +1160,7 @@ Engine::emitInstruction(const Stmt& st)
         expect(st, 1);
         Instr in = mk(K::JAL);
         in.rd = 0;
-        in.imm = target(st, 0, pc);
+        in.imm = jtarget(st, 0, pc);
         emitWord(pc, in);
         return;
     }
@@ -820,7 +1168,7 @@ Engine::emitInstruction(const Stmt& st)
         expect(st, 1);
         Instr in = mk(K::JAL);
         in.rd = 1;
-        in.imm = target(st, 0, pc);
+        in.imm = jtarget(st, 0, pc);
         emitWord(pc, in);
         return;
     }
@@ -842,7 +1190,8 @@ Engine::emitInstruction(const Stmt& st)
     if (m == "li" || m == "la") {
         expect(st, 2);
         RegId rd = xreg(st, 0);
-        int64_t value = evalExpr(st.args[1], st.line, true);
+        ExprInfo info;
+        int64_t value = evalExpr(st.args[1], argLoc(st, 1), true, &info);
         uint32_t u = static_cast<uint32_t>(value);
         if (st.size == 4) {
             Instr in = mk(K::ADDI);
@@ -851,6 +1200,7 @@ Engine::emitInstruction(const Stmt& st)
             in.imm = static_cast<int32_t>(value);
             emitWord(pc, in);
         } else {
+            noteReloc(pc, info, RelCtx::LaLi, st, 1);
             uint32_t hi = (u + 0x800u) & 0xFFFFF000u;
             int32_t lo = sext(u & 0xFFFu, 12);
             Instr lui = mk(K::LUI);
@@ -911,28 +1261,38 @@ Engine::emitInstruction(const Stmt& st)
     //
     auto it = mnemonicTable().find(m);
     if (it == mnemonicTable().end())
-        err(st.line, "unknown mnemonic '" + m + "'");
+        err(st, "unknown mnemonic '" + m + "'");
     InstrKind kind = it->second;
     Instr in = mk(kind);
 
     switch (kind) {
-      case K::LUI:
-      case K::AUIPC: {
+      case K::LUI: {
         expect(st, 2);
         in.rd = xreg(st, 0);
         // Accept either a raw 20-bit value or a %hi() result.
-        int64_t v = evalExpr(st.args[1], st.line, true);
+        ExprInfo info;
+        int64_t v = evalExpr(st.args[1], argLoc(st, 1), true, &info);
+        noteReloc(pc, info, RelCtx::Lui, st, 1);
+        in.imm = static_cast<int32_t>(static_cast<uint32_t>(v) << 12);
+        break;
+      }
+      case K::AUIPC: {
+        expect(st, 2);
+        in.rd = xreg(st, 0);
+        ExprInfo info;
+        int64_t v = evalExpr(st.args[1], argLoc(st, 1), true, &info);
+        noteReloc(pc, info, RelCtx::None, st, 1);
         in.imm = static_cast<int32_t>(static_cast<uint32_t>(v) << 12);
         break;
       }
       case K::JAL:
         if (st.args.size() == 1) {
             in.rd = 1;
-            in.imm = target(st, 0, pc);
+            in.imm = jtarget(st, 0, pc);
         } else {
             expect(st, 2);
             in.rd = xreg(st, 0);
-            in.imm = target(st, 1, pc);
+            in.imm = jtarget(st, 1, pc);
         }
         break;
       case K::JALR:
@@ -942,14 +1302,15 @@ Engine::emitInstruction(const Stmt& st)
             in.imm = 0;
         } else if (st.args.size() == 2) {
             in.rd = xreg(st, 0);
-            auto [o, r] = memOperand(st, 1);
+            auto [o, r] = memOperand(st, 1, RelCtx::ImmI);
             in.imm = o;
             in.rs1 = r;
         } else {
             expect(st, 3);
             in.rd = xreg(st, 0);
             in.rs1 = xreg(st, 1);
-            in.imm = imm(st, 2);
+            in.imm = checkRange(st, 2, imm(st, 2, RelCtx::ImmI), -2048,
+                                2047, "immediate");
         }
         break;
       case K::BEQ: case K::BNE: case K::BLT: case K::BGE:
@@ -957,12 +1318,12 @@ Engine::emitInstruction(const Stmt& st)
         expect(st, 3);
         in.rs1 = xreg(st, 0);
         in.rs2 = xreg(st, 1);
-        in.imm = target(st, 2, pc);
+        in.imm = btarget(st, 2, pc);
         break;
       case K::LB: case K::LH: case K::LW: case K::LBU: case K::LHU: {
         expect(st, 2);
         in.rd = xreg(st, 0);
-        auto [o, r] = memOperand(st, 1);
+        auto [o, r] = memOperand(st, 1, RelCtx::ImmI);
         in.imm = o;
         in.rs1 = r;
         break;
@@ -970,7 +1331,7 @@ Engine::emitInstruction(const Stmt& st)
       case K::FLW: {
         expect(st, 2);
         in.rd = freg(st, 0);
-        auto [o, r] = memOperand(st, 1);
+        auto [o, r] = memOperand(st, 1, RelCtx::ImmI);
         in.imm = o;
         in.rs1 = r;
         break;
@@ -978,7 +1339,7 @@ Engine::emitInstruction(const Stmt& st)
       case K::SB: case K::SH: case K::SW: {
         expect(st, 2);
         in.rs2 = xreg(st, 0);
-        auto [o, r] = memOperand(st, 1);
+        auto [o, r] = memOperand(st, 1, RelCtx::ImmS);
         in.imm = o;
         in.rs1 = r;
         break;
@@ -986,17 +1347,24 @@ Engine::emitInstruction(const Stmt& st)
       case K::FSW: {
         expect(st, 2);
         in.rs2 = freg(st, 0);
-        auto [o, r] = memOperand(st, 1);
+        auto [o, r] = memOperand(st, 1, RelCtx::ImmS);
         in.imm = o;
         in.rs1 = r;
         break;
       }
       case K::ADDI: case K::SLTI: case K::SLTIU: case K::XORI:
-      case K::ORI: case K::ANDI: case K::SLLI: case K::SRLI: case K::SRAI:
+      case K::ORI: case K::ANDI:
         expect(st, 3);
         in.rd = xreg(st, 0);
         in.rs1 = xreg(st, 1);
-        in.imm = imm(st, 2);
+        in.imm = checkRange(st, 2, imm(st, 2, RelCtx::ImmI), -2048, 2047,
+                            "immediate");
+        break;
+      case K::SLLI: case K::SRLI: case K::SRAI:
+        expect(st, 3);
+        in.rd = xreg(st, 0);
+        in.rs1 = xreg(st, 1);
+        in.imm = checkRange(st, 2, imm(st, 2), 0, 31, "shift amount");
         break;
       case K::ADD: case K::SUB: case K::SLL: case K::SLT: case K::SLTU:
       case K::XOR: case K::SRL: case K::SRA: case K::OR: case K::AND:
@@ -1080,7 +1448,7 @@ Engine::emitInstruction(const Stmt& st)
         in.rs3 = freg(st, 3);
         break;
       default:
-        err(st.line, "unhandled mnemonic '" + m + "'");
+        err(st, "unhandled mnemonic '" + m + "'");
     }
     emitWord(pc, in);
 }
@@ -1088,22 +1456,38 @@ Engine::emitInstruction(const Stmt& st)
 } // namespace
 
 Program
-Assembler::assemble(const std::string& source)
+Assembler::assemble(const std::string& source, const std::string& name)
 {
     Engine engine(base_);
-    return engine.run(source);
+    engine.run({{name, source}});
+    return engine.takeProgram();
 }
 
 Program
 Assembler::assembleAll(const std::vector<std::string>& sources)
 {
-    std::string all;
-    for (const std::string& s : sources) {
-        all += s;
-        if (all.empty() || all.back() != '\n')
-            all += '\n';
-    }
-    return assemble(all);
+    std::vector<SourceUnit> units;
+    units.reserve(sources.size());
+    for (size_t i = 0; i < sources.size(); ++i)
+        units.push_back({"<asm#" + std::to_string(i + 1) + ">",
+                         sources[i]});
+    return assembleUnits(units);
+}
+
+Program
+Assembler::assembleUnits(const std::vector<SourceUnit>& units)
+{
+    Engine engine(base_);
+    engine.run(units);
+    return engine.takeProgram();
+}
+
+ObjectFile
+Assembler::assembleObject(const std::vector<SourceUnit>& units)
+{
+    Engine engine(base_);
+    engine.run(units);
+    return engine.takeObject();
 }
 
 } // namespace vortex::isa

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * VXOB object reader/writer and the rebasing loader-side half
+ * (ObjectFile::toProgram). Dependency-free: plain little-endian byte
+ * serialization, every read bounds-checked.
+ */
+
+#include "isa/object.h"
+
+#include <fstream>
+
+#include "common/log.h"
+
+namespace vortex::isa {
+
+const char*
+relocKindName(RelocKind kind)
+{
+    switch (kind) {
+      case RelocKind::Abs32: return "abs32";
+      case RelocKind::Hi20: return "hi20";
+      case RelocKind::Lo12I: return "lo12i";
+      case RelocKind::Lo12S: return "lo12s";
+    }
+    return "?";
+}
+
+namespace {
+
+//
+// Little-endian byte-stream helpers
+//
+
+void
+put8(std::vector<uint8_t>& out, uint8_t v)
+{
+    out.push_back(v);
+}
+
+void
+put16(std::vector<uint8_t>& out, uint16_t v)
+{
+    put8(out, v & 0xFF);
+    put8(out, v >> 8);
+}
+
+void
+put32(std::vector<uint8_t>& out, uint32_t v)
+{
+    put16(out, v & 0xFFFF);
+    put16(out, v >> 16);
+}
+
+void
+putName(std::vector<uint8_t>& out, const std::string& name)
+{
+    if (name.size() > 255)
+        fatal("object name too long (", name.size(), " bytes): '",
+              name.substr(0, 32), "...'");
+    put8(out, static_cast<uint8_t>(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+}
+
+/** Bounds-checked forward reader over a byte buffer. */
+class Cursor
+{
+  public:
+    Cursor(const uint8_t* data, size_t size, const std::string& name)
+        : data_(data), size_(size), name_(name)
+    {
+    }
+
+    uint8_t
+    u8(const char* what)
+    {
+        need(1, what);
+        return data_[pos_++];
+    }
+
+    uint16_t
+    u16(const char* what)
+    {
+        need(2, what);
+        uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+                     static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+        pos_ += 2;
+        return v;
+    }
+
+    uint32_t
+    u32(const char* what)
+    {
+        need(4, what);
+        uint32_t v = 0;
+        for (int i = 3; i >= 0; --i)
+            v = v << 8 | data_[pos_ + i];
+        pos_ += 4;
+        return v;
+    }
+
+    std::string
+    name(const char* what)
+    {
+        size_t n = u8(what);
+        need(n, what);
+        std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+        pos_ += n;
+        return s;
+    }
+
+    std::vector<uint8_t>
+    bytes(size_t n, const char* what)
+    {
+        need(n, what);
+        std::vector<uint8_t> v(data_ + pos_, data_ + pos_ + n);
+        pos_ += n;
+        return v;
+    }
+
+    size_t pos() const { return pos_; }
+
+    void
+    need(size_t n, const char* what) const
+    {
+        if (pos_ + n > size_)
+            fatal(name_, ": truncated object file (need ", n,
+                  " byte(s) for ", what, " at offset ", pos_, ", have ",
+                  size_ - pos_, ")");
+    }
+
+  private:
+    const uint8_t* data_;
+    size_t size_;
+    size_t pos_ = 0;
+    std::string name_;
+};
+
+} // namespace
+
+std::vector<uint8_t>
+writeObject(const ObjectFile& obj)
+{
+    std::vector<uint8_t> out;
+    out.reserve(64 + obj.image.size());
+    put32(out, kObjectMagic);
+    put16(out, kObjectVersion);
+    put16(out, 0); // flags, reserved
+    put32(out, obj.linkBase);
+    put32(out, obj.entry);
+    put32(out, static_cast<uint32_t>(obj.image.size()));
+    put32(out, static_cast<uint32_t>(obj.sections.size()));
+    put32(out, static_cast<uint32_t>(obj.symbols.size()));
+    put32(out, static_cast<uint32_t>(obj.relocs.size()));
+    out.insert(out.end(), obj.image.begin(), obj.image.end());
+    for (const ObjSection& s : obj.sections) {
+        putName(out, s.name);
+        put32(out, s.offset);
+        put32(out, s.size);
+        put8(out, (s.exec ? 1 : 0) | (s.writable ? 2 : 0));
+    }
+    for (const ObjSymbol& s : obj.symbols) {
+        putName(out, s.name);
+        put32(out, s.offset);
+        put8(out, s.global ? 1 : 0);
+    }
+    for (const ObjReloc& r : obj.relocs) {
+        put32(out, r.offset);
+        put8(out, static_cast<uint8_t>(r.kind));
+        put32(out, r.target);
+    }
+    return out;
+}
+
+ObjectFile
+readObject(const uint8_t* data, size_t size, const std::string& name)
+{
+    Cursor cur(data, size, name);
+    if (size < 4 || cur.u32("magic") != kObjectMagic)
+        fatal(name, ": not a Vortex object file (bad magic; expected "
+              "\"VXOB\")");
+    uint16_t version = cur.u16("version");
+    if (version != kObjectVersion)
+        fatal(name, ": unsupported object version ", version,
+              " (this build reads version ", kObjectVersion, ")");
+    cur.u16("flags");
+
+    ObjectFile obj;
+    obj.linkBase = cur.u32("link base");
+    obj.entry = cur.u32("entry point");
+    uint32_t imageSize = cur.u32("image size");
+    uint32_t nSections = cur.u32("section count");
+    uint32_t nSymbols = cur.u32("symbol count");
+    uint32_t nRelocs = cur.u32("reloc count");
+    obj.image = cur.bytes(imageSize, "image");
+
+    obj.sections.reserve(nSections);
+    for (uint32_t i = 0; i < nSections; ++i) {
+        ObjSection s;
+        s.name = cur.name("section name");
+        s.offset = cur.u32("section offset");
+        s.size = cur.u32("section size");
+        uint8_t flags = cur.u8("section flags");
+        s.exec = flags & 1;
+        s.writable = flags & 2;
+        if (static_cast<uint64_t>(s.offset) + s.size > imageSize)
+            fatal(name, ": section '", s.name, "' [", s.offset, ", +",
+                  s.size, ") lies outside the ", imageSize, "-byte image");
+        obj.sections.push_back(std::move(s));
+    }
+    obj.symbols.reserve(nSymbols);
+    for (uint32_t i = 0; i < nSymbols; ++i) {
+        ObjSymbol s;
+        s.name = cur.name("symbol name");
+        s.offset = cur.u32("symbol offset");
+        s.global = cur.u8("symbol flags") & 1;
+        obj.symbols.push_back(std::move(s));
+    }
+    obj.relocs.reserve(nRelocs);
+    for (uint32_t i = 0; i < nRelocs; ++i) {
+        ObjReloc r;
+        r.offset = cur.u32("reloc offset");
+        uint8_t kind = cur.u8("reloc kind");
+        if (kind > static_cast<uint8_t>(RelocKind::Lo12S))
+            fatal(name, ": unknown relocation kind ", int(kind),
+                  " at image offset ", r.offset);
+        r.kind = static_cast<RelocKind>(kind);
+        r.target = cur.u32("reloc target");
+        if (static_cast<uint64_t>(r.offset) + 4 > imageSize)
+            fatal(name, ": relocation patch site ", r.offset,
+                  " lies outside the ", imageSize, "-byte image");
+        obj.relocs.push_back(r);
+    }
+    if (obj.entry < obj.linkBase ||
+        obj.entry > obj.linkBase + imageSize)
+        fatal(name, ": entry point 0x", std::hex, obj.entry,
+              " lies outside the image");
+    return obj;
+}
+
+namespace {
+
+uint32_t
+peek32(const std::vector<uint8_t>& image, uint32_t off)
+{
+    return static_cast<uint32_t>(image[off]) |
+           static_cast<uint32_t>(image[off + 1]) << 8 |
+           static_cast<uint32_t>(image[off + 2]) << 16 |
+           static_cast<uint32_t>(image[off + 3]) << 24;
+}
+
+void
+poke32(std::vector<uint8_t>& image, uint32_t off, uint32_t v)
+{
+    image[off] = v & 0xFF;
+    image[off + 1] = v >> 8 & 0xFF;
+    image[off + 2] = v >> 16 & 0xFF;
+    image[off + 3] = v >> 24 & 0xFF;
+}
+
+} // namespace
+
+Program
+ObjectFile::toProgram(Addr loadBase) const
+{
+    Program p;
+    p.base = loadBase;
+    p.entry = entry - linkBase + loadBase;
+    p.image = image;
+    for (const ObjSymbol& s : symbols)
+        p.symbols[s.name] = loadBase + s.offset;
+
+    if (loadBase == linkBase)
+        return p; // relocations would all be no-ops
+
+    for (const ObjReloc& r : relocs) {
+        uint32_t target = r.target - linkBase + loadBase;
+        uint32_t word = peek32(p.image, r.offset);
+        switch (r.kind) {
+          case RelocKind::Abs32:
+            word = target;
+            break;
+          case RelocKind::Hi20:
+            word = (word & 0xFFFu) | ((target + 0x800u) & 0xFFFFF000u);
+            break;
+          case RelocKind::Lo12I:
+            word = (word & 0x000FFFFFu) | (target & 0xFFFu) << 20;
+            break;
+          case RelocKind::Lo12S:
+            word = (word & 0x01FFF07Fu) | (target & 0xFE0u) << 20 |
+                   (target & 0x1Fu) << 7;
+            break;
+        }
+        poke32(p.image, r.offset, word);
+    }
+    return p;
+}
+
+ObjectFile
+readObjectFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open object file '", path, "'");
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    return readObject(bytes.data(), bytes.size(), path);
+}
+
+void
+writeObjectFile(const ObjectFile& obj, const std::string& path)
+{
+    std::vector<uint8_t> bytes = writeObject(obj);
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot write object file '", path, "'");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+} // namespace vortex::isa

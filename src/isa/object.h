@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The Vortex object format ("VXOB"): a small versioned container for one
+ * relocatable guest program — flat image + section table + symbols +
+ * relocations — written and read without any external tooling. It is the
+ * interchange format between `Assembler::assembleObject` and the device
+ * loader (`runtime::Device::uploadObject`); see docs/TOOLCHAIN.md for the
+ * byte-level layout.
+ *
+ * Design notes:
+ *  - Sections (.text/.rodata/.data) are already laid out into ONE flat
+ *    image at `linkBase`; the section table records their extents (the
+ *    loader uses it to mark code pages), not independent segments.
+ *  - Because the whole image rebases as a unit, pc-relative encodings
+ *    (branches, jal) need no relocations. Only absolute references are
+ *    recorded: `.word label` (Abs32), `lui`+%hi / `la` hi halves (Hi20),
+ *    and I/S-type %lo(...) offsets (Lo12I/Lo12S). Each relocation stores
+ *    the absolute target address as linked at `linkBase`; loading at
+ *    `loadBase` re-encodes `target + (loadBase - linkBase)` into the
+ *    patched field.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.h"
+
+namespace vortex::isa {
+
+/** File magic, "VXOB" read as a little-endian u32. */
+constexpr uint32_t kObjectMagic = 0x424F5856u;
+
+/** Format version this build writes and reads. */
+constexpr uint16_t kObjectVersion = 1;
+
+/** Relocation encodings (see file header for semantics). */
+enum class RelocKind : uint8_t
+{
+    Abs32 = 0, ///< 32-bit absolute word (.word label)
+    Hi20 = 1,  ///< U-type bits [31:12], value (target+0x800)>>12 (lui/la)
+    Lo12I = 2, ///< I-type imm [31:20], value target & 0xFFF (addi/loads)
+    Lo12S = 3, ///< S-type imm [31:25]+[11:7] (stores)
+};
+
+const char* relocKindName(RelocKind kind);
+
+struct ObjSection
+{
+    std::string name;    ///< ".text" / ".rodata" / ".data"
+    uint32_t offset = 0; ///< byte offset into image
+    uint32_t size = 0;   ///< byte size (may be 0)
+    bool exec = false;
+    bool writable = false;
+};
+
+struct ObjSymbol
+{
+    std::string name;
+    uint32_t offset = 0; ///< byte offset from linkBase
+    bool global = false; ///< was named in a .globl directive
+};
+
+struct ObjReloc
+{
+    uint32_t offset = 0; ///< patch-site byte offset into image
+    RelocKind kind = RelocKind::Abs32;
+    uint32_t target = 0; ///< absolute target address at linkBase
+};
+
+/** One relocatable guest program. */
+struct ObjectFile
+{
+    Addr linkBase = 0; ///< address the image was linked at
+    Addr entry = 0;    ///< absolute entry point at linkBase
+    std::vector<uint8_t> image;
+    std::vector<ObjSection> sections;
+    std::vector<ObjSymbol> symbols;
+    std::vector<ObjReloc> relocs;
+
+    /**
+     * Materialize a loadable Program at @p loadBase: copy the image,
+     * apply every relocation for the rebase delta, and absolutize the
+     * symbol table. With loadBase == linkBase the image is returned
+     * byte-identical (the fast path the driver takes).
+     */
+    Program toProgram(Addr loadBase) const;
+};
+
+/** Serialize to the on-disk byte format (deterministic: equal objects
+ *  produce equal bytes, and write→read→write is a fixpoint). */
+std::vector<uint8_t> writeObject(const ObjectFile& obj);
+
+/** Parse an object image. Throws FatalError with a clear message on bad
+ *  magic, an unsupported version, truncation, or corrupt tables; @p name
+ *  is used in diagnostics. */
+ObjectFile readObject(const uint8_t* data, size_t size,
+                      const std::string& name = "<object>");
+
+ObjectFile readObjectFile(const std::string& path);
+void writeObjectFile(const ObjectFile& obj, const std::string& path);
+
+} // namespace vortex::isa

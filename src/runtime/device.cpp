@@ -87,9 +87,56 @@ Device::copyFromDev(void* dst, Addr src, size_t size) const
 void
 Device::uploadKernel(const std::string& kernel_asm)
 {
+    if (!kernelOverride_.empty()) {
+        uploadKernelObject(kernelOverride_, kernelOverrideName_);
+        return;
+    }
     isa::Assembler assembler(config_.startPC);
-    uploadProgram(assembler.assembleAll(
-        {kernels::runtimeSource(), kernel_asm}));
+    uploadProgram(assembler.assembleUnits(
+        {{"<runtime>", kernels::runtimeSource()},
+         {"<kernel>", kernel_asm}}));
+}
+
+void
+Device::setKernelOverride(const std::string& source,
+                          const std::string& name)
+{
+    kernelOverride_ = source;
+    kernelOverrideName_ = name;
+}
+
+void
+Device::uploadKernelObject(const std::string& kernel_asm,
+                           const std::string& name)
+{
+    isa::Assembler assembler(config_.startPC);
+    isa::ObjectFile obj = assembler.assembleObject(
+        {{"<runtime>", kernels::runtimeSource()}, {name, kernel_asm}});
+    // Round-trip through the serialized format so every load from this
+    // path also exercises the writer/reader pair.
+    std::vector<uint8_t> bytes = isa::writeObject(obj);
+    uploadObject(isa::readObject(bytes.data(), bytes.size(), name));
+}
+
+void
+Device::uploadObject(const isa::ObjectFile& obj)
+{
+    isa::Program p = obj.toProgram(config_.startPC);
+    if (p.entry != config_.startPC)
+        fatal("object entry 0x", std::hex, p.entry,
+              " does not match the machine start PC 0x", config_.startPC);
+    mem::Ram& ram = processor_->ram();
+    ram.writeBlock(p.base, p.image.data(), p.image.size());
+    for (const isa::ObjSection& s : obj.sections) {
+        if (!s.exec || s.size == 0)
+            continue;
+        Addr first = p.base + s.offset;
+        Addr last = first + s.size - 1;
+        for (Addr page = first >> mem::Ram::kPageBits;
+             page <= (last >> mem::Ram::kPageBits); ++page)
+            ram.markCodePage(page << mem::Ram::kPageBits);
+    }
+    program_ = std::move(p);
 }
 
 void

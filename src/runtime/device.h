@@ -19,6 +19,7 @@
 #include "analysis/analysis.h"
 #include "core/processor.h"
 #include "isa/assembler.h"
+#include "isa/object.h"
 
 namespace vortex::runtime {
 
@@ -68,6 +69,33 @@ class Device
     void uploadProgram(const isa::Program& program);
     const isa::Program& program() const { return program_; }
 
+    /**
+     * Full toolchain path: assemble the native runtime + @p kernelAsm
+     * into a relocatable object, serialize and re-read it (so every run
+     * exercises the VXOB writer/reader), then load via uploadObject().
+     * @p name is the unit name used in assembler diagnostics.
+     */
+    void uploadKernelObject(const std::string& kernelAsm,
+                            const std::string& name = "<kernel>");
+
+    /**
+     * Loader: rebase @p obj to this machine's startPC, apply its
+     * relocations, map the image into device RAM, and pre-mark the pages
+     * of executable sections as code so the decode cache's write-epoch
+     * invalidation covers them from the first store on.
+     */
+    void uploadObject(const isa::ObjectFile& obj);
+
+    /**
+     * Route every subsequent uploadKernel() through the object pipeline
+     * with @p source instead of the built-in kernel string it was given.
+     * This is how `[workload] program = "file.s"` sweep specs reuse the
+     * shipped harnesses (argument setup + host-side verification) with a
+     * guest program loaded from disk. An empty @p source clears it.
+     */
+    void setKernelOverride(const std::string& source,
+                           const std::string& name);
+
     /** Write the kernel-argument mailbox. */
     void setKernelArg(const void* data, size_t size);
     template <typename T>
@@ -107,6 +135,8 @@ class Device
     core::ArchConfig config_;
     std::unique_ptr<core::Processor> processor_;
     isa::Program program_;
+    std::string kernelOverride_;     ///< see setKernelOverride()
+    std::string kernelOverrideName_;
     Addr heapTop_ = kHeapBase;
 };
 

@@ -459,19 +459,30 @@ verifyRuns(const std::string& campaignName,
     std::set<std::string> seen;
     for (const RunSpec& run : runs) {
         std::string kernelName = workloadKernelName(run.workload);
+        std::string unitName = kernelName;
+        std::string source;
+        if (!run.workload.program.empty()) {
+            // A `program =` workload runs the file's source, not the
+            // registry kernel — verify what will actually execute.
+            unitName = run.workload.program;
+            source = run.workload.programSource;
+        } else {
+            const char* s = kernels::kernelSource(kernelName);
+            if (s == nullptr)
+                fatal("campaign '", campaignName, "': unknown kernel '",
+                      kernelName, "' cannot be verified");
+            source = s;
+        }
         std::ostringstream key;
-        key << kernelName << '/' << run.config.numThreads << 't'
+        key << unitName << '/' << run.config.numThreads << 't'
             << run.config.numWarps << 'w' << run.config.numCores << 'c'
             << run.config.smemSize << 's' << run.config.startPC;
         if (!seen.insert(key.str()).second)
             continue;
-        const char* source = kernels::kernelSource(kernelName);
-        if (source == nullptr)
-            fatal("campaign '", campaignName, "': unknown kernel '",
-                  kernelName, "' cannot be verified");
         isa::Assembler assembler(run.config.startPC);
-        isa::Program program = assembler.assembleAll(
-            {kernels::runtimeSource(), source});
+        isa::Program program = assembler.assembleUnits(
+            {{"<runtime>", kernels::runtimeSource()},
+             {unitName, source}});
         analysis::Report report = analysis::analyze(
             program, runtime::analyzerOptions(run.config, program));
         if (report.errors() == 0)
@@ -479,7 +490,7 @@ verifyRuns(const std::string& campaignName,
         std::ostringstream diag;
         report.print(diag, &program);
         std::fputs(diag.str().c_str(), stderr);
-        fatal("campaign '", campaignName, "' kernel '", kernelName,
+        fatal("campaign '", campaignName, "' kernel '", unitName,
               "' failed static verification with ", report.errors(),
               " error(s) (run '", run.id(), "')");
     }

@@ -434,6 +434,26 @@ perfSmokeSpec()
 }
 
 SweepSpec
+asmSmokeSpec()
+{
+    SweepSpec s;
+    s.name = "asm_smoke";
+    s.description =
+        "assembly-toolchain smoke: the three .s kernel twins through "
+        "the object pipeline at {1, 2} cores";
+    s.base = baselineConfig(1);
+    Axis k;
+    k.name = "kernel";
+    for (const char* name : {"vecadd", "saxpy", "sgemm"})
+        k.points.push_back(AxisPoint{
+            name,
+            {{"kernel", name},
+             {"program", std::string("examples/kernels/") + name + ".s"}}});
+    s.axes = {std::move(k), Axis::sweep("cores", {"1", "2"})};
+    return s;
+}
+
+SweepSpec
 fig21Spec(bool paperSize)
 {
     const uint32_t geo = paperSize ? 16 : 8;
@@ -643,6 +663,7 @@ presets()
             pivotIpc);
 
         sweepPreset([] { return perfSmokeSpec(); }, pivotIpc);
+        sweepPreset([] { return asmSmokeSpec(); }, pivotIpc);
 
         return p;
     }();

@@ -6,6 +6,8 @@
 
 #include "sweep/spec.h"
 
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 #include "common/log.h"
@@ -212,6 +214,13 @@ const FieldDef kFields[] = {
      [](core::ArchConfig&, WorkloadSpec& w, const std::string& v) {
          w.texSize = parseU32("texSize", v);
      }},
+    {"program", "assembly file run through the object pipeline instead "
+                "of the kernel's built-in source (kernel still selects "
+                "the argument/verification harness)",
+     [](core::ArchConfig&, WorkloadSpec& w, const std::string& v) {
+         w.program = v;
+         w.programSource = loadProgramSource(v);
+     }},
 };
 
 #undef VORTEX_U32_FIELD
@@ -230,6 +239,49 @@ fnv1a(const std::string& s)
 }
 
 } // namespace
+
+std::string
+resolveProgramPath(const std::string& path)
+{
+    auto exists = [](const std::string& p) {
+        return static_cast<bool>(std::ifstream(p));
+    };
+    if (exists(path))
+        return path;
+    if (const char* env = std::getenv("VORTEX_PROGRAM_PATH")) {
+        std::string prefixes = env;
+        size_t start = 0;
+        while (start <= prefixes.size()) {
+            size_t colon = prefixes.find(':', start);
+            std::string prefix =
+                prefixes.substr(start, colon == std::string::npos
+                                           ? std::string::npos
+                                           : colon - start);
+            if (!prefix.empty()) {
+                std::string candidate = prefix + "/" + path;
+                if (exists(candidate))
+                    return candidate;
+            }
+            if (colon == std::string::npos)
+                break;
+            start = colon + 1;
+        }
+    }
+    return path;
+}
+
+std::string
+loadProgramSource(const std::string& path)
+{
+    std::string resolved = resolveProgramPath(path);
+    std::ifstream in(resolved, std::ios::binary);
+    if (!in)
+        fatal("cannot open program file '", path,
+              "' (also searched $VORTEX_PROGRAM_PATH prefixes)");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
 
 const char*
 schedPolicyName(core::SchedPolicy p)
@@ -273,12 +325,16 @@ WorkloadSpec::describe() const
         os << "texture " << texFilterName(texFilter)
            << (texHw ? " hw " : " sw ") << texSize;
     }
+    if (!program.empty())
+        os << " @" << program;
     return os.str();
 }
 
 runtime::RunResult
 WorkloadSpec::run(runtime::Device& dev) const
 {
+    if (!program.empty())
+        dev.setKernelOverride(programSource, program);
     if (kind == Kind::Rodinia)
         return runtime::runRodinia(dev, kernel, scale);
     return runtime::runTexture(dev, texFilter, texHw, texSize);
@@ -385,6 +441,16 @@ RunSpec::canonical() const
         os << "texFilter = " << texFilterName(w.texFilter) << "\n"
            << "texHw = " << w.texHw << "\n"
            << "texSize = " << w.texSize << "\n";
+    if (!w.program.empty()) {
+        // The cache key must change when the FILE CONTENT changes, not
+        // just the path — hash the loaded source into the preimage.
+        char fnv[17];
+        std::snprintf(fnv, sizeof(fnv), "%016llx",
+                      static_cast<unsigned long long>(
+                          fnv1a(w.programSource)));
+        os << "program = " << w.program << "\n"
+           << "program.fnv = " << fnv << "\n";
+    }
     return os.str();
 }
 

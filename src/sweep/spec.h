@@ -45,6 +45,18 @@ struct WorkloadSpec
     std::string kernel = "vecadd"; ///< Rodinia kernel name (Kind::Rodinia)
     uint32_t scale = 1;            ///< problem-size multiplier (1 = test-sized)
 
+    /**
+     * Optional guest-program file (assembly) to execute instead of the
+     * selected kernel's built-in source. The named kernel still chooses
+     * the argument-setup + host-verification harness; the program is
+     * loaded through the assemble→object→load pipeline (see
+     * docs/TOOLCHAIN.md). Resolved against the CWD and the
+     * VORTEX_PROGRAM_PATH environment variable (colon-separated
+     * prefixes); the file is read eagerly when the field is applied.
+     */
+    std::string program;
+    std::string programSource; ///< contents of `program` (loaded eagerly)
+
     runtime::TexFilterMode texFilter =
         runtime::TexFilterMode::Bilinear; ///< filtering mode (Kind::Texture)
     bool texHw = true;                    ///< hardware `tex` path vs software
@@ -168,5 +180,16 @@ uint32_t parseU32Value(const std::string& what, const std::string& value);
 
 /** Strict boolean parse (0/1/true/false/on/off); fatal on failure. */
 bool parseBoolValue(const std::string& what, const std::string& value);
+
+/**
+ * Resolve a `[workload] program` path: the path itself if it exists,
+ * else each colon-separated prefix of $VORTEX_PROGRAM_PATH joined with
+ * it (first hit wins). Returns the path unchanged when nothing exists —
+ * the subsequent open reports the error.
+ */
+std::string resolveProgramPath(const std::string& path);
+
+/** resolveProgramPath + read; fatal with a clear message on failure. */
+std::string loadProgramSource(const std::string& path);
 
 } // namespace vortex::sweep

@@ -928,14 +928,19 @@ configAssignments(const core::ArchConfig& c)
 std::vector<std::pair<std::string, std::string>>
 workloadAssignments(const WorkloadSpec& w)
 {
+    std::vector<std::pair<std::string, std::string>> out;
     if (w.kind == WorkloadSpec::Kind::Rodinia)
-        return {{"workload", "rodinia"},
-                {"kernel", w.kernel},
-                {"scale", std::to_string(w.scale)}};
-    return {{"workload", "texture"},
-            {"texFilter", texFilterName(w.texFilter)},
-            {"texHw", w.texHw ? "true" : "false"},
-            {"texSize", std::to_string(w.texSize)}};
+        out = {{"workload", "rodinia"},
+               {"kernel", w.kernel},
+               {"scale", std::to_string(w.scale)}};
+    else
+        out = {{"workload", "texture"},
+               {"texFilter", texFilterName(w.texFilter)},
+               {"texHw", w.texHw ? "true" : "false"},
+               {"texSize", std::to_string(w.texSize)}};
+    if (!w.program.empty())
+        out.emplace_back("program", w.program);
+    return out;
 }
 
 } // namespace

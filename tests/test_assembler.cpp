@@ -10,6 +10,7 @@
 #include "common/log.h"
 #include "isa/assembler.h"
 #include "isa/isa.h"
+#include "isa/object.h"
 #include "kernels/kernels.h"
 
 using namespace vortex;
@@ -247,22 +248,95 @@ TEST(Assembler, VortexInstructions)
     EXPECT_EQ(tex.rs3, 2u);
 }
 
-TEST(Assembler, Errors)
+namespace {
+
+/** @p src must fail with an AsmError anchored exactly at
+ *  prog.s:@p line:@p col whose message contains @p substr. When
+ *  @p object is set the source goes through assembleObject() instead,
+ *  for diagnostics only the relocatable path emits. */
+void
+expectAsmError(const char* src, int line, int col, const char* substr,
+               bool object = false)
 {
     Assembler as(0);
-    EXPECT_THROW(as.assemble("bogus a0, a1"), FatalError);
-    EXPECT_THROW(as.assemble("add a0, a1"), FatalError);
-    EXPECT_THROW(as.assemble("lw a0, 4(f1)"), FatalError);
-    EXPECT_THROW(as.assemble("j nowhere"), FatalError);
-    EXPECT_THROW(as.assemble("dup:\ndup:\n nop"), FatalError);
-    EXPECT_THROW(as.assemble(".unknown 4"), FatalError);
-    // Error messages carry the line number.
     try {
-        as.assemble("nop\nnop\nbogus x9");
-        FAIL() << "expected FatalError";
-    } catch (const FatalError& e) {
-        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+        if (object)
+            as.assembleObject({{"prog.s", src}});
+        else
+            as.assemble(src, "prog.s");
+        FAIL() << "expected AsmError with '" << substr << "'";
+    } catch (const AsmError& e) {
+        EXPECT_EQ(e.file(), "prog.s") << e.what();
+        EXPECT_EQ(e.line(), line) << e.what();
+        EXPECT_EQ(e.column(), col) << e.what();
+        EXPECT_NE(e.message().find(substr), std::string::npos) << e.what();
+        // what() renders the gcc-style anchor verbatim.
+        EXPECT_EQ(std::string(e.what()),
+                  "prog.s:" + std::to_string(line) + ":" +
+                      std::to_string(col) + ": " + e.message());
     }
+}
+
+} // namespace
+
+TEST(Assembler, ErrorsPinFileLineAndColumn)
+{
+    // AsmError derives from FatalError, so callers that only know the
+    // generic type still catch assembly failures.
+    Assembler as(0);
+    EXPECT_THROW(as.assemble("bogus a0, a1"), FatalError);
+
+    expectAsmError("nop\nnop\nbogus x9", 3, 1, "unknown mnemonic 'bogus'");
+    expectAsmError("add a0, a1", 1, 1, "add: expected 3 operands, got 2");
+    expectAsmError("lw a0, 4(f1)", 1, 8, "bad base register 'f1'");
+    expectAsmError("add a0, a1, ft0", 1, 13,
+                   "expected integer register, got 'ft0'");
+    expectAsmError("j nowhere", 1, 3, "undefined symbol 'nowhere'");
+    expectAsmError("dup:\ndup:\n nop", 2, 1, "duplicate label 'dup'");
+    expectAsmError(".unknown 4", 1, 1, "unknown directive '.unknown'");
+    expectAsmError("  .equ foo", 1, 3, ".equ needs <name>, <value>");
+    expectAsmError(".section .bogus", 1, 10,
+                   "unknown section '.bogus' (supported: .text, .rodata, "
+                   ".data)");
+    expectAsmError(".data\n.ascii 42", 2, 8, "expected a quoted string");
+    expectAsmError(".data\n.float 1.q2", 2, 8, "bad float literal '1.q2'");
+}
+
+TEST(Assembler, ErrorsPinOperandRanges)
+{
+    expectAsmError("addi a0, a0, 5000", 1, 14,
+                   "immediate 5000 out of range [-2048, 2047]");
+    expectAsmError("slli a0, a0, 33", 1, 14,
+                   "shift amount 33 out of range [0, 31]");
+    expectAsmError("lw a0, 4096(a1)", 1, 8,
+                   "memory offset 4096 out of range [-2048, 2047]");
+    expectAsmError("lw a0, a1", 1, 8, "expected imm(reg) operand");
+    expectAsmError("start: nop\n.space 8192\n.align 2\nbeq a0, a1, start",
+                   4, 13,
+                   "branch target out of range (offset -8196, limit "
+                   "+-4 KiB)");
+}
+
+TEST(Assembler, ObjectModeRejectsUnrelocatableExpressions)
+{
+    // These assemble fine into a flat Program (the address is known),
+    // but cannot be represented in the relocatable object format, and
+    // the diagnostic points at the offending operand.
+    expectAsmError("main:\n    addi a0, a0, main\n", 2, 18,
+                   "not relocatable: raw label in an I-type immediate "
+                   "(use %lo(...) or la)",
+                   /*object=*/true);
+    expectAsmError("main:\n    lui a0, main\n", 2, 13,
+                   "not relocatable: raw label in lui (use %hi(...))",
+                   /*object=*/true);
+    expectAsmError("a:\nb:\n.data\n.word a+b\n", 4, 7,
+                   "not relocatable: expression with net label weight 2",
+                   /*object=*/true);
+    // A label *difference* has net weight 0 and is rebase-invariant, so
+    // it is representable without any relocation.
+    Assembler as(0);
+    EXPECT_NO_THROW(as.assembleObject({{"prog.s",
+                                        "a:\nnop\nb:\n.data\n.word b-a\n"}}));
 }
 
 TEST(Assembler, CommentsAndLabelsOnSameLine)

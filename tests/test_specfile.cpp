@@ -268,7 +268,12 @@ TEST(SpecFile, DumpCoversEveryRegistryField)
     SweepSpec rodinia;
     SweepSpec texture;
     texture.baseWorkload.kind = WorkloadSpec::Kind::Texture;
-    std::string dumps = specToToml(rodinia) + specToToml(texture);
+    SweepSpec withProgram;
+    // Set the field directly (applyField would read the file): "program"
+    // is only serialized when present, like the texture block.
+    withProgram.baseWorkload.program = "examples/kernels/vecadd.s";
+    std::string dumps = specToToml(rodinia) + specToToml(texture) +
+                        specToToml(withProgram);
     for (const FieldInfo& f : sweepableFields()) {
         if (std::string(f.name) == "cores")
             continue;

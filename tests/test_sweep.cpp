@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "common/log.h"
@@ -121,13 +122,61 @@ TEST(SweepSpec, FieldRegistryRejectsUnknownNamesAndBadValues)
     EXPECT_THROW(applyField(cfg, wl, "schedPolicy", "fifo"), FatalError);
 
     // Every registered field name round-trips through applyField.
+    // "program" is also skipped: its value is a file path that is read
+    // eagerly (so content hashing can cover the program text), and "1"
+    // is not a readable file.
     for (const FieldInfo& f : sweepableFields()) {
         const std::string name = f.name;
         if (name == "schedPolicy" || name == "workload" ||
-            name == "kernel" || name == "texFilter")
+            name == "kernel" || name == "texFilter" || name == "program")
             continue;
         EXPECT_TRUE(applyField(cfg, wl, name, "1")) << name;
     }
+}
+
+TEST(SweepSpec, ProgramFieldReadsTheFileEagerlyAndHashesItsText)
+{
+    core::ArchConfig cfg;
+    WorkloadSpec wl;
+
+    // Missing files are a fatal, actionable error at apply time, not at
+    // run time deep inside a campaign.
+    EXPECT_THROW(applyField(cfg, wl, "program", "no/such/file.s"),
+                 FatalError);
+
+    std::string dir = freshTempDir("program");
+    std::filesystem::create_directories(dir);
+    std::string path = dir + "/prog.s";
+    {
+        std::ofstream out(path);
+        out << "main:\n    ret\n";
+    }
+    EXPECT_TRUE(applyField(cfg, wl, "program", path));
+    EXPECT_EQ(wl.program, path);
+    EXPECT_EQ(wl.programSource, "main:\n    ret\n");
+
+    // The cache key covers the program *text*, so editing the .s file
+    // invalidates cached results even though the path is unchanged.
+    RunSpec a;
+    a.workload = wl;
+    {
+        std::ofstream out(path);
+        out << "main:\n    nop\n    ret\n";
+    }
+    WorkloadSpec wl2;
+    ASSERT_TRUE(applyField(cfg, wl2, "program", path));
+    RunSpec b;
+    b.workload = wl2;
+    EXPECT_NE(a.contentHash(), b.contentHash());
+
+    // The canonical form records both the path and the text hash; runs
+    // without a program keep the exact pre-program preimage (cache
+    // back-compatibility).
+    EXPECT_NE(a.canonical().find("program = " + path), std::string::npos);
+    EXPECT_NE(a.canonical().find("program.fnv = "), std::string::npos);
+    RunSpec plain;
+    EXPECT_EQ(plain.canonical().find("program"), std::string::npos);
+    std::filesystem::remove_all(dir);
 }
 
 TEST(SweepSpec, ContentHashDifferentiatesConfigAndWorkload)

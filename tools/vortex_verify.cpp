@@ -73,11 +73,11 @@ verifyOne(const Job& job, const core::ArchConfig& config,
           isa::Program& program)
 {
     isa::Assembler assembler(config.startPC);
-    std::vector<std::string> units;
+    std::vector<isa::SourceUnit> units;
     if (!job.freestanding)
-        units.push_back(kernels::runtimeSource());
-    units.push_back(job.source);
-    program = assembler.assembleAll(units);
+        units.push_back({"<runtime>", kernels::runtimeSource()});
+    units.push_back({job.name, job.source});
+    program = assembler.assembleUnits(units);
     return analysis::analyze(program,
                              runtime::analyzerOptions(config, program));
 }
