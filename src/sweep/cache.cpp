@@ -1,0 +1,487 @@
+/**
+ * @file
+ * CacheStore implementation: v2 entry I/O, the manifest, pruning, and
+ * cross-directory merge. See cache.h for the on-disk format.
+ */
+
+#include "sweep/cache.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/log.h"
+#include "sweep/report.h"
+
+namespace vortex::sweep {
+
+namespace {
+
+// v2: "campaign" provenance line + the time-series block. v1 entries
+// fail the magic check and simply miss (the run is re-simulated).
+// Provenance lines added since (host_seconds, kernel, est_units) ride
+// the unknown-tag rule and do not bump the version.
+constexpr const char* kCacheMagic = "vortex-sweep-cache v2";
+
+/** Mirror of Processor::ipc() so cache-restored records reproduce the
+ *  exact double a fresh run reports. */
+double
+ipcOf(uint64_t threadInstrs, uint64_t cycles)
+{
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(threadInstrs) /
+                             static_cast<double>(cycles);
+}
+
+/** Shortest round-trippable formatting for stored doubles. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** A per-thread-unique temp-file suffix (rename is the commit point). */
+std::string
+tmpSuffix()
+{
+    return ".tmp." + std::to_string(::getpid()) + "." +
+           std::to_string(
+               std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+/** @p path's mtime as seconds since the Unix epoch (0 on error). */
+int64_t
+mtimeSeconds(const std::filesystem::path& path)
+{
+    std::error_code ec;
+    auto ftime = std::filesystem::last_write_time(path, ec);
+    if (ec)
+        return 0;
+    // Portable file_clock -> system_clock conversion (no C++20
+    // clock_cast dependency): rebase through the two clocks' "now".
+    auto sys = std::chrono::time_point_cast<std::chrono::seconds>(
+        ftime - std::filesystem::file_time_type::clock::now() +
+        std::chrono::system_clock::now());
+    return sys.time_since_epoch().count();
+}
+
+/** @p epochSeconds as "YYYY-MM-DDThh:mm:ssZ". */
+std::string
+isoUtc(int64_t epochSeconds)
+{
+    std::time_t t = static_cast<std::time_t>(epochSeconds);
+    std::tm tm{};
+    gmtime_r(&t, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+/**
+ * Validate one on-disk entry file for merging: correct magic, a `hash`
+ * provenance line equal to @p expectHash (the file's basename), and a
+ * complete `end`-terminated payload. Returns false on any defect.
+ */
+bool
+validEntryFile(const std::filesystem::path& path,
+               const std::string& expectHash)
+{
+    std::ifstream in(path);
+    std::string line;
+    if (!in || !std::getline(in, line) || line != kCacheMagic)
+        return false;
+    bool hashOk = false, complete = false;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag == "hash") {
+            std::string h;
+            ls >> h;
+            hashOk = (h == expectHash);
+        } else if (tag == "end") {
+            complete = true;
+        }
+    }
+    return hashOk && complete;
+}
+
+} // namespace
+
+std::string
+CacheStore::entryPath(const std::string& hash) const
+{
+    return dir_ + "/" + hash + ".run";
+}
+
+bool
+CacheStore::contains(const std::string& hash) const
+{
+    if (!enabled())
+        return false;
+    std::ifstream in(entryPath(hash));
+    std::string line;
+    return in && std::getline(in, line) && line == kCacheMagic;
+}
+
+double
+CacheStore::recordedHostSeconds(const std::string& hash) const
+{
+    if (!enabled())
+        return -1.0;
+    std::ifstream in(entryPath(hash));
+    std::string line;
+    if (!in || !std::getline(in, line) || line != kCacheMagic)
+        return -1.0;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag == "host_seconds") {
+            double s = 0.0;
+            ls >> s;
+            return s;
+        }
+        if (tag == "cycles")
+            break; // provenance lines precede the payload
+    }
+    // A valid entry that predates the host_seconds line: still a hit —
+    // report "recorded cost unknown", not "absent", so the scheduler
+    // prices it like any other hit.
+    return 0.0;
+}
+
+bool
+CacheStore::load(const RunSpec& spec, RunRecord& out) const
+{
+    if (!enabled())
+        return false;
+    std::ifstream in(entryPath(spec.contentHash()));
+    if (!in)
+        return false;
+
+    std::string line;
+    if (!std::getline(in, line) || line != kCacheMagic)
+        return false;
+
+    RunRecord rec;
+    rec.spec = spec;
+    rec.fromCache = true;
+    rec.result.ok = true;
+    bool complete = false;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag == "hash") {
+            std::string h;
+            ls >> h;
+            if (h != spec.contentHash())
+                return false; // foreign entry (renamed file?)
+        } else if (tag == "cycles") {
+            ls >> rec.result.cycles;
+        } else if (tag == "thread_instrs") {
+            ls >> rec.result.threadInstrs;
+        } else if (tag == "stat") {
+            std::string key;
+            uint64_t value = 0;
+            ls >> key >> value;
+            rec.stats.counter(key) = value;
+        } else if (tag == "sample_interval") {
+            ls >> rec.series.interval;
+        } else if (tag == "sample_cycles") {
+            uint64_t c = 0;
+            while (ls >> c)
+                rec.series.sampleCycles.push_back(c);
+        } else if (tag == "series") {
+            std::string key;
+            ls >> key;
+            rec.series.keys.push_back(key);
+            rec.series.deltas.emplace_back();
+            uint64_t d = 0;
+            while (ls >> d)
+                rec.series.deltas.back().push_back(d);
+        } else if (tag == "end") {
+            complete = true;
+        }
+    }
+    if (!complete)
+        return false; // truncated write
+    // A well-formed series is rectangular: every delta row as long as the
+    // cycle-stamp vector. Treat anything else as corruption -> miss.
+    for (const auto& row : rec.series.deltas)
+        if (row.size() != rec.series.numSamples())
+            return false;
+    rec.result.ipc = ipcOf(rec.result.threadInstrs, rec.result.cycles);
+    out = std::move(rec);
+    return true;
+}
+
+void
+CacheStore::store(const RunRecord& record,
+                  const std::string& campaignName) const
+{
+    if (!enabled() || !record.result.ok)
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+
+    const std::string hash = record.spec.contentHash();
+    const std::string path = entryPath(hash);
+    const std::string tmp = path + tmpSuffix();
+    {
+        std::ofstream outf(tmp, std::ios::trunc);
+        if (!outf)
+            return; // cache is best-effort; the run still succeeded
+        outf << kCacheMagic << "\n";
+        outf << "hash " << hash << "\n";
+        outf << "id " << record.spec.id() << "\n";
+        outf << "campaign " << campaignName << "\n";
+        // Provenance, not payload: what the simulation cost this host
+        // (host_seconds), which registry kernel it ran, and the static
+        // cost estimate at store time — together the calibration data
+        // of CostModel::fromCache. Readers that predate a tag ignore it
+        // (unknown-tag rule), so the cache format stays v2.
+        outf << "host_seconds " << fmtDouble(record.hostSeconds) << "\n";
+        outf << "kernel " << workloadKernelName(record.spec.workload)
+             << "\n";
+        outf << "est_units " << fmtDouble(estimateRunCost(record.spec))
+             << "\n";
+        outf << "cycles " << record.result.cycles << "\n";
+        outf << "thread_instrs " << record.result.threadInstrs << "\n";
+        for (const auto& [k, v] : record.stats.all())
+            outf << "stat " << k << " " << v << "\n";
+        if (record.series.interval != 0) {
+            outf << "sample_interval " << record.series.interval << "\n";
+            outf << "sample_cycles";
+            for (uint64_t c : record.series.sampleCycles)
+                outf << " " << c;
+            outf << "\n";
+            for (size_t k = 0; k < record.series.keys.size(); ++k) {
+                outf << "series " << record.series.keys[k];
+                for (uint64_t d : record.series.deltas[k])
+                    outf << " " << d;
+                outf << "\n";
+            }
+        }
+        outf << "end\n";
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+std::vector<CacheEntryInfo>
+CacheStore::entries() const
+{
+    std::vector<CacheEntryInfo> out;
+    if (!enabled())
+        return out;
+    std::error_code ec;
+    for (const auto& de :
+         std::filesystem::directory_iterator(dir_, ec)) {
+        if (!de.is_regular_file() || de.path().extension() != ".run")
+            continue;
+        std::ifstream in(de.path());
+        std::string line;
+        if (!in || !std::getline(in, line) || line != kCacheMagic)
+            continue; // stale-format or foreign file; not an entry
+        CacheEntryInfo info;
+        info.hash = de.path().stem().string();
+        info.mtime = mtimeSeconds(de.path());
+        while (std::getline(in, line)) {
+            std::istringstream ls(line);
+            std::string tag;
+            ls >> tag;
+            if (tag == "id")
+                std::getline(ls >> std::ws, info.id);
+            else if (tag == "campaign")
+                std::getline(ls >> std::ws, info.campaign);
+            else if (tag == "host_seconds")
+                ls >> info.hostSeconds;
+            else if (tag == "kernel")
+                ls >> info.kernel;
+            else if (tag == "est_units")
+                ls >> info.estUnits;
+            else if (tag == "cycles")
+                break; // provenance lines precede the payload
+        }
+        out.push_back(std::move(info));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CacheEntryInfo& a, const CacheEntryInfo& b) {
+                  return a.hash < b.hash;
+              });
+    return out;
+}
+
+void
+CacheStore::writeManifest() const
+{
+    if (!enabled())
+        return;
+    std::vector<CacheEntryInfo> list = entries();
+    // Unlike cache entries (same hash -> same bytes), two processes'
+    // manifests can genuinely differ mid-churn, so the temp name must be
+    // unique across processes, not just threads.
+    const std::string path = dir_ + "/manifest.json";
+    const std::string tmp = path + tmpSuffix();
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            return; // the manifest is best-effort metadata
+        os << "{\n  \"entries\": [\n";
+        for (size_t i = 0; i < list.size(); ++i) {
+            const CacheEntryInfo& e = list[i];
+            os << "    {\"hash\": \"" << jsonEscape(e.hash)
+               << "\", \"id\": \"" << jsonEscape(e.id)
+               << "\", \"campaign\": \"" << jsonEscape(e.campaign)
+               << "\", \"written\": \"" << isoUtc(e.mtime) << "\"}"
+               << (i + 1 < list.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n}\n";
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+size_t
+CacheStore::prune(double olderThanDays) const
+{
+    if (!enabled())
+        return 0;
+    const int64_t cutoff =
+        olderThanDays < 0.0
+            ? INT64_MAX // prune everything
+            : std::chrono::duration_cast<std::chrono::seconds>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                      .count() -
+                  static_cast<int64_t>(olderThanDays * 86400.0);
+    size_t removed = 0;
+    std::error_code ec;
+    for (const auto& de :
+         std::filesystem::directory_iterator(dir_, ec)) {
+        if (!de.is_regular_file())
+            continue;
+        const std::string fname = de.path().filename().string();
+        // Sweep leftover temp files from interrupted writes regardless
+        // of age; they are never valid entries.
+        if (fname.find(".run.tmp.") != std::string::npos ||
+            fname.find("manifest.json.tmp.") != std::string::npos) {
+            std::filesystem::remove(de.path(), ec);
+            continue;
+        }
+        if (de.path().extension() != ".run")
+            continue;
+        if (mtimeSeconds(de.path()) <= cutoff) {
+            std::filesystem::remove(de.path(), ec);
+            if (!ec)
+                ++removed;
+        }
+    }
+    writeManifest();
+    return removed;
+}
+
+CacheMergeStats
+CacheStore::mergeFrom(const std::string& srcDir) const
+{
+    if (!enabled())
+        fatal("cache merge: destination store is disabled (no directory)");
+    std::error_code ec;
+    if (!std::filesystem::is_directory(srcDir, ec))
+        fatal("cache merge: source '", srcDir, "' is not a directory");
+    if (std::filesystem::weakly_canonical(srcDir, ec) ==
+        std::filesystem::weakly_canonical(dir_, ec))
+        fatal("cache merge: source and destination are the same "
+              "directory '", dir_, "'");
+    std::filesystem::create_directories(dir_, ec);
+
+    CacheMergeStats stats;
+    // Deterministic import order (directory iteration order is not).
+    std::vector<std::filesystem::path> files;
+    for (const auto& de :
+         std::filesystem::directory_iterator(srcDir, ec)) {
+        if (de.is_regular_file() && de.path().extension() == ".run")
+            files.push_back(de.path());
+    }
+    std::sort(files.begin(), files.end());
+
+    for (const std::filesystem::path& src : files) {
+        const std::string hash = src.stem().string();
+        if (!validEntryFile(src, hash)) {
+            warn("cache merge: rejecting invalid entry ", src.string());
+            ++stats.rejected;
+            continue;
+        }
+        if (contains(hash)) {
+            // Content-addressed: an existing entry for this hash
+            // describes the same simulation; keep the local bytes.
+            ++stats.skipped;
+            continue;
+        }
+        const std::string dst = entryPath(hash);
+        const std::string tmp = dst + tmpSuffix();
+        std::filesystem::copy_file(
+            src, tmp, std::filesystem::copy_options::overwrite_existing,
+            ec);
+        if (ec) {
+            warn("cache merge: cannot copy ", src.string(), ": ",
+                 ec.message());
+            ++stats.rejected;
+            continue;
+        }
+        std::filesystem::rename(tmp, dst, ec);
+        if (ec) {
+            std::filesystem::remove(tmp, ec);
+            warn("cache merge: cannot commit ", dst, ": ", ec.message());
+            ++stats.rejected;
+            continue;
+        }
+        ++stats.imported;
+    }
+    writeManifest();
+    return stats;
+}
+
+//
+// Deprecated free-function shims (campaign.h): one PR of source compat
+// for out-of-tree callers; every in-tree caller now uses CacheStore.
+//
+
+double
+cachedHostSeconds(const std::string& dir, const std::string& hash)
+{
+    return CacheStore(dir).recordedHostSeconds(hash);
+}
+
+std::vector<CacheEntryInfo>
+listCache(const std::string& dir)
+{
+    return CacheStore(dir).entries();
+}
+
+void
+writeCacheManifest(const std::string& dir)
+{
+    CacheStore(dir).writeManifest();
+}
+
+size_t
+pruneCache(const std::string& dir, double olderThanDays)
+{
+    return CacheStore(dir).prune(olderThanDays);
+}
+
+} // namespace vortex::sweep

@@ -1,21 +1,16 @@
 /**
  * @file
- * Campaign execution: job pool, device-stat flattening, the result
- * cache, and CSV/JSON emission.
+ * Campaign execution: job pool, shard slicing, the cost model, and
+ * CSV/JSON emission. Cache entry I/O lives in sweep/cache.cpp.
  */
 
 #include "sweep/campaign.h"
-
-#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <ctime>
 #include <exception>
-#include <filesystem>
-#include <fstream>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -26,25 +21,12 @@
 #include "core/processor.h"
 #include "kernels/kernels.h"
 #include "runtime/device.h"
+#include "sweep/cache.h"
 #include "sweep/report.h"
 
 namespace vortex::sweep {
 
 namespace {
-
-// v2: "campaign" provenance line + the time-series block. v1 entries
-// fail the magic check and simply miss (the run is re-simulated).
-constexpr const char* kCacheMagic = "vortex-sweep-cache v2";
-
-/** Mirror of Processor::ipc() so cache-restored records reproduce the
- *  exact double a fresh run reports. */
-double
-ipcOf(uint64_t threadInstrs, uint64_t cycles)
-{
-    return cycles == 0 ? 0.0
-                       : static_cast<double>(threadInstrs) /
-                             static_cast<double>(cycles);
-}
 
 /** Shortest round-trippable formatting for the JSON doubles. */
 std::string
@@ -101,29 +83,90 @@ estimateRunCost(const RunSpec& spec)
     return work * (1.0 + machine / 16.0);
 }
 
-double
-cachedHostSeconds(const std::string& dir, const std::string& hash)
+CostModel
+CostModel::fromCache(const CacheStore& store)
 {
-    std::ifstream in(dir + "/" + hash + ".run");
-    std::string line;
-    if (!in || !std::getline(in, line) || line != kCacheMagic)
-        return -1.0;
-    while (std::getline(in, line)) {
-        std::istringstream ls(line);
-        std::string tag;
-        ls >> tag;
-        if (tag == "host_seconds") {
-            double s = 0.0;
-            ls >> s;
-            return s;
+    CostModel model;
+    // Per-kernel (host-seconds, estimate-units) accumulators, ordered
+    // by first appearance in the hash-sorted entry list — deterministic
+    // for a given set of entries.
+    std::vector<std::pair<std::string, std::pair<double, double>>> acc;
+    double totalSec = 0.0, totalUnits = 0.0;
+    for (const CacheEntryInfo& e : store.entries()) {
+        // Only entries with full provenance calibrate: a measured
+        // wall-clock, a kernel name, and a positive static estimate.
+        // (Cache-restored re-stores never happen — hits are not
+        // rewritten — so host_seconds is always a real measurement.)
+        if (e.kernel.empty() || e.estUnits <= 0.0 || e.hostSeconds <= 0.0)
+            continue;
+        auto it = std::find_if(acc.begin(), acc.end(),
+                               [&](const auto& kv) {
+                                   return kv.first == e.kernel;
+                               });
+        if (it == acc.end()) {
+            acc.push_back({e.kernel, {0.0, 0.0}});
+            it = acc.end() - 1;
         }
-        if (tag == "cycles")
-            break; // provenance lines precede the payload
+        it->second.first += e.hostSeconds;
+        it->second.second += e.estUnits;
+        totalSec += e.hostSeconds;
+        totalUnits += e.estUnits;
+        ++model.samples_;
     }
-    // A valid entry that predates the host_seconds line: still a hit —
-    // report "recorded cost unknown", not "absent", so the scheduler
-    // prices it like any other hit.
-    return 0.0;
+    for (const auto& [kernel, sums] : acc)
+        if (sums.second > 0.0)
+            model.kernelScale_.push_back(
+                {kernel, sums.first / sums.second});
+    if (totalUnits > 0.0)
+        model.globalScale_ = totalSec / totalUnits;
+    return model;
+}
+
+double
+CostModel::cost(const RunSpec& spec) const
+{
+    double base = estimateRunCost(spec);
+    const std::string kernel = workloadKernelName(spec.workload);
+    for (const auto& [name, scale] : kernelScale_)
+        if (name == kernel)
+            return base * scale;
+    // Unseen kernel: the global factor keeps its cost in the same
+    // (seconds) unit system as the calibrated kernels, so LPT still
+    // ranks mixed matrices sensibly; with no data at all, every run is
+    // priced in raw static units — consistent again.
+    return globalScale_ > 0.0 ? base * globalScale_ : base;
+}
+
+std::vector<uint32_t>
+shardAssignment(const std::vector<RunSpec>& runs, uint32_t shardCount)
+{
+    if (shardCount == 0)
+        fatal("shardAssignment: shard count must be >= 1");
+    // Greedy LPT bin-packing over the *static* cost heuristic (see the
+    // header for why it must not be cache-calibrated): heaviest run
+    // first onto the least-loaded shard, ties broken toward the lower
+    // index on both sides. Stable and host-independent.
+    std::vector<size_t> order(runs.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::vector<double> costs(runs.size());
+    for (size_t i = 0; i < runs.size(); ++i)
+        costs[i] = estimateRunCost(runs[i]);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return costs[a] > costs[b];
+                     });
+    std::vector<uint32_t> shardOf(runs.size(), 0);
+    std::vector<double> load(shardCount, 0.0);
+    for (size_t i : order) {
+        uint32_t best = 0;
+        for (uint32_t s = 1; s < shardCount; ++s)
+            if (load[s] < load[best])
+                best = s;
+        shardOf[i] = best;
+        load[best] += costs[i];
+    }
+    return shardOf;
 }
 
 double
@@ -308,7 +351,7 @@ Campaign::Campaign(CampaignOptions opts) : opts_(std::move(opts))
 }
 
 RunRecord
-Campaign::executeOne(const RunSpec& spec) const
+executeRun(const RunSpec& spec)
 {
     RunRecord rec;
     rec.spec = spec;
@@ -322,129 +365,6 @@ Campaign::executeOne(const RunSpec& spec) const
     dev.processor().collectStats(rec.stats);
     rec.series = dev.processor().timeSeries();
     return rec;
-}
-
-std::string
-Campaign::cachePath(const std::string& hash) const
-{
-    return opts_.cacheDir + "/" + hash + ".run";
-}
-
-bool
-Campaign::tryLoadCached(const RunSpec& spec, RunRecord& out) const
-{
-    if (opts_.cacheDir.empty())
-        return false;
-    std::ifstream in(cachePath(spec.contentHash()));
-    if (!in)
-        return false;
-
-    std::string line;
-    if (!std::getline(in, line) || line != kCacheMagic)
-        return false;
-
-    RunRecord rec;
-    rec.spec = spec;
-    rec.fromCache = true;
-    rec.result.ok = true;
-    bool complete = false;
-    while (std::getline(in, line)) {
-        std::istringstream ls(line);
-        std::string tag;
-        ls >> tag;
-        if (tag == "hash") {
-            std::string h;
-            ls >> h;
-            if (h != spec.contentHash())
-                return false; // foreign entry (renamed file?)
-        } else if (tag == "cycles") {
-            ls >> rec.result.cycles;
-        } else if (tag == "thread_instrs") {
-            ls >> rec.result.threadInstrs;
-        } else if (tag == "stat") {
-            std::string key;
-            uint64_t value = 0;
-            ls >> key >> value;
-            rec.stats.counter(key) = value;
-        } else if (tag == "sample_interval") {
-            ls >> rec.series.interval;
-        } else if (tag == "sample_cycles") {
-            uint64_t c = 0;
-            while (ls >> c)
-                rec.series.sampleCycles.push_back(c);
-        } else if (tag == "series") {
-            std::string key;
-            ls >> key;
-            rec.series.keys.push_back(key);
-            rec.series.deltas.emplace_back();
-            uint64_t d = 0;
-            while (ls >> d)
-                rec.series.deltas.back().push_back(d);
-        } else if (tag == "end") {
-            complete = true;
-        }
-    }
-    if (!complete)
-        return false; // truncated write
-    // A well-formed series is rectangular: every delta row as long as the
-    // cycle-stamp vector. Treat anything else as corruption -> miss.
-    for (const auto& row : rec.series.deltas)
-        if (row.size() != rec.series.numSamples())
-            return false;
-    rec.result.ipc = ipcOf(rec.result.threadInstrs, rec.result.cycles);
-    out = std::move(rec);
-    return true;
-}
-
-void
-Campaign::storeCached(const RunRecord& record,
-                      const std::string& campaignName) const
-{
-    if (opts_.cacheDir.empty() || !record.result.ok)
-        return;
-    std::error_code ec;
-    std::filesystem::create_directories(opts_.cacheDir, ec);
-
-    const std::string hash = record.spec.contentHash();
-    const std::string path = cachePath(hash);
-    const std::string tmp =
-        path + ".tmp." +
-        std::to_string(
-            std::hash<std::thread::id>{}(std::this_thread::get_id()));
-    {
-        std::ofstream outf(tmp, std::ios::trunc);
-        if (!outf)
-            return; // cache is best-effort; the run still succeeded
-        outf << kCacheMagic << "\n";
-        outf << "hash " << hash << "\n";
-        outf << "id " << record.spec.id() << "\n";
-        outf << "campaign " << campaignName << "\n";
-        // Provenance, not payload: what the simulation cost this host.
-        // Readers that predate the tag ignore it (unknown-tag rule), so
-        // the cache format stays v2.
-        outf << "host_seconds " << fmtDouble(record.hostSeconds) << "\n";
-        outf << "cycles " << record.result.cycles << "\n";
-        outf << "thread_instrs " << record.result.threadInstrs << "\n";
-        for (const auto& [k, v] : record.stats.all())
-            outf << "stat " << k << " " << v << "\n";
-        if (record.series.interval != 0) {
-            outf << "sample_interval " << record.series.interval << "\n";
-            outf << "sample_cycles";
-            for (uint64_t c : record.series.sampleCycles)
-                outf << " " << c;
-            outf << "\n";
-            for (size_t k = 0; k < record.series.keys.size(); ++k) {
-                outf << "series " << record.series.keys[k];
-                for (uint64_t d : record.series.deltas[k])
-                    outf << " " << d;
-                outf << "\n";
-            }
-        }
-        outf << "end\n";
-    }
-    std::filesystem::rename(tmp, path, ec);
-    if (ec)
-        std::filesystem::remove(tmp, ec);
 }
 
 /**
@@ -503,6 +423,27 @@ Campaign::run(const SweepSpec& spec)
     if (opts_.verify)
         verifyRuns(spec.name, runs);
 
+    // Fabric sharding: keep only this shard's slice of the matrix. The
+    // assignment is a pure function of the expanded runs (static cost
+    // heuristic), so N hosts given i/N for i = 0..N-1 execute disjoint
+    // slices whose union is the full matrix.
+    if (opts_.shardCount > 1) {
+        if (opts_.shardIndex >= opts_.shardCount)
+            fatal("campaign '", spec.name, "': shard index ",
+                  opts_.shardIndex, " out of range for ",
+                  opts_.shardCount, " shards");
+        std::vector<uint32_t> shardOf =
+            shardAssignment(runs, opts_.shardCount);
+        std::vector<RunSpec> mine;
+        for (size_t i = 0; i < runs.size(); ++i)
+            if (shardOf[i] == opts_.shardIndex)
+                mine.push_back(std::move(runs[i]));
+        runs = std::move(mine);
+    } else if (opts_.shardCount == 1 && opts_.shardIndex != 0) {
+        fatal("campaign '", spec.name, "': shard index ",
+              opts_.shardIndex, " out of range for 1 shard");
+    }
+
     CampaignResult result;
     result.name = spec.name;
     for (const Axis& a : spec.axes)
@@ -515,15 +456,18 @@ Campaign::run(const SweepSpec& spec)
     // Scheduling only — records are stored at their matrix index and
     // emitted in matrix order, so output bytes cannot depend on it.
     // Costs: a run already in the result cache restores in microseconds
-    // (price ~0, claimed last); everything else gets the deterministic
-    // estimateRunCost heuristic. Sort is stable with an index tiebreak,
-    // so the order is identical on every host.
+    // (price ~0, claimed last); everything else is priced by the cost
+    // model — calibrated from the cache's recorded host_seconds
+    // provenance when data exists, the static estimateRunCost heuristic
+    // otherwise. Sort is stable with an index tiebreak.
+    CacheStore cache(opts_.cacheDir);
+    CostModel model =
+        cache.enabled() ? CostModel::fromCache(cache) : CostModel();
     std::vector<double> costs(runs.size());
     for (size_t i = 0; i < runs.size(); ++i) {
-        bool cached = !opts_.cacheDir.empty() &&
-                      cachedHostSeconds(opts_.cacheDir,
-                                        runs[i].contentHash()) >= 0.0;
-        costs[i] = cached ? 0.0 : estimateRunCost(runs[i]);
+        bool cached =
+            cache.recordedHostSeconds(runs[i].contentHash()) >= 0.0;
+        costs[i] = cached ? 0.0 : model.cost(runs[i]);
     }
     std::vector<size_t> order(runs.size());
     for (size_t i = 0; i < order.size(); ++i)
@@ -553,15 +497,15 @@ Campaign::run(const SweepSpec& spec)
             size_t i = order[slot];
             try {
                 RunRecord rec;
-                if (tryLoadCached(runs[i], rec)) {
+                if (cache.load(runs[i], rec)) {
                     ++hits;
                 } else {
-                    rec = executeOne(runs[i]);
+                    rec = executeRun(runs[i]);
                     if (!rec.result.ok)
                         fatal("campaign '", spec.name, "' run '",
                               runs[i].id(), "' failed verification: ",
                               rec.result.error);
-                    storeCached(rec, spec.name);
+                    cache.store(rec, spec.name);
                     ++misses;
                 }
                 if (opts_.verbose || opts_.progress) {
@@ -630,146 +574,9 @@ Campaign::run(const SweepSpec& spec)
     result.cacheHits = hits;
     result.cacheMisses = misses;
     // Keep the cache's manifest in sync with what is now on disk.
-    if (!opts_.cacheDir.empty())
-        writeCacheManifest(opts_.cacheDir);
+    if (cache.enabled())
+        cache.writeManifest();
     return result;
-}
-
-namespace {
-
-/** @p path's mtime as seconds since the Unix epoch (0 on error). */
-int64_t
-mtimeSeconds(const std::filesystem::path& path)
-{
-    std::error_code ec;
-    auto ftime = std::filesystem::last_write_time(path, ec);
-    if (ec)
-        return 0;
-    // Portable file_clock -> system_clock conversion (no C++20
-    // clock_cast dependency): rebase through the two clocks' "now".
-    auto sys = std::chrono::time_point_cast<std::chrono::seconds>(
-        ftime - std::filesystem::file_time_type::clock::now() +
-        std::chrono::system_clock::now());
-    return sys.time_since_epoch().count();
-}
-
-/** @p epochSeconds as "YYYY-MM-DDThh:mm:ssZ". */
-std::string
-isoUtc(int64_t epochSeconds)
-{
-    std::time_t t = static_cast<std::time_t>(epochSeconds);
-    std::tm tm{};
-    gmtime_r(&t, &tm);
-    char buf[32];
-    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
-    return buf;
-}
-
-} // namespace
-
-std::vector<CacheEntryInfo>
-listCache(const std::string& dir)
-{
-    std::vector<CacheEntryInfo> entries;
-    std::error_code ec;
-    for (const auto& de :
-         std::filesystem::directory_iterator(dir, ec)) {
-        if (!de.is_regular_file() || de.path().extension() != ".run")
-            continue;
-        std::ifstream in(de.path());
-        std::string line;
-        if (!in || !std::getline(in, line) || line != kCacheMagic)
-            continue; // stale-format or foreign file; not an entry
-        CacheEntryInfo info;
-        info.hash = de.path().stem().string();
-        info.mtime = mtimeSeconds(de.path());
-        while (std::getline(in, line)) {
-            std::istringstream ls(line);
-            std::string tag;
-            ls >> tag;
-            if (tag == "id")
-                std::getline(ls >> std::ws, info.id);
-            else if (tag == "campaign")
-                std::getline(ls >> std::ws, info.campaign);
-            else if (tag == "cycles")
-                break; // provenance lines precede the payload
-        }
-        entries.push_back(std::move(info));
-    }
-    std::sort(entries.begin(), entries.end(),
-              [](const CacheEntryInfo& a, const CacheEntryInfo& b) {
-                  return a.hash < b.hash;
-              });
-    return entries;
-}
-
-void
-writeCacheManifest(const std::string& dir)
-{
-    std::vector<CacheEntryInfo> entries = listCache(dir);
-    // Unlike cache entries (same hash -> same bytes), two processes'
-    // manifests can genuinely differ mid-churn, so the temp name must be
-    // unique across processes, not just threads.
-    const std::string path = dir + "/manifest.json";
-    const std::string tmp =
-        path + ".tmp." + std::to_string(::getpid()) + "." +
-        std::to_string(
-            std::hash<std::thread::id>{}(std::this_thread::get_id()));
-    {
-        std::ofstream os(tmp, std::ios::trunc);
-        if (!os)
-            return; // the manifest is best-effort metadata
-        os << "{\n  \"entries\": [\n";
-        for (size_t i = 0; i < entries.size(); ++i) {
-            const CacheEntryInfo& e = entries[i];
-            os << "    {\"hash\": \"" << jsonEscape(e.hash)
-               << "\", \"id\": \"" << jsonEscape(e.id)
-               << "\", \"campaign\": \"" << jsonEscape(e.campaign)
-               << "\", \"written\": \"" << isoUtc(e.mtime) << "\"}"
-               << (i + 1 < entries.size() ? "," : "") << "\n";
-        }
-        os << "  ]\n}\n";
-    }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec)
-        std::filesystem::remove(tmp, ec);
-}
-
-size_t
-pruneCache(const std::string& dir, double olderThanDays)
-{
-    const int64_t cutoff =
-        olderThanDays < 0.0
-            ? INT64_MAX // prune everything
-            : std::chrono::duration_cast<std::chrono::seconds>(
-                  std::chrono::system_clock::now().time_since_epoch())
-                      .count() -
-                  static_cast<int64_t>(olderThanDays * 86400.0);
-    size_t removed = 0;
-    std::error_code ec;
-    for (const auto& de :
-         std::filesystem::directory_iterator(dir, ec)) {
-        if (!de.is_regular_file())
-            continue;
-        const std::string fname = de.path().filename().string();
-        // Sweep leftover temp files from interrupted writes regardless
-        // of age; they are never valid entries.
-        if (fname.find(".run.tmp.") != std::string::npos ||
-            fname.find("manifest.json.tmp.") != std::string::npos) {
-            std::filesystem::remove(de.path(), ec);
-            continue;
-        }
-        if (de.path().extension() != ".run")
-            continue;
-        if (mtimeSeconds(de.path()) <= cutoff) {
-            std::filesystem::remove(de.path(), ec);
-            if (!ec)
-                ++removed;
-        }
-    }
-    writeCacheManifest(dir);
-    return removed;
 }
 
 } // namespace vortex::sweep

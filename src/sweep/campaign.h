@@ -22,10 +22,15 @@
  * Result cache: a run's cache key is the content hash of its canonical
  * (config, workload) serialization (RunSpec::contentHash). Cached records
  * store the counters and metrics of the finished run; a hit skips the
- * simulation entirely. Only verified (ok) runs are cached. Entries are
- * one file per key under CampaignOptions::cacheDir, written atomically
- * (temp file + rename) so concurrent campaigns may share a cache
- * directory.
+ * simulation entirely. Only verified (ok) runs are cached. Entry I/O,
+ * the manifest, pruning, and cross-host merge all live in the CacheStore
+ * class (sweep/cache.h); the Campaign constructs one over
+ * CampaignOptions::cacheDir. Writes are atomic (temp file + rename) so
+ * concurrent campaigns may share a cache directory.
+ *
+ * Sharding (CampaignOptions::shardIndex/shardCount) and the service
+ * mode built on top of this engine are the campaign fabric — see
+ * sweep/fabric.h and docs/FABRIC.md.
  */
 
 #pragma once
@@ -46,6 +51,14 @@ struct CampaignOptions
     uint32_t jobs = 1;    ///< concurrent runs; 0 = host hardware threads
     std::string cacheDir; ///< result-cache directory ("" disables caching)
     bool verbose = false; ///< per-run progress lines on stderr
+    /** Fabric shard selector: with shardCount > 1 the campaign executes
+     *  only the runs shardAssignment() maps to shardIndex — a disjoint,
+     *  LPT-balanced slice of the matrix; the union of all shards is the
+     *  full matrix. 0/0 (the default) runs everything. Records are
+     *  still stored and emitted in matrix order, so a shard's outputs
+     *  are the matching subset of the unsharded bytes. */
+    uint32_t shardIndex = 0;
+    uint32_t shardCount = 0; ///< total shards (0 or 1 = unsharded)
     /** Claim runs longest-estimated-first (LPT) instead of in matrix
      *  order. Scheduling only — records are still stored and emitted in
      *  matrix order, so output bytes are unchanged (the determinism
@@ -136,45 +149,109 @@ struct CampaignResult
  */
 double estimateRunCost(const RunSpec& spec);
 
-/**
- * The simulation wall-clock seconds recorded in cache directory @p dir
- * for content hash @p hash: negative when no valid entry exists, 0 for
- * a valid entry that predates the host_seconds provenance line. A
- * non-negative return means Campaign::run will restore the run instead
- * of simulating it, so the scheduler prices it at (nearly) zero — the
- * recorded seconds tell the *next* heuristic consumer what the run
- * once cost, and give tests a round-trip probe.
- */
-double cachedHostSeconds(const std::string& dir, const std::string& hash);
+class CacheStore; // sweep/cache.h
 
-/** One result-cache entry as listed by the manifest. */
+/**
+ * Per-kernel calibration of estimateRunCost() against recorded cache
+ * provenance — the fleet scheduler's cost model. Every v2 cache entry
+ * records the run's measured wall-clock (host_seconds), its registry
+ * kernel name, and the static estimate at store time (est_units);
+ * fromCache() fits one seconds-per-estimate-unit scale factor per
+ * kernel (plus a global factor over all kernels) from those triples.
+ *
+ * cost() then prices a run as static-estimate x kernel factor — real
+ * recorded seconds shape the LPT schedule and the --progress ETA — and
+ * falls back to the global factor for kernels with no recorded data,
+ * or to the raw static heuristic when the store holds no data at all.
+ * Entries written before the kernel/est_units provenance lines simply
+ * contribute nothing. Like the static heuristic, the model only orders
+ * work: a stale fit can lengthen the critical path, never change a
+ * single output byte.
+ */
+class CostModel
+{
+  public:
+    /** The uncalibrated model: cost() is estimateRunCost() exactly. */
+    CostModel() = default;
+
+    /** Fit a model from @p store's entry provenance (see class docs).
+     *  Deterministic for a given set of entries. */
+    static CostModel fromCache(const CacheStore& store);
+
+    /** Estimated host cost of @p spec: seconds when calibrated for its
+     *  kernel (or globally), estimateRunCost() units otherwise. */
+    double cost(const RunSpec& spec) const;
+
+    /** Number of cache entries the fit consumed (0 = uncalibrated). */
+    size_t sampleCount() const { return samples_; }
+
+    /** Whether any recorded provenance shaped this model. */
+    bool calibrated() const { return samples_ > 0; }
+
+  private:
+    /** kernel name -> recorded seconds per static estimate unit. */
+    std::vector<std::pair<std::string, double>> kernelScale_;
+    double globalScale_ = 0.0; ///< all-kernel fallback factor (0 = none)
+    size_t samples_ = 0;       ///< entries consumed by the fit
+};
+
+/**
+ * Deterministic shard assignment of @p runs over @p shardCount shards:
+ * returns one shard index per run (matrix order). Assignment is greedy
+ * LPT bin-packing — runs are taken in descending estimateRunCost()
+ * order (stable, index tiebreak) and each lands on the least-loaded
+ * shard (lowest index on ties) — so shard workloads are balanced, every
+ * run lands on exactly one shard, and the union over shards is the full
+ * matrix. On purpose this uses the *static* cost heuristic, never a
+ * cache-calibrated model: every host of a fleet must compute the same
+ * partition from the spec alone, regardless of local cache state. (All
+ * hosts must also run the same simulator build — the heuristic is code,
+ * not spec data.) Fatal when @p shardCount is 0.
+ */
+std::vector<uint32_t> shardAssignment(const std::vector<RunSpec>& runs,
+                                      uint32_t shardCount);
+
+/**
+ * Simulate @p spec on a fresh Device and return the finished record
+ * (counters flattened, time series attached, hostSeconds measured).
+ * The execution primitive shared by Campaign workers and the fabric
+ * service; verification status is in the record — the caller decides
+ * whether a failure is fatal.
+ */
+RunRecord executeRun(const RunSpec& spec);
+
+/** One result-cache entry as listed by CacheStore::entries(). (Defined
+ *  here rather than in cache.h so the deprecated listCache() shim below
+ *  keeps compiling for campaign.h-only includers.) */
 struct CacheEntryInfo
 {
     std::string hash;     ///< content hash (the file basename)
     std::string id;       ///< run id recorded at store time
     std::string campaign; ///< campaign name recorded at store time
     int64_t mtime = 0;    ///< entry mtime, seconds since the Unix epoch
+    double hostSeconds = -1.0; ///< recorded wall-clock (-1 = not recorded)
+    std::string kernel;   ///< registry kernel name ("" on old entries)
+    double estUnits = 0.0; ///< static cost estimate at store time (0 = none)
 };
 
-/** All valid entries under cache directory @p dir, sorted by hash
- *  (empty when the directory is missing). */
+/** @deprecated Use CacheStore(dir).recordedHostSeconds(hash)
+ *  (sweep/cache.h). Forwarding shim kept for one PR. */
+[[deprecated("use CacheStore::recordedHostSeconds (sweep/cache.h)")]]
+double cachedHostSeconds(const std::string& dir, const std::string& hash);
+
+/** @deprecated Use CacheStore(dir).entries() (sweep/cache.h).
+ *  Forwarding shim kept for one PR. */
+[[deprecated("use CacheStore::entries (sweep/cache.h)")]]
 std::vector<CacheEntryInfo> listCache(const std::string& dir);
 
-/**
- * Rewrite @p dir/manifest.json from the entries on disk: one object per
- * cached record (hash, run id, campaign, ISO-8601 UTC timestamp).
- * Atomic (temp file + rename) and self-healing — it reflects whatever
- * entries exist, including ones written by other campaigns sharing the
- * directory. Campaign::run refreshes it after every cached campaign.
- */
+/** @deprecated Use CacheStore(dir).writeManifest() (sweep/cache.h).
+ *  Forwarding shim kept for one PR. */
+[[deprecated("use CacheStore::writeManifest (sweep/cache.h)")]]
 void writeCacheManifest(const std::string& dir);
 
-/**
- * Delete cached records from @p dir: all of them, or with
- * @p olderThanDays >= 0 only those whose mtime is older than that many
- * days. Also sweeps leftover temp files and rewrites the manifest.
- * @return the number of records removed.
- */
+/** @deprecated Use CacheStore(dir).prune(olderThanDays)
+ *  (sweep/cache.h). Forwarding shim kept for one PR. */
+[[deprecated("use CacheStore::prune (sweep/cache.h)")]]
 size_t pruneCache(const std::string& dir, double olderThanDays = -1.0);
 
 /** Executes SweepSpecs; see the file comment for the determinism and
@@ -185,20 +262,15 @@ class Campaign
     explicit Campaign(CampaignOptions opts = {});
 
     /** Expand @p spec and execute every run (or restore it from cache).
-     *  Fatal when a run fails verification — a campaign never silently
-     *  reports numbers from a wrong result. */
+     *  With CampaignOptions::shardCount > 1, executes only this shard's
+     *  slice of the matrix. Fatal when a run fails verification — a
+     *  campaign never silently reports numbers from a wrong result. */
     CampaignResult run(const SweepSpec& spec);
 
     /** The options this campaign executes with (jobs resolved). */
     const CampaignOptions& options() const { return opts_; }
 
   private:
-    RunRecord executeOne(const RunSpec& spec) const;
-    bool tryLoadCached(const RunSpec& spec, RunRecord& out) const;
-    void storeCached(const RunRecord& record,
-                     const std::string& campaignName) const;
-    std::string cachePath(const std::string& hash) const;
-
     CampaignOptions opts_;
 };
 

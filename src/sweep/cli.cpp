@@ -1,0 +1,753 @@
+/**
+ * @file
+ * vortex_sweep CLI implementation: subcommand dispatch (run / cache /
+ * serve / submit / specs) plus the legacy flat-flag grammar, both
+ * funneling into the same campaign executor. See cli.h for the grammar
+ * and docs/FABRIC.md for the fabric workflows.
+ */
+
+#include "sweep/cli.h"
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "sweep/cache.h"
+#include "sweep/campaign.h"
+#include "sweep/fabric.h"
+#include "sweep/presets.h"
+#include "sweep/specfile.h"
+
+namespace vortex::sweep {
+
+namespace {
+
+int
+usage(int code)
+{
+    std::printf(
+        "usage: vortex_sweep <command> [options]\n"
+        "       vortex_sweep [legacy options]   (same flags as `run`)\n"
+        "\n"
+        "commands:\n"
+        "  run     execute a sweep campaign (preset, spec file, or --axis)\n"
+        "  cache   result-cache maintenance: list | merge | prune\n"
+        "  serve   run the fabric submission service on a local socket\n"
+        "  submit  submit a spec file to a running service\n"
+        "  specs   introspection: list | fields | dump\n"
+        "\n"
+        "run options:\n"
+        "  --preset NAME        run a built-in preset (see `specs list`)\n"
+        "  --spec FILE          run the sweep described by a spec file\n"
+        "                       (TOML or JSON; see docs/SWEEP_SPECS.md)\n"
+        "  --axis F=V1,V2,...   add a sweep axis over field F (repeatable;\n"
+        "                       first axis varies slowest; appends to\n"
+        "                       --spec axes)\n"
+        "  --dump-spec PATH     serialize the resolved sweep as a TOML\n"
+        "                       spec file ('-' = stdout) and exit without\n"
+        "                       running it\n"
+        "  --set F=V            fix field F to V in the base machine\n"
+        "                       (repeatable, applied before the axes)\n"
+        "  --arg K=V            preset parameter (fig20: size=N;\n"
+        "                       fig21: paper=1)\n"
+        "  --jobs N             concurrent runs (default 1; 0 = host CPUs)\n"
+        "  --cache DIR          result-cache directory (skip unchanged "
+        "runs)\n"
+        "  --shard I/N          execute only shard I of an N-way fabric\n"
+        "                       partition of the matrix (0-based; overrides\n"
+        "                       the spec's [fabric] shard; see "
+        "docs/FABRIC.md)\n"
+        "  --progress           per-run elapsed/ETA lines on stderr\n"
+        "  --verify             statically verify every kernel/machine\n"
+        "                       pair before running (vortex_verify's\n"
+        "                       checks); fatal on analysis errors\n"
+        "  --no-lpt             claim runs in matrix order instead of\n"
+        "                       longest-first (output is identical either\n"
+        "                       way; LPT only shortens wall-clock)\n"
+        "  --sample N           snapshot device counters every N cycles\n"
+        "                       (shorthand for --set sampleInterval=N)\n"
+        "  --timeseries PATH    emit the per-interval counter time series\n"
+        "                       as JSON ('-' = stdout); needs --sample\n"
+        "  --bench-json PATH    emit host wall-clock + headline counters\n"
+        "                       (the CI bench-trajectory artifact)\n"
+        "  --csv PATH           CSV output ('-' = stdout; default "
+        "<name>.csv)\n"
+        "  --json PATH          also emit JSON ('-' = stdout)\n"
+        "  --no-csv             suppress the CSV file\n"
+        "  --name NAME          campaign name for ad-hoc sweeps\n"
+        "  --quiet              no per-run progress lines\n"
+        "\n"
+        "cache commands (DIR via positional or --cache):\n"
+        "  cache list DIR               table of cached entries\n"
+        "  cache merge DST SRC...       import SRC entries into DST\n"
+        "  cache prune DIR              delete entries (--older-than DAYS\n"
+        "                               to keep newer ones)\n"
+        "\n"
+        "serve / submit options:\n"
+        "  serve --listen PATH [--cache DIR] [--jobs N] [--quiet]\n"
+        "  submit --socket PATH --spec FILE [--name NAME]\n"
+        "  submit --socket PATH --shutdown\n"
+        "\n"
+        "legacy aliases (pre-subcommand spellings, still supported):\n"
+        "  --list               = specs list\n"
+        "  --fields             = specs fields\n"
+        "  --cache-prune        = cache prune (with --cache DIR\n"
+        "                         [--older-than DAYS])\n"
+        "  -h, --help           this text\n");
+    return code;
+}
+
+/** Split "field=v1,v2,v3" into an Axis. */
+Axis
+parseAxisArg(const std::string& arg)
+{
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size())
+        fatal("--axis expects FIELD=V1,V2,... (got '", arg, "')");
+    std::string field = arg.substr(0, eq);
+    std::vector<std::string> values;
+    std::stringstream ss(arg.substr(eq + 1));
+    std::string v;
+    while (std::getline(ss, v, ','))
+        if (!v.empty())
+            values.push_back(v);
+    if (values.empty())
+        fatal("--axis ", field, ": no values");
+    return Axis::sweep(field, values);
+}
+
+std::pair<std::string, std::string>
+parseKeyValue(const char* flag, const std::string& arg)
+{
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0)
+        fatal(flag, " expects KEY=VALUE (got '", arg, "')");
+    return {arg.substr(0, eq), arg.substr(eq + 1)};
+}
+
+double
+parseDaysArg(const std::string& olderThan)
+{
+    try {
+        size_t pos = 0;
+        double days = std::stod(olderThan, &pos);
+        if (pos != olderThan.size() || days < 0.0)
+            throw std::invalid_argument(olderThan);
+        return days;
+    } catch (const std::exception&) {
+        fatal("--older-than: cannot parse '", olderThan,
+              "' as a non-negative number of days");
+    }
+}
+
+void
+writeTo(const std::string& path, const std::string& what,
+        const std::function<void(std::ostream&)>& emit)
+{
+    if (path == "-") {
+        emit(std::cout);
+        return;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        fatal("cannot open ", path, " for writing");
+    emit(out);
+    std::fprintf(stderr, "wrote %s -> %s\n", what.c_str(), path.c_str());
+}
+
+/** Everything the run/legacy flag grammar can say. */
+struct RunArgs
+{
+    std::string presetName, csvPath, jsonPath, campaignName;
+    std::string timeseriesPath, benchJsonPath, olderThan;
+    std::string specPath, dumpSpecPath, shardArg;
+    std::vector<Axis> axes;
+    std::vector<std::pair<std::string, std::string>> sets, presetArgs;
+    CampaignOptions opts;
+    uint32_t sampleInterval = 0;
+    bool list = false, fields = false, noCsv = false, cachePrune = false;
+
+    RunArgs()
+    {
+        opts.jobs = 1;
+        opts.verbose = true;
+    }
+};
+
+/**
+ * Parse run/legacy flags starting at args[i]. Advances @p i past
+ * consumed arguments; returns false (with @p i at the offender) on an
+ * unknown argument, throws FatalError("-h") sentinel never — help is
+ * signaled via @p help.
+ */
+bool
+parseRunArgs(RunArgs& o, const std::vector<std::string>& args, size_t start,
+             bool& help, size_t& badIndex)
+{
+    for (size_t i = start; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        auto next = [&]() -> const std::string& {
+            if (i + 1 >= args.size())
+                fatal(a, " expects an argument");
+            return args[++i];
+        };
+        if (a == "--preset")
+            o.presetName = next();
+        else if (a == "--spec")
+            o.specPath = next();
+        else if (a == "--dump-spec")
+            o.dumpSpecPath = next();
+        else if (a == "--progress")
+            o.opts.progress = true;
+        else if (a == "--no-lpt")
+            o.opts.lpt = false;
+        else if (a == "--verify")
+            o.opts.verify = true;
+        else if (a == "--axis")
+            o.axes.push_back(parseAxisArg(next()));
+        else if (a == "--set")
+            o.sets.push_back(parseKeyValue("--set", next()));
+        else if (a == "--arg")
+            o.presetArgs.push_back(parseKeyValue("--arg", next()));
+        else if (a == "--jobs")
+            o.opts.jobs = parseU32Value("--jobs", next());
+        else if (a == "--cache")
+            o.opts.cacheDir = next();
+        else if (a == "--shard")
+            o.shardArg = next();
+        else if (a == "--sample")
+            o.sampleInterval = parseU32Value("--sample", next());
+        else if (a == "--timeseries")
+            o.timeseriesPath = next();
+        else if (a == "--bench-json")
+            o.benchJsonPath = next();
+        else if (a == "--cache-prune")
+            o.cachePrune = true;
+        else if (a == "--older-than")
+            o.olderThan = next();
+        else if (a == "--csv")
+            o.csvPath = next();
+        else if (a == "--json")
+            o.jsonPath = next();
+        else if (a == "--no-csv")
+            o.noCsv = true;
+        else if (a == "--name")
+            o.campaignName = next();
+        else if (a == "--quiet")
+            o.opts.verbose = false;
+        else if (a == "--list")
+            o.list = true;
+        else if (a == "--fields")
+            o.fields = true;
+        else if (a == "-h" || a == "--help")
+            help = true;
+        else {
+            badIndex = i;
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+listPresets()
+{
+    std::printf("%-18s %s\n", "preset", "description");
+    for (const Preset& p : presets())
+        std::printf("%-18s %s%s\n", p.name.c_str(), p.description.c_str(),
+                    p.table ? " [table]" : "");
+    return 0;
+}
+
+int
+listFields()
+{
+    std::printf("%-18s %s\n", "field", "description");
+    for (const FieldInfo& f : sweepableFields())
+        std::printf("%-18s %s\n", f.name, f.help);
+    return 0;
+}
+
+int
+cachePruneCmd(const std::string& dir, const std::string& olderThan)
+{
+    if (dir.empty())
+        fatal("cache prune needs a cache directory (--cache DIR)");
+    double days = olderThan.empty() ? -1.0 : parseDaysArg(olderThan);
+    CacheStore store(dir);
+    size_t removed = store.prune(days);
+    size_t left = store.entries().size();
+    std::fprintf(stderr,
+                 "cache %s: pruned %zu entr%s, %zu left "
+                 "(manifest.json rewritten)\n",
+                 dir.c_str(), removed, removed == 1 ? "y" : "ies", left);
+    return 0;
+}
+
+int
+cacheListCmd(const std::string& dir)
+{
+    if (dir.empty())
+        fatal("cache list needs a cache directory (--cache DIR)");
+    CacheStore store(dir);
+    std::vector<CacheEntryInfo> entries = store.entries();
+    std::printf("%-16s %-14s %-12s %-24s %s\n", "hash", "campaign",
+                "host_seconds", "kernel", "id");
+    for (const CacheEntryInfo& e : entries) {
+        char secs[32];
+        if (e.hostSeconds >= 0.0)
+            std::snprintf(secs, sizeof(secs), "%.3f", e.hostSeconds);
+        else
+            std::snprintf(secs, sizeof(secs), "-");
+        std::printf("%-16s %-14s %-12s %-24s %s\n", e.hash.c_str(),
+                    e.campaign.c_str(), secs, e.kernel.c_str(),
+                    e.id.c_str());
+    }
+    std::fprintf(stderr, "%zu entr%s in %s\n", entries.size(),
+                 entries.size() == 1 ? "y" : "ies", dir.c_str());
+    return 0;
+}
+
+int
+cacheMergeCmd(const std::string& dst, const std::vector<std::string>& srcs)
+{
+    CacheStore store(dst);
+    CacheMergeStats total;
+    for (const std::string& src : srcs) {
+        CacheMergeStats s = store.mergeFrom(src);
+        std::fprintf(stderr,
+                     "merge %s -> %s: %zu imported, %zu already present, "
+                     "%zu rejected\n",
+                     src.c_str(), dst.c_str(), s.imported, s.skipped,
+                     s.rejected);
+        total.imported += s.imported;
+        total.skipped += s.skipped;
+        total.rejected += s.rejected;
+    }
+    if (srcs.size() > 1)
+        std::fprintf(stderr,
+                     "merged %zu sources: %zu imported, %zu already "
+                     "present, %zu rejected\n",
+                     srcs.size(), total.imported, total.skipped,
+                     total.rejected);
+    return total.rejected ? 1 : 0;
+}
+
+int
+cacheCmd(const std::vector<std::string>& args)
+{
+    if (args.empty())
+        fatal("cache needs a verb: list, merge, or prune");
+    const std::string& verb = args[0];
+    std::string dir, olderThan;
+    std::vector<std::string> positional;
+    for (size_t i = 1; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        auto next = [&]() -> const std::string& {
+            if (i + 1 >= args.size())
+                fatal(a, " expects an argument");
+            return args[++i];
+        };
+        if (a == "--cache")
+            dir = next();
+        else if (a == "--older-than")
+            olderThan = next();
+        else if (!a.empty() && a[0] == '-')
+            fatal("cache ", verb, ": unknown option '", a, "'");
+        else
+            positional.push_back(a);
+    }
+    if (verb == "list") {
+        if (dir.empty() && positional.size() == 1)
+            dir = positional[0];
+        else if (!positional.empty())
+            fatal("cache list takes one directory");
+        return cacheListCmd(dir);
+    }
+    if (verb == "prune") {
+        if (dir.empty() && positional.size() == 1)
+            dir = positional[0];
+        else if (!positional.empty())
+            fatal("cache prune takes one directory");
+        return cachePruneCmd(dir, olderThan);
+    }
+    if (verb == "merge") {
+        if (!olderThan.empty())
+            fatal("--older-than only applies to cache prune");
+        if (!dir.empty())
+            positional.insert(positional.begin(), dir);
+        if (positional.size() < 2)
+            fatal("cache merge needs a destination and at least one "
+                  "source: cache merge DST SRC...");
+        std::string dst = positional[0];
+        positional.erase(positional.begin());
+        return cacheMergeCmd(dst, positional);
+    }
+    fatal("cache: unknown verb '", verb, "' (list, merge, prune)");
+}
+
+int
+serveCmd(const std::vector<std::string>& args)
+{
+    ServiceOptions opts;
+    opts.verbose = true;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        auto next = [&]() -> const std::string& {
+            if (i + 1 >= args.size())
+                fatal(a, " expects an argument");
+            return args[++i];
+        };
+        if (a == "--listen" || a == "--socket")
+            opts.socketPath = next();
+        else if (a == "--cache")
+            opts.cacheDir = next();
+        else if (a == "--jobs")
+            opts.jobs = parseU32Value("--jobs", next());
+        else if (a == "--quiet")
+            opts.verbose = false;
+        else
+            fatal("serve: unknown option '", a, "'");
+    }
+    if (opts.socketPath.empty())
+        fatal("serve needs --listen PATH (the AF_UNIX socket to bind)");
+    return serveMain(opts);
+}
+
+int
+submitCmd(const std::vector<std::string>& args)
+{
+    std::string socketPath, specPath, name;
+    bool shutdown = false;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        auto next = [&]() -> const std::string& {
+            if (i + 1 >= args.size())
+                fatal(a, " expects an argument");
+            return args[++i];
+        };
+        if (a == "--socket")
+            socketPath = next();
+        else if (a == "--spec")
+            specPath = next();
+        else if (a == "--name")
+            name = next();
+        else if (a == "--shutdown")
+            shutdown = true;
+        else
+            fatal("submit: unknown option '", a, "'");
+    }
+    if (socketPath.empty())
+        fatal("submit needs --socket PATH (the service's socket)");
+    if (shutdown) {
+        if (!specPath.empty())
+            fatal("--shutdown does not combine with --spec");
+        requestShutdown(socketPath);
+        std::fprintf(stderr, "service at %s acknowledged shutdown\n",
+                     socketPath.c_str());
+        return 0;
+    }
+    if (specPath.empty())
+        fatal("submit needs --spec FILE (or --shutdown)");
+    std::ifstream in(specPath);
+    if (!in)
+        fatal("cannot read spec file ", specPath);
+    std::ostringstream text;
+    text << in.rdbuf();
+    SubmitResult result =
+        submitSpecText(socketPath, text.str(), name, &std::cout);
+    if (!result.ok) {
+        std::fprintf(stderr, "submit failed: %s\n", result.error.c_str());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "campaign '%s': %llu runs (%llu simulated, %llu cache "
+                 "hits, %llu dedup joins)\n",
+                 result.campaign.c_str(),
+                 static_cast<unsigned long long>(result.runs),
+                 static_cast<unsigned long long>(result.simulated),
+                 static_cast<unsigned long long>(result.cacheHits),
+                 static_cast<unsigned long long>(result.dedupJoins));
+    return 0;
+}
+
+/** The campaign executor shared by `run`, `specs dump`, and the legacy
+ *  grammar: resolve the spec, then run it (or dump/prune/list). */
+int
+execRun(RunArgs& o)
+{
+    if (o.list)
+        return listPresets();
+    if (o.fields)
+        return listFields();
+    if (o.cachePrune) {
+        if (o.opts.cacheDir.empty())
+            fatal("--cache-prune needs --cache DIR");
+        return cachePruneCmd(o.opts.cacheDir, o.olderThan);
+    }
+    if (!o.olderThan.empty())
+        fatal("--older-than only applies to --cache-prune");
+    if (o.presetName.empty() && o.axes.empty() && o.specPath.empty()) {
+        std::fprintf(stderr, "nothing to do: give --preset, --spec, "
+                             "or --axis (see --list)\n");
+        return usage(2);
+    }
+    if (!o.presetName.empty() && !o.specPath.empty())
+        fatal("--preset does not combine with --spec (export the "
+              "preset with --dump-spec and edit the file instead)");
+
+    //
+    // Resolve the spec (or finished table) to run.
+    //
+    SweepSpec spec;
+    std::function<ReportTable(const CampaignResult&)> report;
+    if (!o.presetName.empty()) {
+        if (!o.axes.empty())
+            fatal("--axis does not combine with --preset; use --set "
+                  "to fix base-machine fields, or drop --preset for "
+                  "an ad-hoc sweep");
+        if (!o.campaignName.empty())
+            fatal("--name only applies to ad-hoc and --spec sweeps "
+                  "(presets are named after themselves)");
+        const Preset* p = findPreset(o.presetName);
+        if (!p)
+            fatal("unknown preset '", o.presetName,
+                  "' (vortex_sweep --list)");
+        if (p->table) {
+            if (!o.sets.empty())
+                fatal("preset '", o.presetName,
+                      "' is an area table; --set has no effect on it");
+            if (o.sampleInterval != 0 || !o.timeseriesPath.empty() ||
+                !o.benchJsonPath.empty())
+                fatal("preset '", o.presetName,
+                      "' is an area table; it runs no simulation to "
+                      "sample or time");
+            if (!o.dumpSpecPath.empty())
+                fatal("preset '", o.presetName,
+                      "' is an area table; it has no sweep spec to "
+                      "dump");
+            if (!o.presetArgs.empty())
+                fatal("preset '", o.presetName, "' takes no --arg '",
+                      o.presetArgs[0].first, "'");
+            if (!o.shardArg.empty())
+                fatal("preset '", o.presetName,
+                      "' is an area table; there is no run matrix to "
+                      "shard");
+            // Area/synthesis presets produce their table directly.
+            ReportTable t = p->table();
+            std::string out = o.csvPath.empty() && !o.noCsv
+                                  ? o.presetName + ".csv"
+                                  : o.csvPath;
+            if (!out.empty() && !o.noCsv)
+                writeTo(out, "table CSV",
+                        [&](std::ostream& os) { t.writeCsv(os); });
+            if (!o.jsonPath.empty())
+                writeTo(o.jsonPath, "table JSON",
+                        [&](std::ostream& os) { t.writeJson(os); });
+            t.print(std::cout);
+            return 0;
+        }
+        spec = p->sweep(o.presetArgs);
+        report = p->report;
+    } else if (!o.specPath.empty()) {
+        if (!o.presetArgs.empty())
+            fatal("--arg only applies to presets (spec files carry "
+                  "their parameters in [base]/[workload])");
+        spec = parseSpecFile(o.specPath);
+        if (!o.campaignName.empty())
+            spec.name = o.campaignName;
+        // CLI axes append after the file's own (they vary fastest).
+        for (Axis& a : o.axes)
+            spec.axes.push_back(std::move(a));
+        if (spec.axes.size() == 2)
+            report = pivotIpc;
+    } else {
+        if (!o.presetArgs.empty())
+            fatal("--arg only applies to presets (use --set for "
+                  "base-machine fields)");
+        spec.name = o.campaignName.empty() ? "custom" : o.campaignName;
+        spec.description = "ad-hoc CLI sweep";
+        spec.axes = std::move(o.axes);
+        if (spec.axes.size() == 2)
+            report = pivotIpc;
+    }
+    for (const auto& [k, v] : o.sets)
+        if (!applyField(spec.base, spec.baseWorkload, k, v))
+            fatal("--set: unknown field '", k, "' (vortex_sweep --fields)");
+    if (o.sampleInterval != 0)
+        spec.base.sampleInterval = o.sampleInterval;
+    // CLI --shard overrides the spec's own [fabric] shard annotation.
+    if (!o.shardArg.empty())
+        parseShardValue("--shard", o.shardArg, spec.shardIndex,
+                        spec.shardCount);
+    o.opts.shardIndex = spec.shardIndex;
+    o.opts.shardCount = spec.shardCount;
+    if (!o.dumpSpecPath.empty()) {
+        // Export instead of run: the resolved sweep (preset, spec
+        // file, or ad-hoc axes, with --set/--sample/--shard folded in)
+        // as a canonical TOML document.
+        writeTo(o.dumpSpecPath, "sweep spec",
+                [&](std::ostream& os) { writeSpecToml(spec, os); });
+        return 0;
+    }
+    if (!o.timeseriesPath.empty()) {
+        // Sampling may come from --sample, --set sampleInterval=N,
+        // or an axis; an all-disabled matrix would emit an empty
+        // (misleading) series, so reject it up front.
+        bool anySampled = spec.base.sampleInterval != 0;
+        if (!anySampled) {
+            for (const RunSpec& r : spec.expand())
+                if (r.config.sampleInterval != 0) {
+                    anySampled = true;
+                    break;
+                }
+        }
+        if (!anySampled)
+            fatal("--timeseries needs sampling enabled: add "
+                  "--sample N (or --set sampleInterval=N)");
+    }
+
+    Campaign campaign(o.opts);
+    std::string shardNote;
+    if (o.opts.shardCount > 1)
+        shardNote = " [shard " + std::to_string(o.opts.shardIndex) + "/" +
+                    std::to_string(o.opts.shardCount) + "]";
+    std::fprintf(stderr, "campaign '%s': %zu runs, %u jobs%s%s\n",
+                 spec.name.c_str(), spec.runCount(),
+                 campaign.options().jobs,
+                 o.opts.cacheDir.empty()
+                     ? ""
+                     : (" (cache: " + o.opts.cacheDir + ")").c_str(),
+                 shardNote.c_str());
+
+    CampaignResult result = campaign.run(spec);
+
+    if (!o.noCsv) {
+        std::string out = o.csvPath.empty() ? spec.name + ".csv" : o.csvPath;
+        writeTo(out, "campaign CSV",
+                [&](std::ostream& os) { result.writeCsv(os); });
+    }
+    if (!o.jsonPath.empty())
+        writeTo(o.jsonPath, "campaign JSON",
+                [&](std::ostream& os) { result.writeJson(os); });
+    if (!o.timeseriesPath.empty())
+        writeTo(o.timeseriesPath, "time-series JSON",
+                [&](std::ostream& os) { result.writeTimeSeriesJson(os); });
+    if (!o.benchJsonPath.empty())
+        writeTo(o.benchJsonPath, "bench JSON",
+                [&](std::ostream& os) { result.writeBenchJson(os); });
+
+    // Figure-shaped reports need the full matrix; a shard holds only
+    // its slice, so reports come from the post-merge full rerun.
+    if (report && o.opts.shardCount <= 1)
+        report(result).print(std::cout);
+    if (!o.opts.cacheDir.empty())
+        std::fprintf(stderr, "cache: %u hit%s, %u miss%s\n",
+                     result.cacheHits, result.cacheHits == 1 ? "" : "s",
+                     result.cacheMisses,
+                     result.cacheMisses == 1 ? "" : "es");
+    return 0;
+}
+
+int
+runCmd(const std::vector<std::string>& args, size_t start)
+{
+    RunArgs o;
+    bool help = false;
+    size_t bad = 0;
+    if (!parseRunArgs(o, args, start, help, bad)) {
+        std::fprintf(stderr, "unknown argument '%s'\n", args[bad].c_str());
+        return usage(2);
+    }
+    if (help)
+        return usage(0);
+    return execRun(o);
+}
+
+int
+specsCmd(const std::vector<std::string>& args)
+{
+    if (args.empty())
+        fatal("specs needs a verb: list, fields, or dump");
+    const std::string& verb = args[0];
+    if (verb == "list") {
+        if (args.size() > 1)
+            fatal("specs list takes no arguments");
+        return listPresets();
+    }
+    if (verb == "fields") {
+        if (args.size() > 1)
+            fatal("specs fields takes no arguments");
+        return listFields();
+    }
+    if (verb == "dump") {
+        // `specs dump [run flags] [PATH]`: same resolution as `run`,
+        // serialized instead of executed. PATH defaults to stdout.
+        RunArgs o;
+        std::vector<std::string> rest(args.begin() + 1, args.end());
+        std::string out = "-";
+        if (!rest.empty() && !rest.back().empty() && rest.back()[0] != '-' &&
+            rest.back().find('=') == std::string::npos) {
+            // A trailing bare word that is not a flag value: only take
+            // it as PATH when the preceding token is not a flag that
+            // wants an argument.
+            bool prevTakesArg =
+                rest.size() >= 2 && rest[rest.size() - 2].size() > 2 &&
+                rest[rest.size() - 2].compare(0, 2, "--") == 0;
+            if (!prevTakesArg) {
+                out = rest.back();
+                rest.pop_back();
+            }
+        }
+        bool help = false;
+        size_t bad = 0;
+        if (!parseRunArgs(o, rest, 0, help, bad)) {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         rest[bad].c_str());
+            return usage(2);
+        }
+        if (help)
+            return usage(0);
+        if (o.dumpSpecPath.empty())
+            o.dumpSpecPath = out;
+        return execRun(o);
+    }
+    fatal("specs: unknown verb '", verb, "' (list, fields, dump)");
+}
+
+} // namespace
+
+int
+cliMain(const std::vector<std::string>& args)
+{
+    try {
+        if (!args.empty()) {
+            const std::string& cmd = args[0];
+            std::vector<std::string> rest(args.begin() + 1, args.end());
+            if (cmd == "run")
+                return runCmd(args, 1);
+            if (cmd == "cache")
+                return cacheCmd(rest);
+            if (cmd == "serve")
+                return serveCmd(rest);
+            if (cmd == "submit")
+                return submitCmd(rest);
+            if (cmd == "specs")
+                return specsCmd(rest);
+        }
+        // No subcommand word: the legacy flat-flag grammar (identical
+        // to `run`).
+        return runCmd(args, 0);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
+
+} // namespace vortex::sweep

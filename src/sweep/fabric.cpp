@@ -1,0 +1,935 @@
+/**
+ * @file
+ * Campaign-fabric service implementation: AF_UNIX NDJSON server, the
+ * in-flight dedup machinery, and the blocking submit/shutdown clients.
+ * See fabric.h for the dedup contract and docs/FABRIC.md for the wire
+ * protocol.
+ */
+
+#include "sweep/fabric.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/log.h"
+#include "sweep/cache.h"
+#include "sweep/campaign.h"
+#include "sweep/report.h"
+#include "sweep/specfile.h"
+
+namespace vortex::sweep {
+
+namespace {
+
+/** %.17g (shortest round-trip-safe) double text, matching the cache
+ *  entry format. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+//
+// Socket plumbing.
+//
+
+/** Connect a stream socket to @p path; fatal on failure. */
+int
+connectTo(const std::string& path)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path))
+        fatal("socket path too long: ", path);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("socket(): ", std::strerror(errno));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        int err = errno;
+        ::close(fd);
+        fatal("cannot reach service at ", path, ": ", std::strerror(err));
+    }
+    return fd;
+}
+
+/** Send @p line plus a terminating newline; false on a dead peer. */
+bool
+sendLine(int fd, const std::string& line)
+{
+    std::string out = line + "\n";
+    size_t sent = 0;
+    while (sent < out.size()) {
+        ssize_t n = ::send(fd, out.data() + sent, out.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** Pull one '\n'-terminated line out of @p carry, recv()ing as needed.
+ *  False on EOF / error with no complete line buffered. */
+bool
+readLine(int fd, std::string& carry, std::string& line)
+{
+    for (;;) {
+        size_t nl = carry.find('\n');
+        if (nl != std::string::npos) {
+            line = carry.substr(0, nl);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            carry.erase(0, nl + 1);
+            return true;
+        }
+        char tmp[4096];
+        ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+        if (n <= 0)
+            return false;
+        carry.append(tmp, static_cast<size_t>(n));
+    }
+}
+
+//
+// Request lines are flat JSON objects with string values; this minimal
+// parser is the exact inverse of jsonEscape (sweep/report.h), which
+// both ends use to produce lines.
+//
+
+struct JsonField
+{
+    std::string key;
+    std::string value;
+};
+
+bool
+jsonUnescape(const std::string& in, size_t& i, std::string& out,
+             std::string& err)
+{
+    // i points at the opening quote.
+    ++i;
+    out.clear();
+    while (i < in.size() && in[i] != '"') {
+        char c = in[i];
+        if (c != '\\') {
+            out += c;
+            ++i;
+            continue;
+        }
+        if (++i >= in.size())
+            break;
+        switch (in[i]) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+            if (i + 4 >= in.size()) {
+                err = "truncated \\u escape";
+                return false;
+            }
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+                char h = in[++i];
+                code <<= 4;
+                if (h >= '0' && h <= '9')
+                    code |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    code |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    code |= static_cast<unsigned>(h - 'A' + 10);
+                else {
+                    err = "bad \\u escape";
+                    return false;
+                }
+            }
+            if (code > 0x7f) {
+                err = "non-ASCII \\u escape unsupported";
+                return false;
+            }
+            out += static_cast<char>(code);
+            break;
+        }
+        default:
+            err = std::string("unknown escape \\") + in[i];
+            return false;
+        }
+        ++i;
+    }
+    if (i >= in.size()) {
+        err = "unterminated string";
+        return false;
+    }
+    ++i; // closing quote
+    return true;
+}
+
+/** Parse a flat {"k": "v", ...} object (string or bare-token values)
+ *  into ordered fields. */
+bool
+parseJsonLine(const std::string& in, std::vector<JsonField>& out,
+              std::string& err)
+{
+    out.clear();
+    size_t i = 0;
+    auto skipWs = [&] {
+        while (i < in.size() && (in[i] == ' ' || in[i] == '\t'))
+            ++i;
+    };
+    skipWs();
+    if (i >= in.size() || in[i] != '{') {
+        err = "expected '{'";
+        return false;
+    }
+    ++i;
+    skipWs();
+    if (i < in.size() && in[i] == '}')
+        return true;
+    for (;;) {
+        skipWs();
+        if (i >= in.size() || in[i] != '"') {
+            err = "expected key string";
+            return false;
+        }
+        JsonField f;
+        if (!jsonUnescape(in, i, f.key, err))
+            return false;
+        skipWs();
+        if (i >= in.size() || in[i] != ':') {
+            err = "expected ':'";
+            return false;
+        }
+        ++i;
+        skipWs();
+        if (i < in.size() && in[i] == '"') {
+            if (!jsonUnescape(in, i, f.value, err))
+                return false;
+        } else {
+            size_t start = i;
+            while (i < in.size() && in[i] != ',' && in[i] != '}')
+                ++i;
+            f.value = in.substr(start, i - start);
+            while (!f.value.empty() &&
+                   (f.value.back() == ' ' || f.value.back() == '\t'))
+                f.value.pop_back();
+            if (f.value.empty()) {
+                err = "empty value";
+                return false;
+            }
+        }
+        out.push_back(std::move(f));
+        skipWs();
+        if (i < in.size() && in[i] == ',') {
+            ++i;
+            continue;
+        }
+        if (i < in.size() && in[i] == '}')
+            return true;
+        err = "expected ',' or '}'";
+        return false;
+    }
+}
+
+const std::string*
+findField(const std::vector<JsonField>& fields, const std::string& key)
+{
+    for (const JsonField& f : fields)
+        if (f.key == key)
+            return &f.value;
+    return nullptr;
+}
+
+/** Bounded counting semaphore (kept local: <semaphore> needs nothing
+ *  this 20-liner doesn't provide). */
+class SimSlots
+{
+  public:
+    explicit SimSlots(uint32_t n) : count_(n) {}
+
+    void acquire()
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_.wait(lk, [&] { return count_ > 0; });
+        --count_;
+    }
+
+    void release()
+    {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            ++count_;
+        }
+        cv_.notify_one();
+    }
+
+  private:
+    std::mutex m_;
+    std::condition_variable cv_;
+    uint32_t count_;
+};
+
+} // namespace
+
+//
+// Service.
+//
+
+struct Service::Impl
+{
+    ServiceOptions opts;
+    CacheStore cache;
+
+    std::atomic<int> listenFd{-1}; ///< written by stop() while acceptLoop reads
+    std::atomic<bool> running{false};
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> shutdownRequested{false};
+    std::thread acceptThread;
+
+    std::mutex clientsMu;           ///< guards clientThreads/clientFds
+    std::vector<std::thread> clientThreads;
+    std::vector<int> clientFds;     ///< fds of live client connections
+
+    /** A run being simulated right now; identical submissions block on
+     *  cv instead of simulating again. */
+    struct Inflight
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        RunRecord rec;
+    };
+
+    std::mutex stateMu; ///< guards inflight/memo/stats
+    std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight;
+    std::unordered_map<std::string, RunRecord> memo; ///< completed ok runs
+    ServiceStats stats;
+
+    SimSlots simSlots;
+
+    explicit Impl(ServiceOptions o)
+        : opts(std::move(o)),
+          cache(opts.cacheDir),
+          simSlots(opts.jobs ? opts.jobs
+                             : std::max(1u, std::thread::hardware_concurrency()))
+    {
+    }
+
+    /** Where one run's record came from (the dedup resolution order in
+     *  fabric.h's file comment). */
+    enum class Origin
+    {
+        Memo,
+        Cache,
+        Dedup,
+        Simulated,
+    };
+
+    static const char* originName(Origin o)
+    {
+        switch (o) {
+        case Origin::Memo: return "memo";
+        case Origin::Cache: return "cache";
+        case Origin::Dedup: return "dedup";
+        default: return "simulated";
+        }
+    }
+
+    /** Resolve one run through memo -> disk cache -> in-flight join ->
+     *  fresh simulation. Thread-safe; called by submission workers. */
+    RunRecord resolveRun(const RunSpec& spec, const std::string& campaignName,
+                         Origin& origin)
+    {
+        const std::string hash = spec.contentHash();
+        std::shared_ptr<Inflight> mine;
+        std::shared_ptr<Inflight> theirs;
+        {
+            std::lock_guard<std::mutex> lk(stateMu);
+            auto mit = memo.find(hash);
+            if (mit != memo.end()) {
+                ++stats.memoHits;
+                origin = Origin::Memo;
+                RunRecord rec = mit->second;
+                rec.spec = spec; // same content hash, caller's coordinates
+                rec.fromCache = true;
+                rec.hostSeconds = 0.0;
+                return rec;
+            }
+            auto iit = inflight.find(hash);
+            if (iit != inflight.end()) {
+                theirs = iit->second;
+                ++stats.dedupJoins;
+            } else {
+                mine = std::make_shared<Inflight>();
+                inflight.emplace(hash, mine);
+            }
+        }
+        if (theirs) {
+            std::unique_lock<std::mutex> lk(theirs->m);
+            theirs->cv.wait(lk, [&] { return theirs->done; });
+            origin = Origin::Dedup;
+            RunRecord rec = theirs->rec;
+            rec.spec = spec;
+            return rec;
+        }
+
+        // This thread owns the simulation for `hash`.
+        RunRecord rec;
+        if (cache.enabled() && cache.load(spec, rec)) {
+            origin = Origin::Cache;
+            std::lock_guard<std::mutex> lk(stateMu);
+            ++stats.cacheHits;
+        } else {
+            simSlots.acquire();
+            rec = executeRun(spec);
+            simSlots.release();
+            origin = Origin::Simulated;
+            if (rec.result.ok && cache.enabled())
+                cache.store(rec, campaignName);
+            std::lock_guard<std::mutex> lk(stateMu);
+            ++stats.simulated;
+        }
+        {
+            std::lock_guard<std::mutex> lk(stateMu);
+            if (rec.result.ok)
+                memo.emplace(hash, rec);
+            inflight.erase(hash);
+        }
+        {
+            std::lock_guard<std::mutex> lk(mine->m);
+            mine->rec = rec;
+            mine->done = true;
+        }
+        mine->cv.notify_all();
+        return rec;
+    }
+
+    /** Serve one `submit` request: expand, schedule LPT, resolve every
+     *  run, stream events. @p writeMu serializes lines to @p fd. */
+    void handleSubmit(int fd, std::mutex& writeMu,
+                      const std::vector<JsonField>& fields)
+    {
+        auto emit = [&](const std::string& line) {
+            std::lock_guard<std::mutex> lk(writeMu);
+            return sendLine(fd, line);
+        };
+        auto emitError = [&](const std::string& msg) {
+            {
+                std::lock_guard<std::mutex> lk(stateMu);
+                ++stats.errors;
+            }
+            emit(std::string("{\"event\": \"error\", \"message\": \"") +
+                 jsonEscape(msg) + "\"}");
+        };
+
+        const std::string* specText = findField(fields, "spec");
+        if (!specText) {
+            emitError("submit request is missing the \"spec\" field");
+            return;
+        }
+        SweepSpec spec;
+        try {
+            spec = parseSpecText(*specText, "<submission>");
+        } catch (const SpecParseError& e) {
+            emitError(e.what());
+            return;
+        } catch (const FatalError& e) {
+            emitError(e.what());
+            return;
+        }
+        if (const std::string* name = findField(fields, "name"))
+            if (!name->empty())
+                spec.name = *name;
+
+        std::vector<RunSpec> runs;
+        try {
+            runs = spec.expand();
+            if (spec.shardCount > 1) {
+                std::vector<uint32_t> shardOf =
+                    shardAssignment(runs, spec.shardCount);
+                std::vector<RunSpec> mine;
+                for (size_t i = 0; i < runs.size(); ++i)
+                    if (shardOf[i] == spec.shardIndex)
+                        mine.push_back(std::move(runs[i]));
+                runs = std::move(mine);
+            }
+        } catch (const FatalError& e) {
+            emitError(e.what());
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lk(stateMu);
+            ++stats.submissions;
+            stats.runsRequested += runs.size();
+        }
+        if (opts.verbose)
+            inform("[fabric] submit ", spec.name, ": ", runs.size(), " runs");
+        emit(std::string("{\"event\": \"accepted\", \"campaign\": \"") +
+             jsonEscape(spec.name) + "\", \"runs\": " +
+             std::to_string(runs.size()) + "}");
+
+        // LPT claim order over the calibrated cost model (scheduling
+        // only: events still carry matrix indices).
+        CostModel model =
+            cache.enabled() ? CostModel::fromCache(cache) : CostModel();
+        std::vector<size_t> order(runs.size());
+        for (size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::vector<double> costs(runs.size());
+        for (size_t i = 0; i < runs.size(); ++i)
+            costs[i] = model.cost(runs[i]);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) { return costs[a] > costs[b]; });
+
+        uint64_t nSimulated = 0;
+        uint64_t nCacheHits = 0;
+        uint64_t nDedup = 0;
+        std::string firstError;
+        size_t firstErrorIndex = runs.size();
+        std::mutex subMu; // guards the submission-local counters above
+
+        std::atomic<size_t> cursor{0};
+        uint32_t workers = opts.jobs ? opts.jobs
+                                     : std::max(1u, std::thread::hardware_concurrency());
+        workers = static_cast<uint32_t>(
+            std::min<size_t>(workers, std::max<size_t>(runs.size(), 1)));
+        auto work = [&] {
+            for (;;) {
+                size_t slot = cursor.fetch_add(1);
+                if (slot >= order.size())
+                    return;
+                size_t i = order[slot];
+                Origin origin = Origin::Simulated;
+                RunRecord rec = resolveRun(runs[i], spec.name, origin);
+                {
+                    std::lock_guard<std::mutex> lk(subMu);
+                    switch (origin) {
+                    case Origin::Memo:
+                    case Origin::Cache: ++nCacheHits; break;
+                    case Origin::Dedup: ++nDedup; break;
+                    case Origin::Simulated: ++nSimulated; break;
+                    }
+                    if (!rec.result.ok && i < firstErrorIndex) {
+                        firstErrorIndex = i;
+                        firstError = "run " + rec.spec.id() +
+                                     " failed verification: " + rec.result.error;
+                    }
+                }
+                std::ostringstream ev;
+                ev << "{\"event\": \"run\", \"index\": " << i
+                   << ", \"id\": \"" << jsonEscape(rec.spec.id())
+                   << "\", \"hash\": \"" << rec.spec.contentHash()
+                   << "\", \"source\": \"" << originName(origin)
+                   << "\", \"ok\": " << (rec.result.ok ? "true" : "false")
+                   << ", \"cycles\": " << rec.result.cycles
+                   << ", \"thread_instrs\": " << rec.result.threadInstrs
+                   << ", \"ipc\": " << fmtDouble(rec.result.ipc) << "}";
+                emit(ev.str());
+                if (opts.verbose)
+                    inform("[fabric]   ", rec.spec.id(), " <- ",
+                           originName(origin));
+            }
+        };
+        if (workers <= 1 || runs.size() <= 1) {
+            work();
+        } else {
+            std::vector<std::thread> pool;
+            for (uint32_t w = 0; w < workers; ++w)
+                pool.emplace_back(work);
+            for (std::thread& t : pool)
+                t.join();
+        }
+
+        if (cache.enabled())
+            cache.writeManifest();
+        if (!firstError.empty()) {
+            emitError(firstError);
+            return;
+        }
+        std::ostringstream done;
+        done << "{\"event\": \"done\", \"campaign\": \""
+             << jsonEscape(spec.name) << "\", \"runs\": " << runs.size()
+             << ", \"simulated\": " << nSimulated
+             << ", \"cache_hits\": " << nCacheHits
+             << ", \"dedup_joins\": " << nDedup << "}";
+        emit(done.str());
+    }
+
+    /** Per-connection request loop. */
+    void clientLoop(int fd)
+    {
+        std::mutex writeMu;
+        std::string carry;
+        std::string line;
+        while (!stopping.load() && readLine(fd, carry, line)) {
+            if (line.empty())
+                continue;
+            std::vector<JsonField> fields;
+            std::string err;
+            if (!parseJsonLine(line, fields, err)) {
+                std::lock_guard<std::mutex> lk(writeMu);
+                sendLine(fd, std::string("{\"event\": \"error\", \"message\": "
+                                         "\"bad request: ") +
+                                 jsonEscape(err) + "\"}");
+                continue;
+            }
+            const std::string* op = findField(fields, "op");
+            if (!op) {
+                std::lock_guard<std::mutex> lk(writeMu);
+                sendLine(fd, "{\"event\": \"error\", \"message\": "
+                             "\"request is missing the \\\"op\\\" field\"}");
+                continue;
+            }
+            if (*op == "ping") {
+                std::lock_guard<std::mutex> lk(writeMu);
+                sendLine(fd, "{\"event\": \"pong\"}");
+            } else if (*op == "status") {
+                ServiceStats s;
+                size_t nInflight;
+                {
+                    std::lock_guard<std::mutex> lk(stateMu);
+                    s = stats;
+                    nInflight = inflight.size();
+                }
+                std::ostringstream ev;
+                ev << "{\"event\": \"status\", \"submissions\": "
+                   << s.submissions << ", \"runs_requested\": "
+                   << s.runsRequested << ", \"simulated\": " << s.simulated
+                   << ", \"cache_hits\": " << s.cacheHits
+                   << ", \"memo_hits\": " << s.memoHits
+                   << ", \"dedup_joins\": " << s.dedupJoins
+                   << ", \"errors\": " << s.errors
+                   << ", \"inflight\": " << nInflight << "}";
+                std::lock_guard<std::mutex> lk(writeMu);
+                sendLine(fd, ev.str());
+            } else if (*op == "submit") {
+                handleSubmit(fd, writeMu, fields);
+            } else if (*op == "shutdown") {
+                // Raise the flag before acknowledging so a client that
+                // received "bye" is guaranteed to observe it.
+                shutdownRequested.store(true);
+                {
+                    std::lock_guard<std::mutex> lk(writeMu);
+                    sendLine(fd, "{\"event\": \"bye\"}");
+                }
+                break;
+            } else {
+                std::lock_guard<std::mutex> lk(writeMu);
+                sendLine(fd, std::string("{\"event\": \"error\", \"message\": "
+                                         "\"unknown op \\\"") +
+                                 jsonEscape(*op) + "\\\"\"}");
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lk(clientsMu);
+            clientFds.erase(std::remove(clientFds.begin(), clientFds.end(), fd),
+                            clientFds.end());
+            ::close(fd);
+        }
+    }
+
+    void acceptLoop()
+    {
+        for (;;) {
+            int lfd = listenFd.load();
+            if (lfd < 0)
+                return;
+            int fd = ::accept(lfd, nullptr, nullptr);
+            if (fd < 0) {
+                if (stopping.load() || errno != EINTR)
+                    return;
+                continue;
+            }
+            if (stopping.load()) {
+                ::close(fd);
+                return;
+            }
+            std::lock_guard<std::mutex> lk(clientsMu);
+            clientFds.push_back(fd);
+            clientThreads.emplace_back([this, fd] { clientLoop(fd); });
+        }
+    }
+};
+
+Service::Service(ServiceOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(opts)))
+{
+}
+
+Service::~Service()
+{
+    stop();
+}
+
+void
+Service::start()
+{
+    Impl& im = *impl_;
+    if (im.running.load())
+        fatal("service already started");
+    const std::string& path = im.opts.socketPath;
+    if (path.empty())
+        fatal("service needs a socket path");
+
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path))
+        fatal("socket path too long: ", path);
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("socket(): ", std::strerror(errno));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        if (errno == EADDRINUSE) {
+            // A stale socket file from a dead service is fine to evict;
+            // a live service is not.
+            int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            bool live = probe >= 0 &&
+                        ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                                  sizeof(addr)) == 0;
+            if (probe >= 0)
+                ::close(probe);
+            if (live) {
+                ::close(fd);
+                fatal("a service is already listening on ", path);
+            }
+            ::unlink(path.c_str());
+            if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+                0) {
+                int err = errno;
+                ::close(fd);
+                fatal("bind(", path, "): ", std::strerror(err));
+            }
+        } else {
+            int err = errno;
+            ::close(fd);
+            fatal("bind(", path, "): ", std::strerror(err));
+        }
+    }
+    if (::listen(fd, 64) != 0) {
+        int err = errno;
+        ::close(fd);
+        ::unlink(path.c_str());
+        fatal("listen(", path, "): ", std::strerror(err));
+    }
+    im.listenFd = fd;
+    im.stopping.store(false);
+    im.running.store(true);
+    im.acceptThread = std::thread([&im] { im.acceptLoop(); });
+    if (im.opts.verbose)
+        inform("[fabric] listening on ", path);
+}
+
+void
+Service::stop()
+{
+    Impl& im = *impl_;
+    if (!im.running.exchange(false))
+        return;
+    im.stopping.store(true);
+    int lfd = im.listenFd.exchange(-1);
+    if (lfd >= 0) {
+        ::shutdown(lfd, SHUT_RDWR);
+        ::close(lfd);
+    }
+    if (im.acceptThread.joinable())
+        im.acceptThread.join();
+    {
+        // Wake blocked client reads; each thread closes its own fd.
+        std::lock_guard<std::mutex> lk(im.clientsMu);
+        for (int fd : im.clientFds)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    // clientThreads only grows under clientsMu and no thread appends
+    // after stopping, so the snapshot below is complete.
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lk(im.clientsMu);
+        threads.swap(im.clientThreads);
+    }
+    for (std::thread& t : threads)
+        if (t.joinable())
+            t.join();
+    ::unlink(im.opts.socketPath.c_str());
+    if (im.opts.verbose)
+        inform("[fabric] stopped");
+}
+
+bool
+Service::running() const
+{
+    return impl_->running.load();
+}
+
+const std::string&
+Service::socketPath() const
+{
+    return impl_->opts.socketPath;
+}
+
+ServiceStats
+Service::stats() const
+{
+    std::lock_guard<std::mutex> lk(impl_->stateMu);
+    return impl_->stats;
+}
+
+//
+// Clients.
+//
+
+SubmitResult
+submitSpecText(const std::string& socketPath, const std::string& specText,
+               const std::string& campaignName, std::ostream* echo)
+{
+    int fd = connectTo(socketPath);
+    std::string req = std::string("{\"op\": \"submit\", \"spec\": \"") +
+                      jsonEscape(specText) + "\"";
+    if (!campaignName.empty())
+        req += std::string(", \"name\": \"") + jsonEscape(campaignName) + "\"";
+    req += "}";
+    if (!sendLine(fd, req)) {
+        ::close(fd);
+        fatal("service at ", socketPath, " dropped the connection");
+    }
+
+    SubmitResult result;
+    auto numField = [](const std::vector<JsonField>& fields, const char* key,
+                       uint64_t& out) {
+        if (const std::string* v = findField(fields, key))
+            out = std::strtoull(v->c_str(), nullptr, 10);
+    };
+    std::string carry;
+    std::string line;
+    bool finished = false;
+    while (!finished && readLine(fd, carry, line)) {
+        if (line.empty())
+            continue;
+        result.events.push_back(line);
+        if (echo)
+            *echo << line << "\n";
+        std::vector<JsonField> fields;
+        std::string err;
+        if (!parseJsonLine(line, fields, err))
+            continue; // tolerate unknown/garbled lines; wait for done/error
+        const std::string* ev = findField(fields, "event");
+        if (!ev)
+            continue;
+        if (*ev == "accepted") {
+            if (const std::string* name = findField(fields, "campaign"))
+                result.campaign = *name;
+            numField(fields, "runs", result.runs);
+        } else if (*ev == "done") {
+            result.ok = true;
+            numField(fields, "runs", result.runs);
+            numField(fields, "simulated", result.simulated);
+            numField(fields, "cache_hits", result.cacheHits);
+            numField(fields, "dedup_joins", result.dedupJoins);
+            finished = true;
+        } else if (*ev == "error") {
+            result.ok = false;
+            if (const std::string* msg = findField(fields, "message"))
+                result.error = *msg;
+            else
+                result.error = "service reported an error";
+            finished = true;
+        }
+    }
+    ::close(fd);
+    if (!finished) {
+        result.ok = false;
+        if (result.error.empty())
+            result.error = "connection closed before a done/error event";
+    }
+    return result;
+}
+
+void
+requestShutdown(const std::string& socketPath)
+{
+    int fd = connectTo(socketPath);
+    if (!sendLine(fd, "{\"op\": \"shutdown\"}")) {
+        ::close(fd);
+        fatal("service at ", socketPath, " dropped the connection");
+    }
+    std::string carry;
+    std::string line;
+    while (readLine(fd, carry, line)) {
+        if (line.find("\"bye\"") != std::string::npos)
+            break;
+    }
+    ::close(fd);
+}
+
+int
+serveMain(const ServiceOptions& opts)
+{
+    // Handle SIGINT/SIGTERM by polling sigtimedwait so both a signal and
+    // a client {"op": "shutdown"} unwind through the same clean stop().
+    sigset_t mask;
+    sigemptyset(&mask);
+    sigaddset(&mask, SIGINT);
+    sigaddset(&mask, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+    Service service(opts);
+    try {
+        service.start();
+    } catch (const FatalError& e) {
+        inform(e.what());
+        return 1;
+    }
+    inform("vortex_sweep service listening on ", opts.socketPath,
+           opts.cacheDir.empty() ? "" : (" (cache: " + opts.cacheDir + ")"));
+
+    timespec tick{};
+    tick.tv_nsec = 200 * 1000 * 1000; // 200 ms between shutdown checks
+    for (;;) {
+        int sig = sigtimedwait(&mask, nullptr, &tick);
+        if (sig == SIGINT || sig == SIGTERM) {
+            inform("[fabric] signal received, shutting down");
+            break;
+        }
+        if (service.shutdownRequestedByClient()) {
+            inform("[fabric] client shutdown request, shutting down");
+            break;
+        }
+    }
+    service.stop();
+    ServiceStats s = service.stats();
+    inform("[fabric] served ", s.submissions, " submissions, ",
+           s.runsRequested, " runs (", s.simulated, " simulated, ",
+           s.cacheHits + s.memoHits, " cache/memo hits, ", s.dedupJoins,
+           " dedup joins)");
+    return 0;
+}
+
+bool
+Service::shutdownRequestedByClient() const
+{
+    return impl_->shutdownRequested.load();
+}
+
+} // namespace vortex::sweep

@@ -42,6 +42,24 @@ parseBoolValue(const std::string& what, const std::string& value)
           "' as a boolean (use 0/1/true/false/on/off)");
 }
 
+void
+parseShardValue(const std::string& what, const std::string& value,
+                uint32_t& index, uint32_t& count)
+{
+    size_t slash = value.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= value.size())
+        fatal(what, ": expected I/N (shard I of N, 0-based), got '",
+              value, "'");
+    index = parseU32Value(what, value.substr(0, slash));
+    count = parseU32Value(what, value.substr(slash + 1));
+    if (count == 0)
+        fatal(what, ": shard count must be >= 1 (got '", value, "')");
+    if (index >= count)
+        fatal(what, ": shard index ", index, " out of range for ", count,
+              " shard", count == 1 ? "" : "s");
+}
+
 namespace {
 
 uint32_t

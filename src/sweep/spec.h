@@ -125,6 +125,18 @@ struct SweepSpec
     std::vector<Axis> axes;  ///< first axis slowest, last axis fastest
 
     /**
+     * Fabric shard annotation (`[fabric] shard = "I/N"` in spec files,
+     * `--shard I/N` on the CLI): with shardCount > 1 a campaign over
+     * this spec executes only shard shardIndex's slice of the matrix
+     * (see shardAssignment in campaign.h). Execution metadata only —
+     * it never reaches RunSpec::canonical() or the result-cache content
+     * hash, so a shard-annotated spec shares cache entries with its
+     * unsharded twin. 0/0 = unsharded.
+     */
+    uint32_t shardIndex = 0;
+    uint32_t shardCount = 0; ///< total shards (0 or 1 = unsharded)
+
+    /**
      * Expand the axes row-major (the last axis varies fastest) into the
      * flat run matrix. Fatal on an unknown field name or unparsable
      * value.
@@ -180,6 +192,15 @@ uint32_t parseU32Value(const std::string& what, const std::string& value);
 
 /** Strict boolean parse (0/1/true/false/on/off); fatal on failure. */
 bool parseBoolValue(const std::string& what, const std::string& value);
+
+/**
+ * Parse a fabric shard selector "I/N" (shard I of N, 0-based) into
+ * @p index / @p count; fatal, naming @p what, unless 0 <= I < N and
+ * N >= 1. Shared by the CLI `--shard` flag and the `[fabric] shard`
+ * spec-file key so both surfaces reject the same typos.
+ */
+void parseShardValue(const std::string& what, const std::string& value,
+                     uint32_t& index, uint32_t& count);
 
 /**
  * Resolve a `[workload] program` path: the path itself if it exists,

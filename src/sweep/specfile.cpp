@@ -811,6 +811,27 @@ buildSpec(const std::string& file, const Node& root)
             for (const auto& [fname, fval] : fields)
                 applyFieldChecked(file, spec.base, spec.baseWorkload,
                                   fname, *fval);
+        } else if (m.key == "fabric") {
+            // Execution metadata: how to run this spec, not what it
+            // measures. Never part of a run's canonical()/content hash.
+            expectKind(file, v, Node::Kind::Table, "a fabric table");
+            for (const Member& fm : v.members) {
+                const Node& fv = v.children[fm.valueIndex];
+                if (fm.key == "shard") {
+                    const std::string s = scalarToString(file, fv);
+                    try {
+                        parseShardValue("fabric shard", s,
+                                        spec.shardIndex,
+                                        spec.shardCount);
+                    } catch (const FatalError& e) {
+                        fail(file, fv.line, fv.col, e.what());
+                    }
+                } else {
+                    fail(file, fm.line, fm.col,
+                         "unknown fabric key '" + fm.key +
+                             "' (fabric keys: shard)");
+                }
+            }
         } else if (m.key == "axes") {
             expectKind(file, v, Node::Kind::Array, "an array of axes");
             for (const Node& axisNode : v.children)
@@ -819,7 +840,7 @@ buildSpec(const std::string& file, const Node& root)
             fail(file, m.line, m.col,
                  "unknown top-level key '" + m.key +
                      "' (keys: spec, name, description, base, workload, "
-                     "axes)");
+                     "fabric, axes)");
         }
     }
     return spec;
@@ -1010,6 +1031,16 @@ writeSpecToml(const SweepSpec& spec, std::ostream& os)
     os << "\n[workload]\n";
     for (const auto& [k, v] : workloadAssignments(spec.baseWorkload))
         os << k << " = " << tomlValue(v) << "\n";
+
+    // Execution metadata, only when set: a shard-annotated spec is the
+    // unit of work shipped to one fleet host (docs/FABRIC.md). Absent
+    // on every preset dump, so shipped spec files are unchanged.
+    if (spec.shardCount > 0) {
+        os << "\n[fabric]\n";
+        os << "shard = " << quoted(std::to_string(spec.shardIndex) + "/" +
+                                   std::to_string(spec.shardCount))
+           << "\n";
+    }
 
     for (const Axis& axis : spec.axes) {
         os << "\n[[axes]]\n";

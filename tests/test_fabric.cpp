@@ -1,0 +1,571 @@
+/**
+ * @file
+ * Campaign-fabric tests: shard partitioning (disjoint, exhaustive,
+ * balanced), cache merge/import, byte-identical sharded reconstruction,
+ * the CostModel calibration path, the [fabric] spec key, the submission
+ * service's dedup contract, and the CLI compat guarantees (legacy flag
+ * spellings vs subcommands).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/log.h"
+#include "sweep/cache.h"
+#include "sweep/campaign.h"
+#include "sweep/cli.h"
+#include "sweep/fabric.h"
+#include "sweep/presets.h"
+#include "sweep/specfile.h"
+
+using namespace vortex;
+using namespace vortex::sweep;
+
+namespace {
+
+/** Unique scratch directory under the system temp dir. */
+std::string
+freshTempDir(const char* tag)
+{
+    static int serial = 0;
+    std::string dir =
+        (std::filesystem::temp_directory_path() /
+         (std::string("vortex_fabric_test_") + tag + "_" +
+          std::to_string(::getpid()) + "_" + std::to_string(serial++)))
+            .string();
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/** A small but non-trivial matrix: 2 kernels x 2 machines = 4 runs. */
+SweepSpec
+tinySpec()
+{
+    SweepSpec s;
+    s.name = "fabric-tiny";
+    s.base = baselineConfig(1);
+    s.axes = {Axis::sweep("kernel", {"vecadd", "saxpy"}),
+              Axis::sweepU32("numWarps", {2, 4})};
+    return s;
+}
+
+/** The same matrix as TOML text, for service submissions. */
+const char* kTinySpecToml = "name = \"fabric-tiny\"\n"
+                            "[[axes]]\n"
+                            "name = \"kernel\"\n"
+                            "[[axes.points]]\n"
+                            "label = \"vecadd\"\n"
+                            "set.kernel = \"vecadd\"\n"
+                            "[[axes.points]]\n"
+                            "label = \"saxpy\"\n"
+                            "set.kernel = \"saxpy\"\n"
+                            "[[axes]]\n"
+                            "name = \"numWarps\"\n"
+                            "[[axes.points]]\n"
+                            "label = \"2\"\n"
+                            "set.numWarps = \"2\"\n"
+                            "[[axes.points]]\n"
+                            "label = \"4\"\n"
+                            "set.numWarps = \"4\"\n";
+
+std::string
+csvOf(const CampaignResult& r)
+{
+    std::ostringstream os;
+    r.writeCsv(os);
+    return os.str();
+}
+
+std::string
+jsonOf(const CampaignResult& r)
+{
+    std::ostringstream os;
+    r.writeJson(os);
+    return os.str();
+}
+
+} // namespace
+
+//
+// Shard partitioning.
+//
+
+TEST(Shard, AssignmentIsDisjointExhaustiveAndBalanced)
+{
+    std::vector<RunSpec> runs = tinySpec().expand();
+    ASSERT_EQ(runs.size(), 4u);
+    for (uint32_t n : {1u, 2u, 3u, 4u, 7u}) {
+        std::vector<uint32_t> shardOf = shardAssignment(runs, n);
+        ASSERT_EQ(shardOf.size(), runs.size()) << n << " shards";
+        std::vector<size_t> perShard(n, 0);
+        for (uint32_t s : shardOf) {
+            ASSERT_LT(s, n);
+            ++perShard[s];
+        }
+        // Every run lands on exactly one shard (by construction) and the
+        // union covers the matrix; with n <= runs, LPT greediness also
+        // means no shard is left empty.
+        size_t total = 0;
+        for (size_t c : perShard)
+            total += c;
+        EXPECT_EQ(total, runs.size());
+        if (n <= runs.size()) {
+            for (uint32_t s = 0; s < n; ++s)
+                EXPECT_GT(perShard[s], 0u) << "shard " << s << "/" << n;
+        }
+    }
+    EXPECT_THROW(shardAssignment(runs, 0), FatalError);
+}
+
+TEST(Shard, AssignmentIsDeterministic)
+{
+    std::vector<RunSpec> runs = findPreset("perf_smoke")->sweep({}).expand();
+    EXPECT_EQ(shardAssignment(runs, 3), shardAssignment(runs, 3));
+}
+
+TEST(Shard, CampaignShardsArePairwiseDisjointAndCoverTheMatrix)
+{
+    SweepSpec spec = tinySpec();
+    const uint32_t N = 3;
+    std::set<std::string> seen;
+    size_t total = 0;
+    for (uint32_t i = 0; i < N; ++i) {
+        CampaignOptions opts;
+        opts.shardIndex = i;
+        opts.shardCount = N;
+        CampaignResult part = Campaign(opts).run(spec);
+        for (const RunRecord& rec : part.records) {
+            // Disjoint: no run id appears in two shards.
+            EXPECT_TRUE(seen.insert(rec.spec.id()).second) << rec.spec.id();
+        }
+        total += part.records.size();
+    }
+    EXPECT_EQ(total, spec.runCount());
+
+    CampaignOptions bad;
+    bad.shardIndex = N;
+    bad.shardCount = N;
+    EXPECT_THROW(Campaign(bad).run(spec), FatalError);
+}
+
+//
+// Cache merge + byte-identical sharded reconstruction.
+//
+
+TEST(CacheMerge, ShardedCachesReconstructTheUnshardedBytes)
+{
+    SweepSpec spec = tinySpec();
+
+    // The ground truth: one host, no cache.
+    CampaignResult direct = Campaign(CampaignOptions{}).run(spec);
+    ASSERT_EQ(direct.records.size(), 4u);
+
+    // Two hosts, each simulating its own disjoint shard into its own
+    // cache directory.
+    std::vector<std::string> shardDirs;
+    for (uint32_t i = 0; i < 2; ++i) {
+        CampaignOptions opts;
+        opts.cacheDir = freshTempDir(("shard" + std::to_string(i)).c_str());
+        opts.shardIndex = i;
+        opts.shardCount = 2;
+        CampaignResult part = Campaign(opts).run(spec);
+        EXPECT_EQ(part.cacheHits, 0u);
+        EXPECT_EQ(part.cacheMisses, part.records.size());
+        shardDirs.push_back(opts.cacheDir);
+    }
+
+    // Ship both caches home and merge them.
+    std::string merged = freshTempDir("merged");
+    CacheStore store(merged);
+    size_t imported = 0;
+    for (const std::string& src : shardDirs) {
+        CacheMergeStats s = store.mergeFrom(src);
+        EXPECT_EQ(s.rejected, 0u);
+        EXPECT_EQ(s.skipped, 0u);
+        imported += s.imported;
+    }
+    EXPECT_EQ(imported, 4u);
+    EXPECT_EQ(store.entries().size(), 4u);
+
+    // Re-running the full spec against the merged store is a 100%-hit,
+    // byte-identical reconstruction of the single-host campaign.
+    CampaignOptions warm;
+    warm.cacheDir = merged;
+    CampaignResult rebuilt = Campaign(warm).run(spec);
+    EXPECT_EQ(rebuilt.cacheHits, 4u);
+    EXPECT_EQ(rebuilt.cacheMisses, 0u);
+    EXPECT_EQ(csvOf(rebuilt), csvOf(direct));
+    EXPECT_EQ(jsonOf(rebuilt), jsonOf(direct));
+
+    // Merging again is a no-op: every hash is already present.
+    CacheMergeStats again = store.mergeFrom(shardDirs[0]);
+    EXPECT_EQ(again.imported, 0u);
+    EXPECT_GT(again.skipped, 0u);
+
+    for (const std::string& d : shardDirs)
+        std::filesystem::remove_all(d);
+    std::filesystem::remove_all(merged);
+}
+
+TEST(CacheMerge, RejectsInvalidEntriesAndForeignHashes)
+{
+    std::string src = freshTempDir("badsrc");
+    std::string dst = freshTempDir("baddst");
+    std::filesystem::create_directories(src);
+
+    // A truncated entry, a wrong-magic entry, and an entry whose
+    // recorded hash does not match its file name.
+    std::ofstream(src + "/0123456789abcdef.run")
+        << "vortex-sweep-cache v2\nhash 0123456789abcdef\ncycles 5\n";
+    std::ofstream(src + "/fedcba9876543210.run") << "not a cache entry\n";
+    std::ofstream(src + "/00000000000000aa.run")
+        << "vortex-sweep-cache v2\nhash 00000000000000bb\ncycles 1\nend\n";
+
+    CacheStore store(dst);
+    CacheMergeStats s = store.mergeFrom(src);
+    EXPECT_EQ(s.imported, 0u);
+    EXPECT_EQ(s.rejected, 3u);
+    EXPECT_TRUE(store.entries().empty());
+
+    EXPECT_THROW(store.mergeFrom(src + "/nope"), FatalError);
+    EXPECT_THROW(CacheStore("").mergeFrom(src), FatalError);
+    EXPECT_THROW(store.mergeFrom(dst), FatalError); // self-merge
+
+    std::filesystem::remove_all(src);
+    std::filesystem::remove_all(dst);
+}
+
+//
+// Cost-model calibration.
+//
+
+TEST(CostModel, CalibratesFromCacheProvenanceWithStaticFallback)
+{
+    CostModel raw;
+    EXPECT_FALSE(raw.calibrated());
+
+    SweepSpec spec = tinySpec();
+    std::vector<RunSpec> runs = spec.expand();
+    // Uncalibrated: exactly the static heuristic.
+    for (const RunSpec& r : runs)
+        EXPECT_DOUBLE_EQ(raw.cost(r), estimateRunCost(r));
+
+    std::string dir = freshTempDir("cal");
+    CampaignOptions opts;
+    opts.cacheDir = dir;
+    Campaign(opts).run(spec);
+
+    CacheStore store(dir);
+    // The new provenance lines landed on disk...
+    for (const CacheEntryInfo& e : store.entries()) {
+        EXPECT_FALSE(e.kernel.empty());
+        EXPECT_GT(e.estUnits, 0.0);
+        EXPECT_GE(e.hostSeconds, 0.0);
+    }
+    // ...and the fitted model prices recorded kernels in seconds.
+    CostModel model = CostModel::fromCache(store);
+    EXPECT_TRUE(model.calibrated());
+    EXPECT_EQ(model.sampleCount(), 4u);
+    for (const RunSpec& r : runs) {
+        double c = model.cost(r);
+        EXPECT_GE(c, 0.0);
+        EXPECT_TRUE(std::isfinite(c));
+    }
+
+    // A kernel absent from the cache still gets a finite price (the
+    // global-scale fallback), so mixed matrices schedule sanely.
+    SweepSpec other = tinySpec();
+    other.axes[0] = Axis::sweep("kernel", {"sgemm"});
+    for (const RunSpec& r : other.expand())
+        EXPECT_GT(model.cost(r), 0.0);
+
+    std::filesystem::remove_all(dir);
+}
+
+//
+// The [fabric] spec key.
+//
+
+TEST(FabricSpecKey, ParsesRoundTripsAndNeverEntersTheContentHash)
+{
+    std::string toml = std::string(kTinySpecToml) +
+                       "[fabric]\nshard = \"1/3\"\n";
+    SweepSpec sharded = parseSpecText(toml, "sharded.toml");
+    EXPECT_EQ(sharded.shardIndex, 1u);
+    EXPECT_EQ(sharded.shardCount, 3u);
+
+    // Execution metadata only: the sharded spec's matrix hashes equal
+    // the unsharded twin's, so they share cache entries.
+    SweepSpec plain = parseSpecText(kTinySpecToml, "plain.toml");
+    std::vector<RunSpec> a = sharded.expand(), b = plain.expand();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].contentHash(), b[i].contentHash());
+
+    // Canonical dump round-trips the annotation as a fixpoint...
+    std::string once = specToToml(sharded);
+    EXPECT_NE(once.find("[fabric]"), std::string::npos);
+    EXPECT_NE(once.find("shard = \"1/3\""), std::string::npos);
+    EXPECT_EQ(once, specToToml(parseSpecText(once, "again.toml")));
+    // ...and an unsharded spec never grows a [fabric] block (shipped
+    // preset dumps stay byte-identical).
+    EXPECT_EQ(specToToml(plain).find("[fabric]"), std::string::npos);
+
+    // Bad selectors are rejected at parse time, with a position.
+    EXPECT_THROW(parseSpecText(std::string(kTinySpecToml) +
+                                   "[fabric]\nshard = \"3/3\"\n",
+                               "bad.toml"),
+                 SpecParseError);
+    EXPECT_THROW(parseSpecText(std::string(kTinySpecToml) +
+                                   "[fabric]\nshard = \"nope\"\n",
+                               "bad.toml"),
+                 SpecParseError);
+    EXPECT_THROW(parseShardValue("--shard", "1", sharded.shardIndex,
+                                 sharded.shardCount),
+                 FatalError);
+}
+
+//
+// The submission service.
+//
+
+TEST(Service, ConcurrentIdenticalSubmissionsCostOneSimulationEach)
+{
+    std::string dir = freshTempDir("svc");
+    std::filesystem::create_directories(dir);
+    ServiceOptions opts;
+    opts.socketPath = dir + "/fabric.sock";
+    opts.cacheDir = dir + "/cache";
+    opts.jobs = 2;
+    Service service(opts);
+    service.start();
+    ASSERT_TRUE(service.running());
+
+    // Two clients race the same 4-run spec. Between memo hits and
+    // in-flight joins, only 4 simulations may happen in total.
+    SubmitResult r1, r2;
+    std::thread t1([&] { r1 = submitSpecText(opts.socketPath, kTinySpecToml); });
+    std::thread t2([&] { r2 = submitSpecText(opts.socketPath, kTinySpecToml); });
+    t1.join();
+    t2.join();
+    ASSERT_TRUE(r1.ok) << r1.error;
+    ASSERT_TRUE(r2.ok) << r2.error;
+    EXPECT_EQ(r1.runs, 4u);
+    EXPECT_EQ(r2.runs, 4u);
+    EXPECT_EQ(r1.campaign, "fabric-tiny");
+    EXPECT_EQ(r1.simulated + r2.simulated, 4u);
+    EXPECT_EQ(r1.simulated + r1.cacheHits + r1.dedupJoins, 4u);
+    EXPECT_EQ(r2.simulated + r2.cacheHits + r2.dedupJoins, 4u);
+
+    // A third, sequential, identical submission is served entirely
+    // without simulating.
+    SubmitResult r3 = submitSpecText(opts.socketPath, kTinySpecToml);
+    ASSERT_TRUE(r3.ok) << r3.error;
+    EXPECT_EQ(r3.simulated, 0u);
+    EXPECT_EQ(r3.cacheHits, 4u);
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.submissions, 3u);
+    EXPECT_EQ(stats.runsRequested, 12u);
+    EXPECT_EQ(stats.simulated, 4u);
+    EXPECT_EQ(stats.memoHits + stats.cacheHits + stats.dedupJoins, 8u);
+    EXPECT_EQ(stats.errors, 0u);
+
+    // The simulations landed in the shared cache, so a plain batch
+    // campaign over the same spec is now a 100% hit.
+    service.stop();
+    EXPECT_FALSE(service.running());
+    CampaignOptions warm;
+    warm.cacheDir = opts.cacheDir;
+    CampaignResult rebuilt =
+        Campaign(warm).run(parseSpecText(kTinySpecToml, "tiny.toml"));
+    EXPECT_EQ(rebuilt.cacheHits, 4u);
+    EXPECT_EQ(rebuilt.cacheMisses, 0u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Service, RenamedSubmissionsStillDedupAndErrorsAreReported)
+{
+    std::string dir = freshTempDir("svc2");
+    std::filesystem::create_directories(dir);
+    ServiceOptions opts;
+    opts.socketPath = dir + "/fabric.sock";
+    Service service(opts); // no cache dir: memo-only dedup
+    service.start();
+
+    SubmitResult a = submitSpecText(opts.socketPath, kTinySpecToml, "first");
+    ASSERT_TRUE(a.ok) << a.error;
+    EXPECT_EQ(a.campaign, "first");
+    EXPECT_EQ(a.simulated, 4u);
+    // The campaign name is not part of the run identity: a renamed
+    // twin is served from the memo.
+    SubmitResult b = submitSpecText(opts.socketPath, kTinySpecToml, "second");
+    ASSERT_TRUE(b.ok) << b.error;
+    EXPECT_EQ(b.simulated, 0u);
+    EXPECT_EQ(b.cacheHits, 4u);
+
+    // Events arrive as well-formed NDJSON with a final done.
+    ASSERT_FALSE(b.events.empty());
+    EXPECT_NE(b.events.front().find("\"accepted\""), std::string::npos);
+    EXPECT_NE(b.events.back().find("\"done\""), std::string::npos);
+
+    // A spec that does not parse answers with an error event, and the
+    // connection stays usable for the service (stats record it).
+    SubmitResult bad =
+        submitSpecText(opts.socketPath, "definitely not a spec [");
+    EXPECT_FALSE(bad.ok);
+    EXPECT_FALSE(bad.error.empty());
+    EXPECT_EQ(service.stats().errors, 1u);
+
+    service.stop();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Service, ClientShutdownRequestIsAcknowledged)
+{
+    std::string dir = freshTempDir("svc3");
+    std::filesystem::create_directories(dir);
+    ServiceOptions opts;
+    opts.socketPath = dir + "/fabric.sock";
+    Service service(opts);
+    service.start();
+    EXPECT_FALSE(service.shutdownRequestedByClient());
+    requestShutdown(opts.socketPath);
+    EXPECT_TRUE(service.shutdownRequestedByClient());
+    service.stop();
+    // The socket file is gone; a new service can take the same path.
+    EXPECT_FALSE(std::filesystem::exists(opts.socketPath));
+    std::filesystem::remove_all(dir);
+}
+
+//
+// CLI compatibility: legacy flat flags vs subcommands.
+//
+
+TEST(Cli, LegacyFlagSpellingsKeepWorking)
+{
+    EXPECT_EQ(cliMain({"--list"}), 0);
+    EXPECT_EQ(cliMain({"--fields"}), 0);
+    EXPECT_EQ(cliMain({"-h"}), 0);
+    EXPECT_EQ(cliMain({"--definitely-not-a-flag"}), 2);
+    EXPECT_EQ(cliMain({}), 2); // "nothing to do" is a usage error
+
+    // The pre-subcommand cache maintenance spelling.
+    std::string dir = freshTempDir("clicache");
+    SweepSpec spec = tinySpec();
+    CampaignOptions opts;
+    opts.cacheDir = dir;
+    Campaign(opts).run(spec);
+    EXPECT_EQ(CacheStore(dir).entries().size(), 4u);
+    EXPECT_EQ(cliMain({"--cache-prune", "--cache", dir}), 0);
+    EXPECT_TRUE(CacheStore(dir).entries().empty());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, RunSubcommandAndLegacyGrammarProduceIdenticalBytes)
+{
+    std::string outLegacy = freshTempDir("cli1") + ".csv";
+    std::string outSub = freshTempDir("cli2") + ".csv";
+    std::vector<std::string> common = {
+        "--axis", "kernel=vecadd,saxpy", "--set",  "numWarps=2",
+        "--name", "clicompat",           "--quiet"};
+
+    std::vector<std::string> legacy = common;
+    legacy.insert(legacy.end(), {"--csv", outLegacy});
+    std::vector<std::string> sub = {"run"};
+    sub.insert(sub.end(), common.begin(), common.end());
+    sub.insert(sub.end(), {"--csv", outSub});
+
+    ASSERT_EQ(cliMain(legacy), 0);
+    ASSERT_EQ(cliMain(sub), 0);
+
+    auto slurp = [](const std::string& p) {
+        std::ifstream in(p, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        return buf.str();
+    };
+    std::string a = slurp(outLegacy), b = slurp(outSub);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+    std::filesystem::remove(outLegacy);
+    std::filesystem::remove(outSub);
+}
+
+TEST(Cli, SpecsDumpMatchesLegacyDumpSpecAndCarriesTheShard)
+{
+    std::string outLegacy = freshTempDir("dump1") + ".toml";
+    std::string outSub = freshTempDir("dump2") + ".toml";
+    ASSERT_EQ(cliMain({"--preset", "perf_smoke", "--dump-spec", outLegacy}),
+              0);
+    ASSERT_EQ(cliMain({"specs", "dump", "--preset", "perf_smoke", outSub}),
+              0);
+    auto slurp = [](const std::string& p) {
+        std::ifstream in(p, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        return buf.str();
+    };
+    EXPECT_EQ(slurp(outLegacy), slurp(outSub));
+    EXPECT_EQ(slurp(outLegacy).find("[fabric]"), std::string::npos);
+
+    // --shard folds into the dump, and the dump parses back sharded.
+    std::string outShard = freshTempDir("dump3") + ".toml";
+    ASSERT_EQ(cliMain({"specs", "dump", "--preset", "perf_smoke", "--shard",
+                       "1/2", outShard}),
+              0);
+    SweepSpec parsed = parseSpecFile(outShard);
+    EXPECT_EQ(parsed.shardIndex, 1u);
+    EXPECT_EQ(parsed.shardCount, 2u);
+
+    // An invalid shard selector is a fatal diagnostic, not a crash.
+    EXPECT_EQ(cliMain({"run", "--preset", "perf_smoke", "--shard", "2/2",
+                       "--no-csv", "--quiet"}),
+              1);
+
+    std::filesystem::remove(outLegacy);
+    std::filesystem::remove(outSub);
+    std::filesystem::remove(outShard);
+}
+
+TEST(Cli, CacheSubcommandsListMergePrune)
+{
+    // Build two disjoint shard caches via the CLI, then merge them via
+    // the CLI — the user-facing face of the reconstruction workflow.
+    std::string s0 = freshTempDir("cms0");
+    std::string s1 = freshTempDir("cms1");
+    std::string merged = freshTempDir("cmdst");
+    std::vector<std::string> base = {"run",   "--axis", "kernel=vecadd,saxpy",
+                                     "--set", "numWarps=2", "--no-csv",
+                                     "--quiet"};
+    std::vector<std::string> run0 = base;
+    run0.insert(run0.end(), {"--cache", s0, "--shard", "0/2"});
+    std::vector<std::string> run1 = base;
+    run1.insert(run1.end(), {"--cache", s1, "--shard", "1/2"});
+    ASSERT_EQ(cliMain(run0), 0);
+    ASSERT_EQ(cliMain(run1), 0);
+
+    EXPECT_EQ(cliMain({"cache", "merge", merged, s0, s1}), 0);
+    EXPECT_EQ(CacheStore(merged).entries().size(), 2u);
+    EXPECT_EQ(cliMain({"cache", "list", merged}), 0);
+    EXPECT_EQ(cliMain({"cache", "prune", merged}), 0);
+    EXPECT_TRUE(CacheStore(merged).entries().empty());
+
+    EXPECT_EQ(cliMain({"cache", "frobnicate", merged}), 1);
+    EXPECT_EQ(cliMain({"cache", "merge", merged}), 1);
+
+    std::filesystem::remove_all(s0);
+    std::filesystem::remove_all(s1);
+    std::filesystem::remove_all(merged);
+}

@@ -23,6 +23,7 @@
 #include "core/processor.h"
 #include "runtime/device.h"
 #include "runtime/workloads.h"
+#include "sweep/cache.h"
 #include "sweep/campaign.h"
 #include "sweep/presets.h"
 #include "sweep/spec.h"
@@ -267,7 +268,8 @@ TEST(CacheHygiene, ManifestListsEntriesAndPruneRemovesThem)
     sweep::Campaign(opts).run(spec);
 
     // The campaign wrote 4 entries and a manifest describing them.
-    std::vector<sweep::CacheEntryInfo> entries = sweep::listCache(dir);
+    sweep::CacheStore store(dir);
+    std::vector<sweep::CacheEntryInfo> entries = store.entries();
     ASSERT_EQ(entries.size(), 4u);
     for (const sweep::CacheEntryInfo& e : entries) {
         EXPECT_EQ(e.hash.size(), 16u);
@@ -284,12 +286,12 @@ TEST(CacheHygiene, ManifestListsEntriesAndPruneRemovesThem)
               std::string::npos);
 
     // Age-bounded prune keeps everything (entries are seconds old) ...
-    EXPECT_EQ(sweep::pruneCache(dir, 1.0), 0u);
-    EXPECT_EQ(sweep::listCache(dir).size(), 4u);
+    EXPECT_EQ(store.prune(1.0), 0u);
+    EXPECT_EQ(store.entries().size(), 4u);
     // ... an unbounded prune removes everything and leaves an empty,
     // well-formed manifest behind.
-    EXPECT_EQ(sweep::pruneCache(dir), 4u);
-    EXPECT_TRUE(sweep::listCache(dir).empty());
+    EXPECT_EQ(store.prune(), 4u);
+    EXPECT_TRUE(store.entries().empty());
     std::ifstream mf2(dir + "/manifest.json");
     std::stringstream buf2;
     buf2 << mf2.rdbuf();

@@ -24,6 +24,7 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "sweep/cache.h"
 #include "sweep/campaign.h"
 #include "sweep/presets.h"
 #include "sweep/specfile.h"
@@ -388,13 +389,14 @@ TEST(Lpt, CachedHostSecondsRoundTripsThroughTheCache)
     CampaignResult cold = Campaign(opts).run(spec);
 
     for (const RunRecord& rec : cold.records) {
-        double s = cachedHostSeconds(dir, rec.spec.contentHash());
+        double s = CacheStore(dir).recordedHostSeconds(rec.spec.contentHash());
         EXPECT_GE(s, 0.0);
         // What the cache replays is what the run cost this host.
         EXPECT_DOUBLE_EQ(s, rec.hostSeconds);
     }
-    EXPECT_LT(cachedHostSeconds(dir, "0123456789abcdef"), 0.0);
-    EXPECT_LT(cachedHostSeconds(dir + "/nope", "0123456789abcdef"), 0.0);
+    EXPECT_LT(CacheStore(dir).recordedHostSeconds("0123456789abcdef"), 0.0);
+    EXPECT_LT(CacheStore(dir + "/nope").recordedHostSeconds("0123456789abcdef"),
+              0.0);
 
     // An entry written before the host_seconds provenance line existed
     // is still a hit: the probe reports 0 (unknown cost), not absent —
@@ -409,6 +411,6 @@ TEST(Lpt, CachedHostSecondsRoundTripsThroughTheCache)
             stripped << line << "\n";
     in.close();
     std::ofstream(path, std::ios::trunc) << stripped.str();
-    EXPECT_DOUBLE_EQ(cachedHostSeconds(dir, hash), 0.0);
+    EXPECT_DOUBLE_EQ(CacheStore(dir).recordedHostSeconds(hash), 0.0);
     std::filesystem::remove_all(dir);
 }

@@ -1,414 +1,32 @@
 /**
  * @file
- * `vortex_sweep` — the unified simulation-campaign CLI.
+ * `vortex_sweep` — the unified simulation-campaign and fabric CLI.
  *
- * Runs a built-in preset (one per paper figure/table, plus ablations) or
- * an ad-hoc sweep assembled from --axis/--set arguments, fanning the run
- * matrix out over a host job pool with content-hash result caching, and
- * emits the campaign as CSV/JSON plus the figure-shaped report.
+ * Thin wrapper over sweep::cliMain (src/sweep/cli.h), where the whole
+ * grammar lives so the CLI-compat tests can drive it in-process.
  *
- *   vortex_sweep --list
- *   vortex_sweep --preset fig18 --jobs 4 --cache .sweep-cache
- *   vortex_sweep --spec examples/specs/fig18.toml --jobs 0 --progress
- *   vortex_sweep --preset fig18 --dump-spec fig18.toml
- *   vortex_sweep --preset fig20 --arg size=128 --csv tex.csv --json -
- *   vortex_sweep --preset fig18_scaling --sample 10000 --timeseries ts.json
- *   vortex_sweep --preset perf_smoke --sample 2000 --bench-json BENCH.json
- *   vortex_sweep --axis kernel=sgemm,saxpy --axis cores=1,2,4 \
- *                --set numWarps=8 --jobs 0
- *   vortex_sweep --cache .sweep-cache --cache-prune --older-than 30
- *   vortex_sweep --fields
+ *   vortex_sweep specs list
+ *   vortex_sweep run --preset fig18 --jobs 4 --cache .sweep-cache
+ *   vortex_sweep run --spec examples/specs/fig18.toml --jobs 0 --progress
+ *   vortex_sweep run --preset perf_smoke --shard 0/2 --cache shard0
+ *   vortex_sweep cache merge merged shard0 shard1
+ *   vortex_sweep cache list merged
+ *   vortex_sweep serve --listen /tmp/fabric.sock --cache merged --jobs 0
+ *   vortex_sweep submit --socket /tmp/fabric.sock --spec sweep.toml
+ *   vortex_sweep specs dump --preset fig18 fig18.toml
+ *
+ * Legacy flat-flag spellings (`vortex_sweep --preset fig18`,
+ * `--cache-prune`, `--list`, ...) keep working; see `vortex_sweep -h`.
  */
 
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <stdexcept>
-#include <functional>
-#include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "common/log.h"
-#include "sweep/campaign.h"
-#include "sweep/presets.h"
-#include "sweep/specfile.h"
-
-using namespace vortex;
-
-namespace {
-
-int
-usage(int code)
-{
-    std::printf(
-        "usage: vortex_sweep [mode] [options]\n"
-        "\n"
-        "modes:\n"
-        "  --preset NAME        run a built-in preset (see --list)\n"
-        "  --spec FILE          run the sweep described by a spec file\n"
-        "                       (TOML or JSON; see docs/SWEEP_SPECS.md)\n"
-        "  --axis F=V1,V2,...   add a sweep axis over field F (repeatable;\n"
-        "                       first axis varies slowest; appends to\n"
-        "                       --spec axes)\n"
-        "  --dump-spec PATH     serialize the resolved sweep as a TOML\n"
-        "                       spec file ('-' = stdout) and exit without\n"
-        "                       running it\n"
-        "  --list               list presets and exit\n"
-        "  --fields             list sweepable fields and exit\n"
-        "  --cache-prune        delete cached records under --cache DIR\n"
-        "                       (all, or --older-than DAYS) and exit\n"
-        "\n"
-        "options:\n"
-        "  --set F=V            fix field F to V in the base machine\n"
-        "                       (repeatable, applied before the axes)\n"
-        "  --arg K=V            preset parameter (fig20: size=N;\n"
-        "                       fig21: paper=1)\n"
-        "  --jobs N             concurrent runs (default 1; 0 = host CPUs)\n"
-        "  --cache DIR          result-cache directory (skip unchanged "
-        "runs)\n"
-        "  --progress           per-run elapsed/ETA lines on stderr\n"
-        "  --verify             statically verify every kernel/machine\n"
-        "                       pair before running (vortex_verify's\n"
-        "                       checks); fatal on analysis errors\n"
-        "  --no-lpt             claim runs in matrix order instead of\n"
-        "                       longest-first (output is identical either\n"
-        "                       way; LPT only shortens wall-clock)\n"
-        "  --sample N           snapshot device counters every N cycles\n"
-        "                       (shorthand for --set sampleInterval=N)\n"
-        "  --timeseries PATH    emit the per-interval counter time series\n"
-        "                       as JSON ('-' = stdout); needs --sample\n"
-        "  --bench-json PATH    emit host wall-clock + headline counters\n"
-        "                       (the CI bench-trajectory artifact)\n"
-        "  --older-than DAYS    with --cache-prune: only drop entries\n"
-        "                       older than DAYS (fractions allowed)\n"
-        "  --csv PATH           CSV output ('-' = stdout; default "
-        "<name>.csv)\n"
-        "  --json PATH          also emit JSON ('-' = stdout)\n"
-        "  --no-csv             suppress the CSV file\n"
-        "  --name NAME          campaign name for ad-hoc sweeps\n"
-        "  --quiet              no per-run progress lines\n"
-        "  -h, --help           this text\n");
-    return code;
-}
-
-/** Split "field=v1,v2,v3" into an Axis. */
-sweep::Axis
-parseAxisArg(const std::string& arg)
-{
-    size_t eq = arg.find('=');
-    if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size())
-        fatal("--axis expects FIELD=V1,V2,... (got '", arg, "')");
-    std::string field = arg.substr(0, eq);
-    std::vector<std::string> values;
-    std::stringstream ss(arg.substr(eq + 1));
-    std::string v;
-    while (std::getline(ss, v, ','))
-        if (!v.empty())
-            values.push_back(v);
-    if (values.empty())
-        fatal("--axis ", field, ": no values");
-    return sweep::Axis::sweep(field, values);
-}
-
-std::pair<std::string, std::string>
-parseKeyValue(const char* flag, const std::string& arg)
-{
-    size_t eq = arg.find('=');
-    if (eq == std::string::npos || eq == 0)
-        fatal(flag, " expects KEY=VALUE (got '", arg, "')");
-    return {arg.substr(0, eq), arg.substr(eq + 1)};
-}
-
-void
-writeTo(const std::string& path, const std::string& what,
-        const std::function<void(std::ostream&)>& emit)
-{
-    if (path == "-") {
-        emit(std::cout);
-        return;
-    }
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
-        fatal("cannot open ", path, " for writing");
-    emit(out);
-    std::fprintf(stderr, "wrote %s -> %s\n", what.c_str(), path.c_str());
-}
-
-} // namespace
+#include "sweep/cli.h"
 
 int
 main(int argc, char** argv)
 {
-    std::string presetName, csvPath, jsonPath, campaignName;
-    std::string timeseriesPath, benchJsonPath, olderThan;
-    std::string specPath, dumpSpecPath;
-    std::vector<sweep::Axis> axes;
-    std::vector<std::pair<std::string, std::string>> sets, presetArgs;
-    sweep::CampaignOptions opts;
-    opts.jobs = 1;
-    opts.verbose = true;
-    uint32_t sampleInterval = 0;
-    bool list = false, fields = false, noCsv = false, cachePrune = false;
-
-    try {
-        for (int i = 1; i < argc; ++i) {
-            std::string a = argv[i];
-            auto next = [&]() -> std::string {
-                if (i + 1 >= argc)
-                    fatal(a, " expects an argument");
-                return argv[++i];
-            };
-            if (a == "--preset")
-                presetName = next();
-            else if (a == "--spec")
-                specPath = next();
-            else if (a == "--dump-spec")
-                dumpSpecPath = next();
-            else if (a == "--progress")
-                opts.progress = true;
-            else if (a == "--no-lpt")
-                opts.lpt = false;
-            else if (a == "--verify")
-                opts.verify = true;
-            else if (a == "--axis")
-                axes.push_back(parseAxisArg(next()));
-            else if (a == "--set")
-                sets.push_back(parseKeyValue("--set", next()));
-            else if (a == "--arg")
-                presetArgs.push_back(parseKeyValue("--arg", next()));
-            else if (a == "--jobs")
-                opts.jobs = sweep::parseU32Value("--jobs", next());
-            else if (a == "--cache")
-                opts.cacheDir = next();
-            else if (a == "--sample")
-                sampleInterval = sweep::parseU32Value("--sample", next());
-            else if (a == "--timeseries")
-                timeseriesPath = next();
-            else if (a == "--bench-json")
-                benchJsonPath = next();
-            else if (a == "--cache-prune")
-                cachePrune = true;
-            else if (a == "--older-than")
-                olderThan = next();
-            else if (a == "--csv")
-                csvPath = next();
-            else if (a == "--json")
-                jsonPath = next();
-            else if (a == "--no-csv")
-                noCsv = true;
-            else if (a == "--name")
-                campaignName = next();
-            else if (a == "--quiet")
-                opts.verbose = false;
-            else if (a == "--list")
-                list = true;
-            else if (a == "--fields")
-                fields = true;
-            else if (a == "-h" || a == "--help")
-                return usage(0);
-            else {
-                std::fprintf(stderr, "unknown argument '%s'\n",
-                             a.c_str());
-                return usage(2);
-            }
-        }
-        if (list) {
-            std::printf("%-18s %s\n", "preset", "description");
-            for (const sweep::Preset& p : sweep::presets())
-                std::printf("%-18s %s%s\n", p.name.c_str(),
-                            p.description.c_str(),
-                            p.table ? " [table]" : "");
-            return 0;
-        }
-        if (fields) {
-            std::printf("%-18s %s\n", "field", "description");
-            for (const sweep::FieldInfo& f : sweep::sweepableFields())
-                std::printf("%-18s %s\n", f.name, f.help);
-            return 0;
-        }
-        if (cachePrune) {
-            if (opts.cacheDir.empty())
-                fatal("--cache-prune needs --cache DIR");
-            double days = -1.0;
-            if (!olderThan.empty()) {
-                try {
-                    size_t pos = 0;
-                    days = std::stod(olderThan, &pos);
-                    if (pos != olderThan.size() || days < 0.0)
-                        throw std::invalid_argument(olderThan);
-                } catch (const std::exception&) {
-                    fatal("--older-than: cannot parse '", olderThan,
-                          "' as a non-negative number of days");
-                }
-            }
-            size_t removed = sweep::pruneCache(opts.cacheDir, days);
-            size_t left = sweep::listCache(opts.cacheDir).size();
-            std::fprintf(stderr,
-                         "cache %s: pruned %zu entr%s, %zu left "
-                         "(manifest.json rewritten)\n",
-                         opts.cacheDir.c_str(), removed,
-                         removed == 1 ? "y" : "ies", left);
-            return 0;
-        }
-        if (!olderThan.empty())
-            fatal("--older-than only applies to --cache-prune");
-        if (presetName.empty() && axes.empty() && specPath.empty()) {
-            std::fprintf(stderr, "nothing to do: give --preset, --spec, "
-                                 "or --axis (see --list)\n");
-            return usage(2);
-        }
-        if (!presetName.empty() && !specPath.empty())
-            fatal("--preset does not combine with --spec (export the "
-                  "preset with --dump-spec and edit the file instead)");
-
-        //
-        // Resolve the spec (or finished table) to run.
-        //
-        sweep::SweepSpec spec;
-        std::function<sweep::ReportTable(const sweep::CampaignResult&)>
-            report;
-        if (!presetName.empty()) {
-            if (!axes.empty())
-                fatal("--axis does not combine with --preset; use --set "
-                      "to fix base-machine fields, or drop --preset for "
-                      "an ad-hoc sweep");
-            if (!campaignName.empty())
-                fatal("--name only applies to ad-hoc and --spec sweeps "
-                      "(presets are named after themselves)");
-            const sweep::Preset* p = sweep::findPreset(presetName);
-            if (!p)
-                fatal("unknown preset '", presetName,
-                      "' (vortex_sweep --list)");
-            if (p->table) {
-                if (!sets.empty())
-                    fatal("preset '", presetName,
-                          "' is an area table; --set has no effect on "
-                          "it");
-                if (sampleInterval != 0 || !timeseriesPath.empty() ||
-                    !benchJsonPath.empty())
-                    fatal("preset '", presetName,
-                          "' is an area table; it runs no simulation to "
-                          "sample or time");
-                if (!dumpSpecPath.empty())
-                    fatal("preset '", presetName,
-                          "' is an area table; it has no sweep spec to "
-                          "dump");
-                if (!presetArgs.empty())
-                    fatal("preset '", presetName, "' takes no --arg '",
-                          presetArgs[0].first, "'");
-                // Area/synthesis presets produce their table directly.
-                sweep::ReportTable t = p->table();
-                std::string out = csvPath.empty() && !noCsv
-                                      ? presetName + ".csv"
-                                      : csvPath;
-                if (!out.empty() && !noCsv)
-                    writeTo(out, "table CSV", [&](std::ostream& os) {
-                        t.writeCsv(os);
-                    });
-                if (!jsonPath.empty())
-                    writeTo(jsonPath, "table JSON",
-                            [&](std::ostream& os) { t.writeJson(os); });
-                t.print(std::cout);
-                return 0;
-            }
-            spec = p->sweep(presetArgs);
-            report = p->report;
-        } else if (!specPath.empty()) {
-            if (!presetArgs.empty())
-                fatal("--arg only applies to presets (spec files carry "
-                      "their parameters in [base]/[workload])");
-            spec = sweep::parseSpecFile(specPath);
-            if (!campaignName.empty())
-                spec.name = campaignName;
-            // CLI axes append after the file's own (they vary fastest).
-            for (sweep::Axis& a : axes)
-                spec.axes.push_back(std::move(a));
-            if (spec.axes.size() == 2)
-                report = sweep::pivotIpc;
-        } else {
-            if (!presetArgs.empty())
-                fatal("--arg only applies to presets (use --set for "
-                      "base-machine fields)");
-            spec.name = campaignName.empty() ? "custom" : campaignName;
-            spec.description = "ad-hoc CLI sweep";
-            spec.axes = std::move(axes);
-            if (spec.axes.size() == 2)
-                report = sweep::pivotIpc;
-        }
-        for (const auto& [k, v] : sets)
-            if (!sweep::applyField(spec.base, spec.baseWorkload, k, v))
-                fatal("--set: unknown field '", k,
-                      "' (vortex_sweep --fields)");
-        if (sampleInterval != 0)
-            spec.base.sampleInterval = sampleInterval;
-        if (!dumpSpecPath.empty()) {
-            // Export instead of run: the resolved sweep (preset, spec
-            // file, or ad-hoc axes, with --set/--sample folded in) as a
-            // canonical TOML document.
-            writeTo(dumpSpecPath, "sweep spec", [&](std::ostream& os) {
-                sweep::writeSpecToml(spec, os);
-            });
-            return 0;
-        }
-        if (!timeseriesPath.empty()) {
-            // Sampling may come from --sample, --set sampleInterval=N,
-            // or an axis; an all-disabled matrix would emit an empty
-            // (misleading) series, so reject it up front.
-            bool anySampled = spec.base.sampleInterval != 0;
-            if (!anySampled) {
-                for (const sweep::RunSpec& r : spec.expand())
-                    if (r.config.sampleInterval != 0) {
-                        anySampled = true;
-                        break;
-                    }
-            }
-            if (!anySampled)
-                fatal("--timeseries needs sampling enabled: add "
-                      "--sample N (or --set sampleInterval=N)");
-        }
-
-        sweep::Campaign campaign(opts);
-        std::fprintf(stderr, "campaign '%s': %zu runs, %u jobs%s\n",
-                     spec.name.c_str(), spec.runCount(),
-                     campaign.options().jobs,
-                     opts.cacheDir.empty()
-                         ? ""
-                         : (" (cache: " + opts.cacheDir + ")").c_str());
-
-        sweep::CampaignResult result = campaign.run(spec);
-
-        if (!noCsv) {
-            std::string out =
-                csvPath.empty() ? spec.name + ".csv" : csvPath;
-            writeTo(out, "campaign CSV",
-                    [&](std::ostream& os) { result.writeCsv(os); });
-        }
-        if (!jsonPath.empty())
-            writeTo(jsonPath, "campaign JSON",
-                    [&](std::ostream& os) { result.writeJson(os); });
-        if (!timeseriesPath.empty())
-            writeTo(timeseriesPath, "time-series JSON",
-                    [&](std::ostream& os) {
-                        result.writeTimeSeriesJson(os);
-                    });
-        if (!benchJsonPath.empty())
-            writeTo(benchJsonPath, "bench JSON", [&](std::ostream& os) {
-                result.writeBenchJson(os);
-            });
-
-        if (report)
-            report(result).print(std::cout);
-        if (!opts.cacheDir.empty())
-            std::fprintf(stderr, "cache: %u hit%s, %u miss%s\n",
-                         result.cacheHits,
-                         result.cacheHits == 1 ? "" : "s",
-                         result.cacheMisses,
-                         result.cacheMisses == 1 ? "" : "es");
-        return 0;
-    } catch (const std::exception& e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return vortex::sweep::cliMain(args);
 }
