@@ -114,6 +114,16 @@ struct Report
     size_t functionCount = 0;    ///< functions discovered in the CFG
     size_t instructionCount = 0; ///< reachable instructions decoded
 
+    /**
+     * Check ids this analysis actually *evaluated* against the program
+     * (sorted, unique) — not just the ones that fired. A check is
+     * exercised when the analyzer reached one of its decision points
+     * with enough static information to judge it (e.g. "mem.bounds"
+     * appears only when some access's address constant-folded). The
+     * fuzzer's corpus-coverage metric aggregates this set.
+     */
+    std::vector<std::string> exercisedChecks;
+
     /** Number of diagnostics at @p s. */
     size_t count(Severity s) const;
     size_t errors() const { return count(Severity::Error); }     ///< error count

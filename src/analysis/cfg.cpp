@@ -41,12 +41,15 @@ CodeImage::CodeImage(const isa::Program& program)
     : program_(&program), base_(program.base),
       end_(program.base + static_cast<Addr>(program.image.size()))
 {
+    execEnd_ = (program.execEnd > base_ && program.execEnd <= end_)
+                   ? program.execEnd
+                   : end_;
 }
 
 bool
 CodeImage::validPc(Addr pc) const
 {
-    return pc >= base_ && pc + 4 <= end_ && (pc & 3u) == 0;
+    return pc >= base_ && pc + 4 <= execEnd_ && (pc & 3u) == 0;
 }
 
 uint32_t

@@ -95,9 +95,13 @@ class CodeImage
 
     Addr base() const { return base_; }   ///< first mapped address
     Addr end() const { return end_; }     ///< one past the last byte
+    /** One past the last executable byte (Program::execEnd, or end()
+     *  when the program does not record it). Data sections beyond this
+     *  are never treated as decodable code. */
+    Addr execEnd() const { return execEnd_; }
     const isa::Program& program() const { return *program_; } ///< wrapped program
 
-    /** True when @p pc is 4-aligned and inside the image. */
+    /** True when @p pc is 4-aligned and inside the executable bytes. */
     bool validPc(Addr pc) const;
     /** Raw 32-bit word at @p pc (validPc required). */
     uint32_t word(Addr pc) const;
@@ -109,7 +113,7 @@ class CodeImage
 
   private:
     const isa::Program* program_;
-    Addr base_, end_;
+    Addr base_, end_, execEnd_;
 };
 
 /**

@@ -282,6 +282,8 @@ class Engine
         for (const auto& [addr, fn] : fns_)
             instrs += fn.blockOf.size();
         report.instructionCount = instrs;
+        report.exercisedChecks.assign(exercised_.begin(),
+                                      exercised_.end());
         return report;
     }
 
@@ -300,6 +302,15 @@ class Engine
     std::set<Addr> escaped_;
     bool anyEscapedHasBar_ = false;
     std::vector<Diagnostic> diags_;
+    std::set<std::string> exercised_; ///< see Report::exercisedChecks
+
+    /** Record that a check's decision point was evaluated (whether or
+     *  not it fired). */
+    void
+    touch(const char* check)
+    {
+        exercised_.insert(check);
+    }
 
     std::vector<Addr>
     sortedEntries() const
@@ -337,6 +348,7 @@ class Engine
     {
         if (fns_.count(entry))
             return;
+        touch("structure.target");
         if (!image_.validPc(entry)) {
             diags_.push_back({Severity::Error, entry, "structure.target",
                               "entry point " + hexAddr(entry) +
@@ -491,6 +503,8 @@ class Engine
             uint64_t bit = 1ull << regBit(r);
             if (bit & kExemptReads)
                 continue;
+            touch("reg.undef");
+            touch("reg.maybe-undef");
             const char* name = r.file == RegFile::Fp
                                    ? isa::fpRegName(r.idx)
                                    : isa::intRegName(r.idx);
@@ -583,6 +597,8 @@ class Engine
         switch (in.kind) {
           case InstrKind::VX_SPLIT:
             if (st.depthKnown) {
+                if (diagnose)
+                    touch("ipdom.balance");
                 ++st.depth;
                 if (sum)
                     sum->maxDepth = std::max(sum->maxDepth, st.depth);
@@ -591,6 +607,8 @@ class Engine
 
           case InstrKind::VX_JOIN:
             if (st.depthKnown) {
+                if (diagnose)
+                    touch("ipdom.balance");
                 if (st.depth == 0) {
                     if (diagnose)
                         diags_.push_back(
@@ -606,6 +624,8 @@ class Engine
           case InstrKind::VX_BAR: {
             if (sum)
                 sum->hasBar = true;
+            if (diagnose && st.depthKnown)
+                touch("barrier.divergence");
             if (diagnose && st.depthKnown && st.depth > 0)
                 diags_.push_back(
                     {Severity::Error, ci.pc, "barrier.divergence",
@@ -616,6 +636,7 @@ class Engine
             uint32_t id = 0, count = 0;
             if (diagnose && constOf(st, in.rs1, id) &&
                 constOf(st, in.rs2, count)) {
+                touch("barrier.count");
                 bool global = (id & 0x80000000u) != 0;
                 uint32_t budget = global
                                       ? opts_.numWarps * opts_.numCores
@@ -636,6 +657,8 @@ class Engine
 
           case InstrKind::VX_TMC: {
             uint32_t n = 0;
+            if (diagnose && constOf(st, in.rs1, n))
+                touch("tmc.budget");
             if (diagnose && constOf(st, in.rs1, n) &&
                 n > opts_.numThreads && n != 0)
                 diags_.push_back(
@@ -648,6 +671,11 @@ class Engine
 
           case InstrKind::VX_WSPAWN: {
             uint32_t n = 0, target = 0;
+            if (diagnose) {
+                touch("wspawn.target");
+                if (constOf(st, in.rs1, n))
+                    touch("wspawn.budget");
+            }
             if (diagnose && constOf(st, in.rs1, n) &&
                 n > opts_.numWarps)
                 diags_.push_back(
@@ -711,6 +739,8 @@ class Engine
                     sum->maxDepth = std::max(
                         sum->maxDepth, st.depth + callee.maxDepth);
             }
+            if (diagnose && st.depthKnown && st.depth > 0)
+                touch("barrier.divergence");
             if (diagnose && st.depthKnown && st.depth > 0 &&
                 effectiveHasBar(callee))
                 diags_.push_back(
@@ -727,6 +757,8 @@ class Engine
                 sum->hasIndirectCall = true;
                 sum->mayWrite = ~0ull;
             }
+            if (diagnose && st.depthKnown && st.depth > 0)
+                touch("barrier.divergence");
             if (diagnose && st.depthKnown && st.depth > 0 &&
                 anyEscapedHasBar_)
                 diags_.push_back(
@@ -740,6 +772,8 @@ class Engine
             break;
           }
           case TermKind::Return:
+            if (diagnose && st.depthKnown)
+                touch("ipdom.balance");
             if (diagnose && st.depthKnown && st.depth != 0)
                 diags_.push_back(
                     {Severity::Error, ci.pc, "ipdom.balance",
@@ -806,6 +840,8 @@ class Engine
         if (!diagnose || !constOf(st, in.rs1, base))
             return false;
         uint32_t addr = base + static_cast<uint32_t>(in.imm);
+        if (width > 1)
+            touch("mem.align");
         if (width > 1 && (addr % width) != 0)
             diags_.push_back(
                 {Severity::Error, ci.pc, "mem.align",
@@ -814,7 +850,10 @@ class Engine
                      hexAddr(addr) + " is misaligned"});
         if (opts_.memMap.regions.empty())
             return false;
+        touch("mem.bounds");
         const MemRegion* region = opts_.memMap.find(addr, width);
+        if (store && region)
+            touch("mem.code-write");
         if (!region) {
             diags_.push_back(
                 {Severity::Error, ci.pc, "mem.bounds",
@@ -838,6 +877,7 @@ class Engine
         const EntryInfo& info = entries_[entry];
         if (!info.kinds.count(EntryKind::WarpEntry))
             return;
+        touch("ipdom.depth");
         const FnSummary& s = summaries_[entry];
         uint32_t entriesNeeded = 2u * static_cast<uint32_t>(s.maxDepth);
         if (entriesNeeded > opts_.ipdomCapacity)
@@ -854,6 +894,7 @@ class Engine
     void
     reportCoverage()
     {
+        touch("structure.unreachable");
         std::set<Addr> covered;
         for (const auto& [addr, fn] : fns_)
             for (const auto& [pc, blockStart] : fn.blockOf)
@@ -861,7 +902,8 @@ class Engine
         size_t bytes = 0;
         Addr first = 0;
         bool haveFirst = false;
-        for (Addr pc = image_.base(); pc + 4 <= image_.end(); pc += 4) {
+        for (Addr pc = image_.base(); pc + 4 <= image_.execEnd();
+             pc += 4) {
             if (covered.count(pc))
                 continue;
             bytes += 4;
@@ -870,7 +912,7 @@ class Engine
                 haveFirst = true;
             }
         }
-        bytes += (image_.end() - image_.base()) & 3u;
+        bytes += (image_.execEnd() - image_.base()) & 3u;
         if (bytes != 0)
             diags_.push_back(
                 {Severity::Info, first, "structure.unreachable",

@@ -42,14 +42,17 @@ constexpr uint32_t kPoolSize = 9;
 const char* const kFpu[] = {"ft0", "ft1", "ft2"};
 constexpr uint32_t kFpuSize = 3;
 
+/** Words in the shared read-only `fuzz_table` rodata blob. */
+constexpr uint32_t kTableWords = 16;
+
 /** Emits one task function's worth of random-but-well-formed assembly. */
 class TaskGen
 {
   public:
     TaskGen(Xorshift& rng, const GenOptions& opts, std::ostringstream& out,
-            uint32_t taskIndex)
+            uint32_t taskIndex, uint32_t fnCount)
         : r_(rng), opts_(opts), out_(out), task_(taskIndex),
-          loadMask_(opts.scratchWords / 2 - 1),
+          fnCount_(fnCount), loadMask_(opts.scratchWords / 2 - 1),
           idMask_(opts.scratchWords / 4 - 1),
           slotBase_((opts.scratchWords / 2 +
                      taskIndex * (opts.scratchWords / 4)) *
@@ -104,10 +107,16 @@ class TaskGen
 
     /** Give every pool register (and the FP pool) a task-id-derived
      *  value up front so no path reads an undefined register, and point
-     *  a5 at this task's private store slot in the upper half. */
+     *  a5 at this task's private store slot in the upper half. The
+     *  frame saves ra (clobbered by leaf-function calls) and s1 (the
+     *  callee-saved inner-loop counter) so every task honours the
+     *  spawn_tasks ABI regardless of which shapes its body drew. */
     void
     prologue()
     {
+        out_ << "    addi sp, sp, -16\n";
+        out_ << "    sw ra, 12(sp)\n";
+        out_ << "    sw s1, 8(sp)\n";
         out_ << "    lw a6, 4(a1)\n"; // scratch base from the mailbox
         out_ << "    andi a5, a0, " << idMask_ << "\n";
         out_ << "    slli a5, a5, 2\n";
@@ -143,15 +152,23 @@ class TaskGen
     epilogue()
     {
         out_ << "    sw " << pool() << ", 0(a5)\n";
+        out_ << "    lw s1, 8(sp)\n";
+        out_ << "    lw ra, 12(sp)\n";
+        out_ << "    addi sp, sp, 16\n";
         out_ << "    ret\n";
     }
 
     void
     aluOp()
     {
-        static const char* const kOps[] = {"add", "sub",  "xor", "or",
-                                           "and", "mul",  "slt", "sltu"};
-        out_ << "    " << kOps[r_.nextBounded(8)] << " " << pool() << ", "
+        // Division by zero and overflow are fully defined in RV32M
+        // (quotient -1 / dividend), so div/rem on register soup is as
+        // deterministic as add.
+        static const char* const kOps[] = {
+            "add",  "sub",    "xor",   "or",   "and",  "mul",
+            "slt",  "sltu",   "sll",   "srl",  "sra",  "mulh",
+            "mulhu", "mulhsu", "div",  "divu", "rem",  "remu"};
+        out_ << "    " << kOps[r_.nextBounded(18)] << " " << pool() << ", "
              << pool() << ", " << pool() << "\n";
     }
 
@@ -174,7 +191,7 @@ class TaskGen
     void
     fpOp()
     {
-        switch (r_.nextBounded(5)) {
+        switch (r_.nextBounded(10)) {
         case 0:
             out_ << "    fadd.s " << fpu() << ", " << fpu() << ", "
                  << fpu() << "\n";
@@ -191,6 +208,27 @@ class TaskGen
             out_ << "    fmadd.s " << fpu() << ", " << fpu() << ", "
                  << fpu() << ", " << fpu() << "\n";
             break;
+        case 4:
+            out_ << "    fdiv.s " << fpu() << ", " << fpu() << ", "
+                 << fpu() << "\n";
+            break;
+        case 5:
+            out_ << "    fsqrt.s " << fpu() << ", " << fpu() << "\n";
+            break;
+        case 6:
+            out_ << "    " << (r_.nextBounded(2) ? "fmin.s" : "fmax.s")
+                 << " " << fpu() << ", " << fpu() << ", " << fpu()
+                 << "\n";
+            break;
+        case 7:
+            out_ << "    " << (r_.nextBounded(2) ? "feq.s" : "flt.s")
+                 << " " << pool() << ", " << fpu() << ", " << fpu()
+                 << "\n";
+            break;
+        case 8:
+            out_ << "    fsgnjx.s " << fpu() << ", " << fpu() << ", "
+                 << fpu() << "\n";
+            break;
         default:
             out_ << "    fmv.w.x " << fpu() << ", " << pool() << "\n";
             break;
@@ -206,10 +244,30 @@ class TaskGen
             return;
         }
         address(pool());
-        if (r_.nextBounded(4) == 0)
+        switch (r_.nextBounded(8)) {
+        case 0:
             out_ << "    flw " << fpu() << ", 0(a7)\n";
-        else
+            break;
+        case 1:
+            out_ << "    lb " << pool() << ", "
+                 << r_.nextBounded(4) << "(a7)\n";
+            break;
+        case 2:
+            out_ << "    lbu " << pool() << ", "
+                 << r_.nextBounded(4) << "(a7)\n";
+            break;
+        case 3:
+            out_ << "    lh " << pool() << ", "
+                 << 2 * r_.nextBounded(2) << "(a7)\n";
+            break;
+        case 4:
+            out_ << "    lhu " << pool() << ", "
+                 << 2 * r_.nextBounded(2) << "(a7)\n";
+            break;
+        default:
             out_ << "    lw " << pool() << ", 0(a7)\n";
+            break;
+        }
     }
 
     /** Stores go only to the private slot — any address derived from
@@ -217,10 +275,57 @@ class TaskGen
     void
     storeOp()
     {
-        if (r_.nextBounded(4) == 0)
+        switch (r_.nextBounded(6)) {
+        case 0:
             out_ << "    fsw " << fpu() << ", 0(a5)\n";
-        else
+            break;
+        case 1:
+            out_ << "    sb " << pool() << ", "
+                 << r_.nextBounded(4) << "(a5)\n";
+            break;
+        case 2:
+            out_ << "    sh " << pool() << ", "
+                 << 2 * r_.nextBounded(2) << "(a5)\n";
+            break;
+        default:
             out_ << "    sw " << pool() << ", 0(a5)\n";
+            break;
+        }
+    }
+
+    /** Load from the shared read-only rodata table. Half the draws use
+     *  a fixed offset whose address constant-folds (`la` is auipc+addi),
+     *  so the static analyzer's mem.align/mem.bounds checks fire on the
+     *  resolved address; the other half index dynamically through the
+     *  usual register soup (masked into the table). */
+    void
+    rodataOp()
+    {
+        out_ << "    la a7, fuzz_table\n";
+        if (r_.nextBounded(2)) {
+            out_ << "    lw " << pool() << ", "
+                 << 4 * r_.nextBounded(kTableWords) << "(a7)\n";
+        } else {
+            // Mask to a word offset inside the table (bits 2..5 only).
+            const char* idx = pool();
+            out_ << "    andi " << idx << ", " << idx << ", "
+                 << (kTableWords - 1) * 4 << "\n";
+            out_ << "    add a7, a7, " << idx << "\n";
+            out_ << "    lw " << pool() << ", 0(a7)\n";
+        }
+    }
+
+    /** Call one of the program's shared leaf helpers: two pool values
+     *  in, one result out. Calls may sit inside split regions — the
+     *  helpers are barrier-free, which is exactly the case the
+     *  analyzer's call-site divergence check must accept. */
+    void
+    callOp()
+    {
+        out_ << "    mv a0, " << pool() << "\n";
+        out_ << "    mv a1, " << pool() << "\n";
+        out_ << "    call fuzz_fn" << r_.nextBounded(fnCount_) << "\n";
+        out_ << "    mv " << pool() << ", a0\n";
     }
 
     /** Balanced divergence: split on a data-dependent predicate, run the
@@ -250,15 +355,30 @@ class TaskGen
         out_ << "    vx_join\n";
     }
 
-    /** One bounded loop with a uniform trip count in t6. At most one per
-     *  task (t6 is the only counter register) and only at top level. */
+    /** One bounded loop with a uniform trip count in t6, optionally
+     *  wrapping a nested inner loop counted in s1 (callee-saved, so the
+     *  task frame preserves it for the runtime). At most one outer loop
+     *  per task (t6/s1 are the only counter registers) and only at top
+     *  level; trip counts are compile-time constants, so the backward
+     *  branches are uniform across the wavefront. */
     void
     loopBlock(uint32_t budget, int depth)
     {
         std::string head = label();
         out_ << "    li t6, " << 2 + r_.nextBounded(3) << "\n";
         out_ << head << ":\n";
-        ops(budget, depth + 1, false);
+        if (budget >= 4 && r_.nextBounded(2)) {
+            uint32_t innerBudget = 1 + r_.nextBounded(budget - 3);
+            ops(budget - innerBudget - 1, depth + 1, false);
+            std::string inner = label();
+            out_ << "    li s1, " << 2 + r_.nextBounded(2) << "\n";
+            out_ << inner << ":\n";
+            ops(innerBudget, depth + 1, false);
+            out_ << "    addi s1, s1, -1\n";
+            out_ << "    bnez s1, " << inner << "\n";
+        } else {
+            ops(budget, depth + 1, false);
+        }
         out_ << "    addi t6, t6, -1\n";
         out_ << "    bnez t6, " << head << "\n";
     }
@@ -268,10 +388,10 @@ class TaskGen
     ops(uint32_t count, int depth, bool allowLoop)
     {
         while (count > 0) {
-            uint32_t kind = r_.nextBounded(12);
-            if (kind >= 10 && count >= 4 && depth < 2) {
+            uint32_t kind = r_.nextBounded(14);
+            if (kind >= 12 && count >= 4 && depth < 2) {
                 uint32_t inner = 1 + r_.nextBounded(count - 2);
-                if (kind == 11 && allowLoop && depth == 0 &&
+                if (kind == 13 && allowLoop && depth == 0 &&
                     !loopEmitted_) {
                     loopEmitted_ = true;
                     loopBlock(inner, depth);
@@ -281,11 +401,18 @@ class TaskGen
                 count -= inner + 1;
                 continue;
             }
-            switch (kind % 5) {
+            switch (kind % 7) {
             case 0:
             case 1: aluOp(); break;
             case 2: aluImmOp(); break;
             case 3: fpOp(); break;
+            case 4: rodataOp(); break;
+            case 5:
+                if (fnCount_ > 0)
+                    callOp();
+                else
+                    aluOp();
+                break;
             default: r_.nextBounded(2) ? loadOp() : storeOp(); break;
             }
             --count;
@@ -296,12 +423,35 @@ class TaskGen
     const GenOptions& opts_;
     std::ostringstream& out_;
     uint32_t task_;
+    uint32_t fnCount_;
     uint32_t loadMask_;
     uint32_t idMask_;
     uint32_t slotBase_;
     int label_ = 0;
     bool loopEmitted_ = false;
 };
+
+/** One barrier-free leaf helper: a0/a1 in, a0 out, t0-t2 scratch. The
+ *  body is a short random ALU chain seeded from the arguments so no
+ *  path reads an undefined register. */
+void
+emitLeafFn(Xorshift& r, std::ostringstream& out, uint32_t idx)
+{
+    out << "fuzz_fn" << idx << ":\n";
+    out << "    add t0, a0, a1\n";
+    out << "    xor t1, a0, t0\n";
+    static const char* const kOps[] = {"add", "sub", "xor", "or",
+                                       "and", "mul"};
+    static const char* const kRegs[] = {"t0", "t1", "t2", "a0", "a1"};
+    out << "    " << kOps[r.nextBounded(6)] << " t2, t0, t1\n";
+    uint32_t n = 1 + r.nextBounded(4);
+    for (uint32_t i = 0; i < n; ++i)
+        out << "    " << kOps[r.nextBounded(6)] << " "
+            << kRegs[r.nextBounded(3)] << ", " << kRegs[r.nextBounded(5)]
+            << ", " << kRegs[r.nextBounded(5)] << "\n";
+    out << "    add a0, t0, t1\n";
+    out << "    ret\n";
+}
 
 } // namespace
 
@@ -316,10 +466,11 @@ generateKernel(uint64_t seed, const GenOptions& opts)
     uint32_t maxTasks = std::min(opts.maxTasks, opts.scratchWords / 4);
     k.numTasks = 1 + r.nextBounded(maxTasks);
     uint32_t rounds = 1 + r.nextBounded(2);
+    uint32_t fnCount = r.nextBounded(3);
 
     std::ostringstream out;
     out << "# fuzz seed " << seed << ": " << k.numTasks << " task(s), "
-        << rounds << " spawn round(s)\n";
+        << rounds << " spawn round(s), " << fnCount << " leaf fn(s)\n";
     out << "main:\n";
     out << "    addi sp, sp, -16\n";
     out << "    sw ra, 12(sp)\n";
@@ -336,9 +487,21 @@ generateKernel(uint64_t seed, const GenOptions& opts)
     out << "    addi sp, sp, 16\n";
     out << "    ret\n\n";
     for (uint32_t i = 0; i < rounds; ++i) {
-        TaskGen(r, opts, out, i).emit("fuzz_task" + std::to_string(i));
+        TaskGen(r, opts, out, i, fnCount)
+            .emit("fuzz_task" + std::to_string(i));
         out << "\n";
     }
+    for (uint32_t i = 0; i < fnCount; ++i) {
+        emitLeafFn(r, out, i);
+        out << "\n";
+    }
+    // The shared read-only table the rodata load shapes index into.
+    out << ".rodata\n";
+    out << ".align 2\n";
+    out << "fuzz_table:\n";
+    for (uint32_t i = 0; i < kTableWords; ++i)
+        out << "    .word 0x" << std::hex
+            << static_cast<uint32_t>(r.next()) << std::dec << "\n";
     k.source = out.str();
     return k;
 }

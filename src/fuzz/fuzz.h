@@ -55,9 +55,17 @@ struct GeneratedKernel
     uint32_t scratchWords = 0; ///< size of the scratch buffer, word 1
 };
 
-/** Deterministic random guest program for @p seed. The program defines
- *  `main`, spawns 1-2 rounds of tasks, and touches only the scratch
- *  buffer whose address the harness passes in the kargs mailbox. */
+/**
+ * Deterministic random guest program for @p seed. The program defines
+ * `main`, spawns 1-2 rounds of tasks, and touches only the scratch
+ * buffer whose address the harness passes in the kargs mailbox plus a
+ * read-only `.rodata` table baked into the program image. Task bodies
+ * draw from balanced split/join blocks, uniformly-bounded loops (with
+ * optional nesting), calls to shared barrier-free leaf helpers, rodata
+ * table loads (half statically resolvable, half dynamically indexed),
+ * and an ALU/FP/memory mix spanning RV32IM, sub-word accesses, and the
+ * F extension.
+ */
 GeneratedKernel generateKernel(uint64_t seed, const GenOptions& opts = {});
 
 /** Outcome of one differential run. */

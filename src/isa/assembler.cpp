@@ -200,6 +200,7 @@ class Engine
         Program p;
         p.base = base_;
         p.entry = base_;
+        p.execEnd = sectionStart_[kText] + sectionSize_[kText];
         p.image = std::move(image_);
         p.symbols = std::move(symbols_);
         return p;

@@ -80,6 +80,11 @@ struct Program
 {
     Addr base = 0;  ///< load address of image[0]
     Addr entry = 0; ///< execution entry point (== base)
+    /** One past the last executable byte (.text ends here; .rodata and
+     *  .data follow). 0 means unknown — treat the whole image as
+     *  executable. The static analyzer uses this to keep escaped data
+     *  pointers (e.g. `la` of a table) from being decoded as code. */
+    Addr execEnd = 0;
     std::vector<uint8_t> image;
     std::map<std::string, Addr> symbols;
 

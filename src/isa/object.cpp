@@ -7,6 +7,7 @@
 
 #include "isa/object.h"
 
+#include <algorithm>
 #include <fstream>
 
 #include "common/log.h"
@@ -265,6 +266,10 @@ ObjectFile::toProgram(Addr loadBase) const
     Program p;
     p.base = loadBase;
     p.entry = entry - linkBase + loadBase;
+    for (const ObjSection& s : sections)
+        if (s.exec)
+            p.execEnd = std::max(p.execEnd,
+                                 loadBase + s.offset + s.size);
     p.image = image;
     for (const ObjSymbol& s : symbols)
         p.symbols[s.name] = loadBase + s.offset;

@@ -153,9 +153,26 @@ Device::setKernelArg(const void* data, size_t size)
     processor_->ram().writeBlock(kKernelArgAddr, data, size);
 }
 
+Device::SelfCheck
+Device::readSelfCheck() const
+{
+    SelfCheck check;
+    processor_->ram().readBlock(kSelfCheckAddr, &check.status,
+                                sizeof(check.status));
+    processor_->ram().readBlock(kSelfCheckDetailAddr, &check.detail,
+                                sizeof(check.detail));
+    return check;
+}
+
 void
 Device::start()
 {
+    // Clear the self-check mailbox so a stale PASS from a previous run
+    // can never vouch for this one.
+    const uint32_t zero = 0;
+    processor_->ram().writeBlock(kSelfCheckAddr, &zero, sizeof(zero));
+    processor_->ram().writeBlock(kSelfCheckDetailAddr, &zero,
+                                 sizeof(zero));
     processor_->start();
 }
 

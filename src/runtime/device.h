@@ -32,6 +32,20 @@ constexpr uint32_t kStackSizeLog2 = 12;     ///< 4 KiB per hardware thread
 constexpr Addr kSmemWindow = 0xFF000000;    ///< core-local scratchpad base
 constexpr uint32_t kSmemStride = 0x00010000;///< per-core scratchpad stride
 
+//
+// Guest self-check mailbox (see docs/TOOLCHAIN.md "Self-check ABI").
+// The top two words of the kernel-argument page are reserved for the
+// guest to report its own verdict: a PASS/FAIL magic word at
+// kSelfCheckAddr and an optional failure-detail word (first failing
+// index, bad value, ...) at kSelfCheckDetailAddr. Device::start()
+// zeroes both words so a stale verdict from a previous run can never
+// leak into the next one.
+//
+constexpr Addr kSelfCheckAddr = kKernelArgAddr + 0xFF8;       ///< status
+constexpr Addr kSelfCheckDetailAddr = kKernelArgAddr + 0xFFC; ///< detail
+constexpr uint32_t kSelfCheckPass = 0x50415353; ///< "PASS" (big-endian)
+constexpr uint32_t kSelfCheckFail = 0x4641494C; ///< "FAIL" (big-endian)
+
 /**
  * The memory map of a device built from @p config with @p program
  * loaded, in the static analyzer's terms: the (read-only) code segment,
@@ -112,7 +126,27 @@ class Device
      */
     analysis::Report verify() const;
 
-    /** Reset the device and start every core at the kernel entry. */
+    /**
+     * The guest's self-reported verdict, read back from the self-check
+     * mailbox after a run (see kSelfCheckAddr). A guest that follows
+     * the self-check ABI writes kSelfCheckPass or kSelfCheckFail to
+     * `status`; anything else means the guest never reached its
+     * verdict (crash, early exit, or a program that does not
+     * implement the convention).
+     */
+    struct SelfCheck
+    {
+        uint32_t status = 0; ///< kSelfCheckPass / kSelfCheckFail / other
+        uint32_t detail = 0; ///< guest-defined failure detail word
+        bool passed() const { return status == kSelfCheckPass; }
+        bool failed() const { return status == kSelfCheckFail; }
+    };
+
+    /** Read the self-check mailbox words (valid after readyWait()). */
+    SelfCheck readSelfCheck() const;
+
+    /** Reset the device and start every core at the kernel entry.
+     *  Also clears the self-check mailbox words. */
     void start();
 
     /**

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstring>
 #include <deque>
+#include <iomanip>
 #include <sstream>
 #include <vector>
 
@@ -428,6 +429,48 @@ runTexture(Device& dev, TexFilterMode mode, bool hardware, uint32_t size)
         }
     }
     return finish(dev, true);
+}
+
+RunResult
+runSelfCheck(Device& dev)
+{
+    // The empty source routes through the installed kernel override
+    // (Device::uploadKernel); the guest program is the whole workload.
+    dev.uploadKernel("");
+    dev.runKernel(kMaxCycles);
+    Device::SelfCheck check = dev.readSelfCheck();
+    if (check.passed())
+        return finish(dev, true);
+    std::ostringstream os;
+    if (check.failed())
+        os << "guest self-check FAILed (detail word 0x" << std::hex
+           << check.detail << ")";
+    else
+        os << "guest never wrote a self-check verdict (status 0x"
+           << std::hex << check.status << ")";
+    return finish(dev, false, os.str());
+}
+
+RunResult
+runMemcmp(Device& dev, Addr addr, uint32_t len, uint64_t expectedFnv)
+{
+    dev.uploadKernel("");
+    dev.runKernel(kMaxCycles);
+    std::vector<uint8_t> bytes(len);
+    dev.copyFromDev(bytes.data(), addr, len);
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint8_t b : bytes) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    if (h == expectedFnv)
+        return finish(dev, true);
+    std::ostringstream os;
+    os << "memcmp check: FNV-1a of " << std::dec << len
+       << " bytes at 0x" << std::hex << addr << " is "
+       << std::setfill('0') << std::setw(16) << h << ", expected "
+       << std::setw(16) << expectedFnv;
+    return finish(dev, false, os.str());
 }
 
 } // namespace vortex::runtime

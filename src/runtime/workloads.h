@@ -59,4 +59,27 @@ enum class TexFilterMode { Point, Bilinear, Trilinear };
 RunResult runTexture(Device& dev, TexFilterMode mode, bool hardware,
                      uint32_t size);
 
+//
+// Harness-free runners (`[workload] check = ...` specs). Both expect a
+// kernel override to be installed (Device::setKernelOverride) — the
+// guest program IS the workload; there is no per-workload C++ setup.
+//
+
+/**
+ * Run the installed kernel override and judge it by the guest's own
+ * verdict in the self-check mailbox (docs/TOOLCHAIN.md "Self-check
+ * ABI"): ok iff the guest wrote kSelfCheckPass. A FAIL verdict reports
+ * the guest's detail word; any other status means the guest never
+ * reached its verdict and is reported as such.
+ */
+RunResult runSelfCheck(Device& dev);
+
+/**
+ * Run the installed kernel override, then read @p len bytes of device
+ * memory at @p addr and compare their FNV-1a 64 hash against
+ * @p expectedFnv (the `check = "memcmp:ADDR:LEN:FNV"` spec form).
+ */
+RunResult runMemcmp(Device& dev, Addr addr, uint32_t len,
+                    uint64_t expectedFnv);
+
 } // namespace vortex::runtime

@@ -455,33 +455,4 @@ CacheStore::mergeFrom(const std::string& srcDir) const
     return stats;
 }
 
-//
-// Deprecated free-function shims (campaign.h): one PR of source compat
-// for out-of-tree callers; every in-tree caller now uses CacheStore.
-//
-
-double
-cachedHostSeconds(const std::string& dir, const std::string& hash)
-{
-    return CacheStore(dir).recordedHostSeconds(hash);
-}
-
-std::vector<CacheEntryInfo>
-listCache(const std::string& dir)
-{
-    return CacheStore(dir).entries();
-}
-
-void
-writeCacheManifest(const std::string& dir)
-{
-    CacheStore(dir).writeManifest();
-}
-
-size_t
-pruneCache(const std::string& dir, double olderThanDays)
-{
-    return CacheStore(dir).prune(olderThanDays);
-}
-
 } // namespace vortex::sweep

@@ -6,9 +6,9 @@
  * RunRecords keyed by RunSpec::contentHash), the manifest, pruning, and
  * — the fabric primitive — merge/import of entries from other cache
  * directories. It absorbs the free-function cache API that used to live
- * in campaign.h (cachedHostSeconds / listCache / writeCacheManifest /
- * pruneCache, now deprecated forwarding shims) and the ad-hoc read/write
- * paths that used to live inside Campaign.
+ * in campaign.h (removed after one release of deprecated forwarding
+ * shims) and the ad-hoc read/write paths that used to live inside
+ * Campaign.
  *
  * On-disk format (unchanged from the free-function era — v2, one
  * `<hash>.run` text file per entry plus `manifest.json`):

@@ -221,8 +221,8 @@ std::vector<uint32_t> shardAssignment(const std::vector<RunSpec>& runs,
 RunRecord executeRun(const RunSpec& spec);
 
 /** One result-cache entry as listed by CacheStore::entries(). (Defined
- *  here rather than in cache.h so the deprecated listCache() shim below
- *  keeps compiling for campaign.h-only includers.) */
+ *  here rather than in cache.h because campaign code is its main
+ *  consumer; cache.h forward-includes campaign.h for it.) */
 struct CacheEntryInfo
 {
     std::string hash;     ///< content hash (the file basename)
@@ -233,26 +233,6 @@ struct CacheEntryInfo
     std::string kernel;   ///< registry kernel name ("" on old entries)
     double estUnits = 0.0; ///< static cost estimate at store time (0 = none)
 };
-
-/** @deprecated Use CacheStore(dir).recordedHostSeconds(hash)
- *  (sweep/cache.h). Forwarding shim kept for one PR. */
-[[deprecated("use CacheStore::recordedHostSeconds (sweep/cache.h)")]]
-double cachedHostSeconds(const std::string& dir, const std::string& hash);
-
-/** @deprecated Use CacheStore(dir).entries() (sweep/cache.h).
- *  Forwarding shim kept for one PR. */
-[[deprecated("use CacheStore::entries (sweep/cache.h)")]]
-std::vector<CacheEntryInfo> listCache(const std::string& dir);
-
-/** @deprecated Use CacheStore(dir).writeManifest() (sweep/cache.h).
- *  Forwarding shim kept for one PR. */
-[[deprecated("use CacheStore::writeManifest (sweep/cache.h)")]]
-void writeCacheManifest(const std::string& dir);
-
-/** @deprecated Use CacheStore(dir).prune(olderThanDays)
- *  (sweep/cache.h). Forwarding shim kept for one PR. */
-[[deprecated("use CacheStore::prune (sweep/cache.h)")]]
-size_t pruneCache(const std::string& dir, double olderThanDays = -1.0);
 
 /** Executes SweepSpecs; see the file comment for the determinism and
  *  caching contracts. */

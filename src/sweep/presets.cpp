@@ -439,17 +439,41 @@ asmSmokeSpec()
     SweepSpec s;
     s.name = "asm_smoke";
     s.description =
-        "assembly-toolchain smoke: the three .s kernel twins through "
+        "assembly-toolchain smoke: the seven .s kernel twins through "
         "the object pipeline at {1, 2} cores";
     s.base = baselineConfig(1);
     Axis k;
     k.name = "kernel";
-    for (const char* name : {"vecadd", "saxpy", "sgemm"})
+    for (const char* name : {"vecadd", "saxpy", "sgemm", "sfilter",
+                             "nearn", "gaussian", "bfs"})
         k.points.push_back(AxisPoint{
             name,
             {{"kernel", name},
              {"program", std::string("examples/kernels/") + name + ".s"}}});
     s.axes = {std::move(k), Axis::sweep("cores", {"1", "2"})};
+    return s;
+}
+
+SweepSpec
+workloadZooSpec()
+{
+    SweepSpec s;
+    s.name = "workload_zoo";
+    s.description =
+        "harness-free .s workload zoo: every self-checking guest "
+        "program at {1, 2} cores";
+    s.base = baselineConfig(1);
+    Axis w;
+    w.name = "kernel";
+    for (const char* name : {"bitonic", "reduce_tree", "histogram",
+                             "stress_barrier", "stress_diverge",
+                             "stress_bank"})
+        w.points.push_back(AxisPoint{
+            name,
+            {{"kernel", name},
+             {"program", std::string("examples/kernels/") + name + ".s"},
+             {"check", "selfcheck"}}});
+    s.axes = {std::move(w), Axis::sweep("cores", {"1", "2"})};
     return s;
 }
 
@@ -664,6 +688,7 @@ presets()
 
         sweepPreset([] { return perfSmokeSpec(); }, pivotIpc);
         sweepPreset([] { return asmSmokeSpec(); }, pivotIpc);
+        sweepPreset([] { return workloadZooSpec(); }, pivotIpc);
 
         return p;
     }();

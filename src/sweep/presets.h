@@ -59,13 +59,21 @@ SweepSpec fig21Spec(bool paperSize = false); ///< memory latency/bandwidth
  *  (see .github/workflows/ci.yml, job `perf-smoke`). */
 SweepSpec perfSmokeSpec();
 
-/** The assembly-toolchain smoke campaign: the three checked-in `.s`
+/** The assembly-toolchain smoke campaign: the seven checked-in `.s`
  *  kernel twins (examples/kernels/) run through the full
  *  assemble -> object -> load pipeline at {1, 2} cores. Each point
  *  must produce the same cycles/instrs as the built-in kernel it
  *  twins; CI runs it from the dumped spec file
  *  (examples/specs/asm_smoke.toml). */
 SweepSpec asmSmokeSpec();
+
+/** The harness-free workload-zoo campaign: every `.s`-only workload
+ *  (examples/kernels/ programs with no C++ twin) run through the
+ *  object pipeline at {1, 2} cores with `check = "selfcheck"` — the
+ *  guest verifies its own results through the self-check mailbox
+ *  (docs/TOOLCHAIN.md), zero per-workload C++ harness code. CI runs it
+ *  from the dumped spec file (examples/specs/workload_zoo.toml). */
+SweepSpec workloadZooSpec();
 
 /** Preset parameters as (key, value) pairs (`--arg size=128`). */
 using PresetArgs = std::vector<std::pair<std::string, std::string>>;

@@ -239,6 +239,14 @@ const FieldDef kFields[] = {
          w.program = v;
          w.programSource = loadProgramSource(v);
      }},
+    {"check", "harness-free result check for program workloads "
+              "(selfcheck | memcmp:ADDR:LEN:FNV)",
+     [](core::ArchConfig&, WorkloadSpec& w, const std::string& v) {
+         // Validate eagerly so spec files report malformed values with
+         // file:line:col; the raw text is what gets hashed/serialized.
+         parseCheckValue("sweep field 'check'", v);
+         w.check = v;
+     }},
 };
 
 #undef VORTEX_U32_FIELD
@@ -286,6 +294,73 @@ resolveProgramPath(const std::string& path)
         }
     }
     return path;
+}
+
+namespace {
+
+/** Strict hex parse (optional 0x prefix, whole string must consume);
+ *  fatal on failure, naming @p what. */
+uint64_t
+parseHexValue(const std::string& what, const std::string& value)
+{
+    std::string digits = value;
+    if (digits.size() > 2 && digits[0] == '0' &&
+        (digits[1] == 'x' || digits[1] == 'X'))
+        digits = digits.substr(2);
+    if (digits.empty() || digits.size() > 16)
+        fatal(what, ": cannot parse '", value, "' as a hex number");
+    uint64_t v = 0;
+    for (char c : digits) {
+        int d;
+        if (c >= '0' && c <= '9')
+            d = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            d = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            d = c - 'A' + 10;
+        else
+            fatal(what, ": cannot parse '", value, "' as a hex number");
+        v = (v << 4) | static_cast<uint64_t>(d);
+    }
+    return v;
+}
+
+} // namespace
+
+CheckSpec
+parseCheckValue(const std::string& what, const std::string& value)
+{
+    CheckSpec spec;
+    if (value.empty())
+        return spec;
+    if (value == "selfcheck") {
+        spec.kind = CheckSpec::Kind::Self;
+        return spec;
+    }
+    const std::string prefix = "memcmp:";
+    if (value.rfind(prefix, 0) == 0) {
+        std::string rest = value.substr(prefix.size());
+        size_t c1 = rest.find(':');
+        size_t c2 = c1 == std::string::npos ? std::string::npos
+                                            : rest.find(':', c1 + 1);
+        if (c1 == std::string::npos || c2 == std::string::npos ||
+            rest.find(':', c2 + 1) != std::string::npos)
+            fatal(what, ": '", value,
+                  "' is not of the form memcmp:ADDR:LEN:FNV");
+        spec.kind = CheckSpec::Kind::Memcmp;
+        uint64_t addr = parseHexValue(what, rest.substr(0, c1));
+        uint64_t len = parseHexValue(what, rest.substr(c1 + 1,
+                                                       c2 - c1 - 1));
+        if (addr > UINT32_MAX || len > UINT32_MAX)
+            fatal(what, ": '", value,
+                  "' ADDR/LEN exceed the 32-bit address space");
+        spec.addr = static_cast<Addr>(addr);
+        spec.len = static_cast<uint32_t>(len);
+        spec.fnv = parseHexValue(what, rest.substr(c2 + 1));
+        return spec;
+    }
+    fatal(what, ": unknown check '", value,
+          "' (selfcheck | memcmp:ADDR:LEN:FNV)");
 }
 
 std::string
@@ -345,6 +420,8 @@ WorkloadSpec::describe() const
     }
     if (!program.empty())
         os << " @" << program;
+    if (!check.empty())
+        os << " [" << check << "]";
     return os.str();
 }
 
@@ -353,6 +430,16 @@ WorkloadSpec::run(runtime::Device& dev) const
 {
     if (!program.empty())
         dev.setKernelOverride(programSource, program);
+    if (!check.empty()) {
+        // Harness-free path: the guest program is the workload.
+        if (program.empty())
+            fatal("workload check '", check,
+                  "' requires a program file ([workload] program = ...)");
+        CheckSpec c = parseCheckValue("workload check", check);
+        if (c.kind == CheckSpec::Kind::Self)
+            return runtime::runSelfCheck(dev);
+        return runtime::runMemcmp(dev, c.addr, c.len, c.fnv);
+    }
     if (kind == Kind::Rodinia)
         return runtime::runRodinia(dev, kernel, scale);
     return runtime::runTexture(dev, texFilter, texHw, texSize);
@@ -469,6 +556,8 @@ RunSpec::canonical() const
         os << "program = " << w.program << "\n"
            << "program.fnv = " << fnv << "\n";
     }
+    if (!w.check.empty())
+        os << "check = " << w.check << "\n";
     return os.str();
 }
 

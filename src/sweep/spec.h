@@ -57,6 +57,23 @@ struct WorkloadSpec
     std::string program;
     std::string programSource; ///< contents of `program` (loaded eagerly)
 
+    /**
+     * Optional harness-free result check for `program` workloads. Empty
+     * means "use the named kernel's C++ harness" (the default). Two
+     * forms are accepted (validated eagerly when the field is applied;
+     * see parseCheckValue):
+     *
+     *  - `"selfcheck"` — the guest verifies its own results and writes
+     *    PASS/FAIL to the self-check mailbox (docs/TOOLCHAIN.md);
+     *  - `"memcmp:ADDR:LEN:FNV"` — after the run, LEN bytes of device
+     *    memory at ADDR must hash (FNV-1a 64) to FNV; ADDR/LEN/FNV are
+     *    hex with optional 0x prefix.
+     *
+     * Like `program`, the value is part of RunSpec::canonical() and so
+     * of the result-cache content hash.
+     */
+    std::string check;
+
     runtime::TexFilterMode texFilter =
         runtime::TexFilterMode::Bilinear; ///< filtering mode (Kind::Texture)
     bool texHw = true;                    ///< hardware `tex` path vs software
@@ -212,5 +229,29 @@ std::string resolveProgramPath(const std::string& path);
 
 /** resolveProgramPath + read; fatal with a clear message on failure. */
 std::string loadProgramSource(const std::string& path);
+
+/** Parsed form of a `[workload] check` value (see WorkloadSpec::check). */
+struct CheckSpec
+{
+    enum class Kind : uint8_t
+    {
+        None,   ///< empty value: use the kernel's C++ harness
+        Self,   ///< "selfcheck": guest writes PASS/FAIL to the mailbox
+        Memcmp, ///< "memcmp:ADDR:LEN:FNV": hash a device-memory window
+    };
+    Kind kind = Kind::None;
+    Addr addr = 0;      ///< window base (Kind::Memcmp)
+    uint32_t len = 0;   ///< window length in bytes (Kind::Memcmp)
+    uint64_t fnv = 0;   ///< expected FNV-1a 64 hash (Kind::Memcmp)
+};
+
+/**
+ * Parse a `check` field value into its CheckSpec; fatal, naming
+ * @p what, on anything other than "", "selfcheck", or a well-formed
+ * "memcmp:ADDR:LEN:FNV". Shared by the field registry (so spec files
+ * report malformed values with file:line:col) and the run dispatch.
+ */
+CheckSpec parseCheckValue(const std::string& what,
+                          const std::string& value);
 
 } // namespace vortex::sweep

@@ -961,6 +961,8 @@ workloadAssignments(const WorkloadSpec& w)
                {"texSize", std::to_string(w.texSize)}};
     if (!w.program.empty())
         out.emplace_back("program", w.program);
+    if (!w.check.empty())
+        out.emplace_back("check", w.check);
     return out;
 }
 

@@ -270,9 +270,11 @@ TEST(SpecFile, DumpCoversEveryRegistryField)
     SweepSpec texture;
     texture.baseWorkload.kind = WorkloadSpec::Kind::Texture;
     SweepSpec withProgram;
-    // Set the field directly (applyField would read the file): "program"
-    // is only serialized when present, like the texture block.
+    // Set the fields directly (applyField would read the file):
+    // "program" and "check" are only serialized when present, like the
+    // texture block.
     withProgram.baseWorkload.program = "examples/kernels/vecadd.s";
+    withProgram.baseWorkload.check = "selfcheck";
     std::string dumps = specToToml(rodinia) + specToToml(texture) +
                         specToToml(withProgram);
     for (const FieldInfo& f : sweepableFields()) {
@@ -315,6 +317,50 @@ TEST(SpecFile, SampleIntervalAndOverridesSurviveTheFile)
     // And they round-trip through the serializer.
     SweepSpec again = parseSpecText(specToToml(s), "s2.toml");
     EXPECT_EQ(matrixHashes(again), matrixHashes(s));
+}
+
+TEST(SpecFile, CheckFieldRoundTripsAndDifferentiatesTheHash)
+{
+    const char* toml = "name = \"zoo1\"\n"
+                       "[workload]\n"
+                       "kernel = \"bitonic\"\n"
+                       "program = \"examples/kernels/bitonic.s\"\n"
+                       "check = \"selfcheck\"\n";
+    SweepSpec s = parseSpecText(toml, "z.toml");
+    EXPECT_EQ(s.baseWorkload.check, "selfcheck");
+
+    // Serializes, reparses, and is a fixpoint.
+    std::string once = specToToml(s);
+    EXPECT_NE(once.find("check = \"selfcheck\""), std::string::npos);
+    SweepSpec again = parseSpecText(once, "z2.toml");
+    EXPECT_EQ(again.baseWorkload.check, "selfcheck");
+    EXPECT_EQ(once, specToToml(again));
+    EXPECT_EQ(matrixHashes(again), matrixHashes(s));
+
+    // The check is part of the run's identity: flipping it must change
+    // the content hash — a memcmp'd run never aliases a selfcheck'd
+    // one, and neither aliases an unchecked run.
+    ASSERT_EQ(s.runCount(), 1u);
+    RunSpec checked = s.expand()[0];
+    RunSpec memcmpd = checked;
+    memcmpd.workload.check = "memcmp:0x10000000:100:deadbeef";
+    RunSpec unchecked = checked;
+    unchecked.workload.check.clear();
+    EXPECT_NE(checked.contentHash(), memcmpd.contentHash());
+    EXPECT_NE(checked.contentHash(), unchecked.contentHash());
+    EXPECT_NE(checked.canonical().find("check = selfcheck"),
+              std::string::npos);
+}
+
+TEST(SpecFile, MalformedCheckValuesReportLineAndColumn)
+{
+    // Bad value of a known field: position of the value.
+    expectParseError("[workload]\ncheck = \"bogus\"\n", 2, 9,
+                     "unknown check 'bogus'");
+    expectParseError("[workload]\ncheck = \"memcmp:zz:4:0\"\n", 2, 9,
+                     "cannot parse 'zz' as a hex number");
+    expectParseError("[workload]\ncheck = \"memcmp:0:4\"\n", 2, 9,
+                     "not of the form memcmp:ADDR:LEN:FNV");
 }
 
 TEST(Lpt, EstimateRanksObviouslyLongerRunsHigher)

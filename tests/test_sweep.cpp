@@ -124,14 +124,27 @@ TEST(SweepSpec, FieldRegistryRejectsUnknownNamesAndBadValues)
     // Every registered field name round-trips through applyField.
     // "program" is also skipped: its value is a file path that is read
     // eagerly (so content hashing can cover the program text), and "1"
-    // is not a readable file.
+    // is not a readable file. "check" only accepts its two grammar
+    // forms, exercised below.
     for (const FieldInfo& f : sweepableFields()) {
         const std::string name = f.name;
         if (name == "schedPolicy" || name == "workload" ||
-            name == "kernel" || name == "texFilter" || name == "program")
+            name == "kernel" || name == "texFilter" ||
+            name == "program" || name == "check")
             continue;
         EXPECT_TRUE(applyField(cfg, wl, name, "1")) << name;
     }
+
+    // The check grammar: "selfcheck", "memcmp:ADDR:LEN:FNV", or error.
+    EXPECT_TRUE(applyField(cfg, wl, "check", "selfcheck"));
+    EXPECT_EQ(wl.check, "selfcheck");
+    EXPECT_TRUE(
+        applyField(cfg, wl, "check", "memcmp:0x10000000:100:deadbeef"));
+    EXPECT_THROW(applyField(cfg, wl, "check", "1"), FatalError);
+    EXPECT_THROW(applyField(cfg, wl, "check", "memcmp:zz:1:2"),
+                 FatalError);
+    EXPECT_THROW(applyField(cfg, wl, "check", "memcmp:1:2"), FatalError);
+    wl.check.clear();
 }
 
 TEST(SweepSpec, ProgramFieldReadsTheFileEagerlyAndHashesItsText)

@@ -248,7 +248,11 @@ TEST(Golden, CheckedInTwinsAreBitIdenticalToBuiltinKernels)
     };
     const Twin twins[] = {{"vecadd", "vecadd.s"},
                           {"saxpy", "saxpy.s"},
-                          {"sgemm", "sgemm.s"}};
+                          {"sgemm", "sgemm.s"},
+                          {"sfilter", "sfilter.s"},
+                          {"nearn", "nearn.s"},
+                          {"gaussian", "gaussian.s"},
+                          {"bfs", "bfs.s"}};
     for (const Twin& t : twins) {
         for (uint32_t cores : {1u, 4u}) {
             for (bool parallel : {false, true}) {
@@ -291,7 +295,7 @@ TEST(Golden, AsmSmokeSpecRunsTheTwinsEndToEnd)
         sweep::parseSpecFile(std::string(VORTEX_SPECS_DIR) +
                              "/asm_smoke.toml");
     std::vector<sweep::RunSpec> runs = spec.expand();
-    ASSERT_EQ(runs.size(), 6u); // 3 kernels x 2 core counts
+    ASSERT_EQ(runs.size(), 14u); // 7 kernels x 2 core counts
     for (const sweep::RunSpec& r : runs) {
         EXPECT_FALSE(r.workload.program.empty()) << r.id();
         EXPECT_FALSE(r.workload.programSource.empty()) << r.id();

@@ -13,6 +13,15 @@
  *   vortex_fuzz --seeds 100
  *   vortex_fuzz --seeds 50 --start 1000 --set numCores=4
  *   vortex_fuzz --dump 42
+ *   vortex_fuzz --seeds 100 --coverage cov.json \
+ *               --coverage-baseline ci/fuzz_coverage_baseline.json
+ *
+ * `--coverage` measures what the seed window's corpus exercises
+ * (InstrKinds, decode paths, analyzer checks; see src/fuzz/coverage.h)
+ * and writes the JSON report; `--coverage-baseline` additionally fails
+ * the run when anything a pinned baseline covers is no longer
+ * exercised. Both skip the differential runs — coverage is a static
+ * property of the corpus.
  *
  * Exit status: 0 = every seed matched, 1 = divergence or a failed seed,
  * 2 = usage error.
@@ -20,9 +29,12 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/log.h"
+#include "fuzz/coverage.h"
 #include "fuzz/fuzz.h"
 #include "sweep/spec.h"
 
@@ -45,6 +57,13 @@ usage(int code)
         "                       threads\n"
         "  --dump SEED          print seed SEED's generated program and\n"
         "                       exit (for reproducing a report)\n"
+        "  --coverage FILE      write the corpus-coverage JSON for the\n"
+        "                       seed window and exit (no differential\n"
+        "                       runs); '-' writes to stdout\n"
+        "  --coverage-baseline FILE\n"
+        "                       with --coverage: also compare against a\n"
+        "                       pinned baseline JSON and exit 1 when any\n"
+        "                       baseline coverage is lost\n"
         "  --verbose            print every seed, not just failures\n"
         "  -h, --help           this text\n"
         "\n"
@@ -58,6 +77,8 @@ run(int argc, char** argv)
     uint64_t seeds = 100;
     uint64_t start = 1;
     bool verbose = false;
+    std::string coveragePath;
+    std::string baselinePath;
     core::ArchConfig config = fuzz::fuzzConfig();
     sweep::WorkloadSpec unusedWl;
 
@@ -87,12 +108,64 @@ run(int argc, char** argv)
             if (!sweep::applyField(config, unusedWl, kv.substr(0, eq),
                                    kv.substr(eq + 1)))
                 fatal("unknown --set field '", kv.substr(0, eq), "'");
+        } else if (arg == "--coverage") {
+            coveragePath = value();
+        } else if (arg == "--coverage-baseline") {
+            baselinePath = value();
         } else if (arg == "--verbose") {
             verbose = true;
         } else {
             std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
             return usage(2);
         }
+    }
+
+    if (!baselinePath.empty() && coveragePath.empty()) {
+        std::fprintf(stderr,
+                     "--coverage-baseline requires --coverage\n");
+        return usage(2);
+    }
+
+    if (!coveragePath.empty()) {
+        fuzz::CoverageReport measured = fuzz::measureCoverage(
+            start, static_cast<uint32_t>(seeds));
+        std::string json = fuzz::coverageJson(measured);
+        if (coveragePath == "-") {
+            std::printf("%s", json.c_str());
+        } else {
+            std::ofstream out(coveragePath, std::ios::binary);
+            if (!out)
+                fatal("cannot write coverage file '", coveragePath, "'");
+            out << json;
+        }
+        std::printf("corpus coverage over seeds [%llu, %llu): %zu "
+                    "InstrKind(s), %zu decode path(s), %zu analyzer "
+                    "check(s)\n",
+                    static_cast<unsigned long long>(start),
+                    static_cast<unsigned long long>(start + seeds),
+                    measured.instrKinds.size(),
+                    measured.decodePaths.size(),
+                    measured.analyzerChecks.size());
+        if (!baselinePath.empty()) {
+            std::ifstream in(baselinePath, std::ios::binary);
+            if (!in)
+                fatal("cannot read coverage baseline '", baselinePath,
+                      "'");
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            fuzz::CoverageReport baseline =
+                fuzz::parseCoverageJson(buf.str(), baselinePath);
+            std::string regressions =
+                fuzz::coverageRegressions(baseline, measured);
+            if (!regressions.empty()) {
+                std::printf("coverage REGRESSED vs %s:\n%s",
+                            baselinePath.c_str(), regressions.c_str());
+                return 1;
+            }
+            std::printf("coverage is no worse than %s\n",
+                        baselinePath.c_str());
+        }
+        return 0;
     }
 
     uint64_t failures = 0;
