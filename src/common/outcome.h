@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Structured run outcomes: the typed error taxonomy for everything that
+ * can go wrong *inside* a simulated run (docs/ROBUSTNESS.md).
+ *
+ * Run-path failures — a guest that hangs, executes an invalid
+ * instruction, overflows its divergence stack, or fails its self-check —
+ * are recoverable events that one campaign row should record while the
+ * rest of the matrix keeps running. They throw SimError (a FatalError
+ * subclass, so legacy catch sites keep working) carrying the RunStatus
+ * class, and the workload layer translates them into a failed RunResult
+ * instead of aborting the process.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "common/log.h"
+
+namespace vortex {
+
+/** Classification of how a simulated run ended. */
+enum class RunStatus
+{
+    Ok,            ///< ran to completion (verification may still fail)
+    Timeout,       ///< cycle watchdog or host deadline expired (hang)
+    GuestTrap,     ///< invalid instruction / divergence-stack trap
+    SelfcheckFail, ///< guest reported FAIL (or no verdict) via the mailbox
+    HostError,     ///< host-side failure (bad spec, heap exhausted, ...)
+};
+
+/** Stable lowercase name of @p s (the CSV/JSON `status` column). */
+inline const char*
+statusName(RunStatus s)
+{
+    switch (s) {
+    case RunStatus::Ok:
+        return "ok";
+    case RunStatus::Timeout:
+        return "timeout";
+    case RunStatus::GuestTrap:
+        return "guest_trap";
+    case RunStatus::SelfcheckFail:
+        return "selfcheck_fail";
+    case RunStatus::HostError:
+        return "host_error";
+    }
+    return "?";
+}
+
+/**
+ * A run-path failure with its RunStatus class attached. Derives from
+ * FatalError so existing `catch (const FatalError&)` sites (and tests
+ * that expect FatalError from e.g. a watchdog expiry) see it unchanged,
+ * while the workload runner can catch SimError first and map it to a
+ * structured outcome.
+ */
+class SimError : public FatalError
+{
+  public:
+    /** A @p status -class failure described by @p what. */
+    SimError(RunStatus status, const std::string& what)
+        : FatalError(what), status_(status)
+    {
+    }
+
+    /** The outcome class this failure maps to. */
+    RunStatus status() const { return status_; }
+
+  private:
+    RunStatus status_;
+};
+
+/** Throw a SimError of class @p status with a formatted message. */
+template <typename... Args>
+[[noreturn]] void
+trap(RunStatus status, const Args&... args)
+{
+    throw SimError(status, detail::concat("trap: ", args...));
+}
+
+} // namespace vortex

@@ -9,6 +9,7 @@
 
 #include "common/bitmanip.h"
 #include "common/log.h"
+#include "common/outcome.h"
 #include "isa/csr.h"
 
 namespace vortex::core {
@@ -228,9 +229,9 @@ Core::fetchStage(Cycle now)
     // core/decode_cache.h).
     const isa::Instr& instr = decodeCache_.lookup(ram_, w.pc);
     if (!instr.valid())
-        fatal("core ", coreId_, " warp ", wid,
-              ": invalid instruction 0x", std::hex, instr.raw,
-              " at PC 0x", w.pc);
+        trap(RunStatus::GuestTrap, "core ", coreId_, " warp ", wid,
+             ": invalid instruction 0x", std::hex, instr.raw,
+             " at PC 0x", w.pc);
 
     Uop uop = takeUop();
     uop.instr = instr;

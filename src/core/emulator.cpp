@@ -13,6 +13,7 @@
 
 #include "common/bitmanip.h"
 #include "common/log.h"
+#include "common/outcome.h"
 #include "core/core.h"
 #include "isa/csr.h"
 
@@ -699,7 +700,8 @@ executeInto(Core& core, WarpId wid, const Instr& in, Addr pc, ExecOut& out)
 
       case K::Invalid:
       default:
-        fatal("invalid instruction 0x", std::hex, in.raw, " at PC 0x", pc);
+        trap(RunStatus::GuestTrap, "invalid instruction 0x", std::hex,
+             in.raw, " at PC 0x", pc);
     }
 
     // Writes to x0 are dropped.

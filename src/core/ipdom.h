@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/outcome.h"
 #include "common/types.h"
 
 namespace vortex::core {
@@ -45,23 +46,25 @@ class IpdomStack
     size_t size() const { return entries_.size(); }    ///< nesting depth
     uint32_t capacity() const { return capacity_; }    ///< maximum depth
 
-    /** Push a divergence entry; fatal on overflow (deeper nesting than
-     *  the modeled hardware supports). */
+    /** Push a divergence entry; a GuestTrap SimError on overflow (deeper
+     *  nesting than the modeled hardware supports). */
     void
     push(const IpdomEntry& e)
     {
         if (entries_.size() >= capacity_)
-            fatal("IPDOM stack overflow (capacity ", capacity_,
-                  "): control divergence nested too deep");
+            trap(RunStatus::GuestTrap, "IPDOM stack overflow (capacity ",
+                 capacity_, "): control divergence nested too deep");
         entries_.push_back(e);
     }
 
-    /** Pop the innermost entry (a `join`); fatal on underflow. */
+    /** Pop the innermost entry (a `join`); a GuestTrap SimError on
+     *  underflow. */
     IpdomEntry
     pop()
     {
         if (entries_.empty())
-            fatal("IPDOM stack underflow: join without matching split");
+            trap(RunStatus::GuestTrap,
+                 "IPDOM stack underflow: join without matching split");
         IpdomEntry e = entries_.back();
         entries_.pop_back();
         return e;

@@ -6,6 +6,7 @@
 #include "core/processor.h"
 
 #include "common/log.h"
+#include "common/outcome.h"
 
 namespace vortex::core {
 
@@ -186,6 +187,12 @@ Processor::tick()
     // buffers, so the engine may run them concurrently.
     tickEngine_->tick(cycles_);
     commitCrossCore();
+    // Fault injection lands here, after the commit phase and before
+    // sampling: the one point in a cycle where both tick backends have
+    // identical state, so an injected bit flip is bit-identical under
+    // serial and parallel tick (src/faults/fault.h).
+    if (faultHook_)
+        faultHook_(*this, cycles_);
     // Sampling happens after the commit phase: every cross-core effect of
     // this cycle has landed, so both tick backends observe identical
     // counters here (the sampling half of the determinism contract).
@@ -243,6 +250,15 @@ Processor::run(uint64_t max_cycles)
     while (busy()) {
         if (cycles_ >= max_cycles)
             return false;
+        // Host-deadline poll (fabric per-simulation wall-clock budget).
+        // Every 8192 cycles keeps the check off the hot path; the
+        // deadline is a robustness bound, not a simulated event, so the
+        // coarse granularity does not affect determinism of results —
+        // aborted runs are failures and are never cached.
+        if (abortCheck_ && (cycles_ & 0x1FFF) == 0 && abortCheck_())
+            trap(RunStatus::Timeout,
+                 "run aborted: host wall-clock deadline exceeded after ",
+                 cycles_, " cycles");
         tick();
     }
     // Close the series with the end-of-run remainder window (a no-op when

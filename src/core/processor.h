@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -105,6 +106,31 @@ class Processor : public BarrierHub
     void globalArrive(uint32_t id, uint32_t count, CoreId core,
                       WarpId wid) override;
 
+    /**
+     * Install @p hook to be called once per tick() on the main thread,
+     * after the cross-core commit phase — the deterministic cycle
+     * boundary both tick backends agree on, so anything the hook mutates
+     * (registers, memory) lands bit-identically under serial and
+     * parallel tick. This is the fault-injection attachment point
+     * (src/faults/fault.h). An empty function uninstalls.
+     */
+    void setFaultHook(std::function<void(Processor&, Cycle)> hook)
+    {
+        faultHook_ = std::move(hook);
+    }
+
+    /**
+     * Install @p check, polled periodically (every few thousand cycles)
+     * by run(). When it returns true the run throws a Timeout-class
+     * SimError — how the fabric service enforces a per-simulation
+     * wall-clock deadline without a kill signal (docs/ROBUSTNESS.md).
+     * An empty function uninstalls.
+     */
+    void setAbortCheck(std::function<bool()> check)
+    {
+        abortCheck_ = std::move(check);
+    }
+
   private:
     void wire();
 
@@ -142,6 +168,8 @@ class Processor : public BarrierHub
 
     GlobalBarrierTable globalBarriers_;
     StatSampler sampler_; ///< per-interval counter sampling (off by default)
+    std::function<void(Processor&, Cycle)> faultHook_; ///< setFaultHook()
+    std::function<bool()> abortCheck_;                 ///< setAbortCheck()
     Cycle cycles_ = 0;
 };
 

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fault-plan generation and application.
+ */
+
+#include "faults/fault.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/processor.h"
+
+namespace vortex::faults {
+
+FaultPlan
+FaultPlan::generate(const FaultSpec& spec, const core::ArchConfig& config,
+                    Addr memBase, uint32_t memWords)
+{
+    FaultPlan plan;
+    plan.events.reserve(spec.count);
+    Xorshift rng(spec.seed);
+    const uint64_t window = spec.window ? spec.window : kDefaultWindow;
+    for (uint32_t i = 0; i < spec.count; ++i) {
+        FaultEvent e;
+        // Consume the PRNG identically for both kinds so each event's
+        // draw count is fixed and plans stay stable if a kind is added.
+        e.cycle = 1 + rng.next() % window;
+        e.kind = (rng.next() & 1) ? FaultEvent::Kind::MemoryWord
+                                  : FaultEvent::Kind::RegisterBit;
+        e.core = rng.nextBounded(config.numCores);
+        e.warp = rng.nextBounded(config.numWarps);
+        e.lane = rng.nextBounded(config.numThreads);
+        e.reg = 1 + rng.nextBounded(31); // x0 stays architecturally zero
+        e.addr = memBase + 4u * rng.nextBounded(memWords ? memWords : 1);
+        e.bit = rng.nextBounded(32);
+        plan.events.push_back(e);
+    }
+    std::stable_sort(plan.events.begin(), plan.events.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                         return a.cycle < b.cycle;
+                     });
+    return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+void
+FaultInjector::onTick(core::Processor& proc, Cycle now)
+{
+    while (next_ < plan_.events.size() &&
+           plan_.events[next_].cycle <= now) {
+        const FaultEvent& e = plan_.events[next_++];
+        const uint32_t mask = 1u << e.bit;
+        if (e.kind == FaultEvent::Kind::RegisterBit) {
+            core::Warp& w = proc.core(e.core).warp(e.warp);
+            w.iregs[e.lane][e.reg] ^= mask;
+        } else {
+            // Ram::write32 bumps the code-write epoch when the word lies
+            // on a decoded-from page, so a flip into code re-decodes (and
+            // may legitimately trap on the corrupted instruction).
+            mem::Ram& ram = proc.ram();
+            ram.write32(e.addr, ram.read32(e.addr) ^ mask);
+        }
+    }
+}
+
+void
+FaultInjector::install(const FaultSpec& spec, core::Processor& proc,
+                       Addr memBase, uint32_t memWords)
+{
+    if (spec.count == 0)
+        return;
+    auto injector = std::make_shared<FaultInjector>(
+        FaultPlan::generate(spec, proc.config(), memBase, memWords));
+    proc.setFaultHook([injector](core::Processor& p, Cycle now) {
+        injector->onTick(p, now);
+    });
+}
+
+} // namespace vortex::faults

@@ -7,6 +7,7 @@
 
 #include "common/bitmanip.h"
 #include "common/log.h"
+#include "common/outcome.h"
 #include "kernels/kernels.h"
 
 namespace vortex::runtime {
@@ -185,10 +186,13 @@ Device::readyWait(uint64_t max_cycles)
 void
 Device::runKernel(uint64_t max_cycles)
 {
+    uint64_t budget = max_cycles;
+    if (cycleLimit_ && cycleLimit_ < budget)
+        budget = cycleLimit_;
     start();
-    if (!readyWait(max_cycles))
-        fatal("kernel did not complete within ", max_cycles,
-              " cycles (deadlock or runaway kernel)");
+    if (!readyWait(budget))
+        trap(RunStatus::Timeout, "kernel did not complete within ", budget,
+             " cycles (deadlock or runaway kernel)");
 }
 
 } // namespace vortex::runtime

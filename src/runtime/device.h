@@ -155,8 +155,21 @@ class Device
      */
     bool readyWait(uint64_t max_cycles = 200000000ull);
 
-    /** start() + readyWait() with a fatal error on timeout. */
+    /**
+     * start() + readyWait(); throws SimError with RunStatus::Timeout when
+     * the cycle watchdog expires (a deadlocked or runaway kernel), which
+     * the workload layer records as a structured `timeout` outcome
+     * instead of aborting the process (docs/ROBUSTNESS.md).
+     */
     void runKernel(uint64_t max_cycles = 200000000ull);
+
+    /**
+     * Tighten the cycle watchdog for every subsequent runKernel() to
+     * @p max_cycles (0 restores the caller-supplied budget). This is how
+     * `[faults] watchdog = N` specs bound hang detection without
+     * touching every runner's call site.
+     */
+    void setCycleLimit(uint64_t max_cycles) { cycleLimit_ = max_cycles; }
 
     core::Processor& processor() { return *processor_; }
     const core::Processor& processor() const { return *processor_; }
@@ -172,6 +185,7 @@ class Device
     std::string kernelOverride_;     ///< see setKernelOverride()
     std::string kernelOverrideName_;
     Addr heapTop_ = kHeapBase;
+    uint64_t cycleLimit_ = 0;        ///< see setCycleLimit()
 };
 
 } // namespace vortex::runtime

@@ -448,7 +448,12 @@ runSelfCheck(Device& dev)
     else
         os << "guest never wrote a self-check verdict (status 0x"
            << std::hex << check.status << ")";
-    return finish(dev, false, os.str());
+    RunResult r = finish(dev, false, os.str());
+    // The guest *detected* the problem (or never reached its verdict) —
+    // a structured selfcheck_fail outcome, distinct from a silent
+    // memcmp mismatch which stays status Ok (docs/ROBUSTNESS.md).
+    r.status = RunStatus::SelfcheckFail;
+    return r;
 }
 
 RunResult

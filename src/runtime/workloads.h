@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/outcome.h"
 #include "runtime/device.h"
 
 namespace vortex::runtime {
@@ -20,6 +21,10 @@ namespace vortex::runtime {
 struct RunResult
 {
     bool ok = false;        ///< device results matched the host reference
+    /** How the run ended (docs/ROBUSTNESS.md). Ok means the simulation
+     *  completed — `ok` may still be false on a verification mismatch
+     *  (a silent data corruption under fault injection). */
+    RunStatus status = RunStatus::Ok;
     uint64_t cycles = 0;
     uint64_t threadInstrs = 0;
     double ipc = 0.0;       ///< thread-instructions per cycle (paper metric)

@@ -291,6 +291,11 @@ CacheStore::entries() const
          std::filesystem::directory_iterator(dir_, ec)) {
         if (!de.is_regular_file() || de.path().extension() != ".run")
             continue;
+        // Same gate as load()/mergeFrom(): magic, hash matching the file
+        // name, and a complete `end`-terminated payload — a torn entry
+        // from a crash mid-write is invisible here too, not just a miss.
+        if (!validEntryFile(de.path().string(), de.path().stem().string()))
+            continue;
         std::ifstream in(de.path());
         std::string line;
         if (!in || !std::getline(in, line) || line != kCacheMagic)
@@ -384,6 +389,15 @@ CacheStore::prune(double olderThanDays) const
         }
         if (de.path().extension() != ".run")
             continue;
+        // Torn entries (bad magic, wrong hash, missing `end`) are swept
+        // regardless of age: load() and mergeFrom() already refuse
+        // them, so they are dead weight a crash left behind.
+        if (!validEntryFile(de.path(), de.path().stem().string())) {
+            std::filesystem::remove(de.path(), ec);
+            if (!ec)
+                ++removed;
+            continue;
+        }
         if (mtimeSeconds(de.path()) <= cutoff) {
             std::filesystem::remove(de.path(), ec);
             if (!ec)

@@ -129,8 +129,10 @@ class CacheStore
 
     /**
      * Delete cached records: all of them, or with @p olderThanDays >= 0
-     * only those whose mtime is older than that many days. Also sweeps
-     * leftover temp files and rewrites the manifest.
+     * only those whose mtime is older than that many days. Torn entries
+     * — bad magic, hash not matching the file name, missing `end`
+     * terminator (a crash mid-write) — are swept regardless of age, as
+     * are leftover temp files; the manifest is rewritten at the end.
      * @return the number of records removed.
      */
     size_t prune(double olderThanDays = -1.0) const;

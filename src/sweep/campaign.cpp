@@ -18,6 +18,7 @@
 
 #include "analysis/analysis.h"
 #include "common/log.h"
+#include "common/outcome.h"
 #include "core/processor.h"
 #include "kernels/kernels.h"
 #include "runtime/device.h"
@@ -178,6 +179,16 @@ RunRecord::dcacheBankUtilization() const
     return total == 0 ? 1.0 : static_cast<double>(accepted) / total;
 }
 
+uint32_t
+CampaignResult::failures() const
+{
+    uint32_t n = 0;
+    for (const RunRecord& r : records)
+        if (!r.result.ok)
+            ++n;
+    return n;
+}
+
 const RunRecord&
 CampaignResult::at(const std::vector<std::string>& labels) const
 {
@@ -214,7 +225,7 @@ CampaignResult::writeCsv(std::ostream& os) const
 
     for (const std::string& a : axisNames)
         os << csvCell(a) << ",";
-    os << "id,hash,ok,cycles,thread_instrs,ipc";
+    os << "id,hash,ok,status,cycles,thread_instrs,ipc";
     for (const auto& [k, v] : keyOrder.all()) {
         (void)v;
         os << "," << csvCell(k);
@@ -227,7 +238,8 @@ CampaignResult::writeCsv(std::ostream& os) const
             os << csvCell(label) << ",";
         }
         os << csvCell(r.spec.id()) << "," << r.spec.contentHash() << ","
-           << (r.result.ok ? 1 : 0) << "," << r.result.cycles << ","
+           << (r.result.ok ? 1 : 0) << ","
+           << statusName(r.result.status) << "," << r.result.cycles << ","
            << r.result.threadInstrs << "," << fmtF(r.result.ipc, 6);
         for (const auto& [k, v] : keyOrder.all()) {
             (void)v;
@@ -258,6 +270,7 @@ CampaignResult::writeJson(std::ostream& os) const
         // CSV, is byte-identical across job counts and cache states.
         os << "}, \"workload\": \"" << jsonEscape(r.spec.workload.describe())
            << "\", \"ok\": " << (r.result.ok ? "true" : "false")
+           << ", \"status\": \"" << statusName(r.result.status) << "\""
            << ", \"cycles\": " << r.result.cycles
            << ", \"thread_instrs\": " << r.result.threadInstrs
            << ", \"ipc\": " << fmtDouble(r.result.ipc) << ", \"stats\": {";
@@ -351,13 +364,15 @@ Campaign::Campaign(CampaignOptions opts) : opts_(std::move(opts))
 }
 
 RunRecord
-executeRun(const RunSpec& spec)
+executeRun(const RunSpec& spec, std::function<bool()> abortCheck)
 {
     RunRecord rec;
     rec.spec = spec;
 
     auto t0 = std::chrono::steady_clock::now();
     runtime::Device dev(spec.config);
+    if (abortCheck)
+        dev.processor().setAbortCheck(std::move(abortCheck));
     rec.result = spec.workload.run(dev);
     auto t1 = std::chrono::steady_clock::now();
     rec.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
@@ -501,11 +516,17 @@ Campaign::run(const SweepSpec& spec)
                     ++hits;
                 } else {
                     rec = executeRun(runs[i]);
-                    if (!rec.result.ok)
+                    if (!rec.result.ok && opts_.failFast)
                         fatal("campaign '", spec.name, "' run '",
-                              runs[i].id(), "' failed verification: ",
-                              rec.result.error);
-                    cache.store(rec, spec.name);
+                              runs[i].id(), "' failed (",
+                              statusName(rec.result.status),
+                              "): ", rec.result.error);
+                    // Only verified runs enter the cache: a failed run
+                    // is re-executed by the next campaign, so cache
+                    // state can never mask — or resurrect — a failure,
+                    // and warm-vs-cold output bytes stay identical.
+                    if (rec.result.ok)
+                        cache.store(rec, spec.name);
                     ++misses;
                 }
                 if (opts_.verbose || opts_.progress) {
@@ -534,9 +555,13 @@ Campaign::run(const SweepSpec& spec)
                                           " elapsed=%.1fs", elapsed);
                         eta = buf;
                     }
+                    std::string failNote;
+                    if (!rec.result.ok)
+                        failNote = std::string(" FAILED (") +
+                                   statusName(rec.result.status) + ")";
                     std::fprintf(stderr,
                                  "[%zu/%zu] %-28s %s cycles=%llu "
-                                 "ipc=%.3f%s%s\n",
+                                 "ipc=%.3f%s%s%s\n",
                                  doneCount, runs.size(),
                                  rec.spec.id().c_str(),
                                  rec.spec.workload.describe().c_str(),
@@ -544,7 +569,7 @@ Campaign::run(const SweepSpec& spec)
                                      rec.result.cycles),
                                  rec.result.ipc,
                                  rec.fromCache ? " (cached)" : "",
-                                 eta.c_str());
+                                 failNote.c_str(), eta.c_str());
                 }
                 result.records[i] = std::move(rec);
             } catch (...) {

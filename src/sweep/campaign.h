@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -73,6 +74,13 @@ struct CampaignOptions
      *  default; a scheduling-side option, so it never enters
      *  RunSpec::canonical() or the result-cache content hash. */
     bool verify = false;
+    /** Abort the campaign on the first failed run (the pre-robustness
+     *  behavior, `--fail-fast` on the CLI). By default a failed run —
+     *  timeout, guest trap, self-check failure, host error, or a
+     *  verification mismatch — is recorded as a first-class result row
+     *  (see RunResult::status and docs/ROBUSTNESS.md) and the campaign
+     *  completes the rest of the matrix. */
+    bool failFast = false;
 };
 
 /** One executed (or cache-restored) run with its counters. */
@@ -105,11 +113,18 @@ struct CampaignResult
      *  spec order); fatal when absent. */
     const RunRecord& at(const std::vector<std::string>& labels) const;
 
+    /** Number of failed records: every run whose result.ok is false —
+     *  timeouts, guest traps, self-check failures, host errors, and
+     *  silent verification mismatches alike. Campaign front ends exit
+     *  nonzero when this is nonzero (docs/ROBUSTNESS.md). */
+    uint32_t failures() const;
+
     /**
      * Write one CSV row per run: axis coordinates, run id, content hash,
-     * ok, cycles, thread_instrs, ipc, host metadata-free counters (the
-     * union of stat keys across records, first-seen order). Byte-stable
-     * across job counts and cache states.
+     * ok, status (the RunStatus name — see docs/ROBUSTNESS.md), cycles,
+     * thread_instrs, ipc, host metadata-free counters (the union of
+     * stat keys across records, first-seen order). Byte-stable across
+     * job counts and cache states.
      */
     void writeCsv(std::ostream& os) const;
 
@@ -217,8 +232,16 @@ std::vector<uint32_t> shardAssignment(const std::vector<RunSpec>& runs,
  * The execution primitive shared by Campaign workers and the fabric
  * service; verification status is in the record — the caller decides
  * whether a failure is fatal.
+ *
+ * @p abortCheck, when non-empty, is polled periodically from the
+ * simulation loop (see core::Processor::setAbortCheck); returning true
+ * aborts the run, which comes back as a RunStatus::Timeout record. The
+ * fabric service passes its per-simulation wall-clock deadline here —
+ * aborted runs are failures and are never cached, so the wall-clock
+ * nondeterminism cannot leak into any byte-stable output.
  */
-RunRecord executeRun(const RunSpec& spec);
+RunRecord executeRun(const RunSpec& spec,
+                     std::function<bool()> abortCheck = {});
 
 /** One result-cache entry as listed by CacheStore::entries(). (Defined
  *  here rather than in cache.h because campaign code is its main
@@ -243,8 +266,15 @@ class Campaign
 
     /** Expand @p spec and execute every run (or restore it from cache).
      *  With CampaignOptions::shardCount > 1, executes only this shard's
-     *  slice of the matrix. Fatal when a run fails verification — a
-     *  campaign never silently reports numbers from a wrong result. */
+     *  slice of the matrix. A failed run (timeout, guest trap,
+     *  self-check failure, host error, verification mismatch) is
+     *  recorded as a result row with its RunStatus and the campaign
+     *  completes the rest of the matrix — failed runs are never cached,
+     *  and CampaignResult::failures() reports the count so front ends
+     *  can exit nonzero. With CampaignOptions::failFast the first
+     *  failure is fatal instead (the pre-robustness behavior). A
+     *  campaign never silently reports numbers from a wrong result
+     *  either way: failures are explicit rows, not missing ones. */
     CampaignResult run(const SweepSpec& spec);
 
     /** The options this campaign executes with (jobs resolved). */

@@ -63,6 +63,13 @@ usage(int code)
         "                       partition of the matrix (0-based; overrides\n"
         "                       the spec's [fabric] shard; see "
         "docs/FABRIC.md)\n"
+        "  --fail-fast          abort on the first failed run instead of\n"
+        "                       recording it as a status row and finishing\n"
+        "                       the matrix (docs/ROBUSTNESS.md)\n"
+        "  --faults seed=N,count=K[,window=W,watchdog=C]\n"
+        "                       inject K seeded bit-flip faults per run\n"
+        "                       (shorthand for --set faults.KEY=V;\n"
+        "                       docs/ROBUSTNESS.md)\n"
         "  --progress           per-run elapsed/ETA lines on stderr\n"
         "  --verify             statically verify every kernel/machine\n"
         "                       pair before running (vortex_verify's\n"
@@ -91,7 +98,12 @@ usage(int code)
         "\n"
         "serve / submit options:\n"
         "  serve --listen PATH [--cache DIR] [--jobs N] [--quiet]\n"
+        "        [--deadline SECS]   abort any single simulation that\n"
+        "                            exceeds SECS wall-clock (reported as\n"
+        "                            a timeout run; docs/ROBUSTNESS.md)\n"
         "  submit --socket PATH --spec FILE [--name NAME]\n"
+        "         [--timeout SECS]   give up when the service goes SECS\n"
+        "                            without streaming an event\n"
         "  submit --socket PATH --shutdown\n"
         "\n"
         "legacy aliases (pre-subcommand spellings, still supported):\n"
@@ -120,6 +132,32 @@ parseAxisArg(const std::string& arg)
     if (values.empty())
         fatal("--axis ", field, ": no values");
     return Axis::sweep(field, values);
+}
+
+/** Split "seed=N,count=K[,window=W,watchdog=C]" into ("faults.KEY",
+ *  VALUE) assignments for the field registry. */
+std::vector<std::pair<std::string, std::string>>
+parseFaultsArg(const std::string& arg)
+{
+    std::vector<std::pair<std::string, std::string>> sets;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size())
+            fatal("--faults expects KEY=VALUE pairs (got '", item, "')");
+        std::string key = item.substr(0, eq);
+        if (key != "seed" && key != "count" && key != "window" &&
+            key != "watchdog")
+            fatal("--faults: unknown key '", key,
+                  "' (keys: seed, count, window, watchdog)");
+        sets.emplace_back("faults." + key, item.substr(eq + 1));
+    }
+    if (sets.empty())
+        fatal("--faults expects seed=N,count=K[,window=W,watchdog=C]");
+    return sets;
 }
 
 std::pair<std::string, std::string>
@@ -213,6 +251,11 @@ parseRunArgs(RunArgs& o, const std::vector<std::string>& args, size_t start,
             o.axes.push_back(parseAxisArg(next()));
         else if (a == "--set")
             o.sets.push_back(parseKeyValue("--set", next()));
+        else if (a == "--fail-fast")
+            o.opts.failFast = true;
+        else if (a == "--faults")
+            for (auto& kv : parseFaultsArg(next()))
+                o.sets.push_back(std::move(kv));
         else if (a == "--arg")
             o.presetArgs.push_back(parseKeyValue("--arg", next()));
         else if (a == "--jobs")
@@ -410,6 +453,9 @@ serveCmd(const std::vector<std::string>& args)
             opts.cacheDir = next();
         else if (a == "--jobs")
             opts.jobs = parseU32Value("--jobs", next());
+        else if (a == "--deadline")
+            opts.runDeadlineSeconds =
+                parseU32Value("--deadline", next());
         else if (a == "--quiet")
             opts.verbose = false;
         else
@@ -424,6 +470,7 @@ int
 submitCmd(const std::vector<std::string>& args)
 {
     std::string socketPath, specPath, name;
+    uint32_t timeoutSeconds = 0;
     bool shutdown = false;
     for (size_t i = 0; i < args.size(); ++i) {
         const std::string& a = args[i];
@@ -438,6 +485,8 @@ submitCmd(const std::vector<std::string>& args)
             specPath = next();
         else if (a == "--name")
             name = next();
+        else if (a == "--timeout")
+            timeoutSeconds = parseU32Value("--timeout", next());
         else if (a == "--shutdown")
             shutdown = true;
         else
@@ -460,8 +509,8 @@ submitCmd(const std::vector<std::string>& args)
         fatal("cannot read spec file ", specPath);
     std::ostringstream text;
     text << in.rdbuf();
-    SubmitResult result =
-        submitSpecText(socketPath, text.str(), name, &std::cout);
+    SubmitResult result = submitSpecText(socketPath, text.str(), name,
+                                         &std::cout, timeoutSeconds);
     if (!result.ok) {
         std::fprintf(stderr, "submit failed: %s\n", result.error.c_str());
         return 1;
@@ -565,7 +614,13 @@ execRun(RunArgs& o)
         // CLI axes append after the file's own (they vary fastest).
         for (Axis& a : o.axes)
             spec.axes.push_back(std::move(a));
-        if (spec.axes.size() == 2)
+        // A spec named after a sweep preset is that preset (the specs
+        // CI job pins the round trip), so it gets the preset's report —
+        // unless CLI axes reshaped the matrix the report indexes by.
+        const Preset* twin = findPreset(spec.name);
+        if (twin && twin->sweep && o.axes.empty())
+            report = twin->report;
+        else if (spec.axes.size() == 2)
             report = pivotIpc;
     } else {
         if (!o.presetArgs.empty())
@@ -652,6 +707,16 @@ execRun(RunArgs& o)
                      result.cacheHits, result.cacheHits == 1 ? "" : "s",
                      result.cacheMisses,
                      result.cacheMisses == 1 ? "" : "es");
+    // Failed runs are result rows, not silent drops — but a campaign
+    // with failures must not exit 0 (exit code 3; docs/ROBUSTNESS.md).
+    if (uint32_t failed = result.failures()) {
+        std::fprintf(stderr,
+                     "campaign '%s': %u of %zu run%s failed (see the "
+                     "status column)\n",
+                     spec.name.c_str(), failed, result.records.size(),
+                     result.records.size() == 1 ? "" : "s");
+        return 3;
+    }
     return 0;
 }
 

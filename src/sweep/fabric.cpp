@@ -11,10 +11,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -23,10 +25,12 @@
 #include <vector>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "common/log.h"
+#include "common/outcome.h"
 #include "sweep/cache.h"
 #include "sweep/campaign.h"
 #include "sweep/report.h"
@@ -50,24 +54,46 @@ fmtDouble(double v)
 // Socket plumbing.
 //
 
-/** Connect a stream socket to @p path; fatal on failure. */
+/**
+ * Connect a stream socket to @p path, retrying transient failures
+ * (service not yet bound, socket file not yet created, backlog full)
+ * with capped exponential backoff — 50 ms doubling to a 1 s cap — for
+ * up to @p retrySeconds. Fatal when the service stays unreachable.
+ */
 int
-connectTo(const std::string& path)
+connectTo(const std::string& path, double retrySeconds = 2.0)
 {
     sockaddr_un addr{};
     if (path.size() >= sizeof(addr.sun_path))
         fatal("socket path too long: ", path);
-    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0)
-        fatal("socket(): ", std::strerror(errno));
     addr.sun_family = AF_UNIX;
     std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(retrySeconds));
+    auto backoff = std::chrono::milliseconds(50);
+    for (;;) {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            fatal("socket(): ", std::strerror(errno));
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0)
+            return fd;
         int err = errno;
         ::close(fd);
-        fatal("cannot reach service at ", path, ": ", std::strerror(err));
+        // Only errors a starting (or briefly overloaded) service can
+        // recover from are worth retrying; anything else is permanent.
+        bool transient = err == ECONNREFUSED || err == ENOENT ||
+                         err == EAGAIN || err == EINTR;
+        if (!transient || std::chrono::steady_clock::now() + backoff >
+                              deadline)
+            fatal("cannot reach service at ", path, ": ",
+                  std::strerror(err));
+        std::this_thread::sleep_for(backoff);
+        backoff = std::min(backoff * 2, std::chrono::milliseconds(1000));
     }
-    return fd;
 }
 
 /** Send @p line plus a terminating newline; false on a dead peer. */
@@ -394,19 +420,48 @@ struct Service::Impl
             return rec;
         }
 
-        // This thread owns the simulation for `hash`.
+        // This thread owns the simulation for `hash`. Every path below
+        // must still publish a record — waiters joined on `mine` block
+        // until it is signaled — so any escaping exception (a simulator
+        // bug included) becomes a host_error record rather than a dead
+        // daemon with deadlocked clients.
         RunRecord rec;
-        if (cache.enabled() && cache.load(spec, rec)) {
-            origin = Origin::Cache;
-            std::lock_guard<std::mutex> lk(stateMu);
-            ++stats.cacheHits;
-        } else {
-            simSlots.acquire();
-            rec = executeRun(spec);
-            simSlots.release();
+        try {
+            if (cache.enabled() && cache.load(spec, rec)) {
+                origin = Origin::Cache;
+                std::lock_guard<std::mutex> lk(stateMu);
+                ++stats.cacheHits;
+            } else {
+                std::function<bool()> abortCheck;
+                if (opts.runDeadlineSeconds) {
+                    auto deadline =
+                        std::chrono::steady_clock::now() +
+                        std::chrono::seconds(opts.runDeadlineSeconds);
+                    abortCheck = [deadline] {
+                        return std::chrono::steady_clock::now() >= deadline;
+                    };
+                }
+                simSlots.acquire();
+                try {
+                    rec = executeRun(spec, std::move(abortCheck));
+                } catch (...) {
+                    simSlots.release();
+                    throw;
+                }
+                simSlots.release();
+                origin = Origin::Simulated;
+                if (rec.result.ok && cache.enabled())
+                    cache.store(rec, campaignName);
+                std::lock_guard<std::mutex> lk(stateMu);
+                ++stats.simulated;
+            }
+        } catch (const std::exception& e) {
             origin = Origin::Simulated;
-            if (rec.result.ok && cache.enabled())
-                cache.store(rec, campaignName);
+            rec = RunRecord();
+            rec.spec = spec;
+            rec.result.ok = false;
+            rec.result.status = RunStatus::HostError;
+            rec.result.error = e.what();
             std::lock_guard<std::mutex> lk(stateMu);
             ++stats.simulated;
         }
@@ -532,8 +587,9 @@ struct Service::Impl
                     }
                     if (!rec.result.ok && i < firstErrorIndex) {
                         firstErrorIndex = i;
-                        firstError = "run " + rec.spec.id() +
-                                     " failed verification: " + rec.result.error;
+                        firstError = "run " + rec.spec.id() + " failed (" +
+                                     statusName(rec.result.status) +
+                                     "): " + rec.result.error;
                     }
                 }
                 std::ostringstream ev;
@@ -542,7 +598,8 @@ struct Service::Impl
                    << "\", \"hash\": \"" << rec.spec.contentHash()
                    << "\", \"source\": \"" << originName(origin)
                    << "\", \"ok\": " << (rec.result.ok ? "true" : "false")
-                   << ", \"cycles\": " << rec.result.cycles
+                   << ", \"status\": \"" << statusName(rec.result.status)
+                   << "\", \"cycles\": " << rec.result.cycles
                    << ", \"thread_instrs\": " << rec.result.threadInstrs
                    << ", \"ipc\": " << fmtDouble(rec.result.ipc) << "}";
                 emit(ev.str());
@@ -802,9 +859,17 @@ Service::stats() const
 
 SubmitResult
 submitSpecText(const std::string& socketPath, const std::string& specText,
-               const std::string& campaignName, std::ostream* echo)
+               const std::string& campaignName, std::ostream* echo,
+               uint32_t timeoutSeconds)
 {
     int fd = connectTo(socketPath);
+    if (timeoutSeconds) {
+        // Bound every blocking recv: a hung or wedged service turns
+        // into a timed-out submission instead of a stuck client.
+        timeval tv{};
+        tv.tv_sec = timeoutSeconds;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
     std::string req = std::string("{\"op\": \"submit\", \"spec\": \"") +
                       jsonEscape(specText) + "\"";
     if (!campaignName.empty())
@@ -857,11 +922,19 @@ submitSpecText(const std::string& socketPath, const std::string& specText,
             finished = true;
         }
     }
+    int readErr = errno;
     ::close(fd);
     if (!finished) {
         result.ok = false;
-        if (result.error.empty())
-            result.error = "connection closed before a done/error event";
+        if (result.error.empty()) {
+            if (timeoutSeconds &&
+                (readErr == EAGAIN || readErr == EWOULDBLOCK))
+                result.error = "timed out after " +
+                               std::to_string(timeoutSeconds) +
+                               "s waiting for the service";
+            else
+                result.error = "connection closed before a done/error event";
+        }
     }
     return result;
 }

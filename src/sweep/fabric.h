@@ -24,9 +24,12 @@
  * simulations across all clients are bounded by ServiceOptions::jobs.
  *
  * Results streamed to one client are the same verified records a local
- * Campaign would produce; a submission whose spec text does not parse,
- * or whose run fails verification, gets an `error` event instead of
- * numbers — the service never reports results from a wrong simulation.
+ * Campaign would produce; every run event carries the run's structured
+ * `status` (docs/ROBUSTNESS.md). A submission whose spec text does not
+ * parse gets an `error` event immediately; one with failed runs streams
+ * each failure's status and ends with an `error` event naming the first
+ * — the service never reports results from a wrong simulation, and a
+ * poisoned submission never takes the daemon (or other clients) down.
  */
 
 #pragma once
@@ -53,6 +56,16 @@ struct ServiceOptions
     uint32_t jobs = 1;
     /** Per-event log lines on stderr. */
     bool verbose = false;
+    /**
+     * Per-simulation wall-clock deadline in seconds (`serve --deadline`;
+     * 0 = none). A simulation that exceeds it is aborted and reported
+     * as a RunStatus::Timeout run event — the service's watchdog
+     * against a hanging guest monopolizing a job slot forever. Aborted
+     * runs are failures and are never cached, so the wall-clock
+     * nondeterminism cannot leak into byte-stable outputs
+     * (docs/ROBUSTNESS.md).
+     */
+    uint32_t runDeadlineSeconds = 0;
 };
 
 /** Lifetime accounting of one Service (see stats()). */
@@ -132,16 +145,25 @@ struct SubmitResult
  * content) to the service at @p socketPath and block until the final
  * `done`/`error` event. @p campaignName overrides the spec's name when
  * non-empty. When @p echo is non-null every received event line is
- * copied to it as it arrives (the CLI streams them to stdout). Fatal
- * when the socket cannot be reached.
+ * copied to it as it arrives (the CLI streams them to stdout).
+ *
+ * Connecting retries with capped exponential backoff for a couple of
+ * seconds (a service still binding its socket is reached on a later
+ * attempt); fatal when the socket stays unreachable. A nonzero
+ * @p timeoutSeconds bounds how long the client waits for each event
+ * line (`submit --timeout`): when it elapses the result comes back
+ * !ok with a timeout message instead of blocking forever on a hung
+ * service.
  */
 SubmitResult submitSpecText(const std::string& socketPath,
                             const std::string& specText,
                             const std::string& campaignName = "",
-                            std::ostream* echo = nullptr);
+                            std::ostream* echo = nullptr,
+                            uint32_t timeoutSeconds = 0);
 
 /** Ask the service at @p socketPath to shut down (`{"op":"shutdown"}`).
- *  Returns once the service acknowledges. Fatal when unreachable. */
+ *  Returns once the service acknowledges. Connection attempts retry
+ *  with backoff like submitSpecText; fatal when unreachable. */
 void requestShutdown(const std::string& socketPath);
 
 /**

@@ -14,6 +14,7 @@
 
 #include "area/area.h"
 #include "common/log.h"
+#include "common/outcome.h"
 
 namespace vortex::sweep {
 
@@ -478,6 +479,90 @@ workloadZooSpec()
 }
 
 SweepSpec
+faultSmokeSpec()
+{
+    SweepSpec s;
+    s.name = "fault_smoke";
+    s.description =
+        "fault-injection smoke: seeded bit flips into self-checking "
+        "guests (plus the non-terminating hang guest), eight seeds, "
+        "classified as masked / sdc / detected / hang";
+    s.base = baselineConfig(1);
+    // Four flips per run, fired inside the first 4000 cycles so every
+    // event lands while the guest is still running (a single flip in
+    // the default 64K window almost always misses the run or a dead
+    // register — all-masked smoke tells CI nothing). The watchdog
+    // turns the wedged hang guest into a `timeout` row in well under a
+    // second instead of the runtime's 400M-cycle budget.
+    s.baseWorkload.faults.count = 4;
+    s.baseWorkload.faults.window = 4000;
+    s.baseWorkload.faults.watchdog = 100000;
+    Axis w;
+    w.name = "kernel";
+    for (const char* name : {"bitonic", "reduce_tree", "hang"})
+        w.points.push_back(AxisPoint{
+            name,
+            {{"kernel", name},
+             {"program", std::string("examples/kernels/") + name + ".s"},
+             {"check", "selfcheck"}}});
+    Axis seeds;
+    seeds.name = "seed";
+    for (uint32_t seed = 1; seed <= 8; ++seed)
+        seeds.points.push_back(
+            AxisPoint{"s" + std::to_string(seed),
+                      {{"faults.seed", std::to_string(seed)}}});
+    s.axes = {std::move(w), std::move(seeds)};
+    return s;
+}
+
+ReportTable
+faultClassificationReport(const CampaignResult& r)
+{
+    // Classification from the (status, ok) pair (docs/ROBUSTNESS.md):
+    // masked   — the run completed and still verified;
+    // sdc      — completed but verification mismatched (silent data
+    //            corruption);
+    // detected — the machine or the guest caught it (guest trap or
+    //            self-check FAIL);
+    // hang     — the watchdog expired (timeout).
+    ReportTable t;
+    t.title = r.name + ": fault classification";
+    t.columns = {"kernel", "masked", "sdc",  "detected",
+                 "hang",   "other",  "runs"};
+    std::vector<std::string> rows;
+    for (const RunRecord& rec : r.records) {
+        const std::string& row = rec.spec.coords[0].second;
+        if (std::find(rows.begin(), rows.end(), row) == rows.end())
+            rows.push_back(row);
+    }
+    for (const std::string& row : rows) {
+        uint64_t masked = 0, sdc = 0, detected = 0, hang = 0, other = 0,
+                 total = 0;
+        for (const RunRecord& rec : r.records) {
+            if (rec.spec.coords[0].second != row)
+                continue;
+            ++total;
+            const runtime::RunResult& res = rec.result;
+            if (res.ok)
+                ++masked;
+            else if (res.status == RunStatus::Ok)
+                ++sdc;
+            else if (res.status == RunStatus::GuestTrap ||
+                     res.status == RunStatus::SelfcheckFail)
+                ++detected;
+            else if (res.status == RunStatus::Timeout)
+                ++hang;
+            else
+                ++other;
+        }
+        t.addRow({row, std::to_string(masked), std::to_string(sdc),
+                  std::to_string(detected), std::to_string(hang),
+                  std::to_string(other), std::to_string(total)});
+    }
+    return t;
+}
+
+SweepSpec
 fig21Spec(bool paperSize)
 {
     const uint32_t geo = paperSize ? 16 : 8;
@@ -689,6 +774,8 @@ presets()
         sweepPreset([] { return perfSmokeSpec(); }, pivotIpc);
         sweepPreset([] { return asmSmokeSpec(); }, pivotIpc);
         sweepPreset([] { return workloadZooSpec(); }, pivotIpc);
+        sweepPreset([] { return faultSmokeSpec(); },
+                    faultClassificationReport);
 
         return p;
     }();

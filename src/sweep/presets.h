@@ -75,6 +75,21 @@ SweepSpec asmSmokeSpec();
  *  from the dumped spec file (examples/specs/workload_zoo.toml). */
 SweepSpec workloadZooSpec();
 
+/** The fault-injection smoke campaign: three `.s` guests (bitonic,
+ *  reduce_tree, and the non-terminating hang fixture) x eight seeds,
+ *  four seeded bit flips per run in a 4000-cycle window with a
+ *  100K-cycle watchdog (`[faults]`; docs/ROBUSTNESS.md). Runs are
+ *  classified masked / sdc / detected / hang from their (status, ok)
+ *  pair by faultClassificationReport(). Deterministic: the same seed
+ *  produces byte-identical campaign CSV for any job count, tick
+ *  backend, or cache state. CI runs it from the dumped spec file
+ *  (examples/specs/fault_smoke.toml, job `fault-matrix`). */
+SweepSpec faultSmokeSpec();
+
+/** The fault_smoke report: per-kernel counts of masked / sdc /
+ *  detected / hang (see faultSmokeSpec and docs/ROBUSTNESS.md). */
+ReportTable faultClassificationReport(const CampaignResult& r);
+
 /** Preset parameters as (key, value) pairs (`--arg size=128`). */
 using PresetArgs = std::vector<std::pair<std::string, std::string>>;
 

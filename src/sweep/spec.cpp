@@ -74,6 +74,22 @@ parseBool(const std::string& name, const std::string& value)
     return parseBoolValue("sweep field '" + name + "'", value);
 }
 
+/** Strict uint64 parse for the 64-bit fields (sampleInterval-style). */
+uint64_t
+parseU64(const std::string& name, const std::string& value)
+{
+    try {
+        size_t pos = 0;
+        uint64_t v = std::stoull(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception&) {
+        fatal("sweep field '", name, "': cannot parse '", value,
+              "' as an unsigned integer");
+    }
+}
+
 core::SchedPolicy
 parseSchedPolicy(const std::string& value)
 {
@@ -246,6 +262,25 @@ const FieldDef kFields[] = {
          // file:line:col; the raw text is what gets hashed/serialized.
          parseCheckValue("sweep field 'check'", v);
          w.check = v;
+     }},
+
+    // Fault injection (docs/ROBUSTNESS.md; [faults] in spec files).
+    {"faults.seed", "fault-injection PRNG seed selecting the upsets",
+     [](core::ArchConfig&, WorkloadSpec& w, const std::string& v) {
+         w.faults.seed = parseU64("faults.seed", v);
+     }},
+    {"faults.count", "single-bit upsets to inject (0 = off)",
+     [](core::ArchConfig&, WorkloadSpec& w, const std::string& v) {
+         w.faults.count = parseU32("faults.count", v);
+     }},
+    {"faults.window", "trigger-cycle window for injections (0 = default)",
+     [](core::ArchConfig&, WorkloadSpec& w, const std::string& v) {
+         w.faults.window = parseU64("faults.window", v);
+     }},
+    {"faults.watchdog", "cycle watchdog override for hang detection "
+                        "(0 = runner default)",
+     [](core::ArchConfig&, WorkloadSpec& w, const std::string& v) {
+         w.faults.watchdog = parseU64("faults.watchdog", v);
      }},
 };
 
@@ -425,24 +460,64 @@ WorkloadSpec::describe() const
     return os.str();
 }
 
+namespace {
+
+/** Failed RunResult of class @p status, with whatever counters the
+ *  device accumulated before the run ended. */
+runtime::RunResult
+failedResult(runtime::Device& dev, RunStatus status,
+             const std::string& what)
+{
+    runtime::RunResult r;
+    r.ok = false;
+    r.status = status;
+    r.error = what;
+    r.cycles = dev.processor().cycles();
+    r.threadInstrs = dev.processor().threadInstrs();
+    r.ipc = dev.processor().ipc();
+    return r;
+}
+
+/** Memory-word upsets target this many words from startPC — enough to
+ *  cover the image (code + data) of every shipped guest program. */
+constexpr uint32_t kFaultMemWords = 0x4000 / 4;
+
+} // namespace
+
 runtime::RunResult
 WorkloadSpec::run(runtime::Device& dev) const
 {
-    if (!program.empty())
-        dev.setKernelOverride(programSource, program);
-    if (!check.empty()) {
-        // Harness-free path: the guest program is the workload.
-        if (program.empty())
-            fatal("workload check '", check,
-                  "' requires a program file ([workload] program = ...)");
-        CheckSpec c = parseCheckValue("workload check", check);
-        if (c.kind == CheckSpec::Kind::Self)
-            return runtime::runSelfCheck(dev);
-        return runtime::runMemcmp(dev, c.addr, c.len, c.fnv);
+    try {
+        if (faults.watchdog)
+            dev.setCycleLimit(faults.watchdog);
+        if (faults.count)
+            faults::FaultInjector::install(
+                faults, dev.processor(), dev.processor().config().startPC,
+                kFaultMemWords);
+        if (!program.empty())
+            dev.setKernelOverride(programSource, program);
+        if (!check.empty()) {
+            // Harness-free path: the guest program is the workload.
+            if (program.empty())
+                fatal("workload check '", check,
+                      "' requires a program file ([workload] program = "
+                      "...)");
+            CheckSpec c = parseCheckValue("workload check", check);
+            if (c.kind == CheckSpec::Kind::Self)
+                return runtime::runSelfCheck(dev);
+            return runtime::runMemcmp(dev, c.addr, c.len, c.fnv);
+        }
+        if (kind == Kind::Rodinia)
+            return runtime::runRodinia(dev, kernel, scale);
+        return runtime::runTexture(dev, texFilter, texHw, texSize);
+    } catch (const SimError& e) {
+        // Structured run-path failure (watchdog, guest trap): one failed
+        // row, not a campaign abort (docs/ROBUSTNESS.md).
+        return failedResult(dev, e.status(), e.what());
+    } catch (const FatalError& e) {
+        // Anything else fatal on the run path is a host-side error.
+        return failedResult(dev, RunStatus::HostError, e.what());
     }
-    if (kind == Kind::Rodinia)
-        return runtime::runRodinia(dev, kernel, scale);
-    return runtime::runTexture(dev, texFilter, texHw, texSize);
 }
 
 Axis
@@ -558,6 +633,16 @@ RunSpec::canonical() const
     }
     if (!w.check.empty())
         os << "check = " << w.check << "\n";
+    // Fault-injection fields, only when set: a clean run's preimage (and
+    // so its cache key) is byte-identical to pre-faults versions, while
+    // every distinct injection gets its own key. The watchdog is
+    // included because it changes what a long run *returns* (timeout),
+    // even though it cannot change a completing run's results.
+    if (w.faults.any())
+        os << "faults.seed = " << w.faults.seed << "\n"
+           << "faults.count = " << w.faults.count << "\n"
+           << "faults.window = " << w.faults.window << "\n"
+           << "faults.watchdog = " << w.faults.watchdog << "\n";
     return os.str();
 }
 

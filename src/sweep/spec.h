@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "faults/fault.h"
 #include "runtime/workloads.h"
 
 namespace vortex::runtime {
@@ -79,12 +80,27 @@ struct WorkloadSpec
     bool texHw = true;                    ///< hardware `tex` path vs software
     uint32_t texSize = 64;                ///< square texture/render-target size
 
+    /**
+     * Fault-injection parameters (`[faults]` spec section, the
+     * "faults.*" registry fields, `--faults` on the CLI). All-zero (the
+     * default) means no injection and no watchdog override; when set,
+     * the fields enter RunSpec::canonical() so faulted runs get their
+     * own content-hash cache keys (docs/ROBUSTNESS.md).
+     */
+    faults::FaultSpec faults;
+
     /** Short human-readable description, e.g. "sgemm x2" or
      *  "texture bilinear hw 64". */
     std::string describe() const;
 
-    /** Execute this workload on @p dev (verified against the host
-     *  reference; see runtime/workloads.h). */
+    /**
+     * Execute this workload on @p dev (verified against the host
+     * reference; see runtime/workloads.h). Installs the fault plan and
+     * watchdog first when `faults` is set, and translates run-path
+     * SimError/FatalError throws into a failed RunResult carrying the
+     * structured RunStatus — a hanging or trapping guest returns a
+     * `timeout` / `guest_trap` row instead of propagating an exception.
+     */
     runtime::RunResult run(runtime::Device& dev) const;
 };
 

@@ -832,6 +832,24 @@ buildSpec(const std::string& file, const Node& root)
                              "' (fabric keys: shard)");
                 }
             }
+        } else if (m.key == "faults") {
+            // Fault-injection parameters (docs/ROBUSTNESS.md). The keys
+            // route through the "faults.*" registry fields so spec files
+            // and axis points share one parser and one validation.
+            expectKind(file, v, Node::Kind::Table, "a faults table");
+            for (const Member& fm : v.members) {
+                const Node& fv = v.children[fm.valueIndex];
+                if (fm.key == "seed" || fm.key == "count" ||
+                    fm.key == "window" || fm.key == "watchdog") {
+                    applyFieldChecked(file, spec.base, spec.baseWorkload,
+                                      "faults." + fm.key, fv);
+                } else {
+                    fail(file, fm.line, fm.col,
+                         "unknown faults key '" + fm.key +
+                             "' (faults keys: seed, count, window, "
+                             "watchdog)");
+                }
+            }
         } else if (m.key == "axes") {
             expectKind(file, v, Node::Kind::Array, "an array of axes");
             for (const Node& axisNode : v.children)
@@ -840,7 +858,7 @@ buildSpec(const std::string& file, const Node& root)
             fail(file, m.line, m.col,
                  "unknown top-level key '" + m.key +
                      "' (keys: spec, name, description, base, workload, "
-                     "fabric, axes)");
+                     "faults, fabric, axes)");
         }
     }
     return spec;
@@ -1033,6 +1051,19 @@ writeSpecToml(const SweepSpec& spec, std::ostream& os)
     os << "\n[workload]\n";
     for (const auto& [k, v] : workloadAssignments(spec.baseWorkload))
         os << k << " = " << tomlValue(v) << "\n";
+
+    // Fault injection, only when set: clean specs serialize exactly as
+    // they did before the faults layer existed (docs/ROBUSTNESS.md).
+    if (spec.baseWorkload.faults.any()) {
+        const faults::FaultSpec& f = spec.baseWorkload.faults;
+        os << "\n[faults]\n";
+        os << "seed = " << f.seed << "\n";
+        os << "count = " << f.count << "\n";
+        if (f.window)
+            os << "window = " << f.window << "\n";
+        if (f.watchdog)
+            os << "watchdog = " << f.watchdog << "\n";
+    }
 
     // Execution metadata, only when set: a shard-annotated spec is the
     // unit of work shipped to one fleet host (docs/FABRIC.md). Absent

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <csignal>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -18,14 +20,19 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "common/log.h"
+#include "common/outcome.h"
 #include "sweep/cache.h"
 #include "sweep/campaign.h"
 #include "sweep/cli.h"
 #include "sweep/fabric.h"
 #include "sweep/presets.h"
+#include "sweep/report.h"
 #include "sweep/specfile.h"
 
 using namespace vortex;
@@ -92,6 +99,59 @@ jsonOf(const CampaignResult& r)
     std::ostringstream os;
     r.writeJson(os);
     return os.str();
+}
+
+/** A non-terminating guest: runs until its 2M-cycle watchdog, so it
+ *  holds a service job slot for a visible-but-bounded while. */
+const char* kHangSpecToml = "name = \"fabric-hang\"\n"
+                            "[workload]\n"
+                            "kernel = \"hang\"\n"
+                            "program = \"examples/kernels/hang.s\"\n"
+                            "check = \"selfcheck\"\n"
+                            "[faults]\n"
+                            "watchdog = 2000000\n";
+
+/** Raw AF_UNIX client connection (retries while the service binds);
+ *  -1 on failure. */
+int
+rawConnect(const std::string& path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    for (int i = 0; i < 100; ++i) {
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0)
+            return fd;
+        ::usleep(20 * 1000);
+    }
+    ::close(fd);
+    return -1;
+}
+
+/** Blocking single-line NDJSON read from a raw fd ("" on EOF). */
+std::string
+rawReadLine(int fd)
+{
+    std::string line;
+    char c;
+    while (::recv(fd, &c, 1, 0) == 1) {
+        if (c == '\n')
+            return line;
+        line += c;
+    }
+    return line;
+}
+
+bool
+rawSendLine(int fd, const std::string& line)
+{
+    std::string out = line + "\n";
+    return ::send(fd, out.data(), out.size(), MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(out.size());
 }
 
 } // namespace
@@ -429,6 +489,228 @@ TEST(Service, RenamedSubmissionsStillDedupAndErrorsAreReported)
     EXPECT_EQ(service.stats().errors, 1u);
 
     service.stop();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Service, MalformedRequestLinesLeaveTheConnectionUsable)
+{
+    std::string dir = freshTempDir("svcbad");
+    std::filesystem::create_directories(dir);
+    ServiceOptions opts;
+    opts.socketPath = dir + "/fabric.sock";
+    Service service(opts);
+    service.start();
+
+    int fd = rawConnect(opts.socketPath);
+    ASSERT_GE(fd, 0);
+
+    // Garbage, valid-JSON-without-op, and unknown-op lines each answer
+    // with an error event — and none of them kill the connection.
+    ASSERT_TRUE(rawSendLine(fd, "this is not NDJSON {{{"));
+    EXPECT_NE(rawReadLine(fd).find("\"error\""), std::string::npos);
+    ASSERT_TRUE(rawSendLine(fd, "{\"spec\": \"x\"}"));
+    EXPECT_NE(rawReadLine(fd).find("missing the \\\"op\\\""),
+              std::string::npos);
+    ASSERT_TRUE(rawSendLine(fd, "{\"op\": \"frobnicate\"}"));
+    EXPECT_NE(rawReadLine(fd).find("unknown op"), std::string::npos);
+    ASSERT_TRUE(rawSendLine(fd, "{\"op\": \"ping\"}"));
+    EXPECT_NE(rawReadLine(fd).find("\"pong\""), std::string::npos);
+
+    // The same poisoned connection still carries a full submission.
+    ASSERT_TRUE(rawSendLine(fd, std::string("{\"op\": \"submit\", "
+                                            "\"spec\": \"") +
+                                    jsonEscape(kTinySpecToml) + "\"}"));
+    std::string line;
+    bool done = false;
+    while (!(line = rawReadLine(fd)).empty()) {
+        ASSERT_EQ(line.find("\"error\""), std::string::npos) << line;
+        if (line.find("\"done\"") != std::string::npos) {
+            done = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(done);
+    ::close(fd);
+
+    EXPECT_TRUE(service.running());
+    service.stop();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Service, ClientDisconnectMidRunDoesNotKillTheService)
+{
+    std::string dir = freshTempDir("svcgone");
+    std::filesystem::create_directories(dir);
+    ServiceOptions opts;
+    opts.socketPath = dir + "/fabric.sock";
+    Service service(opts);
+    service.start();
+
+    // Submit the 2M-cycle hang guest, read the accepted event, then
+    // vanish mid-simulation.
+    int fd = rawConnect(opts.socketPath);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(rawSendLine(fd, std::string("{\"op\": \"submit\", "
+                                            "\"spec\": \"") +
+                                    jsonEscape(kHangSpecToml) + "\"}"));
+    EXPECT_NE(rawReadLine(fd).find("\"accepted\""), std::string::npos);
+    ::close(fd);
+
+    // The daemon keeps running and serves the next client normally.
+    SubmitResult r = submitSpecText(opts.socketPath, kTinySpecToml);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.runs, 4u);
+    EXPECT_TRUE(service.running());
+
+    service.stop();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Service, DeadlineAbortsAHungSimulationAsATimeoutRow)
+{
+    std::string dir = freshTempDir("svcdl");
+    std::filesystem::create_directories(dir);
+    ServiceOptions opts;
+    opts.socketPath = dir + "/fabric.sock";
+    opts.cacheDir = dir + "/cache";
+    opts.runDeadlineSeconds = 1;
+    Service service(opts);
+    service.start();
+
+    // No [faults] watchdog this time: only the service's wall-clock
+    // deadline stands between the spinning guest and the runtime's
+    // 400M-cycle budget.
+    std::string noWatchdog = "name = \"fabric-hang\"\n"
+                             "[workload]\n"
+                             "kernel = \"hang\"\n"
+                             "program = \"examples/kernels/hang.s\"\n"
+                             "check = \"selfcheck\"\n";
+    SubmitResult r = submitSpecText(opts.socketPath, noWatchdog);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("timeout"), std::string::npos) << r.error;
+    bool sawTimeoutRun = false;
+    for (const std::string& ev : r.events)
+        if (ev.find("\"event\": \"run\"") != std::string::npos &&
+            ev.find("\"status\": \"timeout\"") != std::string::npos)
+            sawTimeoutRun = true;
+    EXPECT_TRUE(sawTimeoutRun);
+    EXPECT_EQ(service.stats().errors, 1u);
+
+    // Aborted runs are failures: nothing landed in the cache, and the
+    // daemon is still healthy.
+    EXPECT_TRUE(CacheStore(opts.cacheDir).entries().empty());
+    EXPECT_TRUE(service.running());
+    SubmitResult ok = submitSpecText(opts.socketPath, kTinySpecToml);
+    EXPECT_TRUE(ok.ok) << ok.error;
+
+    service.stop();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Submit, TimeoutGivesUpOnASilentService)
+{
+    // A socket that listens but never answers: connect succeeds via the
+    // backlog, then the service-side accept never comes.
+    std::string dir = freshTempDir("svcmute");
+    std::filesystem::create_directories(dir);
+    std::string path = dir + "/mute.sock";
+    int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(lfd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(lfd, 4), 0);
+
+    SubmitResult r = submitSpecText(path, kTinySpecToml, "", nullptr,
+                                    /*timeoutSeconds=*/1);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("timed out"), std::string::npos) << r.error;
+
+    ::close(lfd);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Serve, SigtermMidSimulationShutsDownCleanly)
+{
+    std::string dir = freshTempDir("svcterm");
+    std::filesystem::create_directories(dir);
+    ServiceOptions opts;
+    opts.socketPath = dir + "/fabric.sock";
+    opts.cacheDir = dir + "/cache";
+
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: the foreground `vortex_sweep serve` process.
+        ::_exit(serveMain(opts));
+    }
+
+    // Feed it a long simulation, give the run a moment to start, then
+    // deliver SIGTERM mid-flight.
+    std::thread client([&] {
+        submitSpecText(opts.socketPath, kHangSpecToml, "", nullptr,
+                       /*timeoutSeconds=*/30);
+    });
+    ::usleep(300 * 1000);
+    ASSERT_EQ(::kill(pid, SIGTERM), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    client.join();
+
+    // Clean shutdown: exit 0, the socket unlinked, and no torn entry or
+    // leftover temp file in the cache directory.
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    EXPECT_FALSE(std::filesystem::exists(opts.socketPath));
+    if (std::filesystem::exists(opts.cacheDir)) {
+        for (const auto& de :
+             std::filesystem::directory_iterator(opts.cacheDir))
+            EXPECT_EQ(de.path().filename().string().find(".tmp."),
+                      std::string::npos)
+                << de.path();
+        EXPECT_EQ(CacheStore(opts.cacheDir).prune(/*olderThanDays=*/1000.0),
+                  0u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+//
+// Crash-safe cache maintenance.
+//
+
+TEST(CachePrune, SweepsTornEntriesRegardlessOfAge)
+{
+    std::string dir = freshTempDir("torn");
+    SweepSpec spec = tinySpec();
+    CampaignOptions opts;
+    opts.cacheDir = dir;
+    Campaign(opts).run(spec);
+    CacheStore store(dir);
+    ASSERT_EQ(store.entries().size(), 4u);
+
+    // A crash mid-write leaves an entry without its `end` terminator
+    // (plus possibly a stale temp file). Readers already treat it as a
+    // miss; prune must sweep it even when an --older-than window keeps
+    // every healthy entry.
+    std::ofstream(dir + "/00000000deadbeef.run")
+        << "vortex-sweep-cache v2\nhash 00000000deadbeef\ncycles 7\n";
+    std::ofstream(dir + "/1111111111111111.run.tmp.999.1") << "partial";
+    EXPECT_EQ(store.entries().size(), 4u); // torn entry never listed
+
+    RunRecord out;
+    EXPECT_EQ(store.prune(/*olderThanDays=*/1000.0), 1u);
+    EXPECT_FALSE(std::filesystem::exists(dir + "/00000000deadbeef.run"));
+    EXPECT_FALSE(
+        std::filesystem::exists(dir + "/1111111111111111.run.tmp.999.1"));
+    EXPECT_EQ(store.entries().size(), 4u); // healthy entries survive
+    for (const RunSpec& r : spec.expand())
+        EXPECT_TRUE(store.load(r, out)) << r.id();
+
+    EXPECT_EQ(store.prune(), 4u); // no age filter: everything goes
+    EXPECT_TRUE(store.entries().empty());
     std::filesystem::remove_all(dir);
 }
 

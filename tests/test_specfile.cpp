@@ -280,12 +280,49 @@ TEST(SpecFile, DumpCoversEveryRegistryField)
     for (const FieldInfo& f : sweepableFields()) {
         if (std::string(f.name) == "cores")
             continue;
+        // "faults.*" fields serialize as bare keys inside a [faults]
+        // section (only when set) — covered by FaultsSectionRoundTrips.
+        if (std::string(f.name).rfind("faults.", 0) == 0)
+            continue;
         EXPECT_NE(dumps.find("\n" + std::string(f.name) + " = "),
                   std::string::npos)
             << "registry field '" << f.name
             << "' is missing from writeSpecToml output — add it to "
                "configAssignments/workloadAssignments in specfile.cpp";
     }
+}
+
+TEST(SpecFile, FaultsSectionRoundTrips)
+{
+    // A [faults] section populates the workload FaultSpec, enters the
+    // canonical serialization (distinct content hash), and survives a
+    // dump/parse round trip byte-identically.
+    SweepSpec spec = parseSpecText("name = \"f\"\n"
+                                   "[faults]\n"
+                                   "seed = 7\n"
+                                   "count = 3\n"
+                                   "window = 5000\n"
+                                   "watchdog = 200000\n",
+                                   "f.toml");
+    EXPECT_EQ(spec.baseWorkload.faults.seed, 7u);
+    EXPECT_EQ(spec.baseWorkload.faults.count, 3u);
+    EXPECT_EQ(spec.baseWorkload.faults.window, 5000u);
+    EXPECT_EQ(spec.baseWorkload.faults.watchdog, 200000u);
+
+    SweepSpec clean = parseSpecText("name = \"f\"\n", "f.toml");
+    EXPECT_NE(spec.expand()[0].contentHash(),
+              clean.expand()[0].contentHash());
+
+    std::string dump = specToToml(spec);
+    EXPECT_NE(dump.find("[faults]"), std::string::npos);
+    SweepSpec reparsed = parseSpecText(dump, "f2.toml");
+    EXPECT_EQ(specToToml(reparsed), dump);
+    EXPECT_EQ(reparsed.expand()[0].contentHash(),
+              spec.expand()[0].contentHash());
+
+    // Unknown keys inside [faults] are positioned errors.
+    expectParseError("name = \"f\"\n[faults]\nbogus = 1\n", 3, 1,
+                     "unknown faults key");
 }
 
 TEST(SpecFile, SchemaIdIsValidatedWhenPresent)

@@ -308,7 +308,7 @@ TEST(Campaign, CsvIsBitIdenticalAcrossJobCountsAndCacheStates)
     std::string header, row0;
     std::getline(lines, header);
     std::getline(lines, row0);
-    EXPECT_EQ(header.rfind("kernel,numWarps,id,hash,ok,cycles,"
+    EXPECT_EQ(header.rfind("kernel,numWarps,id,hash,ok,status,cycles,"
                            "thread_instrs,ipc",
                            0),
               0u);
@@ -330,12 +330,62 @@ TEST(Campaign, JsonEmissionIsWellFormedEnoughToPin)
               std::count(s.begin(), s.end(), '}'));
 }
 
-TEST(Campaign, FailedVerificationIsFatalAtTheLowestRunIndex)
+TEST(Campaign, FailedRunIsRecordedAndTheMatrixCompletes)
+{
+    // A poisoned run (unknown kernel -> host error) becomes a
+    // first-class result row; the rest of the matrix still executes.
+    SweepSpec s;
+    s.name = "bad";
+    s.axes = {Axis::sweep("kernel", {"vecadd", "no_such_kernel"})};
+    CampaignResult r = Campaign().run(s);
+    ASSERT_EQ(r.records.size(), 2u);
+    EXPECT_TRUE(r.records[0].result.ok);
+    EXPECT_EQ(r.records[0].result.status, RunStatus::Ok);
+    EXPECT_FALSE(r.records[1].result.ok);
+    EXPECT_EQ(r.records[1].result.status, RunStatus::HostError);
+    EXPECT_FALSE(r.records[1].result.error.empty());
+    EXPECT_EQ(r.failures(), 1u);
+
+    // The status lands in the CSV row and the JSON object.
+    std::ostringstream csv, js;
+    r.writeCsv(csv);
+    r.writeJson(js);
+    EXPECT_NE(csv.str().find(",0,host_error,"), std::string::npos);
+    EXPECT_NE(js.str().find("\"status\": \"host_error\""),
+              std::string::npos);
+}
+
+TEST(Campaign, FailFastRestoresTheFatalBehavior)
 {
     SweepSpec s;
     s.name = "bad";
     s.axes = {Axis::sweep("kernel", {"vecadd", "no_such_kernel"})};
-    EXPECT_THROW(Campaign().run(s), FatalError);
+    CampaignOptions opts;
+    opts.failFast = true;
+    EXPECT_THROW(Campaign(opts).run(s), FatalError);
+}
+
+TEST(Campaign, FailedRunsAreNeverCached)
+{
+    std::string dir = freshTempDir("failcache");
+    SweepSpec s;
+    s.name = "bad";
+    s.axes = {Axis::sweep("kernel", {"no_such_kernel"})};
+    CampaignOptions opts;
+    opts.cacheDir = dir;
+    CampaignResult r1 = Campaign(opts).run(s);
+    EXPECT_EQ(r1.failures(), 1u);
+    EXPECT_EQ(r1.cacheMisses, 1u);
+    // Second campaign over the same spec: the failure re-executes (no
+    // hit), and the emitted bytes match the cold run exactly.
+    CampaignResult r2 = Campaign(opts).run(s);
+    EXPECT_EQ(r2.cacheHits, 0u);
+    EXPECT_EQ(r2.cacheMisses, 1u);
+    std::ostringstream c1, c2;
+    r1.writeCsv(c1);
+    r2.writeCsv(c2);
+    EXPECT_EQ(c1.str(), c2.str());
+    std::filesystem::remove_all(dir);
 }
 
 TEST(Presets, RegistryCoversEveryPaperExperiment)

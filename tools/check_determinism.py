@@ -34,7 +34,7 @@ import sys
 # allowed to read clocks (progress lines, wall-clock artifacts).
 LINT_DIRS = ("src/core", "src/mem", "src/sweep", "src/common",
              "src/analysis", "src/isa", "src/runtime", "src/kernels",
-             "src/graphics", "src/tex", "src/area")
+             "src/graphics", "src/tex", "src/area", "src/faults")
 
 SUPPRESS = re.compile(r"//\s*det-ok:\s*\S")
 
